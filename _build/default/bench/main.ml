@@ -1,0 +1,278 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   contribution as an empirical scaling experiment (see DESIGN.md's
+   per-experiment index), plus Bechamel micro-benchmarks of the simulation
+   kernels.
+
+   Usage:
+     main.exe                      run everything
+     main.exe <id> [<id> ...]      run selected experiments
+   ids: table1-ack fig1-progress-lb table1-approg thm8-decay table2-smb
+        table1-mmb table1-cons ablation mac-compare capacity micro *)
+
+open Sinr_geom
+open Sinr_phys
+open Sinr_expt
+
+let table1_ack () = ignore (Exp_ack.run ())
+
+let fig1_lb () = ignore (Exp_progress_lb.run ())
+
+let table1_approg () =
+  ignore (Exp_approg.run_density ());
+  ignore (Exp_approg.run_eps ())
+
+let thm8_decay () = ignore (Exp_decay_lb.run ())
+
+let table2_smb () =
+  ignore (Exp_smb.run_diameter ());
+  ignore (Exp_smb.run_lambda ());
+  ignore (Exp_smb.run_size ())
+
+let table1_mmb () = ignore (Exp_mmb.run ())
+
+let table1_cons () =
+  ignore (Exp_cons.run ());
+  ignore (Exp_cons.run_crashes ())
+
+let ablation () = ignore (Exp_ablation.run ())
+
+let mac_compare () = ignore (Exp_mac_compare.run ())
+
+let capacity () = ignore (Exp_capacity.run ())
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the hot kernels                         *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  Report.section "micro: Bechamel kernel benchmarks";
+  let open Bechamel in
+  let open Toolkit in
+  (* Kernel 1: one SINR slot resolution, 200 nodes / 50 senders. *)
+  let resolve_kernel =
+    let rng = Rng.create 1 in
+    let pts =
+      Placement.uniform rng ~n:200 ~box:(Sinr_geom.Box.square ~side:60.)
+        ~min_dist:1.
+    in
+    let sinr = Sinr.create Config.default pts in
+    let senders = List.init 50 (fun i -> i * 4) in
+    Test.make ~name:"sinr_resolve_200n_50tx"
+      (Staged.stage (fun () -> ignore (Sinr.resolve sinr ~senders)))
+  in
+  (* Kernel 2: strong-graph construction for 300 nodes. *)
+  let induced_kernel =
+    let rng = Rng.create 2 in
+    let pts =
+      Placement.uniform rng ~n:300 ~box:(Sinr_geom.Box.square ~side:80.)
+        ~min_dist:1.
+    in
+    Test.make ~name:"induced_strong_300n"
+      (Staged.stage (fun () -> ignore (Induced.strong Config.default pts)))
+  in
+  (* Kernel 3: a full modified-MIS run on a 100-node disc graph. *)
+  let mis_kernel =
+    let rng = Rng.create 3 in
+    let pts =
+      Placement.uniform rng ~n:100 ~box:(Sinr_geom.Box.square ~side:35.)
+        ~min_dist:1.
+    in
+    let g =
+      Sinr_graph.Graph.of_predicate ~n:100 (fun u v ->
+          Point.dist pts.(u) pts.(v) <= 4.)
+    in
+    let participants = List.init 100 Fun.id in
+    Test.make ~name:"sw_mis_100n"
+      (Staged.stage (fun () ->
+           let labels =
+             Sinr_mis.Labels.draw (Rng.create 9) ~n:100 ~participants ~bits:12
+           in
+           let mis =
+             Sinr_mis.Sw_mis.create ~n:100 ~participants ~labels
+               ~label_bits:12 ~stages:2
+           in
+           Sinr_mis.Sw_mis.run_congest g mis))
+  in
+  (* Kernel 4: one combined-MAC slot on a 60-node network with 8 ongoing
+     broadcasts. *)
+  let mac_kernel =
+    let rng = Rng.create 4 in
+    let pts =
+      Placement.uniform rng ~n:60 ~box:(Sinr_geom.Box.square ~side:30.)
+        ~min_dist:1.
+    in
+    let sinr = Sinr.create Config.default pts in
+    let mac = Sinr_mac.Combined_mac.create sinr ~rng:(Rng.create 5) in
+    List.iter
+      (fun v -> ignore (Sinr_mac.Combined_mac.bcast mac ~node:v ~data:v))
+      [ 0; 7; 14; 21; 28; 35; 42; 49 ];
+    Test.make ~name:"combined_mac_slot_60n"
+      (Staged.stage (fun () -> Sinr_mac.Combined_mac.step mac))
+  in
+  (* One kernel per paper table/figure: the inner loop each experiment
+     spends its time in. *)
+  let fig1_kernel =
+    let _, tl = Sinr_expt.Workloads.fig1 ~delta:16 in
+    let sinr =
+      Sinr.create
+        (Config.with_range ~range:(160. /. 0.9) ())
+        tl.Placement.points
+    in
+    Test.make ~name:"fig1_resolve_1tx"
+      (Staged.stage (fun () ->
+           ignore (Sinr.resolve sinr ~senders:[ tl.Placement.senders.(0) ])))
+  in
+  let ack_kernel =
+    let rng = Rng.create 6 in
+    let d, st = Sinr_expt.Workloads.star rng ~delta:24 in
+    let hm =
+      Sinr_mac.Hm_ack.create Sinr_mac.Params.default_ack
+        ~lambda:d.Sinr_expt.Workloads.profile.Induced.lambda
+        ~n:(Sinr.n d.Sinr_expt.Workloads.sinr)
+        ~rng:(Rng.create 7)
+    in
+    Array.iter
+      (fun v ->
+        Sinr_mac.Hm_ack.start hm ~node:v
+          { Sinr_mac.Events.origin = v; seq = 0; data = 0 })
+      st.Placement.leaves;
+    Test.make ~name:"table1_ack_hm_slot_24tx"
+      (Staged.stage (fun () ->
+           Array.iter
+             (fun v -> ignore (Sinr_mac.Hm_ack.decide hm ~node:v))
+             st.Placement.leaves))
+  in
+  let approg_kernel =
+    let rng = Rng.create 8 in
+    let pts =
+      Placement.uniform rng ~n:80 ~box:(Sinr_geom.Box.square ~side:30.)
+        ~min_dist:1.
+    in
+    let lambda = Induced.lambda Config.default pts in
+    let m =
+      Sinr_mac.Approx_progress.create Sinr_mac.Params.default_approg
+        Config.default ~lambda ~n:80 ~rng:(Rng.create 9)
+    in
+    for v = 0 to 39 do
+      Sinr_mac.Approx_progress.start m ~node:(v * 2)
+        { Sinr_mac.Events.origin = v * 2; seq = 0; data = 0 }
+    done;
+    Test.make ~name:"table1_approg_slot_80n"
+      (Staged.stage (fun () ->
+           for v = 0 to 79 do
+             ignore (Sinr_mac.Approx_progress.decide m ~node:v)
+           done;
+           ignore (Sinr_mac.Approx_progress.end_slot m)))
+  in
+  let decay_kernel =
+    let rng = Rng.create 10 in
+    let d, tb = Sinr_expt.Workloads.two_balls rng ~delta:64 in
+    let n = Sinr.n d.Sinr_expt.Workloads.sinr in
+    let decay = Sinr_mac.Decay.create ~n_tilde:256 ~n ~rng:(Rng.create 11) in
+    Array.iter
+      (fun v ->
+        Sinr_mac.Decay.start decay ~node:v ~slot:0
+          { Sinr_mac.Events.origin = v; seq = 0; data = 0 })
+      tb.Placement.ball2;
+    let slot = ref 0 in
+    Test.make ~name:"thm8_decay_slot_64tx"
+      (Staged.stage (fun () ->
+           incr slot;
+           for v = 0 to n - 1 do
+             ignore (Sinr_mac.Decay.decide decay ~node:v ~slot:!slot)
+           done))
+  in
+  let smb_kernel =
+    let rng = Rng.create 12 in
+    let pts =
+      Placement.uniform rng ~n:40 ~box:(Sinr_geom.Box.square ~side:26.)
+        ~min_dist:1.
+    in
+    let sinr = Sinr.create Config.default pts in
+    let mac = Sinr_mac.Combined_mac.create sinr ~rng:(Rng.create 13) in
+    let proto = Sinr_proto.Bmmb.create (Sinr_proto.Mac_driver.of_combined mac) in
+    Sinr_proto.Bmmb.arrive proto ~node:0 ~msg:1;
+    Test.make ~name:"table2_smb_bmmb_step_40n"
+      (Staged.stage (fun () -> Sinr_proto.Bmmb.step proto))
+  in
+  let cons_kernel =
+    let rng = Rng.create 14 in
+    let pts =
+      Placement.uniform rng ~n:30 ~box:(Sinr_geom.Box.square ~side:22.)
+        ~min_dist:1.
+    in
+    let sinr = Sinr.create Config.default pts in
+    let mac = Sinr_mac.Combined_mac.create sinr ~rng:(Rng.create 15) in
+    let proto =
+      Sinr_proto.Consensus.create
+        (Sinr_proto.Mac_driver.of_combined mac)
+        ~initial:(Array.init 30 (fun v -> v mod 2 = 0))
+        ~rounds_bound:8
+    in
+    Test.make ~name:"table1_cons_step_30n"
+      (Staged.stage (fun () -> Sinr_proto.Consensus.step proto))
+  in
+  let tests =
+    Test.make_grouped ~name:"kernels" ~fmt:"%s %s"
+      [ resolve_kernel; induced_kernel; mis_kernel; mac_kernel; fig1_kernel;
+        ack_kernel; approg_kernel; decay_kernel; smb_kernel; cons_kernel ]
+  in
+  let benchmark () =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+    in
+    let raw_results = Benchmark.all cfg instances tests in
+    let results =
+      List.map (fun instance -> Analyze.all ols instance raw_results) instances
+    in
+    Analyze.merge ols instances results
+  in
+  let results = benchmark () in
+  (match Hashtbl.find_opt results (Measure.label Instance.monotonic_clock) with
+   | None -> print_endline "no results"
+   | Some tbl ->
+     let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) tbl [] in
+     List.iter
+       (fun (name, ols) ->
+         match Analyze.OLS.estimates ols with
+         | Some [ est ] -> Fmt.pr "%-34s %12.0f ns/run@." name est
+         | Some _ | None -> Fmt.pr "%-34s (no estimate)@." name)
+       (List.sort compare rows))
+
+let experiments =
+  [ ("table1-ack", table1_ack);
+    ("fig1-progress-lb", fig1_lb);
+    ("table1-approg", table1_approg);
+    ("thm8-decay", thm8_decay);
+    ("table2-smb", table2_smb);
+    ("table1-mmb", table1_mmb);
+    ("table1-cons", table1_cons);
+    ("ablation", ablation);
+    ("mac-compare", mac_compare);
+    ("capacity", capacity);
+    ("micro", micro) ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: [] | [] -> List.map fst experiments
+    | _ :: args -> args
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun id ->
+      match List.assoc_opt id experiments with
+      | Some f ->
+        let t = Unix.gettimeofday () in
+        f ();
+        Fmt.pr "@.[%s done in %.1fs]@." id (Unix.gettimeofday () -. t)
+      | None ->
+        Fmt.epr "unknown experiment %S; known: %s@." id
+          (String.concat " " (List.map fst experiments));
+        exit 2)
+    requested;
+  Fmt.pr "@.total wall time: %.1fs@." (Unix.gettimeofday () -. t0)

@@ -1,0 +1,215 @@
+(* Command-line driver for the SINR local-broadcast stack.
+
+   Subcommands:
+     profile    build a deployment and print its induced-graph profile
+     smb        run global single-message broadcast (ours + baselines)
+     cons       run network-wide consensus
+     approg     measure approximate progress on a deployment
+     exp        run a named bench experiment (same ids as bench/main.exe) *)
+
+open Cmdliner
+open Sinr_geom
+open Sinr_phys
+open Sinr_expt
+
+(* ---------------- shared arguments ---------------- *)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let n_arg =
+  Arg.(value & opt int 50 & info [ "n" ] ~docv:"N" ~doc:"Number of nodes.")
+
+let degree_arg =
+  Arg.(value & opt int 8
+       & info [ "degree" ] ~docv:"DEG"
+           ~doc:"Target strong-graph degree of the uniform deployment.")
+
+let range_arg =
+  Arg.(value & opt float 12.0
+       & info [ "range" ] ~docv:"R" ~doc:"Transmission range R (sets Lambda).")
+
+let deployment ~seed ~n ~degree ~range =
+  let config = Config.with_range ~range () in
+  Workloads.uniform ~config (Rng.create seed) ~n ~target_degree:degree
+
+let pp_profile (d : Workloads.deployment) =
+  let p = d.Workloads.profile in
+  Fmt.pr "deployment %s@." d.Workloads.name;
+  Fmt.pr "  config        %a@." Config.pp (Sinr.config d.Workloads.sinr);
+  Fmt.pr "  Lambda        %.2f@." p.Induced.lambda;
+  Fmt.pr "  Delta(G1-e)   %d@." p.Induced.strong_degree;
+  Fmt.pr "  D(G1-e)       %d@." p.Induced.strong_diameter;
+  Fmt.pr "  D(G1-2e)      %d@." p.Induced.approx_diameter;
+  Fmt.pr "  connected     %b@."
+    (Sinr_graph.Components.is_connected p.Induced.strong)
+
+(* ---------------- profile ---------------- *)
+
+let profile_cmd =
+  let run seed n degree range = pp_profile (deployment ~seed ~n ~degree ~range) in
+  Cmd.v
+    (Cmd.info "profile" ~doc:"Build a deployment and print its profile.")
+    Term.(const run $ seed_arg $ n_arg $ degree_arg $ range_arg)
+
+(* ---------------- smb ---------------- *)
+
+let smb_cmd =
+  let run seed n degree range =
+    let d = deployment ~seed ~n ~degree ~range in
+    pp_profile d;
+    let budget = 40_000_000 in
+    let ours =
+      Sinr_proto.Global.smb d.Workloads.sinr
+        ~rng:(Rng.create (seed + 1))
+        ~source:0 ~max_slots:budget
+    in
+    (match ours.Sinr_proto.Global.completed with
+     | Some t -> Fmt.pr "ours (Thm 12.7):   %d slots@." t
+     | None ->
+       Fmt.pr "ours (Thm 12.7):   timeout (%d/%d reached)@."
+         ours.Sinr_proto.Global.reached n);
+    let dgkn =
+      Sinr_proto.Dgkn_broadcast.run d.Workloads.sinr
+        ~rng:(Rng.create (seed + 2))
+        ~source:0 ~max_slots:budget
+    in
+    (match dgkn.Sinr_proto.Dgkn_broadcast.completed with
+     | Some t -> Fmt.pr "dgkn [14]:         %d slots@." t
+     | None -> Fmt.pr "dgkn [14]:         timeout@.");
+    let decay =
+      Sinr_proto.Decay_flood.run d.Workloads.sinr
+        ~rng:(Rng.create (seed + 3))
+        ~source:0 ~max_slots:budget
+    in
+    match decay.Sinr_proto.Decay_flood.completed with
+    | Some t -> Fmt.pr "decay-flood [32]:  %d slots@." t
+    | None -> Fmt.pr "decay-flood [32]:  timeout@."
+  in
+  Cmd.v
+    (Cmd.info "smb"
+       ~doc:"Global single-message broadcast: ours vs the baselines.")
+    Term.(const run $ seed_arg $ n_arg $ degree_arg $ range_arg)
+
+(* ---------------- cons ---------------- *)
+
+let cons_cmd =
+  let crashes_arg =
+    Arg.(value & opt int 0
+         & info [ "crashes" ] ~docv:"K" ~doc:"Crash K nodes mid-run.")
+  in
+  let run seed n degree range crashes =
+    let d = deployment ~seed ~n ~degree ~range in
+    pp_profile d;
+    let rng = Rng.create (seed + 10) in
+    let initial = Array.init n (fun _ -> Rng.bool rng) in
+    let faults =
+      if crashes = 0 then Sinr_engine.Fault.none
+      else
+        Sinr_engine.Fault.random_crashes (Rng.split rng ~key:1) ~n
+          ~count:crashes ~horizon:10_000 ~protect:[]
+    in
+    let diameter = d.Workloads.profile.Induced.strong_diameter in
+    let r =
+      Sinr_proto.Global.cons d.Workloads.sinr ~rng:(Rng.split rng ~key:2)
+        ~initial ~faults
+        ~rounds_bound:(2 * (diameter + 1))
+        ~max_slots:200_000_000
+    in
+    (match r.Sinr_proto.Global.completed with
+     | Some t -> Fmt.pr "completed in %d slots@." t
+     | None -> Fmt.pr "timeout@.");
+    Fmt.pr "agreement=%b validity=%b deciders=%d crashed=%d@."
+      r.Sinr_proto.Global.agreement r.Sinr_proto.Global.validity
+      r.Sinr_proto.Global.deciders r.Sinr_proto.Global.crashed
+  in
+  Cmd.v
+    (Cmd.info "cons" ~doc:"Network-wide consensus over the absMAC.")
+    Term.(const run $ seed_arg $ n_arg $ degree_arg $ range_arg $ crashes_arg)
+
+(* ---------------- approg ---------------- *)
+
+let approg_cmd =
+  let run seed n degree range =
+    let d = deployment ~seed ~n ~degree ~range in
+    pp_profile d;
+    let senders = List.filter (fun v -> v mod 2 = 0) (List.init n Fun.id) in
+    let sched =
+      Sinr_mac.Params.schedule
+        (Sinr.config d.Workloads.sinr)
+        ~lambda:d.Workloads.profile.Induced.lambda
+        Sinr_mac.Params.default_approg
+    in
+    Fmt.pr "epoch layout: Phi=%d T=%d mis_rounds=%d data=%d epoch=%d slots@."
+      sched.Sinr_mac.Params.phi sched.Sinr_mac.Params.t
+      sched.Sinr_mac.Params.mis_rounds sched.Sinr_mac.Params.data_slots
+      sched.Sinr_mac.Params.epoch_slots;
+    let samples, machine =
+      Sinr_mac.Measure.approx_progress_only d.Workloads.sinr
+        ~rng:(Rng.create (seed + 4))
+        ~senders
+        ~max_slots:(6 * sched.Sinr_mac.Params.epoch_slots)
+    in
+    let ok = List.filter (fun s -> s.Sinr_mac.Measure.delay <> None) samples in
+    Fmt.pr "listeners with a broadcasting G~-neighbor: %d@."
+      (List.length samples);
+    Fmt.pr "progressed: %d (%.0f%%), drops=%d@." (List.length ok)
+      (100.
+       *. float_of_int (List.length ok)
+       /. float_of_int (max 1 (List.length samples)))
+      (Sinr_mac.Approx_progress.drops_total machine);
+    match List.filter_map (fun s -> s.Sinr_mac.Measure.delay) samples with
+    | [] -> ()
+    | ds ->
+      let arr = Array.of_list (List.map float_of_int ds) in
+      Fmt.pr "delays: %a@." Sinr_stats.Summary.pp
+        (Sinr_stats.Summary.of_samples arr)
+  in
+  Cmd.v
+    (Cmd.info "approg"
+       ~doc:"Measure approximate progress of Algorithm 9.1 on a deployment.")
+    Term.(const run $ seed_arg $ n_arg $ degree_arg $ range_arg)
+
+(* ---------------- exp ---------------- *)
+
+let exp_cmd =
+  let id_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"ID"
+             ~doc:"Experiment id (table1-ack, fig1-progress-lb, \
+                   table1-approg, thm8-decay, table2-smb, table1-mmb, \
+                   table1-cons, ablation, mac-compare, capacity).")
+  in
+  let run id =
+    match id with
+    | "table1-ack" -> ignore (Exp_ack.run ())
+    | "fig1-progress-lb" -> ignore (Exp_progress_lb.run ())
+    | "table1-approg" ->
+      ignore (Exp_approg.run_density ());
+      ignore (Exp_approg.run_eps ())
+    | "thm8-decay" -> ignore (Exp_decay_lb.run ())
+    | "table2-smb" ->
+      ignore (Exp_smb.run_diameter ());
+      ignore (Exp_smb.run_lambda ());
+      ignore (Exp_smb.run_size ())
+    | "table1-mmb" -> ignore (Exp_mmb.run ())
+    | "table1-cons" ->
+      ignore (Exp_cons.run ());
+      ignore (Exp_cons.run_crashes ())
+    | "ablation" -> ignore (Exp_ablation.run ())
+    | "mac-compare" -> ignore (Exp_mac_compare.run ())
+    | "capacity" -> ignore (Exp_capacity.run ())
+    | other ->
+      Fmt.epr "unknown experiment %S@." other;
+      exit 2
+  in
+  Cmd.v
+    (Cmd.info "exp" ~doc:"Run a named experiment (see DESIGN.md index).")
+    Term.(const run $ id_arg)
+
+let () =
+  let doc = "Local broadcast layer for the SINR network model — simulator" in
+  let info = Cmd.info "sinr_sim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ profile_cmd; smb_cmd; cons_cmd; approg_cmd; exp_cmd ]))

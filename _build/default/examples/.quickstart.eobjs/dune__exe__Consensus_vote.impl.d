@@ -1,0 +1,1 @@
+examples/consensus_vote.ml: Array Box Config Fmt Fun Global List Placement Rng Sinr Sinr_geom Sinr_phys Sinr_proto String

@@ -1,0 +1,1 @@
+examples/highway_alert.ml: Bmmb Combined_mac Config Events Fmt Fun Induced List Mac_driver Placement Rng Sinr Sinr_geom Sinr_mac Sinr_phys Sinr_proto

@@ -1,0 +1,1 @@
+examples/highway_alert.mli:

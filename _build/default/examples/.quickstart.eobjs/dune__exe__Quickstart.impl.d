@@ -1,0 +1,1 @@
+examples/quickstart.ml: Absmac_intf Array Box Combined_mac Config Events Fmt Induced Placement Rng Sinr Sinr_geom Sinr_mac Sinr_phys

@@ -1,0 +1,1 @@
+examples/sensor_field.ml: Bmmb Box Config Fmt Fun Induced List Mac_driver Placement Rng Sinr Sinr_geom Sinr_mac Sinr_phys Sinr_proto

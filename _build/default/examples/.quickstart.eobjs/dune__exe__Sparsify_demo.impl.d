@@ -1,0 +1,1 @@
+examples/sparsify_demo.ml: Approx_progress Array Box Config Engine Events Fmt Induced List Params Placement Point Rng Sinr Sinr_engine Sinr_geom Sinr_mac Sinr_phys String

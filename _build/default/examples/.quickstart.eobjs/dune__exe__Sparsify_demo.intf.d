@@ -1,0 +1,1 @@
+examples/sparsify_demo.mli:

@@ -1,0 +1,36 @@
+(* Consensus vote: agreeing on a value despite crashes.
+
+   A cluster of nodes votes on a binary value using the consensus layer
+   (paper Corollary 5.5) over the absMAC; two nodes crash mid-vote.  The
+   survivors must agree on a single valid value.
+
+     dune exec examples/consensus_vote.exe *)
+
+open Sinr_geom
+open Sinr_phys
+open Sinr_proto
+
+let () =
+  let rng = Rng.create 31 in
+  let n = 14 in
+  let points =
+    Placement.uniform rng ~n ~box:(Box.square ~side:9.) ~min_dist:1.
+  in
+  let sinr = Sinr.create Config.default points in
+  let initial = Array.init n (fun v -> v mod 3 <> 0) in
+  Fmt.pr "votes: %s@."
+    (String.concat ""
+       (List.map (fun v -> if initial.(v) then "1" else "0") (List.init n Fun.id)));
+
+  let faults = [ (200, 4); (4_000, 9) ] in
+  let r =
+    Global.cons sinr ~rng:(Rng.split rng ~key:1) ~initial ~faults
+      ~rounds_bound:6 ~max_slots:100_000_000
+  in
+  (match r.Global.completed with
+   | Some t -> Fmt.pr "all surviving nodes decided by slot %d@." t
+   | None -> Fmt.pr "timed out@.");
+  Fmt.pr "crashed: %d, deciders: %d@." r.Global.crashed r.Global.deciders;
+  Fmt.pr "agreement: %b, validity: %b@." r.Global.agreement r.Global.validity;
+  assert r.Global.agreement;
+  assert r.Global.validity

@@ -1,0 +1,1 @@
+lib/core/absmac_intf.ml: Events

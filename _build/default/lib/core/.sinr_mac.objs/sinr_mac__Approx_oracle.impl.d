@@ -1,0 +1,1 @@
+lib/core/approx_oracle.ml: Approx_progress Array Events Greedy_mis Hashtbl Induced List Params Reliability Rng Sinr Sinr_geom Sinr_mis Sinr_phys

@@ -1,0 +1,1 @@
+lib/core/approx_oracle.mli: Approx_progress Events Params Rng Sinr Sinr_geom Sinr_phys

@@ -1,0 +1,1 @@
+lib/core/approx_progress.ml: Array Events Hashtbl Labels List Option Params Rng Sinr_geom Sinr_graph Sinr_mis Sw_mis

@@ -1,0 +1,1 @@
+lib/core/approx_progress.mli: Config Events Params Rng Sinr_geom Sinr_graph Sinr_phys

@@ -1,0 +1,1 @@
+lib/core/combined_mac.ml: Absmac_intf Approx_progress Array Config Engine Events Hm_ack Induced List Params Rng Sinr Sinr_engine Sinr_geom Sinr_graph Sinr_phys Trace

@@ -1,0 +1,1 @@
+lib/core/combined_mac.mli: Absmac_intf Approx_progress Engine Events Hm_ack Params Rng Sinr Sinr_engine Sinr_geom Sinr_phys Trace

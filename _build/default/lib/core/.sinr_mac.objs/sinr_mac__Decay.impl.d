@@ -1,0 +1,1 @@
+lib/core/decay.ml: Array Events Float Rng Sinr_geom

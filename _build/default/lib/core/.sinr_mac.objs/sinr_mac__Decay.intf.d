@@ -1,0 +1,1 @@
+lib/core/decay.mli: Events Rng Sinr_geom

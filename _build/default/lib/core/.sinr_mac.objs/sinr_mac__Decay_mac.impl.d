@@ -1,0 +1,1 @@
+lib/core/decay_mac.ml: Absmac_intf Array Decay Engine Events Float Hashtbl Induced List Params Sinr Sinr_engine Sinr_phys Trace

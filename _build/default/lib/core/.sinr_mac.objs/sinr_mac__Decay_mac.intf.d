@@ -1,0 +1,1 @@
+lib/core/decay_mac.mli: Absmac_intf Engine Events Rng Sinr Sinr_engine Sinr_geom Sinr_phys Trace

@@ -1,0 +1,1 @@
+lib/core/events.ml: Fmt Sinr_mis

@@ -1,0 +1,1 @@
+lib/core/hm_ack.ml: Array Events Float Params Rng Sinr_geom

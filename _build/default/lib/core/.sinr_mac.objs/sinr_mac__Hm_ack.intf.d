@@ -1,0 +1,1 @@
+lib/core/hm_ack.mli: Events Params Rng Sinr_geom

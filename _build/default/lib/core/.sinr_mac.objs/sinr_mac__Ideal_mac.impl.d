@@ -1,0 +1,1 @@
+lib/core/ideal_mac.ml: Absmac_intf Array Events Graph List Rng Sinr_engine Sinr_geom Sinr_graph Trace

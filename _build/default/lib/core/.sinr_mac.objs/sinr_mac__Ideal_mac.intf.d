@@ -1,0 +1,1 @@
+lib/core/ideal_mac.mli: Absmac_intf Events Graph Rng Sinr_engine Sinr_geom Sinr_graph Trace

@@ -1,0 +1,1 @@
+lib/core/measure.ml: Absmac_intf Approx_oracle Approx_progress Array Combined_mac Decay Engine Events Fun Graph Hashtbl Induced List Params Sinr Sinr_engine Sinr_graph Sinr_phys

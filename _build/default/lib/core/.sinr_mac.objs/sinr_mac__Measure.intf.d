@@ -1,0 +1,1 @@
+lib/core/measure.mli: Approx_progress Params Rng Sinr Sinr_geom Sinr_graph Sinr_phys

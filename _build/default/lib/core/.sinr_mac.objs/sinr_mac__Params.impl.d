@@ -1,0 +1,1 @@
+lib/core/params.ml: Float Labels Log_star Sinr_mis Sinr_phys Sw_mis

@@ -1,0 +1,1 @@
+lib/core/spec_check.ml: Array Fmt Graph Hashtbl List Option Sinr_engine Sinr_graph Trace

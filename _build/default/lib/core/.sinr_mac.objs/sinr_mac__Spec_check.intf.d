@@ -1,0 +1,1 @@
+lib/core/spec_check.mli: Fmt Graph Sinr_engine Sinr_graph Trace

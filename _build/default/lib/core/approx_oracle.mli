@@ -1,0 +1,22 @@
+(** Oracle variant of Algorithm 9.1: the H^μ_p graphs and MIS sparsification
+    are computed centrally, only the p/Q data slots are simulated. The
+    measurement instrument of the coordination-overhead ablation (E8) — not
+    part of the paper's system itself. *)
+
+open Sinr_geom
+open Sinr_phys
+
+type t
+
+val create : Params.approg -> Sinr.t -> rng:Rng.t -> t
+
+val epoch_slots : t -> int
+(** Φ · data_slots: an epoch without any coordination stages. *)
+
+val epoch_index : t -> int
+val member : t -> node:int -> bool
+val start : t -> node:int -> Events.payload -> unit
+val stop : t -> node:int -> unit
+val decide : t -> node:int -> Events.wire option
+val on_receive : t -> receiver:int -> sender:int -> Events.wire -> unit
+val end_slot : t -> Approx_progress.rcv_event list

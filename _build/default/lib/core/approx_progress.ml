@@ -1,0 +1,330 @@
+(* Algorithm 9.1 — the approximate-progress half of the absMAC
+   implementation (paper Sections 9 and 10).
+
+   Time is organized in *epochs*; each epoch runs Phi = Theta(log Lambda)
+   *phases*; each phase, over a shrinking sender set
+   S_1 ⊇ S_2 ⊇ ... ⊇ S_Phi, performs three stages:
+
+     1. estimate the reliability graph H~~^mu_p[S_phi]  (2T slots):
+        T slots of id probes transmitted with probability p, then T slots
+        exchanging potential-neighbor lists; a mutual (potential, listed)
+        pair becomes an H~~ edge;
+     2. sparsify: compute S_{phi+1} as the dominator set of the modified
+        Schneider–Wattenhofer MIS with fresh non-unique random labels, every
+        CONGEST round simulated by T probability-p slots; a node that fails
+        to hear all of its H~~ neighbors during a round drops out of the
+        epoch (the paper's unsuccessful-communication rule);
+     3. transmit the bcast-message itself for data_slots slots with
+        probability p / Q, Q = Theta(log^alpha Lambda).
+
+   Intuition (Section 9.1): each MIS round roughly doubles the minimum
+   distance between remaining senders (Lemma 10.15), so within log Lambda
+   phases every listener with a broadcasting G_{1-2eps}-neighbor sees some
+   phase whose sender set is locally sparse enough for the p/Q data
+   transmissions to reach it from a G_{1-eps}-neighbor — that is exactly
+   the approximate-progress event of Definition 7.1.
+
+   Epoch synchronization uses the shared slot counter (nodes joining wait
+   for the next epoch boundary, the paper's Section 9.3 assumption); wakeup
+   remains conditional.  The machine consumes one slot of behaviour at a
+   time (decide / on_receive / end_slot) so that Algorithm 11.1 can
+   interleave it with the acknowledgment algorithm on odd slots. *)
+
+open Sinr_geom
+
+open Sinr_mis
+
+type stage =
+  | Probe_stage of int                  (* slot within [0, T) *)
+  | List_stage of int                   (* slot within [0, T) *)
+  | Mis_stage of { round : int; sub : int } (* CONGEST round, sub in [0, T) *)
+  | Data_stage of int                   (* slot within [0, data_slots) *)
+
+type node_data = {
+  mutable payload : Events.payload option; (* ongoing broadcast message m *)
+  mutable member : bool;        (* in S_phi and still active this epoch *)
+  mutable phase_participant : bool; (* was in S_phi at phase start (beacons) *)
+  mutable counts : (int, int) Hashtbl.t;
+  mutable potential : int list;
+  mutable listed_by : (int, unit) Hashtbl.t; (* senders whose list names us *)
+  mutable h_neighbors : int list;
+  mutable mis_heard : (int, Sw_mis.msg) Hashtbl.t;
+}
+
+type rcv_event = { node : int; payload : Events.payload; from : int }
+
+type t = {
+  params : Params.approg;
+  sched : Params.schedule;
+  n : int;
+  rng : Rng.t;
+  nodes : node_data array;
+  emitted : (int * (int * int), unit) Hashtbl.t; (* (node, payload id) *)
+  mutable mis : Sw_mis.t option;
+  mutable labels : int array;
+  mutable pos : int;        (* slot within the epoch, [0, epoch_slots) *)
+  mutable epoch : int;
+  mutable pending_rcv : rcv_event list;
+  (* diagnostics *)
+  mutable last_h_graph : Sinr_graph.Graph.t option;
+  mutable drops_total : int;
+}
+
+let fresh_node () =
+  { payload = None;
+    member = false;
+    phase_participant = false;
+    counts = Hashtbl.create 8;
+    potential = [];
+    listed_by = Hashtbl.create 8;
+    h_neighbors = [];
+    mis_heard = Hashtbl.create 8 }
+
+let reset_phase_tables nd =
+  nd.counts <- Hashtbl.create 8;
+  nd.potential <- [];
+  nd.listed_by <- Hashtbl.create 8;
+  nd.h_neighbors <- [];
+  nd.mis_heard <- Hashtbl.create 8
+
+let begin_epoch t =
+  t.epoch <- t.epoch + 1;
+  Array.iter
+    (fun (nd : node_data) ->
+      nd.member <- nd.payload <> None;
+      nd.phase_participant <- nd.member;
+      reset_phase_tables nd)
+    t.nodes;
+  t.mis <- None
+
+let create params config ~lambda ~n ~rng =
+  let params = Params.validate_approg params in
+  let sched = Params.schedule config ~lambda params in
+  let t =
+    { params;
+      sched;
+      n;
+      rng;
+      nodes = Array.init n (fun _ -> fresh_node ());
+      emitted = Hashtbl.create 64;
+      mis = None;
+      labels = Array.make n 0;
+      pos = 0;
+      epoch = -1;
+      pending_rcv = [];
+      last_h_graph = None;
+      drops_total = 0 }
+  in
+  begin_epoch t;
+  t
+
+let schedule t = t.sched
+let pos t = t.pos
+let epoch_index t = t.epoch
+let member t ~node = t.nodes.(node).member
+let has_payload t ~node = t.nodes.(node).payload <> None
+let drops_total t = t.drops_total
+let last_h_graph t = t.last_h_graph
+
+let start t ~node payload = t.nodes.(node).payload <- Some payload
+
+let stop t ~node = t.nodes.(node).payload <- None
+
+(* Decode the position within the epoch into (phase, stage). *)
+let stage_of t pos =
+  let s = t.sched in
+  let phase = pos / s.phase_slots in
+  let o = pos mod s.phase_slots in
+  let st =
+    if o < s.t then Probe_stage o
+    else if o < 2 * s.t then List_stage (o - (2 * s.t) + s.t)
+    else begin
+      let o' = o - (2 * s.t) in
+      if o' < s.mis_rounds * s.t then
+        Mis_stage { round = o' / s.t; sub = o' mod s.t }
+      else Data_stage (o' - (s.mis_rounds * s.t))
+    end
+  in
+  (phase, st)
+
+let current_phase t = fst (stage_of t t.pos)
+
+let decide t ~node =
+  let nd = t.nodes.(node) in
+  let _, st = stage_of t t.pos in
+  match st with
+  | Probe_stage _ ->
+    if nd.member && Rng.bernoulli t.rng t.params.p then Some Events.Probe
+    else None
+  | List_stage _ ->
+    if nd.member && Rng.bernoulli t.rng t.params.p then
+      Some (Events.Neighbor_list nd.potential)
+    else None
+  | Mis_stage { round; sub = _ } ->
+    (* Dropped phase participants keep beaconing their status so that
+       neighbors can distinguish protocol silence from loss (see Sw_mis). *)
+    if nd.phase_participant && Rng.bernoulli t.rng t.params.p then
+      match t.mis with
+      | None -> None
+      | Some mis ->
+        (match Sw_mis.outgoing mis node with
+         | Some msg -> Some (Events.Mis_round { round; msg })
+         | None -> None)
+    else None
+  | Data_stage _ ->
+    (match nd.payload with
+     | Some payload when nd.member ->
+       if Rng.bernoulli t.rng (t.params.p /. t.sched.q) then
+         Some (Events.Data payload)
+       else None
+     | Some _ | None -> None)
+
+(* A rcv(m)_i output is emitted at most once per (node, message): protocols
+   above the layer ([37]'s BSMB/BMMB) deduplicate anyway, and experiments
+   that need raw reception times watch engine deliveries directly. *)
+let emit_rcv t ~node ~payload ~from =
+  let id = (node, Events.payload_id payload) in
+  if payload.Events.origin <> node && not (Hashtbl.mem t.emitted id) then begin
+    Hashtbl.add t.emitted id ();
+    t.pending_rcv <- { node; payload; from } :: t.pending_rcv
+  end
+
+let on_receive t ~receiver ~sender wire =
+  let nd = t.nodes.(receiver) in
+  let _, st = stage_of t t.pos in
+  match wire, st with
+  | Events.Probe, Probe_stage _ ->
+    if nd.member then begin
+      let c = Option.value (Hashtbl.find_opt nd.counts sender) ~default:0 in
+      Hashtbl.replace nd.counts sender (c + 1)
+    end
+  | Events.Neighbor_list ids, List_stage _ ->
+    if nd.member && List.mem receiver ids then
+      Hashtbl.replace nd.listed_by sender ()
+  | Events.Mis_round { round; msg }, Mis_stage { round = r; sub = _ } ->
+    if nd.phase_participant && round = r then
+      Hashtbl.replace nd.mis_heard sender msg
+  | Events.Data payload, _ -> emit_rcv t ~node:receiver ~payload ~from:sender
+  | Events.Decay payload, _ -> emit_rcv t ~node:receiver ~payload ~from:sender
+  | (Events.Probe | Events.Neighbor_list _ | Events.Mis_round _), _ ->
+    (* Stale or out-of-stage coordination traffic is ignored. *)
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* Stage boundaries                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let finish_probe_stage t =
+  Array.iter
+    (fun (nd : node_data) ->
+      if nd.member then begin
+        let acc = ref [] in
+        Hashtbl.iter
+          (fun sender c ->
+            if c >= t.sched.potential_threshold then acc := sender :: !acc)
+          nd.counts;
+        nd.potential <- List.sort compare !acc
+      end)
+    t.nodes
+
+let finish_list_stage t =
+  (* u's H~~ neighbors: potential neighbors v whose own list named u. *)
+  let members = ref [] in
+  Array.iteri
+    (fun v (nd : node_data) ->
+      if nd.member then begin
+        nd.h_neighbors <-
+          List.filter (fun u -> Hashtbl.mem nd.listed_by u) nd.potential;
+        members := v :: !members
+      end)
+    t.nodes;
+  (* Fresh temporary labels and a fresh MIS machine for this phase. *)
+  t.labels <-
+    Labels.draw t.rng ~n:t.n ~participants:!members ~bits:t.sched.label_bits;
+  t.mis <-
+    Some
+      (Sw_mis.create ~n:t.n ~participants:!members ~labels:t.labels
+         ~label_bits:t.sched.label_bits ~stages:t.params.mis_stages);
+  (* Diagnostic snapshot of the (asymmetric) estimate, symmetrized. *)
+  let edges = ref [] in
+  Array.iteri
+    (fun v (nd : node_data) ->
+      if nd.member then
+        List.iter (fun u -> if u > v then edges := (v, u) :: !edges)
+          nd.h_neighbors)
+    t.nodes;
+  t.last_h_graph <- Some (Sinr_graph.Graph.of_edges ~n:t.n !edges)
+
+let finish_mis_round t =
+  match t.mis with
+  | None -> ()
+  | Some mis ->
+    (* Completeness check: a phase participant that missed any of its H~~
+       neighbors this round has had unsuccessful communication and leaves
+       the epoch; otherwise its neighbors' messages are delivered. *)
+    Array.iteri
+      (fun v (nd : node_data) ->
+        if nd.member then begin
+          let missing =
+            List.exists
+              (fun u -> not (Hashtbl.mem nd.mis_heard u))
+              nd.h_neighbors
+          in
+          if missing then begin
+            nd.member <- false;
+            t.drops_total <- t.drops_total + 1;
+            Sw_mis.drop mis v
+          end
+          else
+            List.iter
+              (fun u ->
+                match Hashtbl.find_opt nd.mis_heard u with
+                | Some msg -> Sw_mis.deliver mis ~node:v ~payload:msg
+                | None -> assert false)
+              nd.h_neighbors
+        end;
+        nd.mis_heard <- Hashtbl.create 8)
+      t.nodes;
+    Sw_mis.advance mis
+
+let finish_phase t =
+  (match t.mis with
+   | None -> ()
+   | Some mis ->
+     let dominator = Array.make t.n false in
+     List.iter (fun v -> dominator.(v) <- true) (Sw_mis.dominators mis);
+     Array.iteri
+       (fun v (nd : node_data) ->
+         nd.member <- nd.member && dominator.(v);
+         nd.phase_participant <- nd.member;
+         reset_phase_tables nd)
+       t.nodes);
+  t.mis <- None
+
+(* Pull the rcv outputs accumulated since the last drain.  Algorithm 11.1
+   also routes its even-slot (acknowledgment algorithm) data receptions
+   through [on_receive], and drains after those slots too. *)
+let drain_rcv t =
+  let out = List.rev t.pending_rcv in
+  t.pending_rcv <- [];
+  out
+
+(* Advance past the slot that just completed; returns the rcv outputs. *)
+let end_slot t =
+  let s = t.sched in
+  let _, st = stage_of t t.pos in
+  (match st with
+   | Probe_stage o -> if o = s.t - 1 then finish_probe_stage t
+   | List_stage o -> if o = s.t - 1 then finish_list_stage t
+   | Mis_stage { round; sub } ->
+     if sub = s.t - 1 then begin
+       finish_mis_round t;
+       if round = s.mis_rounds - 1 && s.data_slots = 0 then finish_phase t
+     end
+   | Data_stage o -> if o = s.data_slots - 1 then finish_phase t);
+  t.pos <- t.pos + 1;
+  if t.pos >= s.epoch_slots then begin
+    t.pos <- 0;
+    begin_epoch t
+  end;
+  drain_rcv t

@@ -1,0 +1,218 @@
+(* Algorithm 11.1 — the full absMAC implementation over the SINR simulator
+   (paper Theorem 11.1).
+
+   Two sub-algorithms run in parallel by slot interleaving:
+
+     even engine slots : the acknowledgment algorithm of Theorem 5.1
+                         (Halldorsson–Mitra Algorithm B.1, {!Hm_ack}),
+     odd engine slots  : the approximate-progress Algorithm 9.1
+                         ({!Approx_progress}).
+
+   On a bcast(m)_i input the node wakes, hands m to both machines and runs
+   for at most f_ack slots; the ack(m)_i output fires when Algorithm B.1
+   halts (its probability budget is spent — Lemma B.20 guarantees delivery
+   with probability 1 - eps_ack/2 by then) or at the f_ack cap, whichever
+   comes first (the paper's "stop after f_ack rounds", proof of
+   Theorem 5.1).  An abort(m)_i input silences the payload without an ack;
+   the node keeps participating in the current epoch's coordination (the
+   paper's abort clause (i)) because phase membership is only re-evaluated
+   at epoch boundaries.
+
+   rcv(m)_j outputs fire on data receptions from either half, deduplicated
+   per (node, message).  This module implements {!Absmac_intf.S}. *)
+
+open Sinr_geom
+open Sinr_phys
+open Sinr_engine
+
+type t = {
+  engine : Events.wire Engine.t;
+  hm : Hm_ack.t;
+  approg : Approx_progress.t;
+  lambda : float;
+  exact_threshold : float option;
+      (* Remark 4.6 exact mode: minimum received power (= P/R_{1-eps}^alpha)
+         for a data reception to produce a rcv output; [None] = accept all *)
+  fack_cap : int; (* engine slots *)
+  bounds : Absmac_intf.bounds;
+  mutable handlers : Absmac_intf.handlers;
+  mutable raw_rcv_hook : (Approx_progress.rcv_event -> unit) option;
+  seq : int array;
+  ongoing : Events.payload option array;
+  bcast_slot : int array;
+  last_ack_capped : bool array;
+  trace : Trace.t option;
+}
+
+let create ?(ack_params = Params.default_ack)
+    ?(approg_params = Params.default_approg) ?(exact = false) ?trace sinr
+    ~rng =
+  let n = Sinr.n sinr in
+  let config = Sinr.config sinr in
+  let lambda = Induced.lambda config (Sinr.points sinr) in
+  let strong = Induced.strong config (Sinr.points sinr) in
+  let delta = Sinr_graph.Graph.max_degree strong in
+  let hm = Hm_ack.create ack_params ~lambda ~n ~rng:(Rng.split rng ~key:1) in
+  let approg =
+    Approx_progress.create approg_params config ~lambda ~n
+      ~rng:(Rng.split rng ~key:2)
+  in
+  let sched = Approx_progress.schedule approg in
+  (* HM runs on even slots only: its slot cap doubles in engine slots. *)
+  let fack_cap =
+    2
+    * Params.f_ack_cap ~delta ~lambda ~eps_ack:ack_params.Params.eps_ack ()
+  in
+  (* Approximate progress is guaranteed within one full epoch; a broadcast
+     may start just after an epoch boundary, so two epochs of odd slots
+     bound the wait. *)
+  let f_approg = 4 * sched.Params.epoch_slots in
+  let bounds =
+    { Absmac_intf.f_ack = fack_cap;
+      f_prog = fack_cap; (* Theorem 6.1: no better G_{1-eps} progress bound *)
+      f_approg;
+      eps_ack = ack_params.Params.eps_ack;
+      eps_prog = ack_params.Params.eps_ack;
+      eps_approg = approg_params.Params.eps_approg }
+  in
+  let exact_threshold =
+    if exact then
+      Some
+        (config.Config.power /. (Config.strong_range config ** config.Config.alpha))
+    else None
+  in
+  { engine = Engine.create sinr;
+    hm;
+    approg;
+    lambda;
+    exact_threshold;
+    fack_cap;
+    bounds;
+    handlers = Absmac_intf.null_handlers;
+    raw_rcv_hook = None;
+    seq = Array.make n 0;
+    ongoing = Array.make n None;
+    bcast_slot = Array.make n 0;
+    last_ack_capped = Array.make n false;
+    trace }
+
+(* Exact local broadcast (Remark 4.6): with signal-strength measurement a
+   node can reject data from outside the strong radius, because received
+   power is a strictly decreasing function of distance under Eq. 1. *)
+let accept_data t (d : Events.wire Engine.delivery) =
+  match t.exact_threshold with
+  | None -> true
+  | Some thr -> d.Engine.power >= thr -. 1e-12
+
+let n t = Engine.n t.engine
+let now t = Engine.slot t.engine
+let bounds t = t.bounds
+let set_handlers t h = t.handlers <- h
+let busy t ~node = t.ongoing.(node) <> None
+let engine t = t.engine
+let approg t = t.approg
+let hm t = t.hm
+let lambda t = t.lambda
+
+(* Whether the node's most recent ack was forced by the f_ack cap rather
+   than a natural Algorithm B.1 halt. *)
+let last_ack_capped t ~node = t.last_ack_capped.(node)
+
+let record t ev =
+  match t.trace with
+  | Some tr -> Trace.record tr ~slot:(now t) ev
+  | None -> ()
+
+let bcast t ~node ~data =
+  if busy t ~node then
+    invalid_arg "Combined_mac.bcast: node already has an ongoing broadcast";
+  let payload = { Events.origin = node; seq = t.seq.(node); data } in
+  t.seq.(node) <- t.seq.(node) + 1;
+  t.ongoing.(node) <- Some payload;
+  t.bcast_slot.(node) <- now t;
+  Engine.wake t.engine node;
+  Hm_ack.start t.hm ~node payload;
+  Approx_progress.start t.approg ~node payload;
+  record t (Trace.Bcast { node; msg = payload.Events.seq });
+  payload
+
+let abort t ~node =
+  match t.ongoing.(node) with
+  | None -> ()
+  | Some payload ->
+    t.ongoing.(node) <- None;
+    Hm_ack.stop t.hm ~node;
+    Approx_progress.stop t.approg ~node;
+    record t (Trace.Abort { node; msg = payload.Events.seq })
+
+let set_raw_rcv_hook t f = t.raw_rcv_hook <- Some f
+
+let fire_rcvs t rcvs =
+  List.iter
+    (fun ({ Approx_progress.node; payload; from } as ev) ->
+      record t (Trace.Rcv { node; msg = payload.Events.seq; from });
+      (match t.raw_rcv_hook with Some f -> f ev | None -> ());
+      t.handlers.Absmac_intf.on_rcv ~node ~payload)
+    rcvs
+
+let finish_ack t ~node payload ~capped =
+  t.ongoing.(node) <- None;
+  t.last_ack_capped.(node) <- capped;
+  Hm_ack.stop t.hm ~node;
+  Approx_progress.stop t.approg ~node;
+  record t (Trace.Ack { node; msg = payload.Events.seq });
+  t.handlers.Absmac_intf.on_ack ~node ~payload
+
+let step t =
+  let slot = Engine.slot t.engine in
+  let hm_slot = slot mod 2 = 0 in
+  let decide v =
+    if hm_slot then
+      match Hm_ack.decide t.hm ~node:v with
+      | Some w -> Engine.Transmit w
+      | None -> Engine.Listen
+    else
+      match Approx_progress.decide t.approg ~node:v with
+      | Some w -> Engine.Transmit w
+      | None -> Engine.Listen
+  in
+  let deliveries = Engine.step t.engine ~decide in
+  if hm_slot then begin
+    List.iter
+      (fun d ->
+        (* Any decoded message feeds B.1's reception counter (lines 17-22);
+           data payloads additionally produce rcv outputs. *)
+        Hm_ack.on_receive t.hm ~node:d.Engine.receiver;
+        match d.Engine.message with
+        | Events.Data _ | Events.Decay _ ->
+          if accept_data t d then
+            Approx_progress.on_receive t.approg ~receiver:d.Engine.receiver
+              ~sender:d.Engine.sender d.Engine.message
+        | Events.Probe | Events.Neighbor_list _ | Events.Mis_round _ -> ())
+      deliveries;
+    fire_rcvs t (Approx_progress.drain_rcv t.approg)
+  end
+  else begin
+    List.iter
+      (fun d ->
+        let data_wire =
+          match d.Engine.message with
+          | Events.Data _ | Events.Decay _ -> true
+          | Events.Probe | Events.Neighbor_list _ | Events.Mis_round _ -> false
+        in
+        if (not data_wire) || accept_data t d then
+          Approx_progress.on_receive t.approg ~receiver:d.Engine.receiver
+            ~sender:d.Engine.sender d.Engine.message)
+      deliveries;
+    fire_rcvs t (Approx_progress.end_slot t.approg)
+  end;
+  (* Acknowledgments: B.1 halt or the f_ack cap. *)
+  Array.iteri
+    (fun node slot0 ->
+      match t.ongoing.(node) with
+      | None -> ()
+      | Some payload ->
+        let halted = Hm_ack.halted t.hm ~node in
+        if halted || now t - slot0 >= t.fack_cap then
+          finish_ack t ~node payload ~capped:(not halted))
+    t.bcast_slot

@@ -1,0 +1,45 @@
+(** Algorithm 11.1 — the absMAC implementation for the SINR model
+    (Theorem 11.1): acknowledgments (Algorithm B.1) on even slots,
+    approximate progress (Algorithm 9.1) on odd slots.
+    Implements {!Absmac_intf.S}. *)
+
+open Sinr_geom
+open Sinr_phys
+open Sinr_engine
+
+type t
+
+val create :
+  ?ack_params:Params.ack -> ?approg_params:Params.approg -> ?exact:bool ->
+  ?trace:Trace.t -> Sinr.t -> rng:Rng.t -> t
+(** [exact] enables Remark 4.6's exact local broadcast: data receptions
+    whose signal strength places the transmitter outside R₁₋ε are
+    discarded before they can produce rcv outputs. *)
+
+(** {1 The {!Absmac_intf.S} interface} *)
+
+val n : t -> int
+val now : t -> int
+(** Engine slots elapsed (the MAC time unit). *)
+
+val bounds : t -> Absmac_intf.bounds
+val set_handlers : t -> Absmac_intf.handlers -> unit
+val bcast : t -> node:int -> data:int -> Events.payload
+val abort : t -> node:int -> unit
+val busy : t -> node:int -> bool
+val step : t -> unit
+
+(** {1 Introspection} *)
+
+val set_raw_rcv_hook : t -> (Approx_progress.rcv_event -> unit) -> unit
+(** Observe every rcv output together with its transmitting node —
+    measurement instrumentation; not part of the absMAC interface. *)
+
+val engine : t -> Events.wire Engine.t
+val approg : t -> Approx_progress.t
+val hm : t -> Hm_ack.t
+val lambda : t -> float
+
+val last_ack_capped : t -> node:int -> bool
+(** Whether the node's most recent ack was forced by the f_ack cap rather
+    than a natural Algorithm B.1 halt. *)

@@ -1,0 +1,50 @@
+(* The BGI Decay strategy (Bar-Yehuda, Goldreich, Itai), as analyzed by the
+   paper's Theorem 8.1.
+
+   Each broadcasting node sweeps its transmission probability down from 1,
+   halving every slot, over cycles of length log2(N~) + 1, and repeats the
+   cycle.  (The original algorithm stops a cycle at the first
+   collision-free slot, but that requires collision detection; the paper's
+   lower bound explicitly notes that granting collision detection only
+   strengthens the bound, and the standard CD-free usage is the cyclic
+   sweep implemented here.)
+
+   Theorem 8.1 shows this strategy needs Omega(Delta * log(1/eps)) slots
+   for approximate progress on the two-balls construction; experiment E4
+   measures exactly that against Algorithm 9.1. *)
+
+open Sinr_geom
+
+type t = {
+  cycle_len : int;
+  nodes : Events.payload option array;
+  start_slot : int array; (* slot at which the node joined, aligns cycles *)
+  rng : Rng.t;
+}
+
+let create ~n_tilde ~n ~rng =
+  if n_tilde < 2 then invalid_arg "Decay.create: n_tilde < 2";
+  { cycle_len = 1 + int_of_float (Float.ceil (Float.log2 (float_of_int n_tilde)));
+    nodes = Array.make n None;
+    start_slot = Array.make n 0;
+    rng }
+
+let cycle_len t = t.cycle_len
+
+let start t ~node ~slot payload =
+  t.nodes.(node) <- Some payload;
+  t.start_slot.(node) <- slot
+
+let stop t ~node = t.nodes.(node) <- None
+
+let active t ~node = t.nodes.(node) <> None
+
+(* Transmission decision at the global [slot]. Probability 2^-i where i is
+   the position within the node's current cycle. *)
+let decide t ~node ~slot =
+  match t.nodes.(node) with
+  | None -> None
+  | Some payload ->
+    let i = (slot - t.start_slot.(node)) mod t.cycle_len in
+    let p = 1. /. float_of_int (1 lsl i) in
+    if Rng.bernoulli t.rng p then Some (Events.Decay payload) else None

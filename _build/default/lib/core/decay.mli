@@ -1,0 +1,17 @@
+(** The BGI Decay baseline whose approximate-progress failure Theorem 8.1
+    proves (experiment E4). *)
+
+open Sinr_geom
+
+type t
+
+val create : n_tilde:int -> n:int -> rng:Rng.t -> t
+(** [n_tilde] bounds the contention; cycles have length log₂(Ñ) + 1. *)
+
+val cycle_len : t -> int
+val start : t -> node:int -> slot:int -> Events.payload -> unit
+val stop : t -> node:int -> unit
+val active : t -> node:int -> bool
+
+val decide : t -> node:int -> slot:int -> Events.wire option
+(** Transmit with probability 2^-i at position i of the node's cycle. *)

@@ -1,0 +1,26 @@
+(** A Decay-based absMAC in the style of [37]'s basic implementations — the
+    comparison point for Theorem 8.1 at the MAC level (experiment E9).
+    Implements {!Absmac_intf.S}. *)
+
+open Sinr_geom
+open Sinr_phys
+open Sinr_engine
+
+type t
+
+val create :
+  ?eps_ack:float -> ?budget_scale:float -> ?trace:Trace.t -> Sinr.t ->
+  rng:Rng.t -> t
+(** The per-broadcast Decay budget is
+    [budget_scale · Ñ · log₂(Ñ/ε)] slots, Ñ = 4Λ². *)
+
+val n : t -> int
+val now : t -> int
+val bounds : t -> Absmac_intf.bounds
+val set_handlers : t -> Absmac_intf.handlers -> unit
+val bcast : t -> node:int -> data:int -> Events.payload
+val abort : t -> node:int -> unit
+val busy : t -> node:int -> bool
+val step : t -> unit
+
+val engine : t -> Events.wire Engine.t

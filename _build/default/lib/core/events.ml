@@ -1,0 +1,41 @@
+(* absMAC payloads and the on-air wire format.
+
+   The MAC layer distinguishes (footnote 6 of the paper) between
+   *bcast-messages* — payloads handed down by the environment through a
+   bcast(m)_i input — and *messages* sent for coordination among the nodes
+   below the MAC layer (label probes, neighbor lists, MIS rounds).  The
+   [wire] type is the union of everything our implementations put on the
+   air; the engine is instantiated at this type. *)
+
+type payload = {
+  origin : int; (* node at which the bcast input occurred *)
+  seq : int;    (* per-origin sequence number: (origin, seq) is unique *)
+  data : int;   (* opaque protocol content *)
+}
+
+let payload_id p = (p.origin, p.seq)
+
+let pp_payload ppf p = Fmt.pf ppf "m(%d.%d:%d)" p.origin p.seq p.data
+
+type wire =
+  | Data of payload
+      (* a bcast-message transmission (HM Algorithm B.1, or Line 11 of
+         Algorithm 9.1) *)
+  | Probe
+      (* H~~ construction, first T slots: "transmit your ID"; the SINR layer
+         itself identifies the transmitter on successful decoding *)
+  | Neighbor_list of int list
+      (* H~~ construction, second T slots: the sender's potential-neighbor
+         ids (constant-size by the paper's footnote 9) *)
+  | Mis_round of { round : int; msg : Sinr_mis.Sw_mis.msg }
+      (* one simulated CONGEST round of the modified MIS algorithm *)
+  | Decay of payload
+      (* baseline Decay transmissions (Theorem 8.1 experiments) *)
+
+let pp_wire ppf = function
+  | Data p -> Fmt.pf ppf "data %a" pp_payload p
+  | Probe -> Fmt.string ppf "probe"
+  | Neighbor_list ids ->
+    Fmt.pf ppf "nlist [%a]" Fmt.(list ~sep:comma int) ids
+  | Mis_round { round; msg = _ } -> Fmt.pf ppf "mis r%d" round
+  | Decay p -> Fmt.pf ppf "decay %a" pp_payload p

@@ -1,0 +1,22 @@
+(** absMAC payloads and the on-air wire format shared by the MAC
+    implementations. *)
+
+type payload = {
+  origin : int;  (** node where the [bcast] input occurred *)
+  seq : int;     (** per-origin sequence number *)
+  data : int;    (** opaque protocol content *)
+}
+
+val payload_id : payload -> int * int
+(** The unique identity [(origin, seq)] of a bcast-message. *)
+
+val pp_payload : payload Fmt.t
+
+type wire =
+  | Data of payload
+  | Probe
+  | Neighbor_list of int list
+  | Mis_round of { round : int; msg : Sinr_mis.Sw_mis.msg }
+  | Decay of payload
+
+val pp_wire : wire Fmt.t

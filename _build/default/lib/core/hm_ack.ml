@@ -1,0 +1,165 @@
+(* Algorithm B.1 — the Halldorsson–Mitra LocalBroadcast algorithm, restated
+   by the paper's Appendix B with local parameters and used by Theorem 5.1
+   to implement absMAC acknowledgments.
+
+   Per broadcasting node y the algorithm maintains a transmission
+   probability p_y, a spent-probability budget tp_y and a reception counter
+   rc_y:
+
+     tp_y <- 0 ; p_y <- 1/(4*N~)
+     loop                                (outer: "FallBack" target)
+       p_y <- max(1/(128*N~), p_y/32) ; rc_y <- 0
+       loop                              (inner: probability ramp)
+         p_y <- min(1/16, 2*p_y)
+         for j = 1 .. delta*log(N~/eps):
+           transmit with probability p_y ; tp_y <- tp_y + p_y
+           if tp_y > gamma'*log(N~/eps) then halt
+           if a message was received then
+             rc_y <- rc_y + 1
+             if rc_y > 8*log(2*N~/eps) then FallBack
+
+   N~ is an upper bound on the local contention; Theorem 5.1 instantiates
+   N~ = 4*Lambda^2 so that only a (polynomial bound on) Lambda needs to be
+   known.  Intuitively the ramp seeks the "right" probability ~1/contention;
+   receiving many messages signals that the neighborhood is already at that
+   level, so the node backs off (FallBack) instead of escalating.
+
+   The machine exposes one node-slot of behaviour at a time so that
+   Algorithm 11.1 can interleave it with Algorithm 9.1 on even/odd slots. *)
+
+open Sinr_geom
+
+type node_state = {
+  mutable payload : Events.payload option; (* ongoing broadcast, if any *)
+  mutable p : float;
+  mutable tp : float;
+  mutable rc : int;
+  mutable j : int;         (* position within the inner for-loop *)
+  mutable ramp_pending : bool; (* double p before the next slot *)
+  mutable halted : bool;
+  mutable slots_run : int; (* HM slots consumed by the current broadcast *)
+  mutable fallbacks : int;
+}
+
+type t = {
+  n_tilde : int;
+  inner_len : int;   (* delta * log2(N~/eps) *)
+  tp_cap : float;    (* gamma' * log2(N~/eps) *)
+  rc_cap : int;      (* fallback_threshold * log2(2*N~/eps) *)
+  p_min : float;
+  p_start : float;
+  p_cap : float;
+  nodes : node_state array;
+  rng : Rng.t;
+}
+
+let fresh_node () =
+  { payload = None;
+    p = 0.;
+    tp = 0.;
+    rc = 0;
+    j = 0;
+    ramp_pending = false;
+    halted = false;
+    slots_run = 0;
+    fallbacks = 0 }
+
+let create (params : Params.ack) ~lambda ~n ~rng =
+  let params = Params.validate_ack params in
+  let n_tilde =
+    match params.contention_bound with
+    | Some b -> max 2 b
+    | None -> Params.contention_default ~lambda
+  in
+  let log_ratio =
+    Float.max 1. (Float.log2 (float_of_int n_tilde /. params.eps_ack))
+  in
+  let log_ratio2 =
+    Float.max 1. (Float.log2 (2. *. float_of_int n_tilde /. params.eps_ack))
+  in
+  { n_tilde;
+    inner_len = max 1 (int_of_float (Float.ceil (params.delta_reps *. log_ratio)));
+    tp_cap = params.tp_budget *. log_ratio;
+    rc_cap =
+      max 1 (int_of_float (Float.ceil (params.fallback_threshold *. log_ratio2)));
+    p_min = 1. /. (params.p_min_div *. float_of_int n_tilde);
+    p_start = 1. /. (params.p_start_div *. float_of_int n_tilde);
+    p_cap = params.p_cap;
+    nodes = Array.init n (fun _ -> fresh_node ());
+    rng }
+
+let n_tilde t = t.n_tilde
+
+let start t ~node payload =
+  let nd = t.nodes.(node) in
+  nd.payload <- Some payload;
+  (* Lines 1-5 followed by the first pass of line 7: the ramp doubles p on
+     entry to each inner loop. *)
+  nd.p <- Float.max t.p_min (t.p_start /. 32.);
+  nd.tp <- 0.;
+  nd.rc <- 0;
+  nd.j <- 0;
+  nd.ramp_pending <- true;
+  nd.halted <- false;
+  nd.slots_run <- 0;
+  nd.fallbacks <- 0
+
+let stop t ~node =
+  let nd = t.nodes.(node) in
+  nd.payload <- None;
+  nd.halted <- false
+
+let active t ~node =
+  let nd = t.nodes.(node) in
+  nd.payload <> None && not nd.halted
+
+let halted t ~node = t.nodes.(node).halted
+let payload t ~node = t.nodes.(node).payload
+let slots_run t ~node = t.nodes.(node).slots_run
+let fallbacks t ~node = t.nodes.(node).fallbacks
+
+(* One HM slot for [node]: returns the transmission decision.  Must be
+   called exactly once per HM slot for each active node. *)
+let decide t ~node =
+  let nd = t.nodes.(node) in
+  match nd.payload with
+  | None -> None
+  | Some _ when nd.halted -> None
+  | Some payload ->
+    if nd.ramp_pending then begin
+      (* Line 7: p <- min(1/16, 2p). *)
+      nd.p <- Float.min t.p_cap (2. *. nd.p);
+      nd.ramp_pending <- false
+    end;
+    nd.slots_run <- nd.slots_run + 1;
+    let send = Rng.bernoulli t.rng nd.p in
+    (* Line 13: tp accounts for the *probability*, not the outcome. *)
+    nd.tp <- nd.tp +. nd.p;
+    if nd.tp > t.tp_cap then nd.halted <- true (* lines 14-16 *)
+    else begin
+      nd.j <- nd.j + 1;
+      if nd.j >= t.inner_len then begin
+        (* End of the for-loop: the enclosing inner loop doubles p next. *)
+        nd.j <- 0;
+        nd.ramp_pending <- true
+      end
+    end;
+    (* The halting slot still carries its transmission if one was drawn. *)
+    if send then Some (Events.Data payload) else None
+
+(* Lines 17-22: a message was received during this HM slot. *)
+let on_receive t ~node =
+  let nd = t.nodes.(node) in
+  match nd.payload with
+  | None -> ()
+  | Some _ when nd.halted -> ()
+  | Some _ ->
+    nd.rc <- nd.rc + 1;
+    if nd.rc > t.rc_cap then begin
+      (* FallBack to line 4: shrink p, reset rc, restart the inner loop. *)
+      nd.p <- Float.max t.p_min (nd.p /. 32.);
+      nd.rc <- 0;
+      nd.j <- 0;
+      nd.ramp_pending <- true;
+      nd.fallbacks <- nd.fallbacks + 1
+    end

@@ -1,0 +1,196 @@
+(* Tunable constants of the absMAC implementations.
+
+   The paper gives every quantity up to Theta(.) constants.  This module
+   makes each constant explicit, documents the formula it instantiates, and
+   derives the concrete per-run schedule from (Config, Lambda, epsilons).
+   Default scales are chosen so that laptop-scale simulations (n up to a few
+   thousand, <= ~10^6 slots) exhibit the asymptotic shapes; the ablation
+   bench (experiment E8) sweeps the critical ones. *)
+
+open Sinr_mis
+
+(* ------------------------------------------------------------------ *)
+(* Algorithm 9.1 (approximate progress)                                *)
+(* ------------------------------------------------------------------ *)
+
+type approg = {
+  p : float;
+      (* per-slot transmission probability inside coordination phases,
+         in (0, 1/2] (paper: constant p) *)
+  mu : float;
+      (* reliability threshold of H^mu_p[S], in (0, p) *)
+  gamma : float;
+      (* approximation slack of H~~ (paper: gamma in (0,1)) *)
+  phi_scale : float;
+      (* Phi = max(1, ceil(phi_scale * log2 Lambda)) phases per epoch *)
+  q_scale : float;
+      (* Q = max(1, q_scale * (log2 Lambda)^alpha): data transmissions use
+         probability p / Q *)
+  t_scale : float;
+      (* T = max(t_min, ceil(t_scale * log2(f(h1) / eps_approg))): repeated
+         transmissions per coordination step.  The paper's T also carries a
+         1/(gamma^2 mu) factor that we fold into t_scale to keep runs
+         tractable; the log(1/eps) *shape* is preserved. *)
+  t_min : int;
+  data_scale : float;
+      (* data slots per phase = max(1, ceil(data_scale * Q * log2(1/eps))) *)
+  mis_stages : int;
+      (* c' of the modified MIS: number of stages before the timeout *)
+  label_exponent : float;
+      (* temporary labels range over (Lambda/eps)^label_exponent *)
+  eps_approg : float;
+}
+
+let default_approg =
+  { p = 0.4;
+    mu = 0.08;
+    gamma = 0.5;
+    phi_scale = 1.0;
+    q_scale = 0.25;
+    t_scale = 2.0;
+    t_min = 8;
+    data_scale = 0.75;
+    mis_stages = 2;
+    label_exponent = 3.0;
+    eps_approg = 0.1 }
+
+let validate_approg a =
+  if a.p <= 0. || a.p > 0.5 then invalid_arg "Params: p not in (0, 1/2]";
+  if a.mu <= 0. || a.mu >= a.p then invalid_arg "Params: mu not in (0, p)";
+  if a.gamma <= 0. || a.gamma >= 1. then invalid_arg "Params: gamma not in (0,1)";
+  if a.eps_approg <= 0. || a.eps_approg >= 1. then
+    invalid_arg "Params: eps_approg not in (0,1)";
+  if a.mis_stages < 1 then invalid_arg "Params: mis_stages < 1";
+  a
+
+(* Growth bound f(r) = (2r+1)^2 for disc-induced graphs (Lemma 4.2). *)
+let growth_f r = float_of_int (((2 * r) + 1) * ((2 * r) + 1))
+
+(* h1 <= c * 4^Phi * log*(Lambda/eps) (Lemma 10.4); for the T formula we
+   only need f(h1) inside a logarithm, so a crude h1 proxy suffices. *)
+let h1_proxy ~phi ~lambda ~eps =
+  let ls = float_of_int (Log_star.log_star (lambda /. eps)) in
+  Float.max 1. (float_of_int phi *. 3. *. Float.max 1. ls)
+
+(* The concrete per-epoch schedule derived from the parameters. *)
+type schedule = {
+  phi : int;            (* phases per epoch *)
+  q : float;            (* data-slot probability divisor *)
+  t : int;              (* slots per coordination step *)
+  data_slots : int;     (* data slots per phase *)
+  mis_rounds : int;     (* CONGEST rounds of the MIS machine *)
+  label_bits : int;
+  phase_slots : int;    (* 2T + mis_rounds*T + data_slots *)
+  epoch_slots : int;    (* phi * phase_slots *)
+  potential_threshold : int; (* count >= this => potential H~~ neighbor *)
+}
+
+let schedule config ~lambda (a : approg) =
+  let a = validate_approg a in
+  let alpha = config.Sinr_phys.Config.alpha in
+  let loglam = Float.max 1. (Float.log2 (Float.max 2. lambda)) in
+  let phi = max 1 (int_of_float (Float.ceil (a.phi_scale *. loglam))) in
+  let q = Float.max 1. (a.q_scale *. (loglam ** alpha)) in
+  let h1 = h1_proxy ~phi ~lambda ~eps:a.eps_approg in
+  let t =
+    max a.t_min
+      (int_of_float
+         (Float.ceil
+            (a.t_scale
+             *. Float.log2 (Float.max 2. (growth_f (int_of_float h1) /. a.eps_approg)))))
+  in
+  let log_inv_eps = Float.max 1. (Float.log2 (1. /. a.eps_approg)) in
+  let data_slots =
+    max 1 (int_of_float (Float.ceil (a.data_scale *. q *. log_inv_eps)))
+  in
+  let label_bits =
+    Labels.bits_for ~exponent:a.label_exponent ~lambda
+      ~eps_approg:a.eps_approg ()
+  in
+  (* The Sw_mis machine computes its own phase count from the label bits;
+     mirror the formula here to lay out the slot schedule. *)
+  let mis_rounds =
+    let probe =
+      Sw_mis.create ~n:1 ~participants:[ 0 ] ~labels:[| 1 |] ~label_bits
+        ~stages:a.mis_stages
+    in
+    Sw_mis.total_rounds probe
+  in
+  let phase_slots = (2 * t) + (mis_rounds * t) + data_slots in
+  let potential_threshold =
+    max 1
+      (int_of_float
+         (Float.floor ((1. -. (a.gamma /. 2.)) *. a.mu *. float_of_int t)))
+  in
+  { phi;
+    q;
+    t;
+    data_slots;
+    mis_rounds;
+    label_bits;
+    phase_slots;
+    epoch_slots = phi * phase_slots;
+    potential_threshold }
+
+(* The paper's f_approg formula (Theorem 9.1), evaluated for reporting:
+   (log^alpha Lambda + log* (1/eps)) * log Lambda * log(1/eps). *)
+let f_approg_formula config ~lambda ~eps_approg =
+  let alpha = config.Sinr_phys.Config.alpha in
+  let loglam = Float.max 1. (Float.log2 (Float.max 2. lambda)) in
+  let log_inv = Float.max 1. (Float.log2 (1. /. eps_approg)) in
+  let ls = float_of_int (Log_star.log_star (1. /. eps_approg)) in
+  ((loglam ** alpha) +. ls) *. loglam *. log_inv
+
+(* ------------------------------------------------------------------ *)
+(* Algorithm B.1 (Halldorsson–Mitra acknowledgments)                   *)
+(* ------------------------------------------------------------------ *)
+
+type ack = {
+  contention_bound : int option;
+      (* N~_x: known upper bound on local contention; None => use the
+         paper's default 4*Lambda^2 (proof of Theorem 5.1) *)
+  delta_reps : float;
+      (* delta of Algorithm B.1: inner-loop length delta * log(N~/eps) *)
+  tp_budget : float;
+      (* gamma' of Algorithm B.1: halt when total probability spent
+         exceeds tp_budget * log(N~/eps) *)
+  fallback_threshold : float;
+      (* FallBack after fallback_threshold * log(2 N~/eps) receptions
+         (paper constant: 8) *)
+  p_min_div : float;  (* floor probability = 1 / (p_min_div * N~), paper: 128 *)
+  p_start_div : float;(* starting probability = 1 / (p_start_div * N~), paper: 4 *)
+  p_cap : float;      (* probability ceiling, paper: 1/16 *)
+  eps_ack : float;
+}
+
+let default_ack =
+  { contention_bound = None;
+    delta_reps = 1.0;
+    tp_budget = 6.0;
+    fallback_threshold = 2.0;
+    p_min_div = 32.;
+    p_start_div = 4.;
+    p_cap = 1. /. 16.;
+    eps_ack = 0.1 }
+
+let validate_ack a =
+  if a.eps_ack <= 0. || a.eps_ack >= 1. then
+    invalid_arg "Params: eps_ack not in (0,1)";
+  if a.p_cap <= 0. || a.p_cap > 0.5 then invalid_arg "Params: p_cap";
+  a
+
+let contention_default ~lambda =
+  max 2 (int_of_float (Float.ceil (4. *. lambda *. lambda)))
+
+(* The paper's f_ack formula (Theorem 5.1), evaluated for reporting:
+   Delta * log(Lambda/eps) + log Lambda * log(Lambda/eps). *)
+let f_ack_formula ~delta ~lambda ~eps_ack =
+  let loglam_eps = Float.max 1. (Float.log2 (Float.max 2. (lambda /. eps_ack))) in
+  let loglam = Float.max 1. (Float.log2 (Float.max 2. lambda)) in
+  (float_of_int delta *. loglam_eps) +. (loglam *. loglam_eps)
+
+(* Hard cap on the slots Algorithm B.1 may run before the MAC declares the
+   ack anyway (Theorem 5.1's "stop after f_ack rounds").  The scale leaves
+   generous room above the formula value. *)
+let f_ack_cap ?(scale = 12.) ~delta ~lambda ~eps_ack () =
+  max 32 (int_of_float (Float.ceil (scale *. f_ack_formula ~delta ~lambda ~eps_ack)))

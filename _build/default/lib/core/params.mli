@@ -1,0 +1,74 @@
+(** Tunable constants of the absMAC implementations: every Θ(·) of the paper
+    made explicit, plus the derived per-run schedules. *)
+
+(** {1 Algorithm 9.1 — approximate progress} *)
+
+type approg = {
+  p : float;             (** coordination transmission probability, (0, 1/2] *)
+  mu : float;            (** H^μ_p reliability threshold, (0, p) *)
+  gamma : float;         (** H̃̃ approximation slack, (0, 1) *)
+  phi_scale : float;     (** Φ = ⌈phi_scale · log₂ Λ⌉ phases per epoch *)
+  q_scale : float;       (** Q = q_scale · (log₂ Λ)^α *)
+  t_scale : float;       (** T = ⌈t_scale · log₂(f(h₁)/ε)⌉ repetitions *)
+  t_min : int;
+  data_scale : float;    (** data slots per phase = ⌈data_scale·Q·log₂(1/ε)⌉ *)
+  mis_stages : int;      (** c′: MIS stages before the fixed timeout *)
+  label_exponent : float;(** labels range over (Λ/ε)^label_exponent *)
+  eps_approg : float;
+}
+
+val default_approg : approg
+val validate_approg : approg -> approg
+
+val growth_f : int -> float
+(** The growth bound f(r) = (2r+1)² (Lemma 4.2). *)
+
+type schedule = {
+  phi : int;
+  q : float;
+  t : int;
+  data_slots : int;
+  mis_rounds : int;
+  label_bits : int;
+  phase_slots : int;
+  epoch_slots : int;
+  potential_threshold : int;
+      (** receptions needed to call a node a potential H̃̃ neighbor:
+          ⌊(1-γ/2)·μ·T⌋, at least 1 *)
+}
+
+val schedule : Sinr_phys.Config.t -> lambda:float -> approg -> schedule
+(** Concrete per-epoch slot layout for a deployment with distance ratio
+    [lambda]. *)
+
+val f_approg_formula :
+  Sinr_phys.Config.t -> lambda:float -> eps_approg:float -> float
+(** The Theorem 9.1 bound (log^α Λ + log* 1/ε)·log Λ·log(1/ε), for
+    measured-vs-formula reports. *)
+
+(** {1 Algorithm B.1 — acknowledgments} *)
+
+type ack = {
+  contention_bound : int option;  (** Ñ; default 4Λ² per Theorem 5.1 *)
+  delta_reps : float;             (** δ of Algorithm B.1 *)
+  tp_budget : float;              (** γ′ of Algorithm B.1 *)
+  fallback_threshold : float;     (** paper constant 8 (scaled) *)
+  p_min_div : float;              (** paper constant 128 (scaled) *)
+  p_start_div : float;            (** paper constant 4 *)
+  p_cap : float;                  (** paper constant 1/16 *)
+  eps_ack : float;
+}
+
+val default_ack : ack
+val validate_ack : ack -> ack
+
+val contention_default : lambda:float -> int
+(** Ñ = 4Λ², the Theorem 5.1 default contention bound. *)
+
+val f_ack_formula : delta:int -> lambda:float -> eps_ack:float -> float
+(** The Theorem 5.1 bound Δ·log(Λ/ε) + log Λ·log(Λ/ε). *)
+
+val f_ack_cap :
+  ?scale:float -> delta:int -> lambda:float -> eps_ack:float -> unit -> int
+(** Slot cap after which the MAC emits the ack regardless (the paper's
+    "stop after f_ack rounds"). *)

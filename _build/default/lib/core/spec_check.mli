@@ -1,0 +1,29 @@
+(** Execution checking against the absMAC specification (Section 4.4,
+    Definition 12.2's niceness, and the progress window conditions).
+    Replays a recorded trace and scores it for a given communication graph
+    and delay bounds. *)
+
+open Sinr_graph
+open Sinr_engine
+
+type report = {
+  broadcasts : int;
+  acked : int;
+  aborted : int;
+  unfinished : int;
+  ack_delays : int list;
+  late_acks : int;             (** acks later than f_ack *)
+  nice : int;                  (** Def 12.2: rcv at every neighbor first *)
+  not_nice : int;
+  progress_checks : int;       (** qualifying neighbor-activity windows *)
+  progress_violations : int;   (** windows with no rcv at the listener *)
+}
+
+val check :
+  Trace.t -> graph:Graph.t -> f_ack:int -> f_prog:int -> horizon:int ->
+  report
+(** [graph] is the communication graph the spec is read against (G₁₋ε for
+    acknowledgments/progress, G₁₋₂ε for approximate progress — pass the
+    matching [f_prog]); [horizon] closes still-open broadcasts. *)
+
+val pp : report Fmt.t

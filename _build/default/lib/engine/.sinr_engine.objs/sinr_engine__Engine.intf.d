@@ -1,0 +1,1 @@
+lib/engine/engine.mli: Sinr Sinr_phys

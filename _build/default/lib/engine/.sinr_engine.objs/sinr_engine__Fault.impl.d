@@ -1,0 +1,1 @@
+lib/engine/fault.ml: Array Engine List Rng Sinr_geom

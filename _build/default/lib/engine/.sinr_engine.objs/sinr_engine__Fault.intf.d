@@ -1,0 +1,1 @@
+lib/engine/fault.mli: Engine Rng Sinr_geom

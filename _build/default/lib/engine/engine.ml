@@ -1,0 +1,137 @@
+(* Synchronous-slot SINR network simulator.
+
+   Time advances in discrete slots.  In every slot each awake, non-crashed
+   node either transmits one message or listens; receptions are resolved by
+   the exact SINR formula (Sinr.resolve).  The engine implements the model
+   assumptions of paper Section 4.6:
+
+   - conditional (non-spontaneous) wakeup, Definition 4.4: a node
+     participates only after it is woken — by the environment (a bcast
+     input, via [wake]) or by decoding its first message (asleep nodes
+     listen with their radio on and wake on reception);
+   - no collision detection: a listener that decodes nothing learns
+     nothing, and cannot distinguish silence from collision;
+   - half duplex: transmitters never receive.
+
+   Crash faults (for the consensus experiments) silence a node entirely.
+
+   The engine is polymorphic in the message type so the MAC layer and the
+   protocols above it choose their own wire format. *)
+
+open Sinr_phys
+
+type 'm action = Transmit of 'm | Listen
+
+type 'm delivery = {
+  receiver : int;
+  sender : int;
+  message : 'm;
+  power : float;
+      (* received signal power P/d^alpha of the decoded transmission --
+         the physical quantity a radio with signal-strength measurement
+         (the paper's Remark 4.6 CCA assumption) can observe *)
+}
+
+type 'm t = {
+  sinr : Sinr.t;
+  mutable slot : int;
+  awake : bool array;
+  crashed : bool array;
+  wake_on_receive : bool;
+  mutable tx_total : int;        (* transmissions across all slots *)
+  mutable delivery_total : int;  (* successful decodings across all slots *)
+}
+
+let create ?(wake_on_receive = true) sinr =
+  let n = Sinr.n sinr in
+  { sinr;
+    slot = 0;
+    awake = Array.make n false;
+    crashed = Array.make n false;
+    wake_on_receive;
+    tx_total = 0;
+    delivery_total = 0 }
+
+let sinr t = t.sinr
+let n t = Sinr.n t.sinr
+let slot t = t.slot
+let tx_total t = t.tx_total
+let delivery_total t = t.delivery_total
+
+let is_awake t v = t.awake.(v)
+let is_crashed t v = t.crashed.(v)
+
+let wake t v = if not t.crashed.(v) then t.awake.(v) <- true
+
+let wake_all t =
+  for v = 0 to n t - 1 do
+    wake t v
+  done
+
+let crash t v =
+  t.crashed.(v) <- true;
+  t.awake.(v) <- false
+
+let awake_nodes t =
+  let acc = ref [] in
+  for v = n t - 1 downto 0 do
+    if t.awake.(v) then acc := v :: !acc
+  done;
+  !acc
+
+(* Run one slot.  [decide v] is consulted only for awake, non-crashed nodes;
+   everyone else listens.  Returns the deliveries of the slot.  Also calls
+   [on_deliver] per delivery if given (before waking the receiver), so
+   callers can distinguish "received while asleep". *)
+let step ?on_deliver t ~decide =
+  let n = n t in
+  let messages = Array.make n None in
+  let senders = ref [] in
+  for v = 0 to n - 1 do
+    if t.awake.(v) && not t.crashed.(v) then
+      match decide v with
+      | Transmit m ->
+        messages.(v) <- Some m;
+        senders := v :: !senders
+      | Listen -> ()
+  done;
+  t.tx_total <- t.tx_total + List.length !senders;
+  let deliveries = ref [] in
+  if !senders <> [] then begin
+    let outcome = Sinr.resolve t.sinr ~senders:!senders in
+    for u = 0 to n - 1 do
+      if not t.crashed.(u) then
+        match outcome.(u) with
+        | Some v ->
+          (match messages.(v) with
+           | Some m ->
+             let power =
+               Sinr.power_between t.sinr
+                 ~from:(Sinr.points t.sinr).(v)
+                 ~at:(Sinr.points t.sinr).(u)
+             in
+             let d = { receiver = u; sender = v; message = m; power } in
+             (match on_deliver with Some f -> f d | None -> ());
+             deliveries := d :: !deliveries;
+             t.delivery_total <- t.delivery_total + 1;
+             if t.wake_on_receive then wake t u
+           | None -> assert false)
+        | None -> ()
+    done
+  end;
+  t.slot <- t.slot + 1;
+  List.rev !deliveries
+
+(* Drive the simulation until [stop] returns true or [max_slots] elapse.
+   Returns the number of slots executed. *)
+let run ?on_deliver t ~decide ~stop ~max_slots =
+  let start = t.slot in
+  let rec loop () =
+    if stop () || t.slot - start >= max_slots then t.slot - start
+    else begin
+      let ds = step ?on_deliver t ~decide in
+      ignore ds;
+      loop ()
+    end
+  in
+  loop ()

@@ -1,0 +1,56 @@
+(** Synchronous-slot SINR network simulator.
+
+    Implements the model assumptions of paper Section 4.6: conditional
+    wakeup (Definition 4.4), no collision detection, half-duplex radios,
+    exact SINR reception. Polymorphic in the message type. *)
+
+open Sinr_phys
+
+type 'm action = Transmit of 'm | Listen
+
+type 'm delivery = {
+  receiver : int;
+  sender : int;
+  message : 'm;
+  power : float;
+      (** received power P/d^α of the decoded transmission (the observable
+          of Remark 4.6's signal-strength assumption) *)
+}
+
+type 'm t
+
+val create : ?wake_on_receive:bool -> Sinr.t -> 'm t
+(** Fresh simulation with every node asleep. [wake_on_receive] (default
+    true) makes asleep nodes wake when they decode a message, per the
+    conditional-wakeup model. *)
+
+val sinr : 'm t -> Sinr.t
+val n : 'm t -> int
+val slot : 'm t -> int
+(** Slots executed so far (the global clock). *)
+
+val tx_total : 'm t -> int
+val delivery_total : 'm t -> int
+
+val is_awake : 'm t -> int -> bool
+val is_crashed : 'm t -> int -> bool
+
+val wake : 'm t -> int -> unit
+(** Environment wakeup (e.g. a [bcast] input). No effect on crashed nodes. *)
+
+val wake_all : 'm t -> unit
+val crash : 'm t -> int -> unit
+(** Silence a node permanently (consensus fault injection). *)
+
+val awake_nodes : 'm t -> int list
+
+val step :
+  ?on_deliver:('m delivery -> unit) -> 'm t -> decide:(int -> 'm action) ->
+  'm delivery list
+(** Run one slot. [decide] is consulted only for awake, non-crashed nodes;
+    all others listen. Returns the slot's deliveries. *)
+
+val run :
+  ?on_deliver:('m delivery -> unit) -> 'm t -> decide:(int -> 'm action) ->
+  stop:(unit -> bool) -> max_slots:int -> int
+(** Step until [stop ()] or [max_slots] slots; returns slots executed. *)

@@ -1,0 +1,38 @@
+(* Crash-fault plans for the consensus experiments.
+
+   The consensus problem (paper Section 4.5, from [44]) requires termination
+   of every non-faulty process; these helpers build deterministic crash
+   schedules and apply them as the simulation advances. *)
+
+open Sinr_geom
+
+type plan = (int * int) list (* (slot, node), sorted by slot *)
+
+let none : plan = []
+
+(* Crash [count] distinct nodes, avoiding [protect], at uniform slots within
+   [0, horizon). *)
+let random_crashes rng ~n ~count ~horizon ~protect : plan =
+  if count < 0 || count >= n then invalid_arg "Fault.random_crashes: bad count";
+  let protected_ = Array.make n false in
+  List.iter (fun v -> protected_.(v) <- true) protect;
+  let victims = ref [] in
+  let tries = ref 0 in
+  while List.length !victims < count && !tries < 100 * n do
+    incr tries;
+    let v = Rng.int rng n in
+    if (not protected_.(v)) && not (List.mem v !victims) then
+      victims := v :: !victims
+  done;
+  let plan =
+    List.map (fun v -> (Rng.int rng (max 1 horizon), v)) !victims
+  in
+  List.sort compare plan
+
+(* Apply every crash scheduled at or before the engine's current slot.
+   Returns the nodes crashed by this call. *)
+let apply plan engine =
+  let now = Engine.slot engine in
+  let due, later = List.partition (fun (s, _) -> s <= now) plan in
+  List.iter (fun (_, v) -> Engine.crash engine v) due;
+  (List.map snd due, later)

@@ -1,0 +1,17 @@
+(** Crash-fault schedules for consensus fault-injection experiments. *)
+
+open Sinr_geom
+
+type plan = (int * int) list
+(** [(slot, node)] pairs, sorted by slot. *)
+
+val none : plan
+
+val random_crashes :
+  Rng.t -> n:int -> count:int -> horizon:int -> protect:int list -> plan
+(** [count] distinct victims outside [protect], each crashing at a uniform
+    slot in [0, horizon). *)
+
+val apply : plan -> 'm Engine.t -> int list * plan
+(** Crash every node whose slot has arrived; returns (newly crashed,
+    remaining plan). *)

@@ -1,0 +1,67 @@
+(* Bounded event traces for debugging and for assertions over executions.
+
+   The absMAC specification (Section 4.4) is stated over executions — ordered
+   sequences of bcast/rcv/ack events with timing constraints.  Tests record
+   executions with this module and then check spec predicates over them. *)
+
+type event =
+  | Bcast of { node : int; msg : int }  (* environment handed msg to node *)
+  | Rcv of { node : int; msg : int; from : int }
+  | Ack of { node : int; msg : int }
+  | Abort of { node : int; msg : int }
+  | Wake of { node : int }
+  | Crash of { node : int }
+  | Note of string
+
+type entry = { slot : int; event : event }
+
+type t = {
+  capacity : int;
+  mutable entries : entry list; (* newest first *)
+  mutable size : int;
+  mutable dropped : int;
+}
+
+let create ?(capacity = 100_000) () =
+  { capacity; entries = []; size = 0; dropped = 0 }
+
+let record t ~slot event =
+  if t.size >= t.capacity then begin
+    (* Drop the oldest half rather than scanning per insert. *)
+    let keep = t.capacity / 2 in
+    let rec take k = function
+      | [] -> []
+      | _ when k = 0 -> []
+      | e :: rest -> e :: take (k - 1) rest
+    in
+    t.dropped <- t.dropped + (t.size - keep);
+    t.entries <- take keep t.entries;
+    t.size <- keep
+  end;
+  t.entries <- { slot; event } :: t.entries;
+  t.size <- t.size + 1
+
+let events t = List.rev t.entries
+
+let dropped t = t.dropped
+
+let find_first t pred =
+  let rec scan = function
+    | [] -> None
+    | e :: rest -> (match scan rest with Some hit -> Some hit | None -> if pred e then Some e else None)
+  in
+  scan t.entries
+
+let count t pred =
+  List.fold_left (fun acc e -> if pred e then acc + 1 else acc) 0 t.entries
+
+let pp_event ppf = function
+  | Bcast { node; msg } -> Fmt.pf ppf "bcast(m%d)_%d" msg node
+  | Rcv { node; msg; from } -> Fmt.pf ppf "rcv(m%d<-%d)_%d" msg from node
+  | Ack { node; msg } -> Fmt.pf ppf "ack(m%d)_%d" msg node
+  | Abort { node; msg } -> Fmt.pf ppf "abort(m%d)_%d" msg node
+  | Wake { node } -> Fmt.pf ppf "wake_%d" node
+  | Crash { node } -> Fmt.pf ppf "crash_%d" node
+  | Note s -> Fmt.pf ppf "note(%s)" s
+
+let pp_entry ppf e = Fmt.pf ppf "[%6d] %a" e.slot pp_event e.event

@@ -1,0 +1,28 @@
+(** Bounded traces of absMAC-level events, used by tests to check the
+    specification's execution predicates. *)
+
+type event =
+  | Bcast of { node : int; msg : int }
+  | Rcv of { node : int; msg : int; from : int }
+  | Ack of { node : int; msg : int }
+  | Abort of { node : int; msg : int }
+  | Wake of { node : int }
+  | Crash of { node : int }
+  | Note of string
+
+type entry = { slot : int; event : event }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** When full, the oldest half is discarded (see {!dropped}). *)
+
+val record : t -> slot:int -> event -> unit
+val events : t -> entry list
+(** Oldest first. *)
+
+val dropped : t -> int
+val find_first : t -> (entry -> bool) -> entry option
+val count : t -> (entry -> bool) -> int
+val pp_event : event Fmt.t
+val pp_entry : entry Fmt.t

@@ -1,0 +1,1 @@
+lib/expt/exp_ablation.ml: Approx_progress Array Fmt Fun Induced List Measure Option Params Report Rng Sinr Sinr_geom Sinr_mac Sinr_phys Sinr_stats Summary Table Workloads

@@ -1,0 +1,1 @@
+lib/expt/exp_ack.ml: Array Fmt List Measure Option Params Placement Report Rng Sinr_geom Sinr_mac Sinr_phys Sinr_stats Summary Table Workloads

@@ -1,0 +1,1 @@
+lib/expt/exp_ack.mli: Sinr_stats Summary

@@ -1,0 +1,1 @@
+lib/expt/exp_approg.ml: Array Config Fmt Fun Induced List Measure Option Params Report Rng Sinr Sinr_geom Sinr_mac Sinr_phys Sinr_stats Summary Table Workloads

@@ -1,0 +1,1 @@
+lib/expt/exp_capacity.ml: Fmt Fun Induced List Measure Params Report Rng Sinr Sinr_geom Sinr_mac Sinr_phys Sinr_stats Table Unix Workloads

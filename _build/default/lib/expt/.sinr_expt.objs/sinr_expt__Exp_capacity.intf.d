@@ -1,0 +1,1 @@
+lib/expt/exp_capacity.mli:

@@ -1,0 +1,1 @@
+lib/expt/exp_cons.ml: Array Box Config Float Fmt Global Induced List Option Placement Report Rng Sinr Sinr_engine Sinr_geom Sinr_phys Sinr_proto Sinr_stats Summary Table Workloads

@@ -1,0 +1,1 @@
+lib/expt/exp_cons.mli: Sinr_stats Summary

@@ -1,0 +1,1 @@
+lib/expt/exp_decay_lb.mli: Sinr_stats Summary

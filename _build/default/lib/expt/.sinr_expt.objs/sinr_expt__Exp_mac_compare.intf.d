@@ -1,0 +1,1 @@
+lib/expt/exp_mac_compare.mli:

@@ -1,0 +1,1 @@
+lib/expt/exp_mmb.ml: Array Config Float Fmt Fun Global Hm_flood Induced List Option Report Rng Sinr_geom Sinr_phys Sinr_proto Sinr_stats Summary Table Workloads

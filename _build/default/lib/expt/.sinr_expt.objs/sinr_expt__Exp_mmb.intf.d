@@ -1,0 +1,1 @@
+lib/expt/exp_mmb.mli: Sinr_stats Summary

@@ -1,0 +1,1 @@
+lib/expt/exp_progress_lb.ml: Array Fmt Graph Induced List Measure Params Report Sinr Sinr_geom Sinr_graph Sinr_mac Sinr_phys Sinr_stats Table Workloads

@@ -1,0 +1,1 @@
+lib/expt/exp_smb.ml: Decay_flood Dgkn_broadcast Fmt Global Induced List Report Rng Sinr_geom Sinr_phys Sinr_proto Sinr_stats Summary Table Workloads

@@ -1,0 +1,1 @@
+lib/expt/exp_smb.mli: Sinr_stats Summary

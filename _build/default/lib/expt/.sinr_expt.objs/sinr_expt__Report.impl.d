@@ -1,0 +1,1 @@
+lib/expt/report.ml: Array Filename Fit Fmt List Option Sinr_stats String Summary Sys Unix

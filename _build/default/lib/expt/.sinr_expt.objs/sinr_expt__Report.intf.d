@@ -1,0 +1,1 @@
+lib/expt/report.mli: Sinr_stats Summary

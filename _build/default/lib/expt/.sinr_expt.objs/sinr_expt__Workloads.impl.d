@@ -1,0 +1,1 @@
+lib/expt/workloads.ml: Box Config Float Fmt Induced Placement Rng Sinr Sinr_geom Sinr_graph Sinr_phys

@@ -1,0 +1,1 @@
+lib/expt/workloads.mli: Config Induced Placement Point Rng Sinr Sinr_geom Sinr_phys

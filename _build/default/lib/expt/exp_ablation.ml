@@ -1,0 +1,240 @@
+(* E8 — Ablations of the design choices DESIGN.md calls out.
+
+   On a fixed uniform deployment, vary one knob of Algorithm 9.1 at a time
+   and measure approximate-progress success and delay:
+
+   - T (t_scale): the paper's reduced-repetitions choice (Section 10.1.2);
+     too small a T breaks the H~~ estimate and floods the W set, large T
+     wastes slots — the localized analysis is exactly about how small T
+     may be;
+   - Q (q_scale): the data-slot probability divisor of Lemma 10.16;
+   - label range (label_exponent): non-unique temporary labels
+     (Section 10.2); a tiny range forces collisions and stalls the MIS. *)
+
+open Sinr_geom
+open Sinr_stats
+open Sinr_phys
+open Sinr_mac
+
+type row = {
+  knob : string;
+  value : float;
+  success : float;
+  p90 : float option;
+  epoch_slots : int;
+  drops : int;
+}
+
+let measure ~seeds ~params ~n ~side =
+  let succ = ref [] and p90s = ref [] in
+  let epoch = ref 0 and drops = ref 0 in
+  List.iter
+    (fun seed ->
+      let rng = Rng.create (0xAB1 + (seed * 89)) in
+      let d = Workloads.uniform_density (Rng.split rng ~key:0) ~n ~side in
+      let sched =
+        Params.schedule (Sinr.config d.Workloads.sinr)
+          ~lambda:d.Workloads.profile.Induced.lambda params
+      in
+      epoch := sched.Params.epoch_slots;
+      let senders = List.filter (fun v -> v mod 2 = 0) (List.init n Fun.id) in
+      let samples, machine =
+        Measure.approx_progress_only ~params d.Workloads.sinr
+          ~rng:(Rng.split rng ~key:1) ~senders
+          ~max_slots:(5 * sched.Params.epoch_slots)
+      in
+      drops := !drops + Approx_progress.drops_total machine;
+      let done_ = List.filter (fun s -> s.Measure.delay <> None) samples in
+      (match samples with
+       | [] -> ()
+       | _ ->
+         succ :=
+           (float_of_int (List.length done_)
+            /. float_of_int (List.length samples))
+           :: !succ);
+      let ds =
+        List.filter_map
+          (fun s -> Option.map float_of_int s.Measure.delay)
+          samples
+      in
+      match ds with
+      | [] -> ()
+      | _ -> p90s := (Summary.of_samples (Array.of_list ds)).Summary.p90 :: !p90s)
+    seeds;
+  let avg = function
+    | [] -> None
+    | xs -> Some (List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs))
+  in
+  ( (match avg !succ with Some v -> v | None -> 0.),
+    avg !p90s,
+    !epoch,
+    !drops )
+
+(* Coordination overhead: the distributed machine (H~~ estimation + MIS
+   over the air) vs the oracle machine (data slots only). *)
+let overhead ~seeds ~n ~side =
+  let mean_delay samples =
+    let ds =
+      List.filter_map
+        (fun (s : Measure.approg_sample) ->
+          Option.map float_of_int s.Measure.delay)
+        samples
+    in
+    match ds with
+    | [] -> None
+    | _ ->
+      Some (List.fold_left ( +. ) 0. ds /. float_of_int (List.length ds))
+  in
+  let dist = ref [] and orac = ref [] in
+  List.iter
+    (fun seed ->
+      let rng = Rng.create (0x0FF + (seed * 97)) in
+      let d = Workloads.uniform_density (Rng.split rng ~key:0) ~n ~side in
+      let sched =
+        Params.schedule (Sinr.config d.Workloads.sinr)
+          ~lambda:d.Workloads.profile.Induced.lambda Params.default_approg
+      in
+      let senders = List.filter (fun v -> v mod 2 = 0) (List.init n Fun.id) in
+      let samples, _ =
+        Measure.approx_progress_only d.Workloads.sinr
+          ~rng:(Rng.split rng ~key:1) ~senders
+          ~max_slots:(5 * sched.Params.epoch_slots)
+      in
+      (match mean_delay samples with Some m -> dist := m :: !dist | None -> ());
+      let samples =
+        Measure.approx_progress_oracle d.Workloads.sinr
+          ~rng:(Rng.split rng ~key:2) ~senders
+          ~max_slots:(5 * sched.Params.epoch_slots)
+      in
+      match mean_delay samples with Some m -> orac := m :: !orac | None -> ())
+    seeds;
+  let avg xs = List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs) in
+  match (!dist, !orac) with
+  | [], _ | _, [] -> print_endline "overhead: incomplete data"
+  | d, o ->
+    Fmt.pr
+      "coordination overhead: distributed mean progress %.0f slots vs \
+       oracle (data slots only) %.0f slots — factor %.1fx is the price of \
+       building H~~ and the MIS over the air@."
+      (avg d) (avg o)
+      (avg d /. avg o)
+
+(* The price of knowing only Lambda: Theorem 5.1 instantiates Algorithm
+   B.1's contention bound as N~ = 4*Lambda^2 because nodes know a
+   polynomial bound on Lambda but not their degree.  Compare acknowledgment
+   delays against an oracle that knows the true contention. *)
+let contention_knowledge ~seeds ~n ~side =
+  let mean_ack params d rng =
+    let senders = List.filter (fun v -> v mod 2 = 0) (List.init n Fun.id) in
+    let samples =
+      Measure.acks ~ack_params:params d.Workloads.sinr ~rng ~senders
+        ~max_slots:4_000_000
+    in
+    match samples with
+    | [] -> None
+    | _ ->
+      Some
+        (List.fold_left
+           (fun acc (a : Measure.ack_sample) ->
+             acc +. float_of_int a.Measure.delay)
+           0. samples
+        /. float_of_int (List.length samples))
+  in
+  let lambda_only = ref [] and oracle = ref [] in
+  List.iter
+    (fun seed ->
+      let rng = Rng.create (0xC0 + (seed * 131)) in
+      let d = Workloads.uniform_density (Rng.split rng ~key:0) ~n ~side in
+      let delta = d.Workloads.profile.Induced.strong_degree in
+      (match mean_ack Params.default_ack d (Rng.split rng ~key:1) with
+       | Some m -> lambda_only := m :: !lambda_only
+       | None -> ());
+      let oracle_params =
+        { Params.default_ack with Params.contention_bound = Some (delta + 1) }
+      in
+      match mean_ack oracle_params d (Rng.split rng ~key:2) with
+      | Some m -> oracle := m :: !oracle
+      | None -> ())
+    seeds;
+  let avg xs = List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs) in
+  match (!lambda_only, !oracle) with
+  | [], _ | _, [] -> print_endline "contention knowledge: incomplete data"
+  | l, o ->
+    Fmt.pr
+      "contention knowledge: f_ack with N~ = 4*Lambda^2 (Theorem 5.1) = %.0f \
+slots vs %.0f with the true contention known — factor %.2fx is the \
+price of knowing only Lambda@."
+      (avg l) (avg o)
+      (avg l /. avg o)
+
+(* Where an epoch's slots go (static layout from the schedule). *)
+let epoch_composition ~n ~side =
+  let d = Workloads.uniform_density (Rng.create 0xEC) ~n ~side in
+  let sched =
+    Params.schedule
+      (Sinr_phys.Sinr.config d.Workloads.sinr)
+      ~lambda:d.Workloads.profile.Induced.lambda Params.default_approg
+  in
+  let t = sched.Params.t in
+  let per_phase = sched.Params.phase_slots in
+  let pct x = 100. *. float_of_int x /. float_of_int per_phase in
+  Fmt.pr
+    "epoch composition (per phase of %d slots): H~~ probes+lists %d \
+(%.0f%%), MIS simulation %d (%.0f%%), data %d (%.0f%%)@."
+    per_phase (2 * t)
+    (pct (2 * t))
+    (sched.Params.mis_rounds * t)
+    (pct (sched.Params.mis_rounds * t))
+    sched.Params.data_slots
+    (pct sched.Params.data_slots)
+
+let knob_rows ~seeds ~n ~side ~knob ~values ~apply =
+  List.map
+    (fun value ->
+      let params = apply Params.default_approg value in
+      let success, p90, epoch_slots, drops =
+        measure ~seeds ~params ~n ~side
+      in
+      { knob; value; success; p90; epoch_slots; drops })
+    values
+
+let run ?(seeds = [ 1; 2 ]) ?(n = 50) ?(side = 22.) () =
+  Report.section "E8: ablations of Algorithm 9.1's design choices";
+  let table =
+    Table.create ~title:"one knob at a time; success = progressed listeners"
+      ~header:[ "knob"; "value"; "success"; "p90 delay"; "epoch"; "drops" ]
+      ~aligns:
+        [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right;
+          Table.Right ]
+      ()
+  in
+  let rows =
+    knob_rows ~seeds ~n ~side ~knob:"t_scale" ~values:[ 0.5; 1.0; 2.0; 4.0 ]
+      ~apply:(fun p v -> { p with Params.t_scale = v; t_min = 2 })
+    @ knob_rows ~seeds ~n ~side ~knob:"q_scale" ~values:[ 0.1; 0.25; 1.0 ]
+        ~apply:(fun p v -> { p with Params.q_scale = v })
+    @ knob_rows ~seeds ~n ~side ~knob:"label_exp" ~values:[ 0.25; 1.0; 3.0 ]
+        ~apply:(fun p v -> { p with Params.label_exponent = v })
+    @ knob_rows ~seeds ~n ~side ~knob:"mis_stages" ~values:[ 1.; 2.; 4. ]
+        ~apply:(fun p v -> { p with Params.mis_stages = int_of_float v })
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [ r.knob;
+          Fmt.str "%.2f" r.value;
+          Fmt.str "%.2f" r.success;
+          (match r.p90 with Some v -> Fmt.str "%.0f" v | None -> "-");
+          string_of_int r.epoch_slots;
+          string_of_int r.drops ])
+    rows;
+  Report.emit table;
+  print_endline
+    "reading guide: small t_scale shrinks epochs but inflates drops (the \
+     W set of Lemma 10.3) and can cost success; q_scale trades data-slot \
+     contention against the number of data slots (Lemma 10.16); a tiny \
+     label range forces collisions that stall the MIS (Lemma 10.1).";
+  overhead ~seeds ~n ~side;
+  contention_knowledge ~seeds ~n ~side;
+  epoch_composition ~n ~side;
+  rows

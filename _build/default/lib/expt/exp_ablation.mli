@@ -1,0 +1,13 @@
+(** E8 — ablations of Algorithm 9.1's constants (T, Q, label range, MIS
+    stages). *)
+
+type row = {
+  knob : string;
+  value : float;
+  success : float;
+  p90 : float option;
+  epoch_slots : int;
+  drops : int;
+}
+
+val run : ?seeds:int list -> ?n:int -> ?side:float -> unit -> row list

@@ -1,0 +1,96 @@
+(* E1 — Table 1, f_ack row, plus Remark 5.3's Delta lower bound.
+
+   Workload: the star construction (a hub with Delta broadcasting leaves)
+   gives worst-case contention, plus uniform deployments for the typical
+   case.  Every leaf broadcasts simultaneously; we record the bcast->ack
+   delay of each and whether the broadcast was nice (all strong neighbors
+   received it first).
+
+   Expected shape (Theorem 5.1): delay grows linearly in Delta with a
+   log(Lambda/eps) factor; Remark 5.3 says no implementation can beat
+   Delta. *)
+
+open Sinr_geom
+open Sinr_stats
+open Sinr_mac
+
+type row = {
+  delta : int;        (* realized max degree *)
+  lambda : float;
+  measured : Summary.t option;
+  timeouts : int;
+  nice_frac : float;  (* fraction of acks preceded by all-neighbor rcvs *)
+  formula : float;
+}
+
+let star_row ~seeds ~delta =
+  let eps_ack = Params.default_ack.Params.eps_ack in
+  let nice = ref 0 and total = ref 0 in
+  let realized_delta = ref 0 and realized_lambda = ref 1. in
+  let trial seed =
+    let rng = Rng.create (0x5A1 + seed) in
+    let d, s = Workloads.star rng ~delta in
+    realized_delta := d.Workloads.profile.Sinr_phys.Induced.strong_degree;
+    realized_lambda := d.Workloads.profile.Sinr_phys.Induced.lambda;
+    let samples =
+      Measure.acks d.Workloads.sinr
+        ~rng:(Rng.split rng ~key:1)
+        ~senders:(Array.to_list s.Placement.leaves)
+        ~max_slots:4_000_000
+    in
+    match samples with
+    | [] -> None
+    | _ ->
+      List.iter
+        (fun (a : Measure.ack_sample) ->
+          incr total;
+          if a.Measure.reached = a.Measure.neighbors then incr nice)
+        samples;
+      let mean =
+        List.fold_left (fun acc (a : Measure.ack_sample) -> acc +. float_of_int a.Measure.delay) 0.
+          samples
+        /. float_of_int (List.length samples)
+      in
+      Some mean
+  in
+  let measured, timeouts = Report.trials ~seeds trial in
+  { delta = !realized_delta;
+    lambda = !realized_lambda;
+    measured;
+    timeouts;
+    nice_frac =
+      (if !total = 0 then 0. else float_of_int !nice /. float_of_int !total);
+    formula =
+      Params.f_ack_formula ~delta:!realized_delta ~lambda:!realized_lambda
+        ~eps_ack }
+
+let run ?(seeds = [ 1; 2; 3 ]) ?(deltas = [ 4; 8; 16; 32 ]) () =
+  Report.section
+    "E1: f_ack on the star construction (Table 1 row 1, Remark 5.3)";
+  let table =
+    Table.create ~title:"acknowledgment delay vs contention Delta"
+      ~header:
+        [ "delta"; "lambda"; "mean f_ack (slots)"; "timeouts"; "nice";
+          "formula D*log(L/e)+logL*log(L/e)" ]
+      ()
+  in
+  let rows = List.map (fun delta -> star_row ~seeds ~delta) deltas in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [ string_of_int r.delta;
+          Fmt.str "%.1f" r.lambda;
+          Report.mean_cell r.measured;
+          string_of_int r.timeouts;
+          Fmt.str "%.2f" r.nice_frac;
+          Fmt.str "%.0f" r.formula ])
+    rows;
+  Report.emit table;
+  let usable = List.filter (fun r -> r.measured <> None) rows in
+  let preds = Array.of_list (List.map (fun r -> r.formula) usable) in
+  let ms =
+    Array.of_list
+      (List.map (fun r -> (Option.get r.measured).Summary.mean) usable)
+  in
+  print_endline (Report.shape_verdict ~label:"f_ack vs Theorem 5.1" preds ms);
+  rows

@@ -1,0 +1,16 @@
+(** E1 — Table 1's f_ack row and Remark 5.3's Δ lower bound, on the star
+    contention workload. *)
+
+open Sinr_stats
+
+type row = {
+  delta : int;
+  lambda : float;
+  measured : Summary.t option;
+  timeouts : int;
+  nice_frac : float;
+  formula : float;
+}
+
+val run : ?seeds:int list -> ?deltas:int list -> unit -> row list
+(** Prints the table and the shape verdict; returns the rows. *)

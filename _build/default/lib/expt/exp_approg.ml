@@ -1,0 +1,214 @@
+(* E3 — Table 1, f_approg row (Theorem 9.1).
+
+   Two sweeps on uniform deployments with half the nodes broadcasting:
+
+   (a) density sweep: Delta grows by shrinking the deployment box; the
+       pure Algorithm 9.1 progress delay must stay flat (polylog) while
+       the measured acknowledgment delay on the same instance grows with
+       Delta — the headline separation of Remark 11.2;
+
+   (b) epsilon sweep: f_approg grows like log(1/eps) as the requested
+       success probability rises. *)
+
+open Sinr_geom
+open Sinr_stats
+open Sinr_phys
+open Sinr_mac
+
+let delays_summary samples =
+  let ds =
+    List.filter_map
+      (fun s -> Option.map float_of_int s.Measure.delay)
+      samples
+  in
+  match ds with
+  | [] -> None
+  | _ -> Some (Summary.of_samples (Array.of_list ds))
+
+let success_frac samples =
+  match samples with
+  | [] -> 1.0
+  | _ ->
+    float_of_int
+      (List.length (List.filter (fun s -> s.Measure.delay <> None) samples))
+    /. float_of_int (List.length samples)
+
+type density_row = {
+  delta : int;
+  lambda : float;
+  approg_p90 : float option;  (* pure Algorithm 9.1 *)
+  approg_success : float;
+  ack_mean : float option;    (* contrast: f_ack on the same instance *)
+  epoch_slots : int;
+  approg_formula : float;
+}
+
+let density_row ~seeds ~n ~side =
+  let eps = Params.default_approg.Params.eps_approg in
+  let delta = ref 0 and lambda = ref 1. and epoch = ref 0 in
+  let p90s = ref [] and succ = ref [] and acks = ref [] in
+  List.iter
+    (fun seed ->
+      let rng = Rng.create (0xA9 + (seed * 7919)) in
+      let d = Workloads.uniform_density (Rng.split rng ~key:0) ~n ~side in
+      delta := d.Workloads.profile.Induced.strong_degree;
+      lambda := d.Workloads.profile.Induced.lambda;
+      let senders = List.filter (fun v -> v mod 2 = 0) (List.init n Fun.id) in
+      let sched =
+        Params.schedule (Sinr.config d.Workloads.sinr) ~lambda:!lambda
+          Params.default_approg
+      in
+      epoch := sched.Params.epoch_slots;
+      let samples, _ =
+        Measure.approx_progress_only d.Workloads.sinr
+          ~rng:(Rng.split rng ~key:1) ~senders
+          ~max_slots:(6 * sched.Params.epoch_slots)
+      in
+      (match delays_summary samples with
+       | Some s -> p90s := s.Summary.p90 :: !p90s
+       | None -> ());
+      succ := success_frac samples :: !succ;
+      let ack_samples =
+        Measure.acks d.Workloads.sinr ~rng:(Rng.split rng ~key:2) ~senders
+          ~max_slots:4_000_000
+      in
+      match ack_samples with
+      | [] -> ()
+      | _ ->
+        let mean =
+          List.fold_left
+            (fun acc (a : Measure.ack_sample) -> acc +. float_of_int a.Measure.delay)
+            0. ack_samples
+          /. float_of_int (List.length ack_samples)
+        in
+        acks := mean :: !acks)
+    seeds;
+  let avg = function
+    | [] -> None
+    | xs -> Some (List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs))
+  in
+  { delta = !delta;
+    lambda = !lambda;
+    approg_p90 = avg !p90s;
+    approg_success =
+      (match avg !succ with Some v -> v | None -> 0.);
+    ack_mean = avg !acks;
+    epoch_slots = !epoch;
+    approg_formula =
+      Params.f_approg_formula Config.default ~lambda:!lambda ~eps_approg:eps }
+
+let run_density ?(seeds = [ 1; 2; 3 ]) ?(n = 60)
+    ?(sides = [ 44.; 30.; 21.; 15. ]) () =
+  Report.section
+    "E3a: f_approg vs density (Table 1 row 3, Theorem 9.1 / Remark 11.2)";
+  let table =
+    Table.create
+      ~title:
+        "approximate progress stays polylog while acknowledgments grow \
+         with Delta (n fixed, box shrinking)"
+      ~header:
+        [ "Delta"; "Lambda"; "approg p90"; "success"; "f_ack mean";
+          "epoch slots"; "f_approg formula" ]
+      ()
+  in
+  let rows = List.map (fun side -> density_row ~seeds ~n ~side) sides in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [ string_of_int r.delta;
+          Fmt.str "%.1f" r.lambda;
+          (match r.approg_p90 with Some v -> Fmt.str "%.0f" v | None -> "timeout");
+          Fmt.str "%.2f" r.approg_success;
+          (match r.ack_mean with Some v -> Fmt.str "%.0f" v | None -> "timeout");
+          string_of_int r.epoch_slots;
+          Fmt.str "%.0f" r.approg_formula ])
+    rows;
+  Report.emit table;
+  (match
+     ( List.filter_map (fun r -> r.approg_p90) rows,
+       List.filter_map (fun r -> r.ack_mean) rows )
+   with
+   | (a0 :: _ as approgs), (k0 :: _ as acks)
+     when List.length approgs = List.length rows
+          && List.length acks = List.length rows ->
+     let a_last = List.nth approgs (List.length approgs - 1) in
+     let k_last = List.nth acks (List.length acks - 1) in
+     Fmt.pr
+       "separation: Delta grew %.1fx; approg delay grew %.2fx while ack \
+        delay grew %.2fx@."
+       (float_of_int (List.nth rows (List.length rows - 1)).delta
+        /. float_of_int (List.hd rows).delta)
+       (a_last /. a0) (k_last /. k0)
+   | _ -> print_endline "separation: incomplete data");
+  rows
+
+type eps_row = {
+  eps : float;
+  p90 : float option;
+  success : float;
+  epoch_slots : int;
+  formula : float;
+}
+
+let eps_row ~seeds ~n ~side ~eps =
+  let params = { Params.default_approg with Params.eps_approg = eps } in
+  let p90s = ref [] and succ = ref [] in
+  let epoch = ref 0 and lambda = ref 1. in
+  List.iter
+    (fun seed ->
+      let rng = Rng.create (0xE5 + (seed * 104729)) in
+      let d = Workloads.uniform_density (Rng.split rng ~key:0) ~n ~side in
+      lambda := d.Workloads.profile.Induced.lambda;
+      let sched =
+        Params.schedule (Sinr.config d.Workloads.sinr) ~lambda:!lambda params
+      in
+      epoch := sched.Params.epoch_slots;
+      let senders = List.filter (fun v -> v mod 2 = 0) (List.init n Fun.id) in
+      let samples, _ =
+        Measure.approx_progress_only ~params d.Workloads.sinr
+          ~rng:(Rng.split rng ~key:1) ~senders
+          ~max_slots:(6 * sched.Params.epoch_slots)
+      in
+      (match delays_summary samples with
+       | Some s -> p90s := s.Summary.p90 :: !p90s
+       | None -> ());
+      succ := success_frac samples :: !succ)
+    seeds;
+  let avg = function
+    | [] -> None
+    | xs -> Some (List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs))
+  in
+  { eps;
+    p90 = avg !p90s;
+    success = (match avg !succ with Some v -> v | None -> 0.);
+    epoch_slots = !epoch;
+    formula = Params.f_approg_formula Config.default ~lambda:!lambda ~eps_approg:eps }
+
+let run_eps ?(seeds = [ 1; 2; 3 ]) ?(n = 50) ?(side = 25.)
+    ?(epsilons = [ 0.3; 0.15; 0.075 ]) () =
+  Report.section "E3b: f_approg vs requested error probability eps_approg";
+  let table =
+    Table.create ~title:"epoch length and delay grow like log(1/eps)"
+      ~header:[ "eps"; "p90 delay"; "success"; "epoch slots"; "formula" ]
+      ()
+  in
+  let rows = List.map (fun eps -> eps_row ~seeds ~n ~side ~eps) epsilons in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [ Fmt.str "%.3f" r.eps;
+          (match r.p90 with Some v -> Fmt.str "%.0f" v | None -> "timeout");
+          Fmt.str "%.2f" r.success;
+          string_of_int r.epoch_slots;
+          Fmt.str "%.0f" r.formula ])
+    rows;
+  Report.emit table;
+  List.iter
+    (fun r ->
+      if r.success < 1. -. r.eps then
+        Fmt.pr
+          "WARNING: success %.2f below the requested 1 - eps = %.2f at \
+           eps=%.3f@."
+          r.success (1. -. r.eps) r.eps)
+    rows;
+  rows

@@ -1,0 +1,27 @@
+(** E3 — Table 1's f_approg row (Theorem 9.1): density sweep showing the
+    Δ-free delay, and ε sweep showing the log(1/ε) scaling. *)
+
+type density_row = {
+  delta : int;
+  lambda : float;
+  approg_p90 : float option;
+  approg_success : float;
+  ack_mean : float option;
+  epoch_slots : int;
+  approg_formula : float;
+}
+
+val run_density :
+  ?seeds:int list -> ?n:int -> ?sides:float list -> unit -> density_row list
+
+type eps_row = {
+  eps : float;
+  p90 : float option;
+  success : float;
+  epoch_slots : int;
+  formula : float;
+}
+
+val run_eps :
+  ?seeds:int list -> ?n:int -> ?side:float -> ?epsilons:float list -> unit ->
+  eps_row list

@@ -1,0 +1,14 @@
+(** E11 — simulator capacity: the full Algorithm 9.1 stack on deployments
+    of hundreds of nodes, with wall-time reporting. *)
+
+type row = {
+  n : int;
+  delta : int;
+  lambda : float;
+  success : float;
+  slots : int;
+  wall_s : float;
+  slots_per_s : float;
+}
+
+val run : ?seed:int -> ?ns:int list -> unit -> row list

@@ -1,0 +1,148 @@
+(* E7 — Table 1, global consensus row (Corollary 5.5).
+
+   Binary consensus over the enhanced absMAC on uniform deployments,
+   sweeping n (with density fixed, so D grows as sqrt n); a crash-fault
+   variant on dense deployments checks agreement/validity under failures.
+   Expected shape: completion ~ D * (Delta + log Lambda) * log(n*Lambda). *)
+
+open Sinr_geom
+open Sinr_stats
+open Sinr_phys
+open Sinr_proto
+
+type row = {
+  n : int;
+  delta : int;
+  diameter : int;
+  completed : Summary.t option;
+  timeouts : int;
+  agreement_ok : bool;
+  validity_ok : bool;
+  formula : float;
+}
+
+let formula ~n ~delta ~lambda ~diameter =
+  let loglam = Float.max 1. (Float.log2 (Float.max 2. lambda)) in
+  let lognl = Float.max 1. (Float.log2 (float_of_int n *. lambda)) in
+  float_of_int diameter *. (float_of_int delta +. loglam) *. lognl
+
+let row ~seeds ~n ~target_degree =
+  let delta = ref 0 and diameter = ref 0 and lambda = ref 1. in
+  let agreement_ok = ref true and validity_ok = ref true in
+  let completed, timeouts =
+    Report.trials ~seeds (fun seed ->
+        let rng = Rng.create (0xC05 + (seed * 61)) in
+        let d =
+          Workloads.connected (Rng.split rng ~key:0) (fun r ->
+              Workloads.uniform r ~n ~target_degree)
+        in
+        delta := d.Workloads.profile.Induced.strong_degree;
+        diameter := d.Workloads.profile.Induced.strong_diameter;
+        lambda := d.Workloads.profile.Induced.lambda;
+        let initial = Array.init n (fun v -> (v * 7) mod 3 = 0) in
+        let r =
+          Global.cons d.Workloads.sinr ~rng:(Rng.split rng ~key:1) ~initial
+            ~rounds_bound:(2 * (!diameter + 1))
+            ~max_slots:30_000_000
+        in
+        if not r.Global.agreement then agreement_ok := false;
+        if not r.Global.validity then validity_ok := false;
+        Report.opt_int_to_float r.Global.completed)
+  in
+  { n;
+    delta = !delta;
+    diameter = !diameter;
+    completed;
+    timeouts;
+    agreement_ok = !agreement_ok;
+    validity_ok = !validity_ok;
+    formula = formula ~n ~delta:!delta ~lambda:!lambda ~diameter:!diameter }
+
+let run ?(seeds = [ 1; 2; 3 ]) ?(ns = [ 12; 24; 48 ]) ?(target_degree = 8) () =
+  Report.section "E7: network-wide consensus (Table 1, Corollary 5.5)";
+  let table =
+    Table.create ~title:"consensus completion vs network size"
+      ~header:
+        [ "n"; "Delta"; "D"; "completion mean"; "timeouts"; "agree";
+          "valid"; "formula D(Delta+logL)log(nL)" ]
+      ()
+  in
+  let rows = List.map (fun n -> row ~seeds ~n ~target_degree) ns in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [ string_of_int r.n;
+          string_of_int r.delta;
+          string_of_int r.diameter;
+          Report.mean_cell r.completed;
+          string_of_int r.timeouts;
+          (if r.agreement_ok then "yes" else "NO");
+          (if r.validity_ok then "yes" else "NO");
+          Fmt.str "%.0f" r.formula ])
+    rows;
+  Report.emit table;
+  let usable = List.filter (fun r -> r.completed <> None) rows in
+  let preds = Array.of_list (List.map (fun r -> r.formula) usable) in
+  let ms =
+    Array.of_list
+      (List.map (fun r -> (Option.get r.completed).Summary.mean) usable)
+  in
+  print_endline
+    (Report.shape_verdict ~label:"CONS ~ D(Δ+logΛ)log(nΛ)" preds ms);
+  rows
+
+type crash_row = {
+  crashes : int;
+  completed : bool;
+  agreement : bool;
+  validity : bool;
+  deciders : int;
+}
+
+let run_crashes ?(seeds = [ 1; 2; 3 ]) ?(n = 14) ?(crash_counts = [ 0; 2; 4 ])
+    () =
+  Report.section "E7b: consensus under crash faults";
+  let table =
+    Table.create ~title:"dense deployment, crashes injected mid-run"
+      ~header:[ "crashes"; "completed"; "agreement"; "validity"; "deciders" ]
+      ()
+  in
+  let rows =
+    List.concat_map
+      (fun crashes ->
+        List.map
+          (fun seed ->
+            let rng = Rng.create (0xCAFE + (seed * 71)) in
+            let pts =
+              Placement.uniform (Rng.split rng ~key:0) ~n
+                ~box:(Box.square ~side:8.) ~min_dist:1.
+            in
+            let sinr = Sinr.create Config.default pts in
+            let initial = Array.init n (fun v -> v mod 2 = 0) in
+            let faults =
+              Sinr_engine.Fault.random_crashes (Rng.split rng ~key:1) ~n
+                ~count:crashes ~horizon:10_000 ~protect:[]
+            in
+            let r =
+              Global.cons sinr ~rng:(Rng.split rng ~key:2) ~initial ~faults
+                ~rounds_bound:6 ~max_slots:30_000_000
+            in
+            { crashes;
+              completed = r.Global.completed <> None;
+              agreement = r.Global.agreement;
+              validity = r.Global.validity;
+              deciders = r.Global.deciders })
+          seeds)
+      crash_counts
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [ string_of_int r.crashes;
+          (if r.completed then "yes" else "NO");
+          (if r.agreement then "yes" else "NO");
+          (if r.validity then "yes" else "NO");
+          string_of_int r.deciders ])
+    rows;
+  Report.emit table;
+  rows

@@ -1,0 +1,29 @@
+(** E7 — Table 1's consensus row (Corollary 5.5), plus crash-fault runs. *)
+
+open Sinr_stats
+
+type row = {
+  n : int;
+  delta : int;
+  diameter : int;
+  completed : Summary.t option;
+  timeouts : int;
+  agreement_ok : bool;
+  validity_ok : bool;
+  formula : float;
+}
+
+val run :
+  ?seeds:int list -> ?ns:int list -> ?target_degree:int -> unit -> row list
+
+type crash_row = {
+  crashes : int;
+  completed : bool;
+  agreement : bool;
+  validity : bool;
+  deciders : int;
+}
+
+val run_crashes :
+  ?seeds:int list -> ?n:int -> ?crash_counts:int list -> unit ->
+  crash_row list

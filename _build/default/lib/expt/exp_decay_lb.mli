@@ -1,0 +1,14 @@
+(** E4 — Theorem 8.1: Decay needs Ω(Δ·log(1/ε)) for approximate progress on
+    the two-balls construction, while Algorithm 9.1 stays polylog. *)
+
+open Sinr_stats
+
+type row = {
+  delta : int;
+  decay : Summary.t option;
+  decay_timeouts : int;
+  approg : Summary.t option;
+  approg_timeouts : int;
+}
+
+val run : ?seeds:int list -> ?deltas:int list -> unit -> row list

@@ -1,0 +1,208 @@
+(* E9 — MAC implementation face-off: Algorithm 11.1 vs the Decay-based
+   absMAC of [37]'s style.
+
+   Theorem 8.1 says Decay-style local broadcast cannot give fast
+   approximate progress; Algorithm 9.1 exists precisely to beat it.  This
+   experiment runs both *complete MAC layers* (not just the raw
+   strategies) on the same deployments and compares:
+
+   - approximate-progress delay at covered listeners (continuous
+     broadcasts), and
+   - acknowledgment delay and niceness (via Spec_check on the recorded
+     traces).
+
+   Workloads: a dense uniform deployment (high contention regime) and the
+   Theorem 8.1 two-balls construction. *)
+
+open Sinr_geom
+open Sinr_graph
+open Sinr_stats
+open Sinr_phys
+open Sinr_engine
+open Sinr_mac
+open Sinr_proto
+
+(* Generic progress measurement over any Mac_driver: continuous broadcasts
+   from [senders]; for every covered listener, the first rcv whose origin
+   is a strong neighbor. *)
+let progress_under driver ~strong ~approx ~senders ~n ~max_steps =
+  let listeners =
+    Measure.covered_listeners ~approx_graph:approx ~senders ~n
+  in
+  let first = Array.make n None in
+  let remaining = ref (List.length listeners) in
+  let watched = Array.make n false in
+  List.iter (fun i -> watched.(i) <- true) listeners;
+  driver.Mac_driver.set_handlers
+    { Absmac_intf.on_rcv =
+        (fun ~node ~payload ->
+          if watched.(node) && first.(node) = None
+             && Graph.mem_edge strong node payload.Events.origin
+          then begin
+            first.(node) <- Some (driver.Mac_driver.now ());
+            decr remaining
+          end);
+      on_ack =
+        (fun ~node ~payload ->
+          ignore
+            (driver.Mac_driver.bcast ~node ~data:payload.Events.data)) };
+  List.iter (fun v -> ignore (driver.Mac_driver.bcast ~node:v ~data:v)) senders;
+  let budget = ref max_steps in
+  while !remaining > 0 && !budget > 0 do
+    driver.Mac_driver.step ();
+    decr budget
+  done;
+  let delays = List.filter_map (fun i -> first.(i)) listeners in
+  let success =
+    match listeners with
+    | [] -> 1.0
+    | _ ->
+      float_of_int (List.length delays) /. float_of_int (List.length listeners)
+  in
+  let p90 =
+    match delays with
+    | [] -> None
+    | _ ->
+      Some
+        (Summary.of_samples (Array.of_list (List.map float_of_int delays)))
+        |> Option.map (fun s -> s.Summary.p90)
+  in
+  (p90, success)
+
+(* Ack behaviour: one simultaneous batch of broadcasts, scored by
+   Spec_check over the trace. *)
+let acks_under ~mk_driver ~strong ~senders ~max_steps =
+  let trace = Trace.create () in
+  let driver = mk_driver ~trace in
+  let outstanding = ref (List.length senders) in
+  driver.Mac_driver.set_handlers
+    { Absmac_intf.on_rcv = (fun ~node:_ ~payload:_ -> ());
+      on_ack = (fun ~node:_ ~payload:_ -> decr outstanding) };
+  List.iter (fun v -> ignore (driver.Mac_driver.bcast ~node:v ~data:v)) senders;
+  let budget = ref max_steps in
+  while !outstanding > 0 && !budget > 0 do
+    driver.Mac_driver.step ();
+    decr budget
+  done;
+  let horizon = driver.Mac_driver.now () in
+  let r =
+    Spec_check.check trace ~graph:strong
+      ~f_ack:driver.Mac_driver.bounds.Absmac_intf.f_ack
+      ~f_prog:driver.Mac_driver.bounds.Absmac_intf.f_ack ~horizon
+  in
+  let mean_delay =
+    match r.Spec_check.ack_delays with
+    | [] -> None
+    | ds ->
+      Some
+        (List.fold_left ( +. ) 0. (List.map float_of_int ds)
+         /. float_of_int (List.length ds))
+  in
+  let nice_frac =
+    let total = r.Spec_check.nice + r.Spec_check.not_nice in
+    if total = 0 then 0. else float_of_int r.Spec_check.nice /. float_of_int total
+  in
+  (mean_delay, nice_frac)
+
+type row = {
+  workload : string;
+  mac : string;
+  progress_p90 : float option;
+  progress_success : float;
+  ack_mean : float option;
+  nice : float;
+}
+
+let compare_on ~label ~seed sinr ~senders ~max_steps =
+  let config = Sinr.config sinr in
+  let pts = Sinr.points sinr in
+  let strong = Induced.strong config pts in
+  let approx = Induced.approx config pts in
+  let n = Sinr.n sinr in
+  let run mac_name mk_plain mk_traced =
+    let p90, success =
+      progress_under (mk_plain ()) ~strong ~approx ~senders ~n ~max_steps
+    in
+    let ack_mean, nice =
+      acks_under ~mk_driver:mk_traced ~strong ~senders ~max_steps
+    in
+    { workload = label;
+      mac = mac_name;
+      progress_p90 = p90;
+      progress_success = success;
+      ack_mean;
+      nice }
+  in
+  let combined =
+    run "alg 11.1"
+      (fun () ->
+        Mac_driver.of_combined
+          (Combined_mac.create sinr ~rng:(Rng.create (seed + 1))))
+      (fun ~trace ->
+        Mac_driver.of_combined
+          (Combined_mac.create ~trace sinr ~rng:(Rng.create (seed + 2))))
+  in
+  let decay =
+    run "decay-mac"
+      (fun () ->
+        Mac_driver.of_decay (Decay_mac.create sinr ~rng:(Rng.create (seed + 3))))
+      (fun ~trace ->
+        Mac_driver.of_decay
+          (Decay_mac.create ~trace sinr ~rng:(Rng.create (seed + 4))))
+  in
+  [ combined; decay ]
+
+let run ?(seed = 5) () =
+  Report.section
+    "E9: MAC face-off — Algorithm 11.1 vs a Decay-based absMAC ([37]-style)";
+  let rows = ref [] in
+  (* Dense uniform deployment: the contention regime. *)
+  let rng = Rng.create (0xE9 + seed) in
+  let dense =
+    Sinr.create Config.default
+      (Placement.uniform rng ~n:50 ~box:(Box.square ~side:18.) ~min_dist:1.)
+  in
+  let senders = List.filter (fun v -> v mod 2 = 0) (List.init 50 Fun.id) in
+  rows := compare_on ~label:"dense uniform" ~seed dense ~senders
+      ~max_steps:600_000;
+  (* Theorem 8.1's two-balls construction. *)
+  let d, tb = Workloads.two_balls (Rng.split rng ~key:7) ~delta:96 in
+  let all =
+    Array.to_list tb.Placement.ball1 @ Array.to_list tb.Placement.ball2
+  in
+  let tb_rows =
+    compare_on ~label:"two-balls d=96" ~seed d.Workloads.sinr
+      ~senders:(List.filter (fun v -> v <> tb.Placement.ball1.(0)) all)
+      ~max_steps:600_000
+  in
+  rows := !rows @ tb_rows;
+  let table =
+    Table.create ~title:"same deployments, two complete MAC layers"
+      ~header:
+        [ "workload"; "mac"; "approg p90"; "success"; "ack mean"; "nice" ]
+      ~aligns:
+        [ Table.Left; Table.Left; Table.Right; Table.Right; Table.Right;
+          Table.Right ]
+      ()
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [ r.workload;
+          r.mac;
+          (match r.progress_p90 with
+           | Some v -> Fmt.str "%.0f" v
+           | None -> "timeout");
+          Fmt.str "%.2f" r.progress_success;
+          (match r.ack_mean with Some v -> Fmt.str "%.0f" v | None -> "-");
+          Fmt.str "%.2f" r.nice ])
+    !rows;
+  Report.emit table;
+  print_endline
+    "reading guide: without coordination the Decay layer can only ack \
+     after a worst-case budget of order N~ = 4*Lambda^2 slots, so its \
+     f_ack explodes with Lambda (see the two-balls row), while Algorithm \
+     11.1's acknowledgments track the actual contention.  On raw progress \
+     delay the Decay sweep is quick at these sizes; its Omega(Delta) \
+     *growth* — the Theorem 8.1 separation — is measured by experiment E4.";
+  !rows

@@ -1,0 +1,13 @@
+(** E9 — Algorithm 11.1 vs a Decay-based absMAC on the same deployments:
+    approximate-progress delay, ack delay and niceness. *)
+
+type row = {
+  workload : string;
+  mac : string;
+  progress_p90 : float option;
+  progress_success : float;
+  ack_mean : float option;
+  nice : float;
+}
+
+val run : ?seed:int -> unit -> row list

@@ -1,0 +1,19 @@
+(** E6 — Table 1's global MMB row (Theorem 12.7): completion vs k, with
+    the additive-in-k shape check. *)
+
+open Sinr_stats
+
+type row = {
+  k : int;
+  delta : int;
+  diameter : int;
+  completed : Summary.t option;
+  timeouts : int;
+  naive : Summary.t option;  (** the [29]-derived sequential pipeline *)
+  naive_timeouts : int;
+  formula : float;
+}
+
+val run :
+  ?seeds:int list -> ?n:int -> ?target_degree:int -> ?ks:int list -> unit ->
+  row list

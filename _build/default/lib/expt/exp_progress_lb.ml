@@ -1,0 +1,119 @@
+(* E2 — Theorem 6.1 / Figure 1: the impossibility of fast progress.
+
+   On the two-parallel-lines construction (R(1-eps) = 10*Delta) we verify
+   the combinatorial facts the proof rests on, then measure the best
+   centrally-scheduled progress time, which equals Delta — while the
+   f_approg formula stays polylogarithmic, and approximate progress is
+   *vacuous* here because the cross links are longer than R(1-2eps).
+   That contrast is exactly why the paper replaces progress by approximate
+   progress. *)
+
+open Sinr_phys
+open Sinr_graph
+open Sinr_stats
+open Sinr_mac
+
+type row = {
+  delta : int;
+  pair_blockings_ok : bool; (* no cross delivery under any 2-sender set *)
+  optimal_progress : int;   (* slots of the best central schedule *)
+  covered_by_approx : int;  (* listeners Def 7.1 would cover: 0 *)
+  f_approg_formula : float;
+}
+
+(* Exhaustively check: for every pair of concurrent senders from V, no
+   receiver in U decodes anything from a strong neighbor. *)
+let check_pair_blocking sinr strong (tl : Sinr_geom.Placement.two_lines) =
+  let ok = ref true in
+  let delta = Array.length tl.Sinr_geom.Placement.senders in
+  for i = 0 to delta - 1 do
+    for j = i + 1 to delta - 1 do
+      let senders =
+        [ tl.Sinr_geom.Placement.senders.(i); tl.Sinr_geom.Placement.senders.(j) ]
+      in
+      Array.iter
+        (fun u ->
+          match Sinr.reception sinr ~senders ~receiver:u with
+          | Some v when Graph.mem_edge strong u v -> ok := false
+          | Some _ | None -> ())
+        tl.Sinr_geom.Placement.receivers
+    done
+  done;
+  !ok
+
+(* The optimal central schedule: one sender per slot (any more blocks
+   everything); the last receiver's first neighbor-reception time. *)
+let optimal_schedule_progress sinr strong (tl : Sinr_geom.Placement.two_lines) =
+  let delta = Array.length tl.Sinr_geom.Placement.senders in
+  let first = Array.make (Array.length tl.Sinr_geom.Placement.points) None in
+  for slot = 0 to delta - 1 do
+    let out =
+      Sinr.resolve sinr ~senders:[ tl.Sinr_geom.Placement.senders.(slot) ]
+    in
+    Array.iteri
+      (fun u s ->
+        match s with
+        | Some v when Graph.mem_edge strong u v && first.(u) = None ->
+          first.(u) <- Some (slot + 1)
+        | Some _ | None -> ())
+      out
+  done;
+  Array.fold_left
+    (fun acc u -> match first.(u) with Some s -> max acc s | None -> acc)
+    0
+    tl.Sinr_geom.Placement.receivers
+
+let row ~delta =
+  let d, tl = Workloads.fig1 ~delta in
+  let sinr = d.Workloads.sinr in
+  let strong = d.Workloads.profile.Induced.strong in
+  let approx = d.Workloads.profile.Induced.approx in
+  let covered =
+    Measure.covered_listeners ~approx_graph:approx
+      ~senders:(Array.to_list tl.Sinr_geom.Placement.senders)
+      ~n:(Array.length tl.Sinr_geom.Placement.points)
+  in
+  { delta;
+    pair_blockings_ok = check_pair_blocking sinr strong tl;
+    optimal_progress = optimal_schedule_progress sinr strong tl;
+    covered_by_approx = List.length covered;
+    f_approg_formula =
+      Params.f_approg_formula (Sinr.config sinr)
+        ~lambda:d.Workloads.profile.Induced.lambda
+        ~eps_approg:Params.default_approg.Params.eps_approg }
+
+let run ?(deltas = [ 4; 8; 16; 32 ]) () =
+  Report.section
+    "E2: impossibility of fast progress (Theorem 6.1 / Figure 1)";
+  let table =
+    Table.create
+      ~title:
+        "two-lines construction: any 2 concurrent senders block all cross \
+         links; the optimal schedule needs Delta slots"
+      ~header:
+        [ "delta"; "2-sender blocking"; "optimal f_prog"; "G~ coverage";
+          "f_approg formula" ]
+      ()
+  in
+  let rows = List.map (fun delta -> row ~delta) deltas in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [ string_of_int r.delta;
+          (if r.pair_blockings_ok then "verified" else "VIOLATED");
+          string_of_int r.optimal_progress;
+          Fmt.str "%d (vacuous)" r.covered_by_approx;
+          Fmt.str "%.0f" r.f_approg_formula ])
+    rows;
+  Report.emit table;
+  let deltas_f = Array.of_list (List.map (fun r -> float_of_int r.delta) rows) in
+  let opt = Array.of_list (List.map (fun r -> float_of_int r.optimal_progress) rows) in
+  print_endline
+    (Report.shape_verdict ~label:"optimal progress = Delta (lower bound)"
+       deltas_f opt);
+  print_endline
+    "note: f_prog grows linearly in Delta even for a clairvoyant central \
+     scheduler, while the f_approg formula stays polylogarithmic — and on \
+     this construction approximate progress demands nothing (0 covered \
+     listeners), which is how the modified specification escapes the bound.";
+  rows

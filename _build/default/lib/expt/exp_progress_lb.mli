@@ -1,0 +1,12 @@
+(** E2 — Theorem 6.1 / Figure 1: impossibility of fast progress on the
+    two-parallel-lines construction. *)
+
+type row = {
+  delta : int;
+  pair_blockings_ok : bool;
+  optimal_progress : int;
+  covered_by_approx : int;
+  f_approg_formula : float;
+}
+
+val run : ?deltas:int list -> unit -> row list

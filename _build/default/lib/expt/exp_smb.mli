@@ -1,0 +1,22 @@
+(** E5 — Table 2 / Theorem 12.7: global SMB, ours vs the [14]-style and
+    [32]-class baselines, swept over diameter and Λ. *)
+
+open Sinr_stats
+
+type row = {
+  label : string;
+  diameter : int;
+  lambda : float;
+  ours : Summary.t option;
+  ours_timeouts : int;
+  dgkn : Summary.t option;
+  dgkn_timeouts : int;
+  decay : Summary.t option;
+  decay_timeouts : int;
+}
+
+val run_diameter : ?seeds:int list -> ?hops:int list -> unit -> row list
+val run_lambda :
+  ?seeds:int list -> ?ranges:float list -> ?n:int -> unit -> row list
+val run_size :
+  ?seeds:int list -> ?ns:int list -> ?target_degree:int -> unit -> row list

@@ -1,0 +1,62 @@
+(* Shared reporting helpers for the experiment harness. *)
+
+open Sinr_stats
+
+(* Run [trial seed] for each seed and summarize the float results,
+   discarding trials that return None (timeouts are reported apart). *)
+let trials ~seeds trial =
+  let results = List.filter_map trial seeds in
+  let timeouts = List.length seeds - List.length results in
+  let summary =
+    match results with
+    | [] -> None
+    | _ -> Some (Summary.of_samples (Array.of_list results))
+  in
+  (summary, timeouts)
+
+let mean_cell = function
+  | None -> "timeout"
+  | Some (s : Summary.t) -> Fmt.str "%.0f" s.Summary.mean
+
+let opt_int_to_float = Option.map float_of_int
+
+(* Fit measured means against the paper's predictor values and render the
+   verdict line printed under each table. *)
+let shape_verdict ~label preds measured =
+  match (preds, measured) with
+  | p, m when Array.length p >= 2 && Array.length p = Array.length m ->
+    let c, r2 = Fit.proportional p m in
+    let g = Fit.growth_ratio p m in
+    Fmt.str
+      "shape check [%s]: y ~ c*formula with c=%.3g, R^2=%.3f, \
+       end-to-end growth ratio %.2f (1.0 = perfect shape match)"
+      label c r2 g
+  | _ -> Fmt.str "shape check [%s]: not enough data points" label
+
+(* Print a table; when SINR_CSV_DIR is set, also dump it as CSV there
+   (file name derived from the title). *)
+let emit table =
+  Sinr_stats.Table.print table;
+  match Sys.getenv_opt "SINR_CSV_DIR" with
+  | None -> ()
+  | Some dir ->
+    (try if not (Sys.is_directory dir) then raise Exit with
+     | Sys_error _ | Exit ->
+       (try Unix.mkdir dir 0o755 with Unix.Unix_error _ -> ()));
+    let slug =
+      String.map
+        (fun c ->
+          match c with
+          | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> c
+          | _ -> '_')
+        (Sinr_stats.Table.title table)
+    in
+    let path = Filename.concat dir (slug ^ ".csv") in
+    let oc = open_out path in
+    output_string oc (Sinr_stats.Table.to_csv table);
+    close_out oc;
+    Fmt.pr "[csv written: %s]@." path
+
+let section title =
+  let bar = String.make (String.length title + 8) '=' in
+  Fmt.pr "@.%s@.=== %s ===@.%s@.@." bar title bar

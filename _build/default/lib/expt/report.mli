@@ -1,0 +1,22 @@
+(** Shared reporting helpers for the experiment harness. *)
+
+open Sinr_stats
+
+val trials :
+  seeds:int list -> (int -> float option) -> Summary.t option * int
+(** Run one trial per seed; returns the summary of successful trials and
+    the number of timeouts. *)
+
+val mean_cell : Summary.t option -> string
+val opt_int_to_float : int option -> float option
+
+val shape_verdict : label:string -> float array -> float array -> string
+(** Proportional-fit verdict comparing measurements to the paper's formula
+    (constant, R², end-to-end growth ratio). *)
+
+val emit : Sinr_stats.Table.t -> unit
+(** Print the table; if the SINR_CSV_DIR environment variable is set, also
+    write it there as CSV. *)
+
+val section : string -> unit
+(** Print a section banner. *)

@@ -1,0 +1,44 @@
+(** Deployment builders for the experiments, each reporting its induced
+    graph profile (Δ, D, Λ). *)
+
+open Sinr_geom
+open Sinr_phys
+
+type deployment = {
+  name : string;
+  sinr : Sinr.t;
+  profile : Induced.profile;
+}
+
+val make : name:string -> Config.t -> Point.t array -> deployment
+
+val connected : ?attempts:int -> Rng.t -> (Rng.t -> deployment) -> deployment
+(** Retry a builder with derived seeds until the strong graph is connected
+    (the paper's Section 4.6 assumption). Raises [Placement_failed] after
+    [attempts] (default 25) tries. *)
+
+val uniform :
+  ?config:Config.t -> Rng.t -> n:int -> target_degree:int -> deployment
+(** Area scales with n: Δ stays ~[target_degree] while n and D grow. *)
+
+val uniform_density :
+  ?config:Config.t -> Rng.t -> n:int -> side:float -> deployment
+(** Degree sweep at fixed n. *)
+
+val lambda_sweep :
+  Rng.t -> range:float -> n:int -> per_range:int -> deployment
+(** Λ sweep: scales the transmission range at ~constant nodes per range. *)
+
+val star :
+  ?config:Config.t -> Rng.t -> delta:int -> deployment * Placement.star
+(** The Remark 5.3 contention workload. *)
+
+val fig1 : delta:int -> deployment * Placement.two_lines
+(** The Theorem 6.1 / Figure 1 construction, R(1-ε) = 10·δ. *)
+
+val two_balls :
+  ?config:Config.t -> Rng.t -> delta:int -> deployment * Placement.two_balls
+(** The Theorem 8.1 construction (radius R/4, centers 2R apart). *)
+
+val line : ?config:Config.t -> hops:int -> unit -> deployment
+(** Diameter sweep with small constant degree. *)

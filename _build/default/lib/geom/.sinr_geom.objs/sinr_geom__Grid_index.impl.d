@@ -1,0 +1,1 @@
+lib/geom/grid_index.ml: Array Box Float Hashtbl List Option Point

@@ -1,0 +1,1 @@
+lib/geom/placement.ml: Array Box Float Fmt Fun Grid_index Hashtbl List Option Point Rng

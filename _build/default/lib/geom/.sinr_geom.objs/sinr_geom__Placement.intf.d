@@ -1,0 +1,1 @@
+lib/geom/placement.mli: Box Point Rng

@@ -1,0 +1,48 @@
+(* Axis-aligned bounding boxes. *)
+
+type t = { xmin : float; ymin : float; xmax : float; ymax : float }
+
+let make ~xmin ~ymin ~xmax ~ymax =
+  if xmax < xmin || ymax < ymin then invalid_arg "Box.make: inverted box";
+  { xmin; ymin; xmax; ymax }
+
+let square ~side =
+  if side < 0. then invalid_arg "Box.square: negative side";
+  { xmin = 0.; ymin = 0.; xmax = side; ymax = side }
+
+let width b = b.xmax -. b.xmin
+let height b = b.ymax -. b.ymin
+
+let contains b (p : Point.t) =
+  p.x >= b.xmin && p.x <= b.xmax && p.y >= b.ymin && p.y <= b.ymax
+
+let center b =
+  Point.make ((b.xmin +. b.xmax) /. 2.) ((b.ymin +. b.ymax) /. 2.)
+
+let diagonal b = Point.dist (Point.make b.xmin b.ymin) (Point.make b.xmax b.ymax)
+
+(* Smallest box containing all the points, expanded by [margin] on each
+   side. *)
+let of_points ?(margin = 0.) pts =
+  if Array.length pts = 0 then invalid_arg "Box.of_points: no points";
+  let xmin = ref Float.infinity and xmax = ref Float.neg_infinity in
+  let ymin = ref Float.infinity and ymax = ref Float.neg_infinity in
+  Array.iter
+    (fun (p : Point.t) ->
+      if p.x < !xmin then xmin := p.x;
+      if p.x > !xmax then xmax := p.x;
+      if p.y < !ymin then ymin := p.y;
+      if p.y > !ymax then ymax := p.y)
+    pts;
+  { xmin = !xmin -. margin;
+    ymin = !ymin -. margin;
+    xmax = !xmax +. margin;
+    ymax = !ymax +. margin }
+
+let sample rng b =
+  Point.make
+    (b.xmin +. Rng.float rng (width b))
+    (b.ymin +. Rng.float rng (height b))
+
+let pp ppf b =
+  Fmt.pf ppf "[%.4g,%.4g]x[%.4g,%.4g]" b.xmin b.xmax b.ymin b.ymax

@@ -1,0 +1,24 @@
+(** Axis-aligned bounding boxes, used to bound deployment regions. *)
+
+type t = { xmin : float; ymin : float; xmax : float; ymax : float }
+
+val make : xmin:float -> ymin:float -> xmax:float -> ymax:float -> t
+(** Raises [Invalid_argument] on an inverted box. *)
+
+val square : side:float -> t
+(** The box [0, side]². *)
+
+val width : t -> float
+val height : t -> float
+val contains : t -> Point.t -> bool
+val center : t -> Point.t
+val diagonal : t -> float
+
+val of_points : ?margin:float -> Point.t array -> t
+(** Smallest box containing all points, grown by [margin] on every side.
+    Raises [Invalid_argument] on an empty array. *)
+
+val sample : Rng.t -> t -> Point.t
+(** Uniform point inside the box. *)
+
+val pp : t Fmt.t

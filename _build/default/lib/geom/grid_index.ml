@@ -1,0 +1,80 @@
+(* Spatial hash grid over a fixed point set.
+
+   Interference in the SINR formula is a global sum, but neighborhood
+   queries (who is within distance r of p?) dominate graph construction and
+   per-round bookkeeping.  Bucketing points into square cells of a chosen
+   size makes range queries run in time proportional to the number of cells
+   overlapping the query ball rather than to n. *)
+
+type t = {
+  cell : float;                       (* side length of a cell *)
+  points : Point.t array;             (* indexed by node id *)
+  buckets : (int * int, int list) Hashtbl.t;
+}
+
+let key cell (p : Point.t) =
+  (int_of_float (Float.floor (p.x /. cell)),
+   int_of_float (Float.floor (p.y /. cell)))
+
+let create ~cell points =
+  if cell <= 0. then invalid_arg "Grid_index.create: cell must be positive";
+  let buckets = Hashtbl.create (max 16 (Array.length points)) in
+  Array.iteri
+    (fun i p ->
+      let k = key cell p in
+      let prev = Option.value (Hashtbl.find_opt buckets k) ~default:[] in
+      Hashtbl.replace buckets k (i :: prev))
+    points;
+  { cell; points; buckets }
+
+let cell_size t = t.cell
+
+let point t i = t.points.(i)
+
+let length t = Array.length t.points
+
+(* Iterate over all point indices within Euclidean distance [r] of [p]
+   (inclusive), visiting each exactly once. *)
+let iter_within t ~center:(p : Point.t) ~r f =
+  if r < 0. then ()
+  else begin
+    let cx_lo = int_of_float (Float.floor ((p.x -. r) /. t.cell)) in
+    let cx_hi = int_of_float (Float.floor ((p.x +. r) /. t.cell)) in
+    let cy_lo = int_of_float (Float.floor ((p.y -. r) /. t.cell)) in
+    let cy_hi = int_of_float (Float.floor ((p.y +. r) /. t.cell)) in
+    let r2 = r *. r in
+    for cx = cx_lo to cx_hi do
+      for cy = cy_lo to cy_hi do
+        match Hashtbl.find_opt t.buckets (cx, cy) with
+        | None -> ()
+        | Some ids ->
+          List.iter
+            (fun i -> if Point.dist2 t.points.(i) p <= r2 then f i)
+            ids
+      done
+    done
+  end
+
+let within t ~center ~r =
+  let acc = ref [] in
+  iter_within t ~center ~r (fun i -> acc := i :: !acc);
+  List.rev !acc
+
+let nearest_other t i =
+  let p = t.points.(i) in
+  let best = ref (-1) and best_d2 = ref Float.infinity in
+  (* Expand the search radius ring by ring until a hit is found. *)
+  let rec search r =
+    iter_within t ~center:p ~r (fun j ->
+        if j <> i then begin
+          let d2 = Point.dist2 t.points.(j) p in
+          if d2 < !best_d2 then begin
+            best := j;
+            best_d2 := d2
+          end
+        end);
+    if !best >= 0 && !best_d2 <= r *. r then Some (!best, sqrt !best_d2)
+    else if r > 4. *. Box.diagonal (Box.of_points t.points) then None
+    else search (2. *. r)
+  in
+  if Array.length t.points <= 1 then None else search t.cell

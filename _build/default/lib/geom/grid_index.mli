@@ -1,0 +1,26 @@
+(** Spatial hash grid for fast range queries over a fixed point set.
+
+    Points are identified by their index in the array passed to {!create};
+    all other modules use the same index as the node identifier. *)
+
+type t
+
+val create : cell:float -> Point.t array -> t
+(** [create ~cell pts] buckets [pts] into square cells of side [cell].
+    A good cell size is the dominant query radius (e.g. the transmission
+    range). Raises [Invalid_argument] if [cell <= 0]. *)
+
+val cell_size : t -> float
+val point : t -> int -> Point.t
+val length : t -> int
+
+val iter_within : t -> center:Point.t -> r:float -> (int -> unit) -> unit
+(** Visit every index whose point lies within Euclidean distance [r]
+    (inclusive) of [center], each exactly once. *)
+
+val within : t -> center:Point.t -> r:float -> int list
+(** Indices within distance [r] of [center]. *)
+
+val nearest_other : t -> int -> (int * float) option
+(** Nearest distinct point to point [i], with its distance.
+    [None] when the set has a single point. *)

@@ -1,0 +1,44 @@
+(* Points in the Euclidean plane.
+
+   The SINR model of the paper (Section 4.2) places nodes in the plane and
+   measures signal decay through Euclidean distance; everything downstream
+   (induced graphs, interference, lower-bound constructions) builds on this
+   module. *)
+
+type t = { x : float; y : float }
+
+let make x y = { x; y }
+
+let x p = p.x
+let y p = p.y
+
+let origin = { x = 0.; y = 0. }
+
+let add a b = { x = a.x +. b.x; y = a.y +. b.y }
+
+let sub a b = { x = a.x -. b.x; y = a.y -. b.y }
+
+let scale k p = { x = k *. p.x; y = k *. p.y }
+
+let dist2 a b =
+  let dx = a.x -. b.x and dy = a.y -. b.y in
+  (dx *. dx) +. (dy *. dy)
+
+let dist a b = sqrt (dist2 a b)
+
+(* L-infinity distance; Lemma 10.3 partitions the plane into grid cells and
+   reasons about rings in this metric. *)
+let dist_linf a b = Float.max (Float.abs (a.x -. b.x)) (Float.abs (a.y -. b.y))
+
+let equal a b = Float.equal a.x b.x && Float.equal a.y b.y
+
+let compare a b =
+  match Float.compare a.x b.x with 0 -> Float.compare a.y b.y | c -> c
+
+let pp ppf p = Fmt.pf ppf "(%.4g, %.4g)" p.x p.y
+
+let to_string p = Fmt.str "%a" pp p
+
+(* Point on the circle of radius [r] around [center] at angle [theta]. *)
+let on_circle ~center ~r ~theta =
+  { x = center.x +. (r *. cos theta); y = center.y +. (r *. sin theta) }

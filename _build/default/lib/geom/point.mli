@@ -1,0 +1,29 @@
+(** Points in the Euclidean plane (the ambient space of the SINR model). *)
+
+type t = { x : float; y : float }
+
+val make : float -> float -> t
+val x : t -> float
+val y : t -> float
+val origin : t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+
+val dist : t -> t -> float
+(** Euclidean distance. *)
+
+val dist2 : t -> t -> float
+(** Squared Euclidean distance (avoids the square root in hot loops). *)
+
+val dist_linf : t -> t -> float
+(** Chebyshev (L∞) distance, used by the grid-partition arguments. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : t Fmt.t
+val to_string : t -> string
+
+val on_circle : center:t -> r:float -> theta:float -> t
+(** Point at polar offset [(r, theta)] from [center]. *)

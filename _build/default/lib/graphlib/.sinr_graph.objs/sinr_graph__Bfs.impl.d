@@ -1,0 +1,1 @@
+lib/graphlib/bfs.ml: Array Graph List Queue

@@ -1,0 +1,1 @@
+lib/graphlib/bfs.mli: Graph

@@ -1,0 +1,1 @@
+lib/graphlib/components.ml: Array Graph Hashtbl Queue

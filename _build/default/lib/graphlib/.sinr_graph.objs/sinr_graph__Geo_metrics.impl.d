@@ -1,0 +1,1 @@
+lib/graphlib/geo_metrics.ml: Array Float Graph Placement Point Sinr_geom

@@ -1,0 +1,1 @@
+lib/graphlib/geo_metrics.mli: Graph Point Sinr_geom

@@ -1,0 +1,1 @@
+lib/graphlib/growth.ml: Array Bfs Graph List

@@ -1,0 +1,1 @@
+lib/graphlib/growth.mli: Graph

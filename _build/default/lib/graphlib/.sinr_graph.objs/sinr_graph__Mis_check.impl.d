@@ -1,0 +1,1 @@
+lib/graphlib/mis_check.ml: Array Graph List

@@ -1,0 +1,1 @@
+lib/graphlib/mis_check.mli: Graph

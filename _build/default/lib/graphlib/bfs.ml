@@ -1,0 +1,103 @@
+(* Breadth-first search: hop distances, diameters, r-neighborhoods.
+
+   The paper's runtime bounds are stated in terms of hop distances and
+   diameters of the SINR-induced graphs (D_{G_{1-eps}}, D_{G_{1-2eps}}) and
+   its analysis manipulates r-neighborhoods N_{G,r}(v) (Section 4.1). *)
+
+let unreachable = max_int
+
+(* Hop distances from [src]; [unreachable] marks disconnected nodes. *)
+let distances g ~src =
+  let n = Graph.n g in
+  if src < 0 || src >= n then invalid_arg "Bfs.distances: bad source";
+  let dist = Array.make n unreachable in
+  let q = Queue.create () in
+  dist.(src) <- 0;
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    Array.iter
+      (fun u ->
+        if dist.(u) = unreachable then begin
+          dist.(u) <- dist.(v) + 1;
+          Queue.add u q
+        end)
+      (Graph.neighbors g v)
+  done;
+  dist
+
+let hop_distance g u v =
+  let d = (distances g ~src:u).(v) in
+  if d = unreachable then None else Some d
+
+(* Eccentricity of [src] restricted to its connected component. *)
+let eccentricity g ~src =
+  let dist = distances g ~src in
+  Array.fold_left
+    (fun acc d -> if d <> unreachable && d > acc then d else acc)
+    0 dist
+
+(* Exact diameter of the component containing [within] (default: the
+   component of node 0), by running a BFS from every node of that
+   component.  Fine for experiment-scale graphs (n <= a few thousand). *)
+let diameter ?(within = 0) g =
+  let from_within = distances g ~src:within in
+  let best = ref 0 in
+  for v = 0 to Graph.n g - 1 do
+    if from_within.(v) <> unreachable then begin
+      let e = eccentricity g ~src:v in
+      if e > !best then best := e
+    end
+  done;
+  !best
+
+(* Closed r-neighborhood N_{G,r}(v) = { u | d_G(v,u) <= r } (includes v),
+   matching the paper's definition in Section 4.1. *)
+let ball g ~src ~r =
+  let n = Graph.n g in
+  let dist = Array.make n unreachable in
+  let q = Queue.create () in
+  let acc = ref [ src ] in
+  dist.(src) <- 0;
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    if dist.(v) < r then
+      Array.iter
+        (fun u ->
+          if dist.(u) = unreachable then begin
+            dist.(u) <- dist.(v) + 1;
+            acc := u :: !acc;
+            Queue.add u q
+          end)
+        (Graph.neighbors g v)
+  done;
+  List.rev !acc
+
+(* N_{G,r}(W) for a node set W: union of the members' r-neighborhoods. *)
+let ball_of_set g ~srcs ~r =
+  let n = Graph.n g in
+  let dist = Array.make n unreachable in
+  let q = Queue.create () in
+  let acc = ref [] in
+  List.iter
+    (fun s ->
+      if dist.(s) = unreachable then begin
+        dist.(s) <- 0;
+        acc := s :: !acc;
+        Queue.add s q
+      end)
+    srcs;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    if dist.(v) < r then
+      Array.iter
+        (fun u ->
+          if dist.(u) = unreachable then begin
+            dist.(u) <- dist.(v) + 1;
+            acc := u :: !acc;
+            Queue.add u q
+          end)
+        (Graph.neighbors g v)
+  done;
+  List.rev !acc

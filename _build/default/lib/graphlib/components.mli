@@ -1,0 +1,14 @@
+(** Connected components of undirected graphs. *)
+
+val labels : Graph.t -> int array
+(** Dense 0-based component label per node. *)
+
+val count : Graph.t -> int
+val is_connected : Graph.t -> bool
+
+val components : Graph.t -> int list list
+(** Node lists of each component, in label order. *)
+
+val same_components : Graph.t -> Graph.t -> bool
+(** Whether two graphs on the same node set induce the same partition into
+    connected components (the hypothesis of the paper's Theorem 12.6). *)

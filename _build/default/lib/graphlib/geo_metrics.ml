@@ -1,0 +1,47 @@
+(* Geometric metrics of embedded graphs.
+
+   Lambda_G — the ratio between the longest edge and the shortest pairwise
+   node distance — parameterizes every bound in the paper (Section 4.3 uses
+   Lambda for G_{1-eps}).  These helpers compute it and related quantities
+   for a graph whose nodes carry plane coordinates. *)
+
+open Sinr_geom
+
+(* Longest Euclidean edge length of the embedded graph. *)
+let max_edge_len g pts =
+  let best = ref 0. in
+  Graph.iter_edges g (fun u v ->
+      let d = Point.dist pts.(u) pts.(v) in
+      if d > !best then best := d);
+  !best
+
+(* Shortest Euclidean edge length. *)
+let min_edge_len g pts =
+  let best = ref Float.infinity in
+  Graph.iter_edges g (fun u v ->
+      let d = Point.dist pts.(u) pts.(v) in
+      if d < !best then best := d);
+  !best
+
+(* Lambda_G := (max edge length) / (min pairwise node distance).
+   1.0 for edgeless graphs by convention. *)
+let lambda g pts =
+  if Graph.num_edges g = 0 then 1.0
+  else begin
+    let dmin = Placement.min_pairwise_dist pts in
+    if dmin <= 0. then invalid_arg "Geo_metrics.lambda: coincident points";
+    Float.max 1.0 (max_edge_len g pts /. dmin)
+  end
+
+(* The ratio used in Section 4.2's table: R_{1-eps} over the shortest
+   pairwise distance.  Agrees with [lambda] when the longest edge realizes
+   (almost) the full strong-connectivity radius. *)
+let lambda_of_radius ~radius pts =
+  let dmin = Placement.min_pairwise_dist pts in
+  if dmin = Float.infinity then 1.0 else Float.max 1.0 (radius /. dmin)
+
+(* Average degree, a convenient density summary for experiment reports. *)
+let avg_degree g =
+  let n = Graph.n g in
+  if n = 0 then 0.
+  else 2. *. float_of_int (Graph.num_edges g) /. float_of_int n

@@ -1,0 +1,17 @@
+(** Geometric metrics of plane-embedded graphs, in particular the distance
+    ratio Λ that parameterizes all of the paper's bounds. *)
+
+open Sinr_geom
+
+val max_edge_len : Graph.t -> Point.t array -> float
+val min_edge_len : Graph.t -> Point.t array -> float
+
+val lambda : Graph.t -> Point.t array -> float
+(** Λ_G: longest edge length over smallest pairwise node distance
+    (1.0 for edgeless graphs). *)
+
+val lambda_of_radius : radius:float -> Point.t array -> float
+(** Λ as the paper's table defines it: R₁₋ε over the smallest pairwise node
+    distance. *)
+
+val avg_degree : Graph.t -> float

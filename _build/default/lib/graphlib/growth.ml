@@ -1,0 +1,50 @@
+(* Growth-bounded graphs (Definition 4.1).
+
+   A graph is polynomially growth-bounded with bounding function f when any
+   independent set inside an r-neighborhood has at most f(r) members.  Disc-
+   induced graphs in the plane are growth-bounded with the standard packing
+   bound f(r) = (2r+1)^2: an independent set of a unit-disc-like graph packs
+   unit-separated points into a disc of radius r+1/2 (in units of the
+   connectivity radius). *)
+
+let default_bound r = ((2 * r) + 1) * ((2 * r) + 1)
+
+(* Greedy independent set inside a node list: a cheap witness that is large
+   enough to expose violations of a claimed bound in tests. *)
+let greedy_independent g nodes =
+  let mask = Array.make (Graph.n g) false in
+  let blocked = Array.make (Graph.n g) false in
+  let acc = ref [] in
+  List.iter
+    (fun v ->
+      if not (blocked.(v) || mask.(v)) then begin
+        mask.(v) <- true;
+        acc := v :: !acc;
+        Array.iter (fun u -> blocked.(u) <- true) (Graph.neighbors g v)
+      end)
+    nodes;
+  List.rev !acc
+
+(* Check the growth bound empirically at radius [r] around every node, using
+   the greedy witness.  Returns the worst observed independent-set size. *)
+let max_independent_in_balls g ~r =
+  let worst = ref 0 in
+  for v = 0 to Graph.n g - 1 do
+    let ball = Bfs.ball g ~src:v ~r in
+    let ind = greedy_independent g ball in
+    let k = List.length ind in
+    if k > !worst then worst := k
+  done;
+  !worst
+
+let check_bound ?(bound = default_bound) g ~r =
+  max_independent_in_balls g ~r <= bound r
+
+(* Lemma 4.2 / A.1: |N_{G,r}(v)| <= Delta * f(r).  Verify it empirically. *)
+let check_ball_size ?(bound = default_bound) g ~r =
+  let delta = max 1 (Graph.max_degree g) in
+  let ok = ref true in
+  for v = 0 to Graph.n g - 1 do
+    if List.length (Bfs.ball g ~src:v ~r) > delta * bound r then ok := false
+  done;
+  !ok

@@ -1,0 +1,19 @@
+(** Growth-bounded graphs (paper Definition 4.1 and Lemma 4.2).
+
+    Disc-induced graphs in the plane satisfy the packing bound
+    [f(r) = (2r+1)²], used as the default bounding function throughout. *)
+
+val default_bound : int -> int
+(** [f(r) = (2r+1)²]. *)
+
+val greedy_independent : Graph.t -> int list -> int list
+(** Greedy independent subset of the given node list, in list order. *)
+
+val max_independent_in_balls : Graph.t -> r:int -> int
+(** Largest greedy independent set found inside any r-neighborhood. *)
+
+val check_bound : ?bound:(int -> int) -> Graph.t -> r:int -> bool
+(** Empirical check of Definition 4.1 via the greedy witness. *)
+
+val check_ball_size : ?bound:(int -> int) -> Graph.t -> r:int -> bool
+(** Empirical check of Lemma 4.2: |N₍G,r₎(v)| ≤ Δ·f(r) for every node. *)

@@ -1,0 +1,48 @@
+(* Checking independent sets and (locally) maximal independent sets.
+
+   The sparsification step of Algorithm 9.1 computes independent sets that
+   are only *locally* maximal (Definition 10.6); these predicates are the
+   reference checkers used by tests and by the oracle variants of the
+   algorithm. *)
+
+let is_independent g set =
+  let mask = Array.make (Graph.n g) false in
+  List.iter (fun v -> mask.(v) <- true) set;
+  let ok = ref true in
+  List.iter
+    (fun v ->
+      Array.iter (fun u -> if mask.(u) then ok := false) (Graph.neighbors g v))
+    set;
+  !ok
+
+(* Is [set] maximal within [universe]?  Every node of [universe] must be in
+   the set or adjacent to a member (Section 4.1's MIS definition, where the
+   universe may be a subset S' of the vertices). *)
+let is_maximal_within g ~universe set =
+  let mask = Array.make (Graph.n g) false in
+  List.iter (fun v -> mask.(v) <- true) set;
+  List.for_all
+    (fun v ->
+      mask.(v)
+      || Array.exists (fun u -> mask.(u)) (Graph.neighbors g v))
+    universe
+
+let is_mis g ~universe set =
+  is_independent g set && is_maximal_within g ~universe set
+
+(* Fraction of [universe] covered by the closed neighborhood of [set]:
+   tests of the modified MIS with non-unique labels measure how close to
+   maximal the output is. *)
+let coverage g ~universe set =
+  match universe with
+  | [] -> 1.0
+  | _ ->
+    let mask = Array.make (Graph.n g) false in
+    List.iter (fun v -> mask.(v) <- true) set;
+    let covered =
+      List.filter
+        (fun v ->
+          mask.(v) || Array.exists (fun u -> mask.(u)) (Graph.neighbors g v))
+        universe
+    in
+    float_of_int (List.length covered) /. float_of_int (List.length universe)

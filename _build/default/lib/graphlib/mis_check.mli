@@ -1,0 +1,13 @@
+(** Reference checkers for (maximal) independent sets. *)
+
+val is_independent : Graph.t -> int list -> bool
+
+val is_maximal_within : Graph.t -> universe:int list -> int list -> bool
+(** Every node of [universe] is in the set or adjacent to a member. *)
+
+val is_mis : Graph.t -> universe:int list -> int list -> bool
+
+val coverage : Graph.t -> universe:int list -> int list -> float
+(** Fraction of [universe] dominated by the closed neighborhood of the set
+    (1.0 when maximal; tests use this to quantify near-maximality of the
+    non-unique-label MIS). *)

@@ -1,0 +1,1 @@
+lib/mislib/greedy_mis.ml: Array Graph List Sinr_graph

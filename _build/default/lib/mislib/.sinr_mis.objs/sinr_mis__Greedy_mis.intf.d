@@ -1,0 +1,1 @@
+lib/mislib/greedy_mis.mli: Graph Sinr_graph

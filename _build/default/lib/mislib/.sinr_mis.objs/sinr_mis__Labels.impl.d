@@ -1,0 +1,1 @@
+lib/mislib/labels.ml: Array Float List Rng Sinr_geom

@@ -1,0 +1,1 @@
+lib/mislib/labels.mli: Rng Sinr_geom

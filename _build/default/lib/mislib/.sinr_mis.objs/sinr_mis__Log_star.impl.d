@@ -1,0 +1,1 @@
+lib/mislib/log_star.ml: Float

@@ -1,0 +1,1 @@
+lib/mislib/sw_mis.ml: Array Graph List Log_star Sinr_graph

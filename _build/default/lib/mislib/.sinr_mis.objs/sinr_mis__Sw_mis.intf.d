@@ -1,0 +1,1 @@
+lib/mislib/sw_mis.mli: Sinr_graph

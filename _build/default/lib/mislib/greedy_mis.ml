@@ -1,0 +1,35 @@
+(* Centralized greedy MIS.
+
+   The oracle counterpart of {!Sw_mis}: used by the "oracle" mode of
+   Algorithm 9.1 (which isolates the cost of the transmission phases from
+   the cost of distributed coordination) and as the reference maximal set in
+   tests. *)
+
+open Sinr_graph
+
+(* Greedy MIS restricted to [universe], scanning in increasing [priority]
+   (ties by node id).  With priority = temporary label this mirrors what a
+   perfect label-based election would produce. *)
+let compute ?priority graph ~universe =
+  let n = Graph.n graph in
+  let prio v = match priority with Some p -> p.(v) | None -> v in
+  let order =
+    List.sort
+      (fun a b -> compare (prio a, a) (prio b, b))
+      universe
+  in
+  let in_universe = Array.make n false in
+  List.iter (fun v -> in_universe.(v) <- true) universe;
+  let chosen = Array.make n false in
+  let blocked = Array.make n false in
+  let acc = ref [] in
+  List.iter
+    (fun v ->
+      if not blocked.(v) then begin
+        chosen.(v) <- true;
+        acc := v :: !acc;
+        Array.iter (fun u -> blocked.(u) <- true) (Graph.neighbors graph v);
+        blocked.(v) <- true
+      end)
+    order;
+  List.rev !acc

@@ -1,0 +1,7 @@
+(** Centralized greedy MIS — the oracle counterpart of {!Sw_mis}. *)
+
+open Sinr_graph
+
+val compute : ?priority:int array -> Graph.t -> universe:int list -> int list
+(** Maximal independent subset of [universe] (w.r.t. [universe] only),
+    scanning nodes by increasing priority (default: node id). *)

@@ -1,0 +1,17 @@
+(* The iterated logarithm, which paces the MIS stages (paper Definition 9.2:
+   c * log*(Lambda / eps_approg) bounds the per-stage round count). *)
+
+let log_star x =
+  if x <= 1. then 0
+  else begin
+    let rec go x acc = if x <= 1. then acc else go (Float.log2 x) (acc + 1) in
+    go x 0
+  end
+
+let log_star_int n = log_star (float_of_int (max 1 n))
+
+(* Number of bits needed to write n (>= 1 for n >= 1). *)
+let bits n =
+  if n < 0 then invalid_arg "Log_star.bits: negative";
+  let rec go n acc = if n = 0 then acc else go (n lsr 1) (acc + 1) in
+  max 1 (go n 0)

@@ -1,0 +1,9 @@
+(** The iterated logarithm log* and small bit-arithmetic helpers. *)
+
+val log_star : float -> int
+(** Iterations of [log2] until the value drops to ≤ 1. *)
+
+val log_star_int : int -> int
+
+val bits : int -> int
+(** Bits needed to write a non-negative integer (at least 1). *)

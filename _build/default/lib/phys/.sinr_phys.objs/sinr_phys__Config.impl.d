@@ -1,0 +1,1 @@
+lib/phys/config.ml: Fmt

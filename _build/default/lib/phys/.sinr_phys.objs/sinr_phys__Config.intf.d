@@ -1,0 +1,1 @@
+lib/phys/config.mli: Fmt

@@ -1,0 +1,1 @@
+lib/phys/induced.ml: Array Bfs Config Float Geo_metrics Graph Grid_index Point Sinr_geom Sinr_graph

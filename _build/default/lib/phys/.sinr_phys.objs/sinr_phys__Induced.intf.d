@@ -1,0 +1,1 @@
+lib/phys/induced.mli: Config Graph Point Sinr_geom Sinr_graph

@@ -1,0 +1,1 @@
+lib/phys/reliability.ml: Array Graph List Sinr Sinr_geom Sinr_graph

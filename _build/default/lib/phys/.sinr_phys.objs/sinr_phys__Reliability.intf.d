@@ -1,0 +1,1 @@
+lib/phys/reliability.mli: Graph Sinr Sinr_geom Sinr_graph

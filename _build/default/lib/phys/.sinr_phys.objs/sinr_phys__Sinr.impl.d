@@ -1,0 +1,1 @@
+lib/phys/sinr.ml: Array Config Fmt List Placement Point Sinr_geom

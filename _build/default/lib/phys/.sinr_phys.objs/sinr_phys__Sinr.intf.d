@@ -1,0 +1,1 @@
+lib/phys/sinr.mli: Config Point Sinr_geom

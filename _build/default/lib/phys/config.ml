@@ -1,0 +1,54 @@
+(* SINR model parameters (paper Section 4.2).
+
+   A transmission from v is decoded at u iff
+
+       P / d(v,u)^alpha
+     ---------------------------------------  >= beta        (Eq. 1)
+       sum_{w in S\{u,v}} P / d(w,u)^alpha + N
+
+   with uniform power P, path-loss alpha in (2, 6], ambient noise N and
+   decoding threshold beta > 1.  The transmission range is
+   R = (P / (beta*N))^(1/alpha); R_a = a*R; the strong connectivity graph
+   G_{1-eps} connects nodes within R_{1-eps}. *)
+
+type t = {
+  alpha : float;  (* path-loss exponent, > 2 *)
+  beta : float;   (* decoding threshold, > 1 *)
+  noise : float;  (* ambient noise N, > 0 *)
+  power : float;  (* uniform transmission power P, > 0 *)
+  eps : float;    (* strong-connectivity slack, in (0, 1/2) *)
+}
+
+let validate t =
+  if t.alpha <= 2. then invalid_arg "Config: alpha must exceed 2";
+  if t.beta <= 1. then invalid_arg "Config: beta must exceed 1";
+  if t.noise <= 0. then invalid_arg "Config: noise must be positive";
+  if t.power <= 0. then invalid_arg "Config: power must be positive";
+  if t.eps <= 0. || t.eps >= 0.5 then
+    invalid_arg "Config: eps must lie in (0, 1/2)";
+  t
+
+let make ~alpha ~beta ~noise ~power ~eps =
+  validate { alpha; beta; noise; power; eps }
+
+let range t = (t.power /. (t.beta *. t.noise)) ** (1. /. t.alpha)
+
+(* Choose the power so that the transmission range is exactly [range]. *)
+let with_range ?(alpha = 3.0) ?(beta = 1.5) ?(noise = 1.0) ?(eps = 0.1) ~range
+    () =
+  if range <= 0. then invalid_arg "Config.with_range: range must be positive";
+  let power = beta *. noise *. (range ** alpha) in
+  make ~alpha ~beta ~noise ~power ~eps
+
+let default = with_range ~range:12.0 ()
+
+let range_a t a = a *. range t
+
+let strong_range t = range_a t (1. -. t.eps)
+
+let approx_range t = range_a t (1. -. (2. *. t.eps))
+
+let pp ppf t =
+  Fmt.pf ppf
+    "sinr{alpha=%.3g beta=%.3g N=%.3g P=%.3g eps=%.3g R=%.4g R1-e=%.4g}"
+    t.alpha t.beta t.noise t.power t.eps (range t) (strong_range t)

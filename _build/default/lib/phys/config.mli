@@ -1,0 +1,36 @@
+(** SINR model parameters (paper Section 4.2, Eq. 1). *)
+
+type t = {
+  alpha : float;  (** path-loss exponent, must exceed 2 *)
+  beta : float;   (** decoding threshold, must exceed 1 *)
+  noise : float;  (** ambient noise N, positive *)
+  power : float;  (** uniform transmission power P, positive *)
+  eps : float;    (** strong-connectivity slack ε ∈ (0, 1/2) *)
+}
+
+val make :
+  alpha:float -> beta:float -> noise:float -> power:float -> eps:float -> t
+(** Validates every field; raises [Invalid_argument] otherwise. *)
+
+val with_range :
+  ?alpha:float -> ?beta:float -> ?noise:float -> ?eps:float -> range:float ->
+  unit -> t
+(** Solve for the power so the transmission range equals [range]. Defaults:
+    α = 3, β = 1.5, N = 1, ε = 0.1. *)
+
+val default : t
+(** [with_range ~range:12.0 ()]. *)
+
+val range : t -> float
+(** R = (P/(βN))^(1/α): the noise-limited transmission range. *)
+
+val range_a : t -> float -> float
+(** Rₐ = a·R. *)
+
+val strong_range : t -> float
+(** R₁₋ε, the radius of the strong connectivity graph G₁₋ε. *)
+
+val approx_range : t -> float
+(** R₁₋₂ε, the radius of the approximation graph G₁₋₂ε. *)
+
+val pp : t Fmt.t

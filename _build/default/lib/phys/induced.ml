@@ -1,0 +1,61 @@
+(* SINR-induced connectivity graphs (paper Section 4.3).
+
+   G_a connects u -- v iff d(u, v) <= R_a = a * R.  The paper works with
+
+     G_1      weak connectivity (communication possible but unreliable),
+     G_{1-eps}   strong connectivity, where local broadcast is implemented,
+     G_{1-2eps}  the approximation in which approximate progress is measured,
+
+   and with Lambda, the ratio of R_{1-eps} to the minimum pairwise node
+   distance. *)
+
+open Sinr_geom
+open Sinr_graph
+
+let disc_graph points ~radius =
+  let n = Array.length points in
+  if n = 0 then Graph.empty 0
+  else begin
+    let idx = Grid_index.create ~cell:(Float.max radius 1e-6) points in
+    Graph.of_predicate ~n
+      ~candidates:(fun v ->
+        Grid_index.within idx ~center:points.(v) ~r:radius)
+      (fun v u -> Point.dist points.(v) points.(u) <= radius +. 1e-12)
+  end
+
+let graph_a config points ~a = disc_graph points ~radius:(Config.range_a config a)
+
+let weak config points = graph_a config points ~a:1.0
+
+let strong config points =
+  graph_a config points ~a:(1. -. config.Config.eps)
+
+let approx config points =
+  graph_a config points ~a:(1. -. (2. *. config.Config.eps))
+
+(* Lambda := R_{1-eps} / (min pairwise distance); at least 1 under the
+   near-field normalization. *)
+let lambda config points =
+  Geo_metrics.lambda_of_radius ~radius:(Config.strong_range config) points
+
+(* All three graphs plus the metrics an experiment typically reports. *)
+type profile = {
+  weak : Graph.t;
+  strong : Graph.t;
+  approx : Graph.t;
+  lambda : float;
+  strong_degree : int;
+  strong_diameter : int;
+  approx_diameter : int;
+}
+
+let profile config points =
+  let strong_g = strong config points in
+  let approx_g = approx config points in
+  { weak = weak config points;
+    strong = strong_g;
+    approx = approx_g;
+    lambda = lambda config points;
+    strong_degree = Graph.max_degree strong_g;
+    strong_diameter = Bfs.diameter strong_g;
+    approx_diameter = Bfs.diameter approx_g }

@@ -1,0 +1,67 @@
+(* The reliability graph H^mu_p[S] of Daum et al. (paper Section 9.2).
+
+   Fix a node set S, a transmission probability p in (0, 1/2] and a
+   reliability threshold mu in (0, p).  Run the experiment where every node
+   of S transmits independently with probability p (and nobody else
+   transmits).  The edge (u, v), u, v in S, belongs to H^mu_p[S] iff u
+   receives v's message with probability at least mu AND vice versa.
+
+   The distributed algorithm below the MAC layer only *estimates* this graph
+   (that estimate lives in lib/core); this module computes a Monte-Carlo
+   reference used by tests, by the oracle variants of Algorithm 9.1 and by
+   the ablation benches. *)
+
+open Sinr_graph
+
+type estimate = {
+  graph : Graph.t;                (* edges with both directions >= mu *)
+  success_prob : (int * int) -> float; (* directed reception probability *)
+  trials : int;
+}
+
+let estimate ?(trials = 400) sinr rng ~set ~p ~mu =
+  if p <= 0. || p > 0.5 then invalid_arg "Reliability.estimate: p not in (0, 1/2]";
+  if mu <= 0. || mu >= p then invalid_arg "Reliability.estimate: mu not in (0, p)";
+  let n = Sinr.n sinr in
+  let members = Array.of_list set in
+  let m = Array.length members in
+  let in_set = Array.make n false in
+  Array.iter (fun v -> in_set.(v) <- true) members;
+  (* counts.(i_receiver * m + i_sender) over member indices *)
+  let pos = Array.make n (-1) in
+  Array.iteri (fun i v -> pos.(v) <- i) members;
+  let counts = Array.make (m * m) 0 in
+  for _ = 1 to trials do
+    let senders =
+      Array.to_list members
+      |> List.filter (fun _ -> Sinr_geom.Rng.bernoulli rng p)
+    in
+    if senders <> [] then begin
+      let outcome = Sinr.resolve sinr ~senders in
+      Array.iter
+        (fun u ->
+          match outcome.(u) with
+          | Some v when in_set.(v) ->
+            let iu = pos.(u) and iv = pos.(v) in
+            counts.((iu * m) + iv) <- counts.((iu * m) + iv) + 1
+          | Some _ | None -> ())
+        members
+    end
+  done;
+  let prob (u, v) =
+    if u < 0 || u >= n || v < 0 || v >= n || pos.(u) < 0 || pos.(v) < 0 then 0.
+    else float_of_int counts.((pos.(u) * m) + pos.(v)) /. float_of_int trials
+  in
+  let edges = ref [] in
+  for i = 0 to m - 1 do
+    for j = i + 1 to m - 1 do
+      let u = members.(i) and v = members.(j) in
+      if prob (u, v) >= mu && prob (v, u) >= mu then
+        edges := (u, v) :: !edges
+    done
+  done;
+  { graph = Graph.of_edges ~n !edges; success_prob = prob; trials }
+
+let graph e = e.graph
+let success_prob e pair = e.success_prob pair
+let trials e = e.trials

@@ -1,0 +1,21 @@
+(** Monte-Carlo reference for the reliability graph H^μ_p[S] of paper
+    Section 9.2: u -- v iff each receives the other with probability ≥ μ
+    when every member of S transmits independently with probability p. *)
+
+open Sinr_graph
+
+type estimate
+
+val estimate :
+  ?trials:int -> Sinr.t -> Sinr_geom.Rng.t -> set:int list -> p:float ->
+  mu:float -> estimate
+(** Estimate by [trials] (default 400) independent slot simulations.
+    Requires [p ∈ (0, 1/2]] and [μ ∈ (0, p)]. *)
+
+val graph : estimate -> Graph.t
+(** Edges whose reception probability is ≥ μ in both directions. *)
+
+val success_prob : estimate -> int * int -> float
+(** [(receiver, sender)] directed reception probability estimate. *)
+
+val trials : estimate -> int

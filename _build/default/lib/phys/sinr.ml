@@ -1,0 +1,112 @@
+(* Exact SINR reception resolution (paper Eq. 1).
+
+   Given the set S of concurrently transmitting nodes, a listening node u
+   decodes the message of v in S iff
+
+     P/d(v,u)^alpha >= beta * (N + I(u) - P/d(v,u)^alpha)
+
+   where I(u) = sum_{w in S} P/d(w,u)^alpha is the total incoming power.
+   Because beta > 1, at most one sender can satisfy this at u, so reception
+   resolves to at most one message per listener per slot.  Transmitters are
+   half-duplex: a node in S never receives.  There is no collision
+   detection: a listener that decodes nothing learns nothing (Section 4.6). *)
+
+open Sinr_geom
+
+type t = {
+  config : Config.t;
+  points : Point.t array;
+}
+
+let create config points =
+  if Array.length points = 0 then invalid_arg "Sinr.create: no nodes";
+  let dmin = Placement.min_pairwise_dist points in
+  if dmin < 1. -. 1e-9 then
+    invalid_arg
+      (Fmt.str "Sinr.create: min pairwise distance %.4g violates the \
+                near-field normalization (must be >= 1)" dmin);
+  { config; points }
+
+let config t = t.config
+let points t = t.points
+let n t = Array.length t.points
+
+(* Received power at plane position [at] from a transmitter at [from]. *)
+let power_between t ~from ~at =
+  let d = Point.dist from at in
+  if d <= 0. then invalid_arg "Sinr.power_between: coincident points";
+  t.config.Config.power /. (d ** t.config.Config.alpha)
+
+(* Total power arriving at [at] when exactly the nodes of [senders]
+   transmit; [at] may be any plane position (Lemma 10.3 evaluates
+   interference at arbitrary points i). *)
+let interference_at t ~senders ~at =
+  List.fold_left
+    (fun acc s -> acc +. power_between t ~from:t.points.(s) ~at)
+    0. senders
+
+(* SINR of the link v -> u against the sender set (which must include v). *)
+let link_sinr t ~senders ~sender:v ~receiver:u =
+  let at = t.points.(u) in
+  let signal = power_between t ~from:t.points.(v) ~at in
+  let total = interference_at t ~senders ~at in
+  signal /. (t.config.Config.noise +. total -. signal)
+
+(* Which sender (if any) does a listener decode, given the power of each
+   sender at the listener and the total incoming power? *)
+let decode_one t ~sender_powers ~total =
+  let beta = t.config.Config.beta and noise = t.config.Config.noise in
+  List.find_map
+    (fun (v, pw) ->
+      if pw >= beta *. (noise +. total -. pw) then Some v else None)
+    sender_powers
+
+let reception t ~senders ~receiver:u =
+  if List.mem u senders then None
+  else begin
+    let at = t.points.(u) in
+    let sender_powers =
+      List.map (fun v -> (v, power_between t ~from:t.points.(v) ~at)) senders
+    in
+    let total = List.fold_left (fun acc (_, pw) -> acc +. pw) 0. sender_powers in
+    decode_one t ~sender_powers ~total
+  end
+
+(* Resolve a whole slot: for every node, the sender it decodes (None for
+   transmitters and for listeners that decode nothing).  O(|S| * n). *)
+let resolve t ~senders =
+  let n = Array.length t.points in
+  let is_sender = Array.make n false in
+  List.iter
+    (fun s ->
+      if s < 0 || s >= n then invalid_arg "Sinr.resolve: sender out of range";
+      is_sender.(s) <- true)
+    senders;
+  let result = Array.make n None in
+  let beta = t.config.Config.beta and noise = t.config.Config.noise in
+  (* For each listener: one pass accumulating total power while remembering
+     the strongest sender; only the strongest can pass the beta > 1 test. *)
+  for u = 0 to n - 1 do
+    if not is_sender.(u) then begin
+      let at = t.points.(u) in
+      let total = ref 0. in
+      let best = ref (-1) and best_pw = ref 0. in
+      List.iter
+        (fun v ->
+          let pw = power_between t ~from:t.points.(v) ~at in
+          total := !total +. pw;
+          if pw > !best_pw then begin
+            best_pw := pw;
+            best := v
+          end)
+        senders;
+      if !best >= 0 && !best_pw >= beta *. (noise +. !total -. !best_pw) then
+        result.(u) <- Some !best
+    end
+  done;
+  result
+
+(* Is a single isolated transmission from v decodable at u?  Defines weak
+   reachability: true iff d(v,u) <= R. *)
+let in_range t v u =
+  Point.dist t.points.(v) t.points.(u) <= Config.range t.config +. 1e-12

@@ -1,0 +1,36 @@
+(** Exact SINR reception resolution (paper Eq. 1).
+
+    Because β > 1 at most one concurrent sender is decodable per listener;
+    transmitters are half-duplex; there is no collision detection. *)
+
+open Sinr_geom
+
+type t
+
+val create : Config.t -> Point.t array -> t
+(** Raises [Invalid_argument] if any pairwise distance is below 1 (the
+    near-field normalization of Section 4.2). *)
+
+val config : t -> Config.t
+val points : t -> Point.t array
+val n : t -> int
+
+val power_between : t -> from:Point.t -> at:Point.t -> float
+(** Received power [P/d^α] between two plane positions. *)
+
+val interference_at : t -> senders:int list -> at:Point.t -> float
+(** Total power arriving at a plane position from the given transmitters. *)
+
+val link_sinr : t -> senders:int list -> sender:int -> receiver:int -> float
+(** SINR of the link [sender → receiver] against [senders] (which must
+    contain [sender]). *)
+
+val reception : t -> senders:int list -> receiver:int -> int option
+(** The sender decoded by [receiver] in a slot where exactly [senders]
+    transmit; [None] if the receiver transmits or decodes nothing. *)
+
+val resolve : t -> senders:int list -> int option array
+(** Per-node decoding outcome for a whole slot, in O(|senders| · n). *)
+
+val in_range : t -> int -> int -> bool
+(** Weak reachability: distance at most the transmission range R. *)

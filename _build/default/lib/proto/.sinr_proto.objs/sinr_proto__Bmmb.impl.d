@@ -1,0 +1,1 @@
+lib/proto/bmmb.ml: Array Hashtbl List Mac_driver Queue Sinr_mac

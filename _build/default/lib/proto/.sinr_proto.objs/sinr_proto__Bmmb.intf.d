@@ -1,0 +1,1 @@
+lib/proto/bmmb.mli: Mac_driver

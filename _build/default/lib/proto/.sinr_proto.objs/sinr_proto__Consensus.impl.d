@@ -1,0 +1,1 @@
+lib/proto/consensus.ml: Array Mac_driver Sinr_mac

@@ -1,0 +1,1 @@
+lib/proto/consensus.mli: Mac_driver

@@ -1,0 +1,1 @@
+lib/proto/decay_flood.ml: Array Decay Engine Events List Sinr Sinr_engine Sinr_mac Sinr_phys

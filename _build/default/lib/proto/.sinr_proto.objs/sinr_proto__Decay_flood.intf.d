@@ -1,0 +1,1 @@
+lib/proto/decay_flood.mli: Rng Sinr Sinr_geom Sinr_phys

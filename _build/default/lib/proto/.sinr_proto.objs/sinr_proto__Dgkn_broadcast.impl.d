@@ -1,0 +1,1 @@
+lib/proto/dgkn_broadcast.ml: Approx_progress Array Engine Events Float Induced List Params Sinr Sinr_engine Sinr_mac Sinr_phys

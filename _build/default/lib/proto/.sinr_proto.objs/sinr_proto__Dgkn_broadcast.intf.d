@@ -1,0 +1,1 @@
+lib/proto/dgkn_broadcast.mli: Params Rng Sinr Sinr_geom Sinr_mac Sinr_phys

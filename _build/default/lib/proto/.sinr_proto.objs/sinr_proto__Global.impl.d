@@ -1,0 +1,1 @@
+lib/proto/global.ml: Array Bmmb Combined_mac Consensus Engine Fault Float Fun List Mac_driver Params Sinr Sinr_engine Sinr_mac Sinr_phys

@@ -1,0 +1,1 @@
+lib/proto/global.mli: Fault Params Rng Sinr Sinr_engine Sinr_geom Sinr_mac Sinr_phys

@@ -1,0 +1,1 @@
+lib/proto/hm_flood.ml: Array Engine Events Hm_ack Induced List Option Params Rng Sinr Sinr_engine Sinr_geom Sinr_mac Sinr_phys

@@ -1,0 +1,1 @@
+lib/proto/hm_flood.mli: Params Rng Sinr Sinr_geom Sinr_mac Sinr_phys

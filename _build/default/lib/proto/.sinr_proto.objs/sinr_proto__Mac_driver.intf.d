@@ -1,0 +1,1 @@
+lib/proto/mac_driver.mli: Absmac_intf Combined_mac Decay_mac Events Ideal_mac Sinr_mac

@@ -1,0 +1,24 @@
+(** Network-wide binary consensus over an enhanced absMAC, with the
+    O(D·f_ack) time profile of the paper's Theorem 5.4 / Corollary 5.5
+    (flood-max stand-in for wPAXOS [44] — see DESIGN.md substitution 2). *)
+
+type t
+
+val create : Mac_driver.t -> initial:bool array -> rounds_bound:int -> t
+(** [rounds_bound] is the hop budget (≥ the diameter w.h.p.): nodes decide
+    after [rounds_bound · f_ack] MAC time units. Installs MAC handlers. *)
+
+val step : t -> unit
+val run : t -> max_steps:int -> int option
+(** Steps until every alive node decided; returns the completion time. *)
+
+val decision : t -> node:int -> bool option
+val decided_slot : t -> node:int -> int option
+val initial_values : t -> bool array
+val all_decided : t -> bool
+
+val agreement : t -> bool
+(** No two decided nodes hold different values. *)
+
+val validity : t -> bool
+(** Every decided value is some node's initial value. *)

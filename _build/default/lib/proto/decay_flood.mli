@@ -1,0 +1,12 @@
+(** Global SMB by Decay flooding with n known — the [32]-class comparison
+    baseline of Table 2 (see DESIGN.md substitution 3). *)
+
+open Sinr_geom
+open Sinr_phys
+
+type result = {
+  completed : int option;
+  informed : int;
+}
+
+val run : Sinr.t -> rng:Rng.t -> source:int -> max_slots:int -> result

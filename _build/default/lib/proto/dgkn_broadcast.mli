@@ -1,0 +1,16 @@
+(** Global SMB baseline in the style of Daum–Gilbert–Kuhn–Newport [14]:
+    the epoch machinery with network-wide w.h.p. parameters (ε = 1/n) and
+    relay-on-receive. The Table 2 comparison target. *)
+
+open Sinr_geom
+open Sinr_phys
+open Sinr_mac
+
+type result = {
+  completed : int option; (** slot at which all nodes were informed *)
+  informed : int;         (** nodes informed when the run stopped *)
+}
+
+val run :
+  ?params:Params.approg -> Sinr.t -> rng:Rng.t -> source:int ->
+  max_slots:int -> result

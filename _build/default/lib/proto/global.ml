@@ -1,0 +1,100 @@
+(* Global problems over the full SINR stack: the paper's headline
+   applications.
+
+   - SMB  (Theorem 12.7, first bound): BSMB = BMMB with k = 1 over
+     Algorithm 11.1;
+   - MMB  (Theorem 12.7, second bound): BMMB with k messages;
+   - CONS (Corollary 5.5): consensus over the enhanced MAC, with optional
+     crash injection.
+
+   Each runner builds the combined MAC on the deployment, runs the
+   protocol to completion and reports the completion slot. *)
+
+open Sinr_phys
+open Sinr_engine
+open Sinr_mac
+
+(* The paper's global algorithms pick the MAC-layer error probabilities
+   as a function of the problem size (proof of Theorem 12.7: eps_ack =
+   eps_SMB / (2n) for SMB and eps_MMB / (2kn) for MMB; Theorem 5.4:
+   eps = eps_CONS / n^4-ish).  A fixed per-broadcast eps would let some
+   one-shot relay miss a neighbor and strand the protocol.  When the
+   caller does not fix the parameters, scale them here. *)
+let scaled_ack ?ack_params ~units () =
+  match ack_params with
+  | Some p -> p
+  | None ->
+    { Params.default_ack with
+      Params.eps_ack =
+        Float.min Params.default_ack.Params.eps_ack
+          (0.5 /. float_of_int (max 1 units)) }
+
+let make_driver ?ack_params ?approg_params sinr ~rng ~units =
+  let ack_params = scaled_ack ?ack_params ~units () in
+  let mac = Combined_mac.create ~ack_params ?approg_params sinr ~rng in
+  (mac, Mac_driver.of_combined mac)
+
+type broadcast_result = {
+  completed : int option;
+  reached : int; (* nodes holding all messages when the run stopped *)
+}
+
+let mmb ?ack_params ?approg_params sinr ~rng ~sources ~max_slots =
+  let n = Sinr.n sinr in
+  let units = n * max 1 (List.length sources) in
+  let _, driver = make_driver ?ack_params ?approg_params sinr ~rng ~units in
+  let proto = Bmmb.create driver in
+  List.iter (fun (node, msg) -> Bmmb.arrive proto ~node ~msg) sources;
+  let msgs = List.map snd sources in
+  let nodes = List.init n Fun.id in
+  let completed =
+    Bmmb.run_until_complete proto ~nodes ~msgs ~max_steps:max_slots
+  in
+  let reached =
+    List.length
+      (List.filter
+         (fun node -> List.for_all (fun msg -> Bmmb.delivered proto ~node ~msg) msgs)
+         nodes)
+  in
+  { completed; reached }
+
+let smb ?ack_params ?approg_params sinr ~rng ~source ~max_slots =
+  mmb ?ack_params ?approg_params sinr ~rng ~sources:[ (source, 0) ] ~max_slots
+
+type cons_result = {
+  completed : int option;
+  agreement : bool;
+  validity : bool;
+  deciders : int;
+  crashed : int;
+}
+
+let cons ?ack_params ?approg_params ?(faults = Fault.none) sinr ~rng ~initial
+    ~rounds_bound ~max_slots =
+  let ack_params =
+    scaled_ack ?ack_params ~units:(Array.length initial * rounds_bound) ()
+  in
+  let mac = Combined_mac.create ~ack_params ?approg_params sinr ~rng in
+  let driver = Mac_driver.of_combined mac in
+  let proto = Consensus.create driver ~initial ~rounds_bound in
+  let plan = ref faults in
+  let steps = ref 0 in
+  while (not (Consensus.all_decided proto)) && !steps < max_slots do
+    let crashed_now, rest = Fault.apply !plan (Combined_mac.engine mac) in
+    ignore crashed_now;
+    plan := rest;
+    Consensus.step proto;
+    incr steps
+  done;
+  let n = Combined_mac.n mac in
+  let deciders = ref 0 and crashed = ref 0 in
+  for v = 0 to n - 1 do
+    if Engine.is_crashed (Combined_mac.engine mac) v then incr crashed
+    else if Consensus.decision proto ~node:v <> None then incr deciders
+  done;
+  { completed =
+      (if Consensus.all_decided proto then Some (Combined_mac.now mac) else None);
+    agreement = Consensus.agreement proto;
+    validity = Consensus.validity proto;
+    deciders = !deciders;
+    crashed = !crashed }

@@ -1,0 +1,34 @@
+(** Global SMB / MMB / consensus over the full SINR absMAC stack — the
+    paper's Theorem 12.7 and Corollary 5.5 applications. *)
+
+open Sinr_geom
+open Sinr_phys
+open Sinr_engine
+open Sinr_mac
+
+type broadcast_result = {
+  completed : int option;
+  reached : int;  (** nodes holding all messages when the run stopped *)
+}
+
+val smb :
+  ?ack_params:Params.ack -> ?approg_params:Params.approg -> Sinr.t ->
+  rng:Rng.t -> source:int -> max_slots:int -> broadcast_result
+
+val mmb :
+  ?ack_params:Params.ack -> ?approg_params:Params.approg -> Sinr.t ->
+  rng:Rng.t -> sources:(int * int) list -> max_slots:int -> broadcast_result
+(** [sources] pairs each input node with its (unique) message id. *)
+
+type cons_result = {
+  completed : int option;
+  agreement : bool;
+  validity : bool;
+  deciders : int;
+  crashed : int;
+}
+
+val cons :
+  ?ack_params:Params.ack -> ?approg_params:Params.approg ->
+  ?faults:Fault.plan -> Sinr.t -> rng:Rng.t -> initial:bool array ->
+  rounds_bound:int -> max_slots:int -> cons_result

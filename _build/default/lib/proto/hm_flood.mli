@@ -1,0 +1,22 @@
+(** Flooding on raw Halldórsson–Mitra local broadcast — the "[29]-derived"
+    baseline of the paper's Sections 2.1 and 3, whose MMB pipeline costs
+    O((D+k)·(Δ·log + log²)) and which the absMAC route improves to an
+    additive dependence on k. *)
+
+open Sinr_geom
+open Sinr_phys
+open Sinr_mac
+
+type result = {
+  completed : int option;
+  informed : int;
+}
+
+val smb :
+  ?ack_params:Params.ack -> Sinr.t -> rng:Rng.t -> source:int ->
+  max_slots:int -> result
+
+val mmb_sequential :
+  ?ack_params:Params.ack -> Sinr.t -> rng:Rng.t -> sources:(int * int) list ->
+  max_slots:int -> result
+(** One full flood per message, run back to back. *)

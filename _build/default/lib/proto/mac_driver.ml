@@ -1,0 +1,58 @@
+(* Uniform handle over absMAC implementations.
+
+   Protocols above the layer ([37]'s BSMB/BMMB, Newport-style consensus)
+   are written against this record of operations, so each protocol runs
+   unchanged over the ideal graph-based MAC (for spec-level testing) and
+   over Algorithm 11.1 on the SINR simulator (for the experiments) —
+   exactly the plug-and-play property the absMAC theory advertises. *)
+
+open Sinr_mac
+
+type t = {
+  n : int;
+  now : unit -> int;
+  bounds : Absmac_intf.bounds;
+  set_handlers : Absmac_intf.handlers -> unit;
+  bcast : node:int -> data:int -> Events.payload;
+  abort : node:int -> unit;
+  busy : node:int -> bool;
+  step : unit -> unit;
+  alive : node:int -> bool; (* false for crashed nodes *)
+}
+
+let of_ideal mac =
+  { n = Ideal_mac.n mac;
+    now = (fun () -> Ideal_mac.now mac);
+    bounds = Ideal_mac.bounds mac;
+    set_handlers = Ideal_mac.set_handlers mac;
+    bcast = (fun ~node ~data -> Ideal_mac.bcast mac ~node ~data);
+    abort = (fun ~node -> Ideal_mac.abort mac ~node);
+    busy = (fun ~node -> Ideal_mac.busy mac ~node);
+    step = (fun () -> Ideal_mac.step mac);
+    alive = (fun ~node:_ -> true) }
+
+let of_decay mac =
+  { n = Decay_mac.n mac;
+    now = (fun () -> Decay_mac.now mac);
+    bounds = Decay_mac.bounds mac;
+    set_handlers = Decay_mac.set_handlers mac;
+    bcast = (fun ~node ~data -> Decay_mac.bcast mac ~node ~data);
+    abort = (fun ~node -> Decay_mac.abort mac ~node);
+    busy = (fun ~node -> Decay_mac.busy mac ~node);
+    step = (fun () -> Decay_mac.step mac);
+    alive =
+      (fun ~node ->
+        not (Sinr_engine.Engine.is_crashed (Decay_mac.engine mac) node)) }
+
+let of_combined mac =
+  { n = Combined_mac.n mac;
+    now = (fun () -> Combined_mac.now mac);
+    bounds = Combined_mac.bounds mac;
+    set_handlers = Combined_mac.set_handlers mac;
+    bcast = (fun ~node ~data -> Combined_mac.bcast mac ~node ~data);
+    abort = (fun ~node -> Combined_mac.abort mac ~node);
+    busy = (fun ~node -> Combined_mac.busy mac ~node);
+    step = (fun () -> Combined_mac.step mac);
+    alive =
+      (fun ~node ->
+        not (Sinr_engine.Engine.is_crashed (Combined_mac.engine mac) node)) }

@@ -1,0 +1,21 @@
+(** Uniform handle over absMAC implementations, so protocols run unchanged
+    over the ideal MAC and over Algorithm 11.1 — the plug-and-play property
+    of the absMAC theory. *)
+
+open Sinr_mac
+
+type t = {
+  n : int;
+  now : unit -> int;
+  bounds : Absmac_intf.bounds;
+  set_handlers : Absmac_intf.handlers -> unit;
+  bcast : node:int -> data:int -> Events.payload;
+  abort : node:int -> unit;
+  busy : node:int -> bool;
+  step : unit -> unit;
+  alive : node:int -> bool;
+}
+
+val of_ideal : Ideal_mac.t -> t
+val of_decay : Decay_mac.t -> t
+val of_combined : Combined_mac.t -> t

@@ -1,0 +1,78 @@
+(* Least-squares fits used to compare measured scaling against the paper's
+   formulas.
+
+   A reproduction of a theory paper cannot match absolute constants (the
+   substrate is a simulator, not the authors' model constants), so the
+   experiment reports fit y ≈ c * f(x) for the paper's predictor f and report
+   the residual quality: a good fit with a stable constant means the measured
+   curve has the predicted *shape*. *)
+
+(* Ordinary least squares for y = a + b*x.  Returns (a, b, r2). *)
+let linear xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys || n < 2 then
+    invalid_arg "Fit.linear: need >= 2 paired samples";
+  let fn = float_of_int n in
+  let sx = Array.fold_left ( +. ) 0. xs in
+  let sy = Array.fold_left ( +. ) 0. ys in
+  let mean_x = sx /. fn and mean_y = sy /. fn in
+  let sxy = ref 0. and sxx = ref 0. and syy = ref 0. in
+  for i = 0 to n - 1 do
+    let dx = xs.(i) -. mean_x and dy = ys.(i) -. mean_y in
+    sxy := !sxy +. (dx *. dy);
+    sxx := !sxx +. (dx *. dx);
+    syy := !syy +. (dy *. dy)
+  done;
+  if !sxx = 0. then invalid_arg "Fit.linear: degenerate x values";
+  let b = !sxy /. !sxx in
+  let a = mean_y -. (b *. mean_x) in
+  let r2 = if !syy = 0. then 1.0 else !sxy *. !sxy /. (!sxx *. !syy) in
+  (a, b, r2)
+
+(* Best single scale: y ≈ c * pred(x), minimizing squared error.
+   Returns (c, r2) where r2 compares residuals to total variation of y. *)
+let proportional preds ys =
+  let n = Array.length preds in
+  if n <> Array.length ys || n < 1 then
+    invalid_arg "Fit.proportional: need paired samples";
+  let num = ref 0. and den = ref 0. in
+  for i = 0 to n - 1 do
+    num := !num +. (preds.(i) *. ys.(i));
+    den := !den +. (preds.(i) *. preds.(i))
+  done;
+  if !den = 0. then invalid_arg "Fit.proportional: zero predictor";
+  let c = !num /. !den in
+  let mean_y = Array.fold_left ( +. ) 0. ys /. float_of_int n in
+  let ss_res = ref 0. and ss_tot = ref 0. in
+  for i = 0 to n - 1 do
+    ss_res := !ss_res +. ((ys.(i) -. (c *. preds.(i))) ** 2.);
+    ss_tot := !ss_tot +. ((ys.(i) -. mean_y) ** 2.)
+  done;
+  let r2 = if !ss_tot = 0. then 1.0 else 1. -. (!ss_res /. !ss_tot) in
+  (c, r2)
+
+(* Fit y ≈ c * x^k through log-log regression; returns (c, k, r2).
+   Every x and y must be positive. *)
+let power_law xs ys =
+  let lx = Array.map log xs and ly = Array.map log ys in
+  Array.iter
+    (fun v ->
+      if not (Float.is_finite v) then
+        invalid_arg "Fit.power_law: nonpositive sample")
+    lx;
+  Array.iter
+    (fun v ->
+      if not (Float.is_finite v) then
+        invalid_arg "Fit.power_law: nonpositive sample")
+    ly;
+  let a, b, r2 = linear lx ly in
+  (exp a, b, r2)
+
+(* Ratio of the last to the first y, normalized by the same ratio of the
+   predictor: ~1.0 when the measured curve grows like the prediction. *)
+let growth_ratio preds ys =
+  let n = Array.length ys in
+  if n < 2 then invalid_arg "Fit.growth_ratio: need >= 2 samples";
+  let measured = ys.(n - 1) /. ys.(0) in
+  let predicted = preds.(n - 1) /. preds.(0) in
+  if predicted = 0. then Float.infinity else measured /. predicted

@@ -1,0 +1,17 @@
+(** Least-squares fits for comparing measured scaling curves against the
+    paper's asymptotic formulas. *)
+
+val linear : float array -> float array -> float * float * float
+(** [(a, b, r²)] of the OLS fit [y = a + b·x]. *)
+
+val proportional : float array -> float array -> float * float
+(** [(c, r²)] of the best fit [y = c·pred]: how well the paper's predictor
+    explains the measurements up to a single constant. *)
+
+val power_law : float array -> float array -> float * float * float
+(** [(c, k, r²)] of the fit [y = c·xᵏ] via log-log regression.
+    Requires strictly positive samples. *)
+
+val growth_ratio : float array -> float array -> float
+(** Measured end-to-end growth of y divided by predicted growth; ≈ 1.0 when
+    the shapes agree. *)

@@ -1,0 +1,62 @@
+(* Summary statistics over float samples.
+
+   Experiment reports summarize repeated trials (rounds-to-event measured
+   over several seeds) with these descriptors. *)
+
+type t = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+  p90 : float;
+  p99 : float;
+}
+
+let percentile_of_sorted sorted q =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else begin
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = int_of_float (Float.ceil pos) in
+    if lo = hi then sorted.(lo)
+    else begin
+      let frac = pos -. float_of_int lo in
+      (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+    end
+  end
+
+let of_samples samples =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Summary.of_samples: no samples";
+  let sorted = Array.copy samples in
+  Array.sort Float.compare sorted;
+  let sum = Array.fold_left ( +. ) 0. samples in
+  let mean = sum /. float_of_int n in
+  let var =
+    if n < 2 then 0.
+    else
+      Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. samples
+      /. float_of_int (n - 1)
+  in
+  { count = n;
+    mean;
+    stddev = sqrt var;
+    min = sorted.(0);
+    max = sorted.(n - 1);
+    median = percentile_of_sorted sorted 0.5;
+    p90 = percentile_of_sorted sorted 0.9;
+    p99 = percentile_of_sorted sorted 0.99 }
+
+let of_int_samples samples = of_samples (Array.map float_of_int samples)
+
+let percentile samples q =
+  let sorted = Array.copy samples in
+  Array.sort Float.compare sorted;
+  percentile_of_sorted sorted q
+
+let pp ppf t =
+  Fmt.pf ppf "n=%d mean=%.3g sd=%.3g min=%.3g med=%.3g p90=%.3g max=%.3g"
+    t.count t.mean t.stddev t.min t.median t.p90 t.max

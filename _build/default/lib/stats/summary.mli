@@ -1,0 +1,22 @@
+(** Summary statistics of repeated experiment trials. *)
+
+type t = {
+  count : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation *)
+  min : float;
+  max : float;
+  median : float;
+  p90 : float;
+  p99 : float;
+}
+
+val of_samples : float array -> t
+(** Raises [Invalid_argument] on an empty array. *)
+
+val of_int_samples : int array -> t
+
+val percentile : float array -> float -> float
+(** [percentile xs q] for [q] in [0,1], with linear interpolation. *)
+
+val pp : t Fmt.t

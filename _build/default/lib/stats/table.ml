@@ -1,0 +1,85 @@
+(* Aligned ASCII tables for experiment reports.
+
+   The bench harness prints each reproduced paper table/figure as rows of
+   measured values next to the paper's formula predictions; this module owns
+   the layout. *)
+
+type align = Left | Right
+
+type t = {
+  title : string;
+  header : string list;
+  aligns : align list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create ~title ~header ?aligns () =
+  let aligns =
+    match aligns with
+    | Some a ->
+      if List.length a <> List.length header then
+        invalid_arg "Table.create: aligns/header length mismatch";
+      a
+    | None -> List.map (fun _ -> Right) header
+  in
+  { title; header; aligns; rows = [] }
+
+let title t = t.title
+
+let add_row t cells =
+  if List.length cells <> List.length t.header then
+    invalid_arg "Table.add_row: wrong number of cells";
+  t.rows <- cells :: t.rows
+
+let rows t = List.rev t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.header :: rows in
+  let ncols = List.length t.header in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    all;
+  let pad align width s =
+    let gap = width - String.length s in
+    if gap <= 0 then s
+    else
+      match align with
+      | Left -> s ^ String.make gap ' '
+      | Right -> String.make gap ' ' ^ s
+  in
+  let line row =
+    let cells =
+      List.mapi (fun i c -> pad (List.nth t.aligns i) widths.(i) c) row
+    in
+    "| " ^ String.concat " | " cells ^ " |"
+  in
+  let rule =
+    "+"
+    ^ String.concat "+"
+        (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths))
+    ^ "+"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Fmt.str "%s\n" t.title);
+  Buffer.add_string buf (rule ^ "\n");
+  Buffer.add_string buf (line t.header ^ "\n");
+  Buffer.add_string buf (rule ^ "\n");
+  List.iter (fun r -> Buffer.add_string buf (line r ^ "\n")) rows;
+  Buffer.add_string buf (rule ^ "\n");
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let to_csv t =
+  let quote s =
+    if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+      "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+    else s
+  in
+  let line row = String.concat "," (List.map quote row) in
+  String.concat "\n" (line t.header :: List.map line (List.rev t.rows)) ^ "\n"

@@ -1,0 +1,20 @@
+(** Aligned ASCII tables for experiment reports (one per reproduced paper
+    table/figure), with CSV export. *)
+
+type align = Left | Right
+
+type t
+
+val create : title:string -> header:string list -> ?aligns:align list -> unit -> t
+(** Alignment defaults to [Right] for every column. *)
+
+val title : t -> string
+
+val add_row : t -> string list -> unit
+(** Raises [Invalid_argument] if the cell count differs from the header. *)
+
+val rows : t -> string list list
+
+val render : t -> string
+val print : t -> unit
+val to_csv : t -> string

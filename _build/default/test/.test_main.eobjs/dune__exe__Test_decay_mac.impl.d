@@ -1,0 +1,1 @@
+test/test_decay_mac.ml: Absmac_intf Alcotest Box Config Decay_mac Fun List Placement Point Rng Sinr Sinr_geom Sinr_mac Sinr_phys Sinr_proto

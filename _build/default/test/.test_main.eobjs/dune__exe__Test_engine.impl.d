@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Box Config Engine Fault List Placement Rng Sinr Sinr_engine Sinr_geom Sinr_phys Trace

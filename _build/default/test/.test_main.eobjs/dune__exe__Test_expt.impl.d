@@ -1,0 +1,1 @@
+test/test_expt.ml: Alcotest Array Components Config Exp_progress_lb Graph Induced List Placement Report Rng Sinr_expt Sinr_geom Sinr_graph Sinr_mac Sinr_phys Sinr_stats String Workloads

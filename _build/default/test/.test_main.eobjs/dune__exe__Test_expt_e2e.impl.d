@@ -1,0 +1,1 @@
+test/test_expt_e2e.ml: Alcotest Exp_ablation Exp_ack Exp_approg Exp_cons Exp_decay_lb Exp_mac_compare Exp_mmb Exp_smb List Sinr_expt Sinr_stats

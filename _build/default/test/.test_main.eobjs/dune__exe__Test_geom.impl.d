@@ -1,0 +1,1 @@
+test/test_geom.ml: Alcotest Array Box Float Fun Grid_index List Placement Point QCheck QCheck_alcotest Rng Sinr_geom

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Bfs Box Components Fun Geo_metrics Graph Growth List Mis_check Placement Point Printf QCheck QCheck_alcotest Rng Sinr_geom Sinr_graph String

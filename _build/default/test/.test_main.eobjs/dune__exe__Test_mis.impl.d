@@ -1,0 +1,1 @@
+test/test_mis.ml: Alcotest Array Box Fun Graph Greedy_mis Labels List Log_star Mis_check Placement Point QCheck QCheck_alcotest Rng Sinr_geom Sinr_graph Sinr_mis Sw_mis

@@ -1,0 +1,1 @@
+test/test_mis_ext.ml: Alcotest Array Fun Graph List Mis_check Sinr_graph Sinr_mis Sw_mis

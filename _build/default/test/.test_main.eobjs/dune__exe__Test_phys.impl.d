@@ -1,0 +1,1 @@
+test/test_phys.ml: Alcotest Array Box Config Float Fun Graph Growth Induced List Placement Point Reliability Rng Sinr Sinr_geom Sinr_graph Sinr_phys

@@ -1,0 +1,1 @@
+test/test_phys_ext.ml: Alcotest Array Box Config Float Fun Graph Induced List Placement Point QCheck QCheck_alcotest Reliability Rng Sinr Sinr_geom Sinr_graph Sinr_mac Sinr_phys

@@ -1,0 +1,1 @@
+test/test_spec.ml: Absmac_intf Alcotest Box Combined_mac Config Graph Ideal_mac Induced List Placement Rng Sinr Sinr_engine Sinr_geom Sinr_graph Sinr_mac Sinr_phys Spec_check Trace

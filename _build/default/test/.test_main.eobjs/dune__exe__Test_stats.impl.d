@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Fit Float List QCheck QCheck_alcotest Sinr_stats String Summary Table

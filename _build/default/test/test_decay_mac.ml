@@ -1,0 +1,108 @@
+(* Tests for the Decay-based absMAC comparison implementation. *)
+
+open Sinr_geom
+open Sinr_phys
+open Sinr_mac
+
+let cfg = Config.default
+
+let pair_sinr d = Sinr.create cfg [| Point.make 0. 0.; Point.make d 0. |]
+
+let test_bcast_rcv_ack () =
+  let mac = Decay_mac.create (pair_sinr 5.) ~rng:(Rng.create 1) in
+  let rcvs = ref [] and acks = ref [] in
+  Decay_mac.set_handlers mac
+    { Absmac_intf.on_rcv = (fun ~node ~payload:_ -> rcvs := node :: !rcvs);
+      on_ack = (fun ~node ~payload:_ -> acks := node :: !acks) };
+  ignore (Decay_mac.bcast mac ~node:0 ~data:5);
+  Alcotest.(check bool) "busy" true (Decay_mac.busy mac ~node:0);
+  let budget = ref ((Decay_mac.bounds mac).Absmac_intf.f_ack + 5) in
+  while Decay_mac.busy mac ~node:0 && !budget > 0 do
+    Decay_mac.step mac;
+    decr budget
+  done;
+  Alcotest.(check (list int)) "neighbor received" [ 1 ] !rcvs;
+  Alcotest.(check (list int)) "sender acked" [ 0 ] !acks
+
+let test_ack_at_budget () =
+  let mac = Decay_mac.create (pair_sinr 5.) ~rng:(Rng.create 2) in
+  let ack_slot = ref 0 in
+  Decay_mac.set_handlers mac
+    { Absmac_intf.on_rcv = (fun ~node:_ ~payload:_ -> ());
+      on_ack = (fun ~node:_ ~payload:_ -> ack_slot := Decay_mac.now mac) };
+  ignore (Decay_mac.bcast mac ~node:0 ~data:1);
+  for _ = 1 to (Decay_mac.bounds mac).Absmac_intf.f_ack + 5 do
+    Decay_mac.step mac
+  done;
+  Alcotest.(check int) "ack exactly at the budget"
+    (Decay_mac.bounds mac).Absmac_intf.f_ack !ack_slot
+
+let test_abort_no_ack () =
+  let mac = Decay_mac.create (pair_sinr 5.) ~rng:(Rng.create 3) in
+  let acked = ref false in
+  Decay_mac.set_handlers mac
+    { Absmac_intf.on_rcv = (fun ~node:_ ~payload:_ -> ());
+      on_ack = (fun ~node:_ ~payload:_ -> acked := true) };
+  ignore (Decay_mac.bcast mac ~node:0 ~data:1);
+  Decay_mac.step mac;
+  Decay_mac.abort mac ~node:0;
+  for _ = 1 to (Decay_mac.bounds mac).Absmac_intf.f_ack + 5 do
+    Decay_mac.step mac
+  done;
+  Alcotest.(check bool) "no ack after abort" false !acked;
+  Alcotest.(check bool) "not busy" false (Decay_mac.busy mac ~node:0)
+
+let test_rcv_dedup () =
+  let mac = Decay_mac.create (pair_sinr 5.) ~rng:(Rng.create 4) in
+  let count = ref 0 in
+  Decay_mac.set_handlers mac
+    { Absmac_intf.on_rcv = (fun ~node:_ ~payload:_ -> incr count);
+      on_ack = (fun ~node:_ ~payload:_ -> ()) };
+  ignore (Decay_mac.bcast mac ~node:0 ~data:1);
+  for _ = 1 to 500 do
+    Decay_mac.step mac
+  done;
+  Alcotest.(check int) "single rcv despite repeats" 1 !count
+
+let test_double_bcast_rejected () =
+  let mac = Decay_mac.create (pair_sinr 5.) ~rng:(Rng.create 5) in
+  ignore (Decay_mac.bcast mac ~node:0 ~data:1);
+  Alcotest.(check bool) "rejected" true
+    (try ignore (Decay_mac.bcast mac ~node:0 ~data:2); false
+     with Invalid_argument _ -> true)
+
+let test_budget_scales_with_lambda () =
+  (* f_ack ~ N~ log N~ with N~ = 4*Lambda^2: doubling the range must grow
+     the budget superlinearly. *)
+  let mk range =
+    let c = Config.with_range ~range () in
+    let sinr = Sinr.create c [| Point.make 0. 0.; Point.make 5. 0. |] in
+    (Decay_mac.bounds (Decay_mac.create sinr ~rng:(Rng.create 6))).Absmac_intf.f_ack
+  in
+  let small = mk 12. and large = mk 24. in
+  Alcotest.(check bool) "budget grows > 4x when lambda doubles" true
+    (large > 4 * small)
+
+let test_bmmb_over_decay_mac () =
+  (* The plug-and-play property: BMMB runs unchanged over this MAC too. *)
+  let rng = Rng.create 7 in
+  let pts = Placement.uniform rng ~n:12 ~box:(Box.square ~side:10.) ~min_dist:1. in
+  let sinr = Sinr.create cfg pts in
+  let mac = Decay_mac.create sinr ~rng:(Rng.split rng ~key:1) in
+  let proto = Sinr_proto.Bmmb.create (Sinr_proto.Mac_driver.of_decay mac) in
+  Sinr_proto.Bmmb.arrive proto ~node:0 ~msg:1;
+  let completed =
+    Sinr_proto.Bmmb.run_until_complete proto ~nodes:(List.init 12 Fun.id)
+      ~msgs:[ 1 ] ~max_steps:2_000_000
+  in
+  Alcotest.(check bool) "bmmb completes over decay mac" true (completed <> None)
+
+let suite =
+  [ Alcotest.test_case "bcast/rcv/ack" `Quick test_bcast_rcv_ack;
+    Alcotest.test_case "ack at budget" `Quick test_ack_at_budget;
+    Alcotest.test_case "abort no ack" `Quick test_abort_no_ack;
+    Alcotest.test_case "rcv dedup" `Quick test_rcv_dedup;
+    Alcotest.test_case "double bcast rejected" `Quick test_double_bcast_rejected;
+    Alcotest.test_case "budget scales with lambda" `Quick
+      test_budget_scales_with_lambda;
+    Alcotest.test_case "bmmb over decay mac" `Slow test_bmmb_over_decay_mac ]

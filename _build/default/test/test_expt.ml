@@ -1,0 +1,150 @@
+(* Tests for the experiment harness: workload builders, report helpers and
+   the cheap experiments end to end. *)
+
+open Sinr_geom
+open Sinr_graph
+open Sinr_phys
+open Sinr_expt
+
+let rng () = Rng.create 1234
+
+let test_uniform_workload_profile () =
+  let d = Workloads.uniform (rng ()) ~n:60 ~target_degree:8 in
+  let p = d.Workloads.profile in
+  Alcotest.(check bool) "degree in the right ballpark" true
+    (p.Induced.strong_degree >= 4 && p.Induced.strong_degree <= 24);
+  Alcotest.(check bool) "lambda >= 1" true (p.Induced.lambda >= 1.)
+
+let test_uniform_degree_scales_with_target () =
+  let lo = Workloads.uniform (rng ()) ~n:60 ~target_degree:4 in
+  let hi = Workloads.uniform (rng ()) ~n:60 ~target_degree:16 in
+  Alcotest.(check bool) "denser target, higher degree" true
+    (hi.Workloads.profile.Induced.strong_degree
+     > lo.Workloads.profile.Induced.strong_degree)
+
+let test_lambda_sweep_scales () =
+  let small = Workloads.lambda_sweep (rng ()) ~range:6. ~n:30 ~per_range:6 in
+  let large = Workloads.lambda_sweep (rng ()) ~range:24. ~n:30 ~per_range:6 in
+  Alcotest.(check bool) "lambda grows with range" true
+    (large.Workloads.profile.Induced.lambda
+     > small.Workloads.profile.Induced.lambda)
+
+let test_star_workload () =
+  let d, s = Workloads.star (rng ()) ~delta:10 in
+  Alcotest.(check int) "hub + leaves" 11 (Array.length s.Placement.leaves + 1);
+  (* The hub is adjacent to every leaf in the strong graph. *)
+  let strong = d.Workloads.profile.Induced.strong in
+  Array.iter
+    (fun leaf ->
+      Alcotest.(check bool) "hub-leaf edge" true
+        (Graph.mem_edge strong s.Placement.hub leaf))
+    s.Placement.leaves
+
+let test_fig1_workload () =
+  let d, tl = Workloads.fig1 ~delta:5 in
+  let strong = d.Workloads.profile.Induced.strong in
+  (* delta cross edges, each sender paired uniquely. *)
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check bool) "paired" true
+        (Graph.mem_edge strong v tl.Placement.receivers.(i)))
+    tl.Placement.senders;
+  (* No G_{1-2eps} cross edges: the vacuousness property. *)
+  let approx = d.Workloads.profile.Induced.approx in
+  Array.iter
+    (fun v ->
+      Array.iter
+        (fun u ->
+          Alcotest.(check bool) "no approx cross edge" false
+            (Graph.mem_edge approx v u))
+        tl.Placement.receivers)
+    tl.Placement.senders
+
+let test_two_balls_workload () =
+  let d, tb = Workloads.two_balls (rng ()) ~delta:40 in
+  Alcotest.(check int) "ball2 size" 40 (Array.length tb.Placement.ball2);
+  let strong = d.Workloads.profile.Induced.strong in
+  (* B1's nodes are strong neighbors of each other... *)
+  Alcotest.(check bool) "b1 pair connected" true
+    (Graph.mem_edge strong tb.Placement.ball1.(0) tb.Placement.ball1.(1));
+  (* ...but no B1-B2 edge exists (the balls are 1.5R apart). *)
+  Array.iter
+    (fun a ->
+      Array.iter
+        (fun b ->
+          Alcotest.(check bool) "balls disconnected" false
+            (Graph.mem_edge strong a b))
+        tb.Placement.ball2)
+    tb.Placement.ball1
+
+let test_line_workload () =
+  let d = Workloads.line ~hops:10 () in
+  Alcotest.(check int) "diameter = hops" 10
+    d.Workloads.profile.Induced.strong_diameter;
+  Alcotest.(check bool) "connected" true
+    (Components.is_connected d.Workloads.profile.Induced.strong)
+
+(* ---------------- Report helpers ---------------- *)
+
+let test_trials_counts_timeouts () =
+  let summary, timeouts =
+    Report.trials ~seeds:[ 1; 2; 3; 4 ] (fun seed ->
+        if seed mod 2 = 0 then Some (float_of_int seed) else None)
+  in
+  Alcotest.(check int) "timeouts" 2 timeouts;
+  match summary with
+  | Some s -> Alcotest.(check (float 1e-9)) "mean of survivors" 3.0 s.Sinr_stats.Summary.mean
+  | None -> Alcotest.fail "expected a summary"
+
+let test_trials_all_timeout () =
+  let summary, timeouts = Report.trials ~seeds:[ 1; 2 ] (fun _ -> None) in
+  Alcotest.(check int) "all timed out" 2 timeouts;
+  Alcotest.(check bool) "no summary" true (summary = None)
+
+let test_shape_verdict_perfect () =
+  let v =
+    Report.shape_verdict ~label:"x" [| 1.; 2.; 4. |] [| 3.; 6.; 12. |]
+  in
+  Alcotest.(check bool) "mentions R^2" true
+    (let contains s sub =
+       let n = String.length s and m = String.length sub in
+       let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+       m = 0 || go 0
+     in
+     contains v "R^2=1.000" && contains v "growth ratio 1.00")
+
+(* ---------------- Cheap experiments end-to-end ---------------- *)
+
+let test_exp_progress_lb_end_to_end () =
+  let rows = Exp_progress_lb.run ~deltas:[ 3; 5 ] () in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "blocking verified" true r.Exp_progress_lb.pair_blockings_ok;
+      Alcotest.(check int) "optimal = delta" r.Exp_progress_lb.delta
+        r.Exp_progress_lb.optimal_progress;
+      Alcotest.(check int) "vacuous coverage" 0 r.Exp_progress_lb.covered_by_approx)
+    rows
+
+let test_formula_helpers () =
+  Alcotest.(check bool) "f_ack formula positive" true
+    (Sinr_mac.Params.f_ack_formula ~delta:5 ~lambda:8. ~eps_ack:0.1 > 0.);
+  Alcotest.(check bool) "f_approg formula positive" true
+    (Sinr_mac.Params.f_approg_formula Config.default ~lambda:8. ~eps_approg:0.1
+     > 0.)
+
+let suite =
+  [ Alcotest.test_case "uniform workload profile" `Quick
+      test_uniform_workload_profile;
+    Alcotest.test_case "uniform degree scales" `Quick
+      test_uniform_degree_scales_with_target;
+    Alcotest.test_case "lambda sweep scales" `Quick test_lambda_sweep_scales;
+    Alcotest.test_case "star workload" `Quick test_star_workload;
+    Alcotest.test_case "fig1 workload" `Quick test_fig1_workload;
+    Alcotest.test_case "two balls workload" `Quick test_two_balls_workload;
+    Alcotest.test_case "line workload" `Quick test_line_workload;
+    Alcotest.test_case "trials counts timeouts" `Quick test_trials_counts_timeouts;
+    Alcotest.test_case "trials all timeout" `Quick test_trials_all_timeout;
+    Alcotest.test_case "shape verdict perfect" `Quick test_shape_verdict_perfect;
+    Alcotest.test_case "exp progress lb end-to-end" `Quick
+      test_exp_progress_lb_end_to_end;
+    Alcotest.test_case "formula helpers" `Quick test_formula_helpers ]

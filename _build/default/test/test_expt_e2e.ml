@@ -1,0 +1,118 @@
+(* End-to-end smoke tests of every bench experiment at miniature scale:
+   each must produce rows without raising, so bench/main.exe cannot rot.
+   (Stdout output is produced; alcotest captures it per test.) *)
+
+open Sinr_expt
+
+let test_e1_ack () =
+  let rows = Exp_ack.run ~seeds:[ 1 ] ~deltas:[ 4; 8 ] () in
+  Alcotest.(check int) "two rows" 2 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "no timeout" true (r.Exp_ack.timeouts = 0);
+      Alcotest.(check bool) "formula positive" true (r.Exp_ack.formula > 0.))
+    rows;
+  (* Bigger delta, bigger measured ack. *)
+  match rows with
+  | [ a; b ] ->
+    let mean r =
+      match r.Exp_ack.measured with
+      | Some s -> s.Sinr_stats.Summary.mean
+      | None -> 0.
+    in
+    Alcotest.(check bool) "monotone in delta" true (mean b > mean a)
+  | _ -> Alcotest.fail "expected two rows"
+
+let test_e3_approg_density () =
+  let rows = Exp_approg.run_density ~seeds:[ 1 ] ~n:40 ~sides:[ 28.; 16. ] () in
+  Alcotest.(check int) "two rows" 2 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "success high" true (r.Exp_approg.approg_success > 0.7))
+    rows
+
+let test_e3_approg_eps () =
+  let rows =
+    Exp_approg.run_eps ~seeds:[ 1 ] ~n:30 ~side:18. ~epsilons:[ 0.3; 0.1 ] ()
+  in
+  (match rows with
+   | [ loose; tight ] ->
+     Alcotest.(check bool) "epoch grows as eps shrinks" true
+       (tight.Exp_approg.epoch_slots > loose.Exp_approg.epoch_slots)
+   | _ -> Alcotest.fail "expected two rows")
+
+let test_e4_decay () =
+  let rows = Exp_decay_lb.run ~seeds:[ 1 ] ~deltas:[ 32; 64 ] () in
+  Alcotest.(check int) "two rows" 2 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check int) "decay completed" 0 r.Exp_decay_lb.decay_timeouts;
+      Alcotest.(check int) "approg completed" 0 r.Exp_decay_lb.approg_timeouts)
+    rows
+
+let test_e5_smb_diameter () =
+  let rows = Exp_smb.run_diameter ~seeds:[ 1 ] ~hops:[ 4; 8 ] () in
+  Alcotest.(check int) "two rows" 2 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "ours completed" true (r.Exp_smb.ours <> None);
+      Alcotest.(check bool) "ours beats dgkn" true
+        (match (r.Exp_smb.ours, r.Exp_smb.dgkn) with
+         | Some o, Some d -> o.Sinr_stats.Summary.mean < d.Sinr_stats.Summary.mean
+         | _ -> false))
+    rows
+
+let test_e6_mmb () =
+  let rows = Exp_mmb.run ~seeds:[ 1 ] ~n:20 ~target_degree:8 ~ks:[ 1; 2 ] () in
+  Alcotest.(check int) "two rows" 2 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "ours completed" true (r.Exp_mmb.completed <> None);
+      Alcotest.(check bool) "naive completed" true (r.Exp_mmb.naive <> None))
+    rows
+
+let test_e7_cons () =
+  let rows = Exp_cons.run ~seeds:[ 1 ] ~ns:[ 10; 16 ] ~target_degree:7 () in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "agreement" true r.Exp_cons.agreement_ok;
+      Alcotest.(check bool) "validity" true r.Exp_cons.validity_ok;
+      Alcotest.(check int) "completed" 0 r.Exp_cons.timeouts)
+    rows
+
+let test_e7b_crashes () =
+  let rows = Exp_cons.run_crashes ~seeds:[ 1 ] ~n:12 ~crash_counts:[ 0; 2 ] () in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "completed" true r.Exp_cons.completed;
+      Alcotest.(check bool) "agreement" true r.Exp_cons.agreement;
+      Alcotest.(check bool) "validity" true r.Exp_cons.validity)
+    rows
+
+let test_e8_ablation () =
+  let rows = Exp_ablation.run ~seeds:[ 1 ] ~n:30 ~side:18. () in
+  Alcotest.(check bool) "rows produced" true (List.length rows >= 8);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "epoch positive" true (r.Exp_ablation.epoch_slots > 0))
+    rows
+
+let test_e9_mac_compare () =
+  let rows = Exp_mac_compare.run ~seed:3 () in
+  Alcotest.(check int) "four rows" 4 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "acks measured" true (r.Exp_mac_compare.ack_mean <> None))
+    rows
+
+let suite =
+  [ Alcotest.test_case "E1 ack mini" `Slow test_e1_ack;
+    Alcotest.test_case "E3a density mini" `Slow test_e3_approg_density;
+    Alcotest.test_case "E3b eps mini" `Slow test_e3_approg_eps;
+    Alcotest.test_case "E4 decay mini" `Slow test_e4_decay;
+    Alcotest.test_case "E5a smb mini" `Slow test_e5_smb_diameter;
+    Alcotest.test_case "E6 mmb mini" `Slow test_e6_mmb;
+    Alcotest.test_case "E7 cons mini" `Slow test_e7_cons;
+    Alcotest.test_case "E7b crashes mini" `Slow test_e7b_crashes;
+    Alcotest.test_case "E8 ablation mini" `Slow test_e8_ablation;
+    Alcotest.test_case "E9 mac compare mini" `Slow test_e9_mac_compare ]

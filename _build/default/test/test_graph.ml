@@ -1,0 +1,217 @@
+(* Tests for the graph substrate. *)
+
+open Sinr_geom
+open Sinr_graph
+
+let path n = Graph.of_edges ~n (List.init (n - 1) (fun i -> (i, i + 1)))
+
+let cycle n =
+  Graph.of_edges ~n ((n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1)))
+
+let complete n =
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      edges := (i, j) :: !edges
+    done
+  done;
+  Graph.of_edges ~n !edges
+
+(* ---------------- Graph ---------------- *)
+
+let test_of_edges_basic () =
+  let g = Graph.of_edges ~n:4 [ (0, 1); (1, 2); (1, 2); (2, 2) ] in
+  Alcotest.(check int) "n" 4 (Graph.n g);
+  Alcotest.(check int) "edges deduped, self-loop dropped" 2 (Graph.num_edges g);
+  Alcotest.(check bool) "mem 0-1" true (Graph.mem_edge g 0 1);
+  Alcotest.(check bool) "mem symmetric" true (Graph.mem_edge g 1 0);
+  Alcotest.(check bool) "no self loop" false (Graph.mem_edge g 2 2);
+  Alcotest.(check bool) "absent" false (Graph.mem_edge g 0 3)
+
+let test_degrees () =
+  let g = path 5 in
+  Alcotest.(check int) "endpoint degree" 1 (Graph.degree g 0);
+  Alcotest.(check int) "inner degree" 2 (Graph.degree g 2);
+  Alcotest.(check int) "max degree" 2 (Graph.max_degree g);
+  Alcotest.(check int) "complete max degree" 4 (Graph.max_degree (complete 5))
+
+let test_of_predicate () =
+  let g = Graph.of_predicate ~n:6 (fun u v -> (u + v) mod 2 = 1) in
+  Graph.iter_edges g (fun u v ->
+      Alcotest.(check int) "parity edge" 1 ((u + v) mod 2));
+  Alcotest.(check int) "bipartite count" 9 (Graph.num_edges g)
+
+let test_induced () =
+  let g = cycle 6 in
+  let sub = Graph.induced g [ 0; 1; 2 ] in
+  Alcotest.(check int) "kept edges" 2 (Graph.num_edges sub);
+  Alcotest.(check bool) "cut edge gone" false (Graph.mem_edge sub 2 3);
+  Alcotest.(check bool) "inner edge kept" true (Graph.mem_edge sub 0 1)
+
+let test_union_subgraph () =
+  let a = Graph.of_edges ~n:4 [ (0, 1) ] in
+  let b = Graph.of_edges ~n:4 [ (2, 3) ] in
+  let u = Graph.union a b in
+  Alcotest.(check int) "union edges" 2 (Graph.num_edges u);
+  Alcotest.(check bool) "a sub u" true (Graph.is_subgraph ~sub:a ~super:u);
+  Alcotest.(check bool) "u not sub a" false (Graph.is_subgraph ~sub:u ~super:a)
+
+(* ---------------- Bfs ---------------- *)
+
+let test_bfs_distances () =
+  let g = path 6 in
+  let d = Bfs.distances g ~src:0 in
+  Alcotest.(check (array int)) "line distances" [| 0; 1; 2; 3; 4; 5 |] d
+
+let test_bfs_unreachable () =
+  let g = Graph.of_edges ~n:4 [ (0, 1) ] in
+  let d = Bfs.distances g ~src:0 in
+  Alcotest.(check bool) "unreachable" true (d.(3) = Bfs.unreachable);
+  Alcotest.(check bool) "hop_distance none" true
+    (Bfs.hop_distance g 0 3 = None)
+
+let test_diameter () =
+  Alcotest.(check int) "path diameter" 7 (Bfs.diameter (path 8));
+  Alcotest.(check int) "cycle diameter" 4 (Bfs.diameter (cycle 8));
+  Alcotest.(check int) "complete diameter" 1 (Bfs.diameter (complete 5));
+  Alcotest.(check int) "isolated diameter" 0 (Bfs.diameter (Graph.empty 3))
+
+let test_ball () =
+  let g = path 7 in
+  let b = List.sort compare (Bfs.ball g ~src:3 ~r:2) in
+  Alcotest.(check (list int)) "ball r=2" [ 1; 2; 3; 4; 5 ] b;
+  let b0 = Bfs.ball g ~src:3 ~r:0 in
+  Alcotest.(check (list int)) "ball r=0 is self" [ 3 ] b0
+
+let test_ball_of_set () =
+  let g = path 10 in
+  let b = List.sort compare (Bfs.ball_of_set g ~srcs:[ 0; 9 ] ~r:1) in
+  Alcotest.(check (list int)) "two balls" [ 0; 1; 8; 9 ] b
+
+(* ---------------- Components ---------------- *)
+
+let test_components () =
+  let g = Graph.of_edges ~n:6 [ (0, 1); (1, 2); (4, 5) ] in
+  Alcotest.(check int) "count" 3 (Components.count g);
+  Alcotest.(check bool) "not connected" false (Components.is_connected g);
+  Alcotest.(check bool) "path connected" true (Components.is_connected (path 4));
+  let comps = Components.components g in
+  Alcotest.(check int) "component list length" 3 (List.length comps)
+
+let test_same_components () =
+  let a = Graph.of_edges ~n:5 [ (0, 1); (1, 2); (3, 4) ] in
+  let b = Graph.of_edges ~n:5 [ (0, 2); (2, 1); (4, 3) ] in
+  let c = Graph.of_edges ~n:5 [ (0, 1); (2, 3); (3, 4) ] in
+  Alcotest.(check bool) "same partition" true (Components.same_components a b);
+  Alcotest.(check bool) "different partition" false
+    (Components.same_components a c)
+
+(* ---------------- Mis_check ---------------- *)
+
+let test_mis_check () =
+  let g = path 5 in
+  Alcotest.(check bool) "independent" true
+    (Mis_check.is_independent g [ 0; 2; 4 ]);
+  Alcotest.(check bool) "not independent" false
+    (Mis_check.is_independent g [ 0; 1 ]);
+  Alcotest.(check bool) "maximal" true
+    (Mis_check.is_mis g ~universe:[ 0; 1; 2; 3; 4 ] [ 0; 2; 4 ]);
+  Alcotest.(check bool) "not maximal" false
+    (Mis_check.is_mis g ~universe:[ 0; 1; 2; 3; 4 ] [ 0 ]);
+  Alcotest.(check (float 1e-9)) "coverage of {0}" 0.4
+    (Mis_check.coverage g ~universe:[ 0; 1; 2; 3; 4 ] [ 0 ])
+
+(* ---------------- Growth ---------------- *)
+
+let test_growth_disc_graph () =
+  let r = Rng.create 5 in
+  let pts =
+    Placement.uniform r ~n:120 ~box:(Box.square ~side:40.) ~min_dist:1.
+  in
+  let g =
+    Graph.of_predicate ~n:120 (fun u v -> Point.dist pts.(u) pts.(v) <= 3.)
+  in
+  Alcotest.(check bool) "disc graph growth bounded (r=2)" true
+    (Growth.check_bound g ~r:2);
+  Alcotest.(check bool) "ball size bound (Lemma 4.2)" true
+    (Growth.check_ball_size g ~r:2)
+
+let test_greedy_independent () =
+  let g = path 6 in
+  let ind = Growth.greedy_independent g [ 0; 1; 2; 3; 4; 5 ] in
+  Alcotest.(check bool) "independent" true (Mis_check.is_independent g ind);
+  Alcotest.(check (list int)) "greedy picks evens" [ 0; 2; 4 ] ind
+
+(* ---------------- Geo_metrics ---------------- *)
+
+let test_lambda () =
+  let pts = [| Point.make 0. 0.; Point.make 1. 0.; Point.make 5. 0. |] in
+  let g = Graph.of_edges ~n:3 [ (0, 1); (1, 2) ] in
+  Alcotest.(check (float 1e-9)) "lambda = 4/1" 4.0 (Geo_metrics.lambda g pts);
+  Alcotest.(check (float 1e-9)) "lambda_of_radius" 6.0
+    (Geo_metrics.lambda_of_radius ~radius:6.0 pts);
+  Alcotest.(check (float 1e-9)) "edgeless lambda" 1.0
+    (Geo_metrics.lambda (Graph.empty 3) pts)
+
+(* ---------------- properties ---------------- *)
+
+let random_graph_gen =
+  QCheck.Gen.(
+    int_range 2 30 >>= fun n ->
+    let pair = map2 (fun a b -> (a mod n, b mod n)) (int_bound 1000) (int_bound 1000) in
+    list_size (int_bound (2 * n)) pair >|= fun edges -> (n, edges))
+
+let arb_random_graph =
+  QCheck.make ~print:(fun (n, es) ->
+      Printf.sprintf "n=%d edges=%s" n
+        (String.concat ";"
+           (List.map (fun (a, b) -> Printf.sprintf "(%d,%d)" a b) es)))
+    random_graph_gen
+
+let prop_bfs_triangle =
+  QCheck.Test.make ~name:"bfs distances satisfy triangle inequality" ~count:100
+    arb_random_graph (fun (n, edges) ->
+      let g = Graph.of_edges ~n edges in
+      let d0 = Bfs.distances g ~src:0 in
+      let ok = ref true in
+      Graph.iter_edges g (fun u v ->
+          if d0.(u) <> Bfs.unreachable && d0.(v) <> Bfs.unreachable then
+            if abs (d0.(u) - d0.(v)) > 1 then ok := false);
+      !ok)
+
+let prop_greedy_mis_is_mis =
+  QCheck.Test.make ~name:"greedy independent set is maximal independent"
+    ~count:100 arb_random_graph (fun (n, edges) ->
+      let g = Graph.of_edges ~n edges in
+      let universe = List.init n Fun.id in
+      let ind = Growth.greedy_independent g universe in
+      Mis_check.is_mis g ~universe ind)
+
+let prop_components_partition =
+  QCheck.Test.make ~name:"components partition the nodes" ~count:100
+    arb_random_graph (fun (n, edges) ->
+      let g = Graph.of_edges ~n edges in
+      let comps = Components.components g in
+      let all = List.sort compare (List.concat comps) in
+      all = List.init n Fun.id)
+
+let suite =
+  [ Alcotest.test_case "of_edges basic" `Quick test_of_edges_basic;
+    Alcotest.test_case "degrees" `Quick test_degrees;
+    Alcotest.test_case "of_predicate" `Quick test_of_predicate;
+    Alcotest.test_case "induced" `Quick test_induced;
+    Alcotest.test_case "union/subgraph" `Quick test_union_subgraph;
+    Alcotest.test_case "bfs distances" `Quick test_bfs_distances;
+    Alcotest.test_case "bfs unreachable" `Quick test_bfs_unreachable;
+    Alcotest.test_case "diameter" `Quick test_diameter;
+    Alcotest.test_case "ball" `Quick test_ball;
+    Alcotest.test_case "ball of set" `Quick test_ball_of_set;
+    Alcotest.test_case "components" `Quick test_components;
+    Alcotest.test_case "same components" `Quick test_same_components;
+    Alcotest.test_case "mis check" `Quick test_mis_check;
+    Alcotest.test_case "growth bounded disc graph" `Quick test_growth_disc_graph;
+    Alcotest.test_case "greedy independent" `Quick test_greedy_independent;
+    Alcotest.test_case "lambda" `Quick test_lambda;
+    QCheck_alcotest.to_alcotest prop_bfs_triangle;
+    QCheck_alcotest.to_alcotest prop_greedy_mis_is_mis;
+    QCheck_alcotest.to_alcotest prop_components_partition ]

@@ -1,0 +1,199 @@
+(* Tests for the modified Schneider–Wattenhofer MIS. *)
+
+open Sinr_geom
+open Sinr_graph
+open Sinr_mis
+
+let test_log_star () =
+  Alcotest.(check int) "log* 1" 0 (Log_star.log_star 1.);
+  Alcotest.(check int) "log* 2" 1 (Log_star.log_star 2.);
+  Alcotest.(check int) "log* 4" 2 (Log_star.log_star 4.);
+  Alcotest.(check int) "log* 16" 3 (Log_star.log_star 16.);
+  Alcotest.(check int) "log* 65536" 4 (Log_star.log_star 65536.);
+  Alcotest.(check int) "log* 2^20" 5 (Log_star.log_star (2. ** 20.))
+
+let test_bits () =
+  Alcotest.(check int) "bits 0" 1 (Log_star.bits 0);
+  Alcotest.(check int) "bits 1" 1 (Log_star.bits 1);
+  Alcotest.(check int) "bits 7" 3 (Log_star.bits 7);
+  Alcotest.(check int) "bits 8" 4 (Log_star.bits 8)
+
+let test_labels () =
+  let rng = Rng.create 2 in
+  let labels = Labels.draw rng ~n:10 ~participants:[ 1; 3; 5 ] ~bits:8 in
+  Alcotest.(check int) "non participant zero" 0 labels.(0);
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "in range" true (labels.(v) >= 1 && labels.(v) < 256))
+    [ 1; 3; 5 ];
+  let u = Labels.unique ~n:5 ~participants:[ 0; 2; 4 ] in
+  Alcotest.(check bool) "unique labels distinct" true
+    (List.sort_uniq compare [ u.(0); u.(2); u.(4) ] |> List.length = 3)
+
+let test_bits_for_bounds () =
+  let b = Labels.bits_for ~lambda:16. ~eps_approg:0.1 () in
+  Alcotest.(check bool) "reasonable" true (b >= 4 && b <= 24)
+
+(* Geometric growth-bounded test graph: a unit-disk style graph. *)
+let disk_graph rng n side radius =
+  let pts = Placement.uniform rng ~n ~box:(Box.square ~side) ~min_dist:1. in
+  Graph.of_predicate ~n (fun u v -> Point.dist pts.(u) pts.(v) <= radius)
+
+let run_mis ?(stages = 3) ~labels graph participants =
+  let n = Graph.n graph in
+  let label_bits =
+    Array.fold_left (fun acc l -> max acc (Log_star.bits l)) 1 labels
+  in
+  let mis =
+    Sw_mis.create ~n ~participants ~labels ~label_bits ~stages
+  in
+  Sw_mis.run_congest graph mis;
+  mis
+
+let test_mis_unique_labels_is_mis () =
+  let rng = Rng.create 7 in
+  for trial = 1 to 8 do
+    let g = disk_graph (Rng.split rng ~key:trial) 60 25. 4. in
+    let participants = List.init 60 Fun.id in
+    let labels = Labels.unique ~n:60 ~participants in
+    let mis = run_mis ~labels g participants in
+    let doms = Sw_mis.dominators mis in
+    Alcotest.(check bool) "independent" true (Mis_check.is_independent g doms);
+    Alcotest.(check bool) "resolved with unique labels" true
+      (Sw_mis.resolved mis);
+    Alcotest.(check bool) "maximal" true
+      (Mis_check.is_mis g ~universe:participants doms)
+  done
+
+let test_mis_random_labels_independent () =
+  let rng = Rng.create 9 in
+  for trial = 1 to 8 do
+    let key = 100 + trial in
+    let g = disk_graph (Rng.split rng ~key) 60 25. 4. in
+    let participants = List.init 60 Fun.id in
+    let labels =
+      Labels.draw (Rng.split rng ~key:(200 + trial)) ~n:60 ~participants ~bits:12
+    in
+    let mis = run_mis ~labels g participants in
+    let doms = Sw_mis.dominators mis in
+    Alcotest.(check bool) "independent" true (Mis_check.is_independent g doms);
+    (* Random 12-bit labels over 60 nodes: near-maximal with overwhelming
+       probability; require decent coverage. *)
+    Alcotest.(check bool) "coverage high" true
+      (Mis_check.coverage g ~universe:participants doms > 0.9)
+  done
+
+let test_mis_adversarial_equal_labels () =
+  (* All labels equal: everything ties; the set must stay independent (and
+     will be empty or tiny), and unresolved nodes are ignored. *)
+  let g = disk_graph (Rng.create 31) 30 18. 4. in
+  let participants = List.init 30 Fun.id in
+  let labels = Array.make 30 5 in
+  let mis = run_mis ~labels g participants in
+  let doms = Sw_mis.dominators mis in
+  Alcotest.(check bool) "independent under collisions" true
+    (Mis_check.is_independent g doms)
+
+let test_mis_subset_participants () =
+  let g = disk_graph (Rng.create 41) 50 22. 4. in
+  let participants = List.filter (fun v -> v mod 2 = 0) (List.init 50 Fun.id) in
+  let labels = Labels.unique ~n:50 ~participants in
+  let mis = run_mis ~labels g participants in
+  let doms = Sw_mis.dominators mis in
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "dominators are participants" true (v mod 2 = 0))
+    doms;
+  Alcotest.(check bool) "independent" true (Mis_check.is_independent g doms);
+  (* Maximal within the participant-induced subgraph. *)
+  let sub = Graph.induced g participants in
+  Alcotest.(check bool) "maximal among participants" true
+    (Mis_check.is_mis sub ~universe:participants doms)
+
+let test_mis_empty_graph () =
+  let g = Graph.empty 5 in
+  let participants = List.init 5 Fun.id in
+  let labels = Labels.unique ~n:5 ~participants in
+  let mis = run_mis ~labels g participants in
+  Alcotest.(check (list int)) "all isolated nodes join" [ 0; 1; 2; 3; 4 ]
+    (List.sort compare (Sw_mis.dominators mis))
+
+let test_mis_drop_excludes () =
+  let g = Graph.of_edges ~n:3 [ (0, 1); (1, 2) ] in
+  let participants = [ 0; 1; 2 ] in
+  let labels = Labels.unique ~n:3 ~participants in
+  let mis =
+    Sw_mis.create ~n:3 ~participants ~labels ~label_bits:4 ~stages:2
+  in
+  Sw_mis.drop mis 0;
+  Sw_mis.run_congest g mis;
+  Alcotest.(check bool) "dropped node not dominator" true
+    (not (List.mem 0 (Sw_mis.dominators mis)));
+  Alcotest.(check bool) "still independent" true
+    (Mis_check.is_independent g (Sw_mis.dominators mis))
+
+let test_mis_total_rounds_shape () =
+  (* Runtime must scale with log* of the label range, not with n. *)
+  let mk n bits =
+    Sw_mis.create ~n ~participants:(List.init n Fun.id)
+      ~labels:(Array.make n 1) ~label_bits:bits ~stages:3
+  in
+  let small = Sw_mis.total_rounds (mk 10 8) in
+  let large_n = Sw_mis.total_rounds (mk 1000 8) in
+  Alcotest.(check int) "independent of n" small large_n;
+  let more_bits = Sw_mis.total_rounds (mk 10 24) in
+  Alcotest.(check bool) "grows (mildly) with label bits" true
+    (more_bits >= small)
+
+let test_greedy_mis_oracle () =
+  let g = disk_graph (Rng.create 51) 40 20. 4. in
+  let universe = List.init 40 Fun.id in
+  let mis = Greedy_mis.compute g ~universe in
+  Alcotest.(check bool) "is mis" true (Mis_check.is_mis g ~universe mis)
+
+let test_greedy_mis_priority () =
+  let g = Graph.of_edges ~n:3 [ (0, 1); (1, 2) ] in
+  let mis = Greedy_mis.compute ~priority:[| 5; 1; 5 |] g ~universe:[ 0; 1; 2 ] in
+  Alcotest.(check (list int)) "lowest priority first" [ 1 ] mis
+
+(* Property: independence holds for arbitrary graphs and arbitrary labels. *)
+let prop_mis_always_independent =
+  let gen =
+    QCheck.Gen.(
+      int_range 2 25 >>= fun n ->
+      list_size (int_bound (2 * n))
+        (map2 (fun a b -> (a mod n, b mod n)) (int_bound 1000) (int_bound 1000))
+      >>= fun edges ->
+      array_size (return n) (int_range 1 15) >|= fun labels ->
+      (n, edges, labels))
+  in
+  QCheck.Test.make ~name:"sw_mis independent on arbitrary graphs/labels"
+    ~count:150
+    (QCheck.make gen)
+    (fun (n, edges, labels) ->
+      let g = Graph.of_edges ~n edges in
+      let mis =
+        Sw_mis.create ~n ~participants:(List.init n Fun.id) ~labels
+          ~label_bits:4 ~stages:2
+      in
+      Sw_mis.run_congest g mis;
+      Mis_check.is_independent g (Sw_mis.dominators mis))
+
+let suite =
+  [ Alcotest.test_case "log star" `Quick test_log_star;
+    Alcotest.test_case "bits" `Quick test_bits;
+    Alcotest.test_case "labels" `Quick test_labels;
+    Alcotest.test_case "bits_for bounds" `Quick test_bits_for_bounds;
+    Alcotest.test_case "unique labels give MIS" `Quick
+      test_mis_unique_labels_is_mis;
+    Alcotest.test_case "random labels independent + covering" `Quick
+      test_mis_random_labels_independent;
+    Alcotest.test_case "adversarial equal labels" `Quick
+      test_mis_adversarial_equal_labels;
+    Alcotest.test_case "subset participants" `Quick test_mis_subset_participants;
+    Alcotest.test_case "empty graph" `Quick test_mis_empty_graph;
+    Alcotest.test_case "drop excludes" `Quick test_mis_drop_excludes;
+    Alcotest.test_case "total rounds shape" `Quick test_mis_total_rounds_shape;
+    Alcotest.test_case "greedy mis oracle" `Quick test_greedy_mis_oracle;
+    Alcotest.test_case "greedy mis priority" `Quick test_greedy_mis_priority;
+    QCheck_alcotest.to_alcotest prop_mis_always_independent ]

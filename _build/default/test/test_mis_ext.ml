@@ -1,0 +1,144 @@
+(* Extended MIS machine tests: state-machine details, absorbing states,
+   round accounting, driver contract. *)
+
+open Sinr_graph
+open Sinr_mis
+
+let path n = Graph.of_edges ~n (List.init (n - 1) (fun i -> (i, i + 1)))
+
+let mk ?(stages = 2) ?(label_bits = 4) ~labels n =
+  Sw_mis.create ~n ~participants:(List.init n Fun.id) ~labels ~label_bits
+    ~stages
+
+(* Drive one reliable round by hand over a graph. *)
+let one_round g mis =
+  for v = 0 to Graph.n g - 1 do
+    match Sw_mis.outgoing mis v with
+    | None -> ()
+    | Some m ->
+      Array.iter
+        (fun u -> Sw_mis.deliver mis ~node:u ~payload:m)
+        (Graph.neighbors g v)
+  done;
+  Sw_mis.advance mis
+
+let test_dominator_absorbing () =
+  let g = path 3 in
+  let mis = mk ~labels:[| 1; 2; 3 |] 3 in
+  Sw_mis.run_congest g mis;
+  (* Node 0 (smallest label, endpoint) must be a dominator; feeding more
+     rounds cannot change resolved states. *)
+  let before = List.init 3 (fun v -> Sw_mis.status mis v) in
+  one_round g mis;
+  one_round g mis;
+  let after = List.init 3 (fun v -> Sw_mis.status mis v) in
+  Alcotest.(check bool) "states stable after finish" true (before = after)
+
+let test_path_unique_labels_exact () =
+  (* Labels 1..n on a path: the parallel election needn't match sequential
+     greedy, but it must produce a maximal independent set containing the
+     global minimum. *)
+  let g = path 5 in
+  let mis = mk ~labels:[| 1; 2; 3; 4; 5 |] 5 in
+  Sw_mis.run_congest g mis;
+  let doms = Sw_mis.dominators mis in
+  Alcotest.(check bool) "is an MIS" true
+    (Mis_check.is_mis g ~universe:[ 0; 1; 2; 3; 4 ] doms);
+  Alcotest.(check bool) "global minimum elected" true (List.mem 0 doms)
+
+let test_two_nodes_equal_labels_stall () =
+  let g = path 2 in
+  let mis = mk ~labels:[| 3; 3 |] 2 in
+  Sw_mis.run_congest g mis;
+  Alcotest.(check (list int)) "nobody elected under a perfect tie" []
+    (Sw_mis.dominators mis);
+  Alcotest.(check bool) "unresolved" false (Sw_mis.resolved mis)
+
+let test_rounds_accounting () =
+  let g = path 4 in
+  let mis = mk ~labels:[| 1; 2; 3; 4 |] 4 in
+  let total = Sw_mis.total_rounds mis in
+  for _ = 1 to total do
+    Alcotest.(check bool) "not finished before total" false (Sw_mis.finished mis);
+    one_round g mis
+  done;
+  Alcotest.(check bool) "finished exactly at total" true (Sw_mis.finished mis)
+
+let test_beacons_from_resolved_nodes () =
+  (* Dominated and dominator nodes keep beaconing (loss detectability). *)
+  let g = path 3 in
+  let mis = mk ~labels:[| 1; 2; 3 |] 3 in
+  Sw_mis.run_congest g mis;
+  for v = 0 to 2 do
+    Alcotest.(check bool) "beacon present" true (Sw_mis.outgoing mis v <> None)
+  done
+
+let test_non_participant_silent () =
+  let mis =
+    Sw_mis.create ~n:3 ~participants:[ 0; 2 ] ~labels:[| 1; 9; 2 |]
+      ~label_bits:4 ~stages:2
+  in
+  Alcotest.(check bool) "non-participant silent" true
+    (Sw_mis.outgoing mis 1 = None)
+
+let test_drop_is_absorbing_for_unresolved () =
+  let g = path 4 in
+  let mis = mk ~labels:[| 4; 3; 2; 1 |] 4 in
+  Sw_mis.drop mis 1;
+  Sw_mis.run_congest g mis;
+  Alcotest.(check bool) "dropped never dominates" true
+    (not (List.mem 1 (Sw_mis.dominators mis)))
+
+(* Star graphs: the center or the leaves win depending on labels. *)
+let test_star_center_wins () =
+  let star = Graph.of_edges ~n:5 [ (0, 1); (0, 2); (0, 3); (0, 4) ] in
+  let mis = mk ~labels:[| 1; 5; 6; 7; 8 |] 5 in
+  Sw_mis.run_congest star mis;
+  Alcotest.(check (list int)) "center alone" [ 0 ]
+    (List.sort compare (Sw_mis.dominators mis))
+
+let test_star_leaves_win () =
+  let star = Graph.of_edges ~n:5 [ (0, 1); (0, 2); (0, 3); (0, 4) ] in
+  let mis = mk ~labels:[| 9; 1; 2; 3; 4 |] 5 in
+  Sw_mis.run_congest star mis;
+  Alcotest.(check (list int)) "all leaves" [ 1; 2; 3; 4 ]
+    (List.sort compare (Sw_mis.dominators mis))
+
+let test_clique_with_tied_minimum () =
+  (* A clique whose two smallest labels collide.  The tied pair cannot
+     elect itself, but a third competitor's bit-reduced value can undercut
+     the tie and resolve the clique — either way the outcome must be an
+     independent set, and on a clique that means at most one dominator. *)
+  let n = 8 in
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      edges := (i, j) :: !edges
+    done
+  done;
+  let g = Graph.of_edges ~n !edges in
+  let labels = [| 1; 1; 5; 6; 7; 8; 9; 10 |] in
+  let mis = mk ~labels n in
+  Sw_mis.run_congest g mis;
+  let doms = Sw_mis.dominators mis in
+  Alcotest.(check bool) "at most one dominator on a clique" true
+    (List.length doms <= 1);
+  Alcotest.(check bool) "independent" true (Mis_check.is_independent g doms);
+  Alcotest.(check bool) "tied nodes never both elected" true
+    (not (List.mem 0 doms && List.mem 1 doms))
+
+let suite =
+  [ Alcotest.test_case "dominator absorbing" `Quick test_dominator_absorbing;
+    Alcotest.test_case "path unique labels exact" `Quick
+      test_path_unique_labels_exact;
+    Alcotest.test_case "equal labels stall" `Quick
+      test_two_nodes_equal_labels_stall;
+    Alcotest.test_case "rounds accounting" `Quick test_rounds_accounting;
+    Alcotest.test_case "beacons from resolved nodes" `Quick
+      test_beacons_from_resolved_nodes;
+    Alcotest.test_case "non-participant silent" `Quick test_non_participant_silent;
+    Alcotest.test_case "drop absorbing" `Quick test_drop_is_absorbing_for_unresolved;
+    Alcotest.test_case "star center wins" `Quick test_star_center_wins;
+    Alcotest.test_case "star leaves win" `Quick test_star_leaves_win;
+    Alcotest.test_case "clique with tied minimum" `Quick
+      test_clique_with_tied_minimum ]

@@ -1,0 +1,226 @@
+(* Tests for the SINR physics: Eq. 1 semantics, induced graphs, reliability
+   graphs. *)
+
+open Sinr_geom
+open Sinr_graph
+open Sinr_phys
+
+let cfg = Config.default (* alpha=3 beta=1.5 N=1 eps=0.1, R=12 *)
+
+(* ---------------- Config ---------------- *)
+
+let test_config_range_roundtrip () =
+  let c = Config.with_range ~range:20. () in
+  Alcotest.(check (float 1e-9)) "range" 20.0 (Config.range c);
+  Alcotest.(check (float 1e-9)) "strong range" 18.0 (Config.strong_range c);
+  Alcotest.(check (float 1e-9)) "approx range" 16.0 (Config.approx_range c)
+
+let test_config_validation () =
+  let bad f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "alpha <= 2 rejected" true
+    (bad (fun () -> Config.make ~alpha:2.0 ~beta:1.5 ~noise:1. ~power:1. ~eps:0.1));
+  Alcotest.(check bool) "beta <= 1 rejected" true
+    (bad (fun () -> Config.make ~alpha:3.0 ~beta:1.0 ~noise:1. ~power:1. ~eps:0.1));
+  Alcotest.(check bool) "eps >= 1/2 rejected" true
+    (bad (fun () -> Config.make ~alpha:3.0 ~beta:1.5 ~noise:1. ~power:1. ~eps:0.5))
+
+(* ---------------- Sinr reception ---------------- *)
+
+let two_nodes d = [| Point.make 0. 0.; Point.make d 0. |]
+
+let test_single_sender_in_range () =
+  let s = Sinr.create cfg (two_nodes 10.) in
+  Alcotest.(check (option int)) "received" (Some 0)
+    (Sinr.reception s ~senders:[ 0 ] ~receiver:1)
+
+let test_single_sender_at_range () =
+  let s = Sinr.create cfg (two_nodes (Config.range cfg)) in
+  Alcotest.(check (option int)) "boundary received" (Some 0)
+    (Sinr.reception s ~senders:[ 0 ] ~receiver:1)
+
+let test_single_sender_out_of_range () =
+  let s = Sinr.create cfg (two_nodes (Config.range cfg +. 0.5)) in
+  Alcotest.(check (option int)) "not received" None
+    (Sinr.reception s ~senders:[ 0 ] ~receiver:1)
+
+let test_sender_does_not_receive () =
+  let s = Sinr.create cfg (two_nodes 5.) in
+  Alcotest.(check (option int)) "half duplex" None
+    (Sinr.reception s ~senders:[ 0; 1 ] ~receiver:0)
+
+let test_collision_blocks_both () =
+  (* Receiver equidistant between two senders: equal powers, beta > 1 means
+     neither decodes. *)
+  let pts = [| Point.make 0. 0.; Point.make 10. 0.; Point.make 5. 0. |] in
+  let s = Sinr.create cfg pts in
+  Alcotest.(check (option int)) "collision" None
+    (Sinr.reception s ~senders:[ 0; 1 ] ~receiver:2)
+
+let test_capture_effect () =
+  (* A much closer sender survives a distant interferer. *)
+  let pts = [| Point.make 0. 0.; Point.make 2. 0.; Point.make 60. 0. |] in
+  let s = Sinr.create cfg pts in
+  Alcotest.(check (option int)) "capture" (Some 0)
+    (Sinr.reception s ~senders:[ 0; 2 ] ~receiver:1)
+
+let test_at_most_one_decodable () =
+  (* beta > 1: whatever the geometry, a listener decodes at most one sender.
+     resolve returns a single option per node by construction; check the
+     stronger SINR statement directly. *)
+  let r = Rng.create 11 in
+  for _ = 1 to 20 do
+    let pts =
+      Placement.uniform r ~n:30 ~box:(Box.square ~side:40.) ~min_dist:1.
+    in
+    let s = Sinr.create cfg pts in
+    let senders =
+      List.filter (fun _ -> Rng.bernoulli r 0.4) (List.init 30 Fun.id)
+    in
+    if senders <> [] then
+      for u = 0 to 29 do
+        if not (List.mem u senders) then begin
+          let decodable =
+            List.filter
+              (fun v ->
+                Sinr.link_sinr s ~senders ~sender:v ~receiver:u
+                >= cfg.Config.beta)
+              senders
+          in
+          Alcotest.(check bool) "at most one decodable" true
+            (List.length decodable <= 1)
+        end
+      done
+  done
+
+let test_resolve_agrees_with_reception () =
+  let r = Rng.create 13 in
+  let pts = Placement.uniform r ~n:25 ~box:(Box.square ~side:30.) ~min_dist:1. in
+  let s = Sinr.create cfg pts in
+  for _ = 1 to 10 do
+    let senders =
+      List.filter (fun _ -> Rng.bernoulli r 0.3) (List.init 25 Fun.id)
+    in
+    let resolved = Sinr.resolve s ~senders in
+    for u = 0 to 24 do
+      Alcotest.(check (option int)) "resolve = reception"
+        (Sinr.reception s ~senders ~receiver:u)
+        resolved.(u)
+    done
+  done
+
+let test_interference_monotone () =
+  (* Adding a sender never helps any link's SINR. *)
+  let pts =
+    [| Point.make 0. 0.; Point.make 8. 0.; Point.make 20. 0.; Point.make 30. 0. |]
+  in
+  let s = Sinr.create cfg pts in
+  let before = Sinr.link_sinr s ~senders:[ 0 ] ~sender:0 ~receiver:1 in
+  let after = Sinr.link_sinr s ~senders:[ 0; 2 ] ~sender:0 ~receiver:1 in
+  Alcotest.(check bool) "more interference, lower sinr" true (after < before)
+
+let test_near_field_rejected () =
+  Alcotest.(check bool) "min distance enforced" true
+    (try ignore (Sinr.create cfg (two_nodes 0.5)); false
+     with Invalid_argument _ -> true)
+
+(* ---------------- Induced graphs ---------------- *)
+
+let test_induced_nesting () =
+  let r = Rng.create 17 in
+  let pts = Placement.uniform r ~n:80 ~box:(Box.square ~side:50.) ~min_dist:1. in
+  let weak = Induced.weak cfg pts in
+  let strong = Induced.strong cfg pts in
+  let approx = Induced.approx cfg pts in
+  Alcotest.(check bool) "approx <= strong" true
+    (Graph.is_subgraph ~sub:approx ~super:strong);
+  Alcotest.(check bool) "strong <= weak" true
+    (Graph.is_subgraph ~sub:strong ~super:weak)
+
+let test_induced_radius_exact () =
+  let d = Config.strong_range cfg in
+  let pts = [| Point.make 0. 0.; Point.make d 0.; Point.make (d +. 0.2) 10. |] in
+  let strong = Induced.strong cfg pts in
+  Alcotest.(check bool) "edge at exactly R(1-eps)" true (Graph.mem_edge strong 0 1);
+  Alcotest.(check bool) "no edge beyond" false (Graph.mem_edge strong 0 2)
+
+let test_lambda_positive () =
+  let pts = [| Point.make 0. 0.; Point.make 2. 0. |] in
+  Alcotest.(check (float 1e-9)) "lambda = R(1-eps)/2"
+    (Config.strong_range cfg /. 2.)
+    (Induced.lambda cfg pts)
+
+let test_profile_consistent () =
+  let r = Rng.create 19 in
+  let pts = Placement.uniform r ~n:60 ~box:(Box.square ~side:30.) ~min_dist:1. in
+  let p = Induced.profile cfg pts in
+  Alcotest.(check int) "degree matches" (Graph.max_degree p.strong)
+    p.strong_degree;
+  Alcotest.(check bool) "approx diameter >= strong diameter" true
+    (p.approx_diameter >= p.strong_diameter)
+
+let test_growth_bound_sinr_graph () =
+  (* SINR-induced graphs are growth bounded (footnote 3 / Definition 4.1). *)
+  let r = Rng.create 23 in
+  let pts = Placement.uniform r ~n:150 ~box:(Box.square ~side:60.) ~min_dist:1. in
+  let g = Induced.strong cfg pts in
+  Alcotest.(check bool) "growth bound r=1" true (Growth.check_bound g ~r:1);
+  Alcotest.(check bool) "growth bound r=3" true (Growth.check_bound g ~r:3)
+
+(* ---------------- Reliability graph ---------------- *)
+
+let test_reliability_isolated_pair () =
+  (* Two nodes alone: reception prob = p * (1 - p); with p = 0.5 and mu
+     below 0.25 the edge must appear. *)
+  let pts = two_nodes 5. in
+  let s = Sinr.create cfg pts in
+  let r = Rng.create 3 in
+  let e = Reliability.estimate ~trials:800 s r ~set:[ 0; 1 ] ~p:0.5 ~mu:0.15 in
+  Alcotest.(check bool) "edge present" true
+    (Graph.mem_edge (Reliability.graph e) 0 1);
+  let prob = Reliability.success_prob e (1, 0) in
+  Alcotest.(check bool) "prob near p(1-p)" true (Float.abs (prob -. 0.25) < 0.07)
+
+let test_reliability_out_of_range () =
+  let pts = two_nodes (Config.range cfg +. 2.) in
+  let s = Sinr.create cfg pts in
+  let r = Rng.create 3 in
+  let e = Reliability.estimate ~trials:300 s r ~set:[ 0; 1 ] ~p:0.5 ~mu:0.1 in
+  Alcotest.(check bool) "no edge out of range" false
+    (Graph.mem_edge (Reliability.graph e) 0 1)
+
+let test_reliability_validation () =
+  let s = Sinr.create cfg (two_nodes 5.) in
+  let r = Rng.create 3 in
+  Alcotest.(check bool) "mu >= p rejected" true
+    (try
+       ignore (Reliability.estimate s r ~set:[ 0; 1 ] ~p:0.3 ~mu:0.3);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [ Alcotest.test_case "config range roundtrip" `Quick test_config_range_roundtrip;
+    Alcotest.test_case "config validation" `Quick test_config_validation;
+    Alcotest.test_case "single sender in range" `Quick test_single_sender_in_range;
+    Alcotest.test_case "single sender at range" `Quick test_single_sender_at_range;
+    Alcotest.test_case "single sender out of range" `Quick
+      test_single_sender_out_of_range;
+    Alcotest.test_case "half duplex" `Quick test_sender_does_not_receive;
+    Alcotest.test_case "collision blocks both" `Quick test_collision_blocks_both;
+    Alcotest.test_case "capture effect" `Quick test_capture_effect;
+    Alcotest.test_case "at most one decodable (beta>1)" `Quick
+      test_at_most_one_decodable;
+    Alcotest.test_case "resolve = reception" `Quick
+      test_resolve_agrees_with_reception;
+    Alcotest.test_case "interference monotone" `Quick test_interference_monotone;
+    Alcotest.test_case "near field rejected" `Quick test_near_field_rejected;
+    Alcotest.test_case "induced graphs nested" `Quick test_induced_nesting;
+    Alcotest.test_case "induced radius exact" `Quick test_induced_radius_exact;
+    Alcotest.test_case "lambda" `Quick test_lambda_positive;
+    Alcotest.test_case "profile consistent" `Quick test_profile_consistent;
+    Alcotest.test_case "sinr graph growth bounded" `Quick
+      test_growth_bound_sinr_graph;
+    Alcotest.test_case "reliability isolated pair" `Quick
+      test_reliability_isolated_pair;
+    Alcotest.test_case "reliability out of range" `Quick
+      test_reliability_out_of_range;
+    Alcotest.test_case "reliability validation" `Quick test_reliability_validation ]

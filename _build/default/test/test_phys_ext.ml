@@ -1,0 +1,160 @@
+(* Extended SINR physics properties. *)
+
+open Sinr_geom
+open Sinr_graph
+open Sinr_phys
+
+let cfg = Config.default
+
+(* Compile-time conformance: both MAC implementations satisfy the absMAC
+   interface of the specification module. *)
+module _ : Sinr_mac.Absmac_intf.S = Sinr_mac.Combined_mac
+module _ : Sinr_mac.Absmac_intf.S = Sinr_mac.Ideal_mac
+module _ : Sinr_mac.Absmac_intf.S = Sinr_mac.Decay_mac
+
+let test_power_decreasing () =
+  let sinr = Sinr.create cfg [| Point.make 0. 0.; Point.make 5. 0. |] in
+  let at = Point.make 0. 0. in
+  let p1 = Sinr.power_between sinr ~from:(Point.make 3. 0.) ~at in
+  let p2 = Sinr.power_between sinr ~from:(Point.make 6. 0.) ~at in
+  Alcotest.(check bool) "closer is stronger" true (p1 > p2);
+  (* Doubling the distance divides power by 2^alpha. *)
+  Alcotest.(check (float 1e-6)) "path loss exponent"
+    (2. ** cfg.Config.alpha) (p1 /. p2)
+
+let test_interference_additive () =
+  let pts =
+    [| Point.make 0. 0.; Point.make 4. 0.; Point.make 8. 0.; Point.make 0. 7. |]
+  in
+  let sinr = Sinr.create cfg pts in
+  let at = Point.make 2. 2. in
+  let i12 = Sinr.interference_at sinr ~senders:[ 1; 2 ] ~at in
+  let i1 = Sinr.interference_at sinr ~senders:[ 1 ] ~at in
+  let i2 = Sinr.interference_at sinr ~senders:[ 2 ] ~at in
+  Alcotest.(check (float 1e-9)) "additive" (i1 +. i2) i12;
+  Alcotest.(check (float 1e-9)) "empty set" 0.
+    (Sinr.interference_at sinr ~senders:[] ~at)
+
+let test_link_sinr_manual () =
+  (* Triangle: sender at 0, receiver at 6, interferer at 14. *)
+  let pts = [| Point.make 0. 0.; Point.make 6. 0.; Point.make 14. 0. |] in
+  let sinr = Sinr.create cfg pts in
+  let p = cfg.Config.power and a = cfg.Config.alpha and n0 = cfg.Config.noise in
+  let signal = p /. (6. ** a) in
+  let interf = p /. (8. ** a) in
+  let expect = signal /. (n0 +. interf) in
+  Alcotest.(check (float 1e-9)) "matches Eq. 1" expect
+    (Sinr.link_sinr sinr ~senders:[ 0; 2 ] ~sender:0 ~receiver:1)
+
+let test_reception_empty_senders () =
+  let sinr = Sinr.create cfg [| Point.make 0. 0.; Point.make 5. 0. |] in
+  Alcotest.(check (option int)) "silence" None
+    (Sinr.reception sinr ~senders:[] ~receiver:1);
+  Alcotest.(check bool) "resolve silence" true
+    (Array.for_all (fun s -> s = None) (Sinr.resolve sinr ~senders:[]))
+
+let test_in_range_matches_weak_graph () =
+  let rng = Rng.create 5 in
+  let pts = Placement.uniform rng ~n:40 ~box:(Box.square ~side:30.) ~min_dist:1. in
+  let sinr = Sinr.create cfg pts in
+  let weak = Induced.weak cfg pts in
+  for u = 0 to 39 do
+    for v = u + 1 to 39 do
+      Alcotest.(check bool) "in_range = weak edge" (Graph.mem_edge weak u v)
+        (Sinr.in_range sinr u v)
+    done
+  done
+
+let test_graph_a_monotone () =
+  let rng = Rng.create 6 in
+  let pts = Placement.uniform rng ~n:50 ~box:(Box.square ~side:30.) ~min_dist:1. in
+  let g1 = Induced.graph_a cfg pts ~a:0.5 in
+  let g2 = Induced.graph_a cfg pts ~a:0.8 in
+  let g3 = Induced.graph_a cfg pts ~a:1.0 in
+  Alcotest.(check bool) "0.5 sub 0.8" true (Graph.is_subgraph ~sub:g1 ~super:g2);
+  Alcotest.(check bool) "0.8 sub 1.0" true (Graph.is_subgraph ~sub:g2 ~super:g3)
+
+let test_reliability_crowding_hurts () =
+  (* A pair alone has a higher link probability than the same pair inside a
+     crowded co-located set: the contention effect the H-graph captures. *)
+  let rng = Rng.create 7 in
+  let crowd =
+    Placement.uniform rng ~n:20 ~box:(Box.square ~side:8.) ~min_dist:1.
+  in
+  let sinr = Sinr.create cfg crowd in
+  let pair_est =
+    Reliability.estimate ~trials:600 sinr (Rng.split rng ~key:1)
+      ~set:[ 0; 1 ] ~p:0.4 ~mu:0.01
+  in
+  let crowd_est =
+    Reliability.estimate ~trials:600 sinr (Rng.split rng ~key:2)
+      ~set:(List.init 20 Fun.id) ~p:0.4 ~mu:0.01
+  in
+  let p_pair = Reliability.success_prob pair_est (1, 0) in
+  let p_crowd = Reliability.success_prob crowd_est (1, 0) in
+  Alcotest.(check bool) "crowding reduces link probability" true
+    (p_crowd < p_pair)
+
+let test_fig1_lambda () =
+  (* On the Figure 1 construction, Lambda = R(1-eps) / 1 = gap-ish. *)
+  let gap = 50. in
+  let tl = Placement.two_lines ~delta:5 ~spacing:1. ~gap in
+  let c = Config.with_range ~range:(gap /. 0.9) () in
+  let lambda = Induced.lambda c tl.Placement.points in
+  Alcotest.(check bool) "lambda ~ gap" true (Float.abs (lambda -. gap) < 1.)
+
+(* Property: the strong graph never contains an edge longer than the
+   strong radius (over random deployments). *)
+let prop_strong_edge_lengths =
+  QCheck.Test.make ~name:"strong edges within the strong radius" ~count:25
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let pts =
+        Placement.uniform rng ~n:30 ~box:(Box.square ~side:25.) ~min_dist:1.
+      in
+      let strong = Induced.strong cfg pts in
+      let ok = ref true in
+      Graph.iter_edges strong (fun u v ->
+          if Point.dist pts.(u) pts.(v) > Config.strong_range cfg +. 1e-9 then
+            ok := false);
+      !ok)
+
+(* Property: a lone transmission is decoded by exactly the weak neighbors
+   of the transmitter. *)
+let prop_lone_transmission_reaches_weak_neighbors =
+  QCheck.Test.make ~name:"lone transmission = weak neighborhood" ~count:25
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let pts =
+        Placement.uniform rng ~n:25 ~box:(Box.square ~side:25.) ~min_dist:1.
+      in
+      let sinr = Sinr.create cfg pts in
+      let weak = Induced.weak cfg pts in
+      let sender = seed mod 25 in
+      let out = Sinr.resolve sinr ~senders:[ sender ] in
+      let ok = ref true in
+      Array.iteri
+        (fun u got ->
+          if u <> sender then begin
+            let expect = Graph.mem_edge weak sender u in
+            if (got = Some sender) <> expect then ok := false
+          end)
+        out;
+      !ok)
+
+let suite =
+  [ Alcotest.test_case "power decreasing" `Quick test_power_decreasing;
+    Alcotest.test_case "interference additive" `Quick test_interference_additive;
+    Alcotest.test_case "link sinr manual" `Quick test_link_sinr_manual;
+    Alcotest.test_case "reception empty senders" `Quick
+      test_reception_empty_senders;
+    Alcotest.test_case "in_range = weak graph" `Quick
+      test_in_range_matches_weak_graph;
+    Alcotest.test_case "graph_a monotone" `Quick test_graph_a_monotone;
+    Alcotest.test_case "reliability crowding hurts" `Quick
+      test_reliability_crowding_hurts;
+    Alcotest.test_case "fig1 lambda" `Quick test_fig1_lambda;
+    QCheck_alcotest.to_alcotest prop_strong_edge_lengths;
+    QCheck_alcotest.to_alcotest prop_lone_transmission_reaches_weak_neighbors ]

@@ -1,0 +1,225 @@
+(* Tests for the protocols above the MAC layer: BMMB/BSMB, consensus, the
+   Table 2 baselines, and the global runners over the full SINR stack. *)
+
+open Sinr_geom
+open Sinr_graph
+open Sinr_phys
+open Sinr_mac
+open Sinr_proto
+
+let cfg = Config.default
+
+let path_graph n = Graph.of_edges ~n (List.init (n - 1) (fun i -> (i, i + 1)))
+
+let bounds =
+  { Absmac_intf.f_ack = 10;
+    f_prog = 3;
+    f_approg = 3;
+    eps_ack = 0.;
+    eps_prog = 0.;
+    eps_approg = 0. }
+
+let ideal_driver ?policy ?(seed = 3) graph =
+  Mac_driver.of_ideal (Ideal_mac.create ?policy graph ~bounds ~rng:(Rng.create seed))
+
+let uniform_net seed n side =
+  let rng = Rng.create seed in
+  let pts = Placement.uniform rng ~n ~box:(Box.square ~side) ~min_dist:1. in
+  Sinr.create cfg pts
+
+(* ---------------- BMMB over the ideal MAC ---------------- *)
+
+let test_bsmb_ideal_path () =
+  let n = 8 in
+  let proto = Bmmb.create (ideal_driver (path_graph n)) in
+  Bmmb.arrive proto ~node:0 ~msg:42;
+  let completed =
+    Bmmb.run_until_complete proto ~nodes:(List.init n Fun.id) ~msgs:[ 42 ]
+      ~max_steps:10_000
+  in
+  Alcotest.(check bool) "completed" true (completed <> None);
+  (* Delivery times are monotone along the path (each hop needs the MAC). *)
+  let slot v = Option.get (Bmmb.delivery_slot proto ~node:v ~msg:42) in
+  for v = 0 to n - 2 do
+    Alcotest.(check bool) "monotone along path" true (slot v <= slot (v + 1))
+  done;
+  (* Runtime is bounded by (D+1) * f_ack plus slack: [37]'s shape. *)
+  Alcotest.(check bool) "completion bounded" true
+    (Option.get completed <= (n + 1) * bounds.Absmac_intf.f_ack)
+
+let test_bsmb_ideal_adversarial () =
+  let n = 6 in
+  let proto =
+    Bmmb.create (ideal_driver ~policy:Ideal_mac.Adversarial (path_graph n))
+  in
+  Bmmb.arrive proto ~node:0 ~msg:1;
+  let completed =
+    Bmmb.run_until_complete proto ~nodes:(List.init n Fun.id) ~msgs:[ 1 ]
+      ~max_steps:10_000
+  in
+  Alcotest.(check bool) "completes under adversarial scheduling" true
+    (completed <> None)
+
+let test_bmmb_ideal_multi () =
+  let n = 6 in
+  let proto = Bmmb.create (ideal_driver (path_graph n)) in
+  let msgs = [ 10; 20; 30 ] in
+  Bmmb.arrive proto ~node:0 ~msg:10;
+  Bmmb.arrive proto ~node:5 ~msg:20;
+  Bmmb.arrive proto ~node:2 ~msg:30;
+  let completed =
+    Bmmb.run_until_complete proto ~nodes:(List.init n Fun.id) ~msgs
+      ~max_steps:20_000
+  in
+  Alcotest.(check bool) "completed" true (completed <> None);
+  (* Exactly-once delivery per (node, message). *)
+  Alcotest.(check int) "delivery count" (n * 3)
+    (List.length (Bmmb.deliveries proto));
+  let ids = List.map (fun d -> (d.Bmmb.node, d.Bmmb.msg)) (Bmmb.deliveries proto) in
+  Alcotest.(check int) "unique deliveries" (n * 3)
+    (List.length (List.sort_uniq compare ids))
+
+let test_bmmb_arrive_delivers_immediately () =
+  let proto = Bmmb.create (ideal_driver (path_graph 3)) in
+  Bmmb.arrive proto ~node:1 ~msg:5;
+  Alcotest.(check bool) "origin delivered at arrive" true
+    (Bmmb.delivered proto ~node:1 ~msg:5)
+
+let test_bmmb_disconnected_times_out () =
+  let g = Graph.of_edges ~n:4 [ (0, 1) ] (* 2, 3 unreachable *) in
+  let proto = Bmmb.create (ideal_driver g) in
+  Bmmb.arrive proto ~node:0 ~msg:1;
+  let completed =
+    Bmmb.run_until_complete proto ~nodes:[ 0; 1; 2; 3 ] ~msgs:[ 1 ]
+      ~max_steps:500
+  in
+  Alcotest.(check bool) "no completion" true (completed = None);
+  Alcotest.(check bool) "component reached" true (Bmmb.delivered proto ~node:1 ~msg:1);
+  Alcotest.(check bool) "others not" false (Bmmb.delivered proto ~node:2 ~msg:1)
+
+(* ---------------- Consensus over the ideal MAC ---------------- *)
+
+let run_ideal_consensus ?(n = 7) ~initial ~rounds_bound () =
+  let proto =
+    Consensus.create (ideal_driver (path_graph n)) ~initial ~rounds_bound
+  in
+  let completed = Consensus.run proto ~max_steps:100_000 in
+  (proto, completed)
+
+let test_consensus_ideal_basic () =
+  let n = 7 in
+  let initial = Array.init n (fun v -> v mod 2 = 0) in
+  let proto, completed = run_ideal_consensus ~n ~initial ~rounds_bound:(2 * n) () in
+  Alcotest.(check bool) "terminates" true (completed <> None);
+  Alcotest.(check bool) "agreement" true (Consensus.agreement proto);
+  Alcotest.(check bool) "validity" true (Consensus.validity proto);
+  (* Flood-max decides the highest id's initial value. *)
+  Alcotest.(check (option bool)) "max id wins" (Some initial.(n - 1))
+    (Consensus.decision proto ~node:0)
+
+let test_consensus_ideal_unanimous () =
+  let n = 5 in
+  let initial = Array.make n true in
+  let proto, _ = run_ideal_consensus ~n ~initial ~rounds_bound:(2 * n) () in
+  for v = 0 to n - 1 do
+    Alcotest.(check (option bool)) "unanimous true" (Some true)
+      (Consensus.decision proto ~node:v)
+  done
+
+let test_consensus_decisions_irrevocable () =
+  let n = 4 in
+  let initial = [| true; false; true; false |] in
+  let proto, _ = run_ideal_consensus ~n ~initial ~rounds_bound:(2 * n) () in
+  let d0 = Consensus.decision proto ~node:0 in
+  for _ = 1 to 100 do
+    Consensus.step proto
+  done;
+  Alcotest.(check (option bool)) "unchanged" d0 (Consensus.decision proto ~node:0)
+
+(* ---------------- Full SINR stack ---------------- *)
+
+let test_global_smb_sinr () =
+  let sinr = uniform_net 61 25 16. in
+  let r = Global.smb sinr ~rng:(Rng.create 62) ~source:0 ~max_slots:3_000_000 in
+  Alcotest.(check bool) "completed" true (r.Global.completed <> None);
+  Alcotest.(check int) "all reached" 25 r.Global.reached
+
+let test_global_mmb_sinr () =
+  let sinr = uniform_net 63 20 14. in
+  let sources = [ (0, 100); (7, 200); (13, 300) ] in
+  let r = Global.mmb sinr ~rng:(Rng.create 64) ~sources ~max_slots:5_000_000 in
+  Alcotest.(check bool) "completed" true (r.Global.completed <> None);
+  Alcotest.(check int) "all reached" 20 r.Global.reached
+
+let test_global_cons_sinr () =
+  let sinr = uniform_net 65 15 12. in
+  let initial = Array.init 15 (fun v -> v mod 3 = 0) in
+  let prof = Induced.profile cfg (Sinr.points sinr) in
+  let r =
+    Global.cons sinr ~rng:(Rng.create 66) ~initial
+      ~rounds_bound:(2 * (prof.Induced.strong_diameter + 1))
+      ~max_slots:30_000_000
+  in
+  Alcotest.(check bool) "completed" true (r.Global.completed <> None);
+  Alcotest.(check bool) "agreement" true r.Global.agreement;
+  Alcotest.(check bool) "validity" true r.Global.validity;
+  Alcotest.(check int) "all decided" 15 r.Global.deciders
+
+let test_global_cons_with_crashes () =
+  (* A dense clique-ish deployment so that crashes cannot disconnect it. *)
+  let sinr = uniform_net 67 12 8. in
+  let n = 12 in
+  let initial = Array.init n (fun v -> v mod 2 = 1) in
+  let prof = Induced.profile cfg (Sinr.points sinr) in
+  Alcotest.(check bool) "dense (diameter 1)" true
+    (prof.Induced.strong_diameter = 1);
+  let faults = [ (100, 3); (5_000, 8) ] in
+  let r =
+    Global.cons sinr ~rng:(Rng.create 68) ~initial ~faults
+      ~rounds_bound:6 ~max_slots:30_000_000
+  in
+  Alcotest.(check bool) "completed" true (r.Global.completed <> None);
+  Alcotest.(check bool) "agreement among survivors" true r.Global.agreement;
+  Alcotest.(check bool) "validity" true r.Global.validity;
+  Alcotest.(check int) "two crashed" 2 r.Global.crashed;
+  Alcotest.(check int) "survivors decided" (n - 2) r.Global.deciders
+
+(* ---------------- Baselines ---------------- *)
+
+let test_dgkn_baseline_completes () =
+  let sinr = uniform_net 71 20 14. in
+  let r =
+    Dgkn_broadcast.run sinr ~rng:(Rng.create 72) ~source:0
+      ~max_slots:3_000_000
+  in
+  Alcotest.(check bool) "completed" true (r.Dgkn_broadcast.completed <> None);
+  Alcotest.(check int) "all informed" 20 r.Dgkn_broadcast.informed
+
+let test_decay_flood_completes () =
+  let sinr = uniform_net 73 20 14. in
+  let r =
+    Decay_flood.run sinr ~rng:(Rng.create 74) ~source:0 ~max_slots:500_000
+  in
+  Alcotest.(check bool) "completed" true (r.Decay_flood.completed <> None);
+  Alcotest.(check int) "all informed" 20 r.Decay_flood.informed
+
+let suite =
+  [ Alcotest.test_case "bsmb over ideal path" `Quick test_bsmb_ideal_path;
+    Alcotest.test_case "bsmb adversarial scheduler" `Quick
+      test_bsmb_ideal_adversarial;
+    Alcotest.test_case "bmmb multi-message" `Quick test_bmmb_ideal_multi;
+    Alcotest.test_case "bmmb arrive delivers" `Quick
+      test_bmmb_arrive_delivers_immediately;
+    Alcotest.test_case "bmmb disconnected times out" `Quick
+      test_bmmb_disconnected_times_out;
+    Alcotest.test_case "consensus ideal basic" `Quick test_consensus_ideal_basic;
+    Alcotest.test_case "consensus unanimous" `Quick test_consensus_ideal_unanimous;
+    Alcotest.test_case "consensus irrevocable" `Quick
+      test_consensus_decisions_irrevocable;
+    Alcotest.test_case "global smb over sinr" `Slow test_global_smb_sinr;
+    Alcotest.test_case "global mmb over sinr" `Slow test_global_mmb_sinr;
+    Alcotest.test_case "global cons over sinr" `Slow test_global_cons_sinr;
+    Alcotest.test_case "global cons with crashes" `Slow
+      test_global_cons_with_crashes;
+    Alcotest.test_case "dgkn baseline completes" `Slow test_dgkn_baseline_completes;
+    Alcotest.test_case "decay flood completes" `Quick test_decay_flood_completes ]

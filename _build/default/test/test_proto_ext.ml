@@ -1,0 +1,246 @@
+(* Extended protocol tests: exact-mode composition, [37] runtime-bound
+   sanity, crash interactions, baseline invariants. *)
+
+open Sinr_geom
+open Sinr_graph
+open Sinr_phys
+open Sinr_engine
+open Sinr_mac
+open Sinr_proto
+
+let cfg = Config.default
+
+let uniform_net seed n side =
+  let rng = Rng.create seed in
+  Sinr.create cfg (Placement.uniform rng ~n ~box:(Box.square ~side) ~min_dist:1.)
+
+let path_graph n = Graph.of_edges ~n (List.init (n - 1) (fun i -> (i, i + 1)))
+
+(* ---------------- BMMB over the exact-mode MAC ---------------- *)
+
+let test_bmmb_over_exact_mac () =
+  let sinr = uniform_net 201 20 14. in
+  let mac = Combined_mac.create ~exact:true sinr ~rng:(Rng.create 202) in
+  let proto = Bmmb.create (Mac_driver.of_combined mac) in
+  Bmmb.arrive proto ~node:0 ~msg:1;
+  let completed =
+    Bmmb.run_until_complete proto ~nodes:(List.init 20 Fun.id) ~msgs:[ 1 ]
+      ~max_steps:3_000_000
+  in
+  Alcotest.(check bool) "completes in exact mode" true (completed <> None)
+
+(* ---------------- [37] runtime bound sanity (Theorem 12.1) ------------ *)
+
+let test_bsmb_runtime_bound_ideal () =
+  (* Over the ideal MAC with zero failure probability, Theorem 12.1 gives
+     completion within (c3*D + c2*ln(n/g')) * f_prog with c2 = 2, c3 = 3
+     (plus the per-hop queueing the basic protocol adds, bounded by f_ack
+     per hop).  Check the conservative combination. *)
+  let n = 10 in
+  let bounds =
+    { Absmac_intf.f_ack = 12;
+      f_prog = 4;
+      f_approg = 4;
+      eps_ack = 0.;
+      eps_prog = 0.;
+      eps_approg = 0. }
+  in
+  let mac =
+    Ideal_mac.create ~policy:Ideal_mac.Adversarial (path_graph n) ~bounds
+      ~rng:(Rng.create 203)
+  in
+  let proto = Bmmb.create (Mac_driver.of_ideal mac) in
+  Bmmb.arrive proto ~node:0 ~msg:1;
+  match
+    Bmmb.run_until_complete proto ~nodes:(List.init n Fun.id) ~msgs:[ 1 ]
+      ~max_steps:100_000
+  with
+  | None -> Alcotest.fail "did not complete"
+  | Some t ->
+    let d = float_of_int (n - 1) in
+    let bound =
+      ((3. *. d) +. (2. *. log (float_of_int n)))
+      *. float_of_int bounds.Absmac_intf.f_ack
+    in
+    Alcotest.(check bool) "within the Theorem 12.1 envelope" true
+      (float_of_int t <= bound)
+
+(* ---------------- Crashes and broadcast ---------------- *)
+
+let test_bmmb_with_crashed_node () =
+  (* Crash a node mid-broadcast on a dense network: the rest completes. *)
+  let sinr = uniform_net 204 15 10. in
+  let mac = Combined_mac.create sinr ~rng:(Rng.create 205) in
+  let proto = Bmmb.create (Mac_driver.of_combined mac) in
+  Bmmb.arrive proto ~node:0 ~msg:9;
+  Engine.crash (Combined_mac.engine mac) 7;
+  let completed =
+    Bmmb.run_until_complete proto ~nodes:(List.init 15 Fun.id) ~msgs:[ 9 ]
+      ~max_steps:3_000_000
+  in
+  Alcotest.(check bool) "survivors complete" true (completed <> None);
+  Alcotest.(check bool) "crashed node never delivered" false
+    (Bmmb.delivered proto ~node:7 ~msg:9)
+
+(* ---------------- Consensus details ---------------- *)
+
+let test_consensus_validation () =
+  let mac =
+    Ideal_mac.create (path_graph 3)
+      ~bounds:
+        { Absmac_intf.f_ack = 5; f_prog = 2; f_approg = 2; eps_ack = 0.;
+          eps_prog = 0.; eps_approg = 0. }
+      ~rng:(Rng.create 206)
+  in
+  let driver = Mac_driver.of_ideal mac in
+  Alcotest.(check bool) "bad initial size rejected" true
+    (try ignore (Consensus.create driver ~initial:[| true |] ~rounds_bound:2); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad rounds_bound rejected" true
+    (try
+       ignore
+         (Consensus.create driver ~initial:[| true; false; true |] ~rounds_bound:0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_consensus_decided_slots () =
+  let n = 5 in
+  let bounds =
+    { Absmac_intf.f_ack = 8; f_prog = 3; f_approg = 3; eps_ack = 0.;
+      eps_prog = 0.; eps_approg = 0. }
+  in
+  let mac = Ideal_mac.create (path_graph n) ~bounds ~rng:(Rng.create 207) in
+  let proto =
+    Consensus.create (Mac_driver.of_ideal mac)
+      ~initial:(Array.init n (fun v -> v mod 2 = 0))
+      ~rounds_bound:(2 * n)
+  in
+  ignore (Consensus.run proto ~max_steps:10_000);
+  let decide_at = 2 * n * bounds.Absmac_intf.f_ack in
+  for v = 0 to n - 1 do
+    match Consensus.decided_slot proto ~node:v with
+    | Some slot ->
+      Alcotest.(check bool) "decided at or after the deadline" true
+        (slot >= decide_at)
+    | None -> Alcotest.fail "expected a decision"
+  done
+
+let test_consensus_initial_values_copied () =
+  let bounds =
+    { Absmac_intf.f_ack = 5; f_prog = 2; f_approg = 2; eps_ack = 0.;
+      eps_prog = 0.; eps_approg = 0. }
+  in
+  let mac = Ideal_mac.create (path_graph 3) ~bounds ~rng:(Rng.create 208) in
+  let initial = [| true; false; true |] in
+  let proto =
+    Consensus.create (Mac_driver.of_ideal mac) ~initial ~rounds_bound:4
+  in
+  initial.(0) <- false;
+  Alcotest.(check bool) "defensive copy" true
+    (Consensus.initial_values proto).(0)
+
+(* ---------------- Baselines invariants ---------------- *)
+
+let test_dgkn_informed_matches_completion () =
+  let sinr = uniform_net 209 18 13. in
+  let r = Dgkn_broadcast.run sinr ~rng:(Rng.create 210) ~source:0
+      ~max_slots:3_000_000
+  in
+  Alcotest.(check bool) "completed implies all informed" true
+    (r.Dgkn_broadcast.completed = None || r.Dgkn_broadcast.informed = 18)
+
+let test_decay_flood_budget_respected () =
+  (* A disconnected deployment cannot complete; the run must stop at the
+     budget with a partial count. *)
+  let pts = [| Point.make 0. 0.; Point.make 5. 0.; Point.make 500. 0. |] in
+  let sinr = Sinr.create cfg pts in
+  let r = Decay_flood.run sinr ~rng:(Rng.create 211) ~source:0 ~max_slots:200 in
+  Alcotest.(check bool) "no completion" true (r.Decay_flood.completed = None);
+  Alcotest.(check int) "partial reach" 2 r.Decay_flood.informed
+
+let test_mac_driver_alive_tracks_crash () =
+  let sinr = uniform_net 212 5 8. in
+  let mac = Combined_mac.create sinr ~rng:(Rng.create 213) in
+  let driver = Mac_driver.of_combined mac in
+  Alcotest.(check bool) "alive" true (driver.Mac_driver.alive ~node:3);
+  Engine.crash (Combined_mac.engine mac) 3;
+  Alcotest.(check bool) "dead after crash" false (driver.Mac_driver.alive ~node:3)
+
+(* ---------------- BMMB properties over random graphs ---------------- *)
+
+let prop_bmmb_exactly_once =
+  QCheck.Test.make ~name:"bmmb delivers exactly once per (node, msg)" ~count:30
+    QCheck.(pair (int_range 1 500) (int_range 2 12))
+    (fun (seed, n) ->
+      (* Random connected graph: a path plus random chords. *)
+      let rng = Rng.create seed in
+      let chords =
+        List.init (n / 2) (fun _ -> (Rng.int rng n, Rng.int rng n))
+      in
+      let g =
+        Graph.of_edges ~n (List.init (n - 1) (fun i -> (i, i + 1)) @ chords)
+      in
+      let bounds =
+        { Absmac_intf.f_ack = 6; f_prog = 2; f_approg = 2; eps_ack = 0.;
+          eps_prog = 0.; eps_approg = 0. }
+      in
+      let mac = Ideal_mac.create g ~bounds ~rng:(Rng.split rng ~key:1) in
+      let proto = Bmmb.create (Mac_driver.of_ideal mac) in
+      Bmmb.arrive proto ~node:0 ~msg:1;
+      Bmmb.arrive proto ~node:(n - 1) ~msg:2;
+      (match
+         Bmmb.run_until_complete proto ~nodes:(List.init n Fun.id)
+           ~msgs:[ 1; 2 ] ~max_steps:50_000
+       with
+       | None -> false
+       | Some _ ->
+         let ds = Bmmb.deliveries proto in
+         List.length ds = 2 * n
+         && List.length (List.sort_uniq compare
+                           (List.map (fun d -> (d.Bmmb.node, d.Bmmb.msg)) ds))
+            = 2 * n))
+
+let prop_consensus_agreement_random_graphs =
+  QCheck.Test.make ~name:"consensus agreement+validity on random graphs"
+    ~count:30
+    QCheck.(pair (int_range 1 500) (int_range 2 10))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let chords =
+        List.init n (fun _ -> (Rng.int rng n, Rng.int rng n))
+      in
+      let g =
+        Graph.of_edges ~n (List.init (n - 1) (fun i -> (i, i + 1)) @ chords)
+      in
+      let bounds =
+        { Absmac_intf.f_ack = 6; f_prog = 2; f_approg = 2; eps_ack = 0.;
+          eps_prog = 0.; eps_approg = 0. }
+      in
+      let mac = Ideal_mac.create g ~bounds ~rng:(Rng.split rng ~key:1) in
+      let initial = Array.init n (fun v -> Rng.bool rng && v >= 0) in
+      let proto =
+        Consensus.create (Mac_driver.of_ideal mac) ~initial
+          ~rounds_bound:(2 * n)
+      in
+      match Consensus.run proto ~max_steps:50_000 with
+      | None -> false
+      | Some _ -> Consensus.agreement proto && Consensus.validity proto)
+
+let suite =
+  [ Alcotest.test_case "bmmb over exact-mode MAC" `Slow test_bmmb_over_exact_mac;
+    Alcotest.test_case "bsmb runtime bound (Thm 12.1)" `Quick
+      test_bsmb_runtime_bound_ideal;
+    Alcotest.test_case "bmmb with crashed node" `Slow test_bmmb_with_crashed_node;
+    Alcotest.test_case "consensus validation" `Quick test_consensus_validation;
+    Alcotest.test_case "consensus decided slots" `Quick
+      test_consensus_decided_slots;
+    Alcotest.test_case "consensus initial values copied" `Quick
+      test_consensus_initial_values_copied;
+    Alcotest.test_case "dgkn informed matches completion" `Quick
+      test_dgkn_informed_matches_completion;
+    Alcotest.test_case "decay flood budget respected" `Quick
+      test_decay_flood_budget_respected;
+    Alcotest.test_case "mac driver alive tracks crash" `Quick
+      test_mac_driver_alive_tracks_crash;
+    QCheck_alcotest.to_alcotest prop_bmmb_exactly_once;
+    QCheck_alcotest.to_alcotest prop_consensus_agreement_random_graphs ]

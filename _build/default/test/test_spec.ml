@@ -1,0 +1,199 @@
+(* Spec conformance: recorded executions checked against the absMAC
+   specification predicates (Section 4.4, Definition 12.2, Definition 7.1)
+   via Spec_check — exactly on the ideal MAC, statistically on the SINR
+   implementation. *)
+
+open Sinr_geom
+open Sinr_graph
+open Sinr_phys
+open Sinr_engine
+open Sinr_mac
+
+let cfg = Config.default
+
+let path_graph n = Graph.of_edges ~n (List.init (n - 1) (fun i -> (i, i + 1)))
+
+let bounds =
+  { Absmac_intf.f_ack = 15;
+    f_prog = 4;
+    f_approg = 4;
+    eps_ack = 0.;
+    eps_prog = 0.;
+    eps_approg = 0. }
+
+let run_ideal ?policy ~slots ~actions graph =
+  let trace = Trace.create () in
+  let mac = Ideal_mac.create ?policy ~trace graph ~bounds ~rng:(Rng.create 5) in
+  actions mac;
+  for _ = 1 to slots do
+    Ideal_mac.step mac
+  done;
+  (trace, Ideal_mac.now mac)
+
+let test_ideal_random_conforms () =
+  let g = path_graph 6 in
+  let trace, horizon =
+    run_ideal ~slots:200 g ~actions:(fun mac ->
+        ignore (Ideal_mac.bcast mac ~node:0 ~data:1);
+        ignore (Ideal_mac.bcast mac ~node:3 ~data:2);
+        ignore (Ideal_mac.bcast mac ~node:5 ~data:3))
+  in
+  let r =
+    Spec_check.check trace ~graph:g ~f_ack:bounds.Absmac_intf.f_ack
+      ~f_prog:bounds.Absmac_intf.f_prog ~horizon
+  in
+  Alcotest.(check int) "three broadcasts" 3 r.Spec_check.broadcasts;
+  Alcotest.(check int) "all acked" 3 r.Spec_check.acked;
+  Alcotest.(check int) "no late acks" 0 r.Spec_check.late_acks;
+  Alcotest.(check int) "all nice" 0 r.Spec_check.not_nice;
+  Alcotest.(check int) "no progress violations" 0
+    r.Spec_check.progress_violations;
+  Alcotest.(check bool) "progress was actually checked" true
+    (r.Spec_check.progress_checks > 0)
+
+let test_ideal_adversarial_conforms_tightly () =
+  let g = path_graph 4 in
+  let trace, horizon =
+    run_ideal ~policy:Ideal_mac.Adversarial ~slots:100 g ~actions:(fun mac ->
+        ignore (Ideal_mac.bcast mac ~node:1 ~data:1))
+  in
+  let r =
+    Spec_check.check trace ~graph:g ~f_ack:bounds.Absmac_intf.f_ack
+      ~f_prog:bounds.Absmac_intf.f_prog ~horizon
+  in
+  Alcotest.(check int) "no late acks" 0 r.Spec_check.late_acks;
+  Alcotest.(check (list int)) "ack exactly at the bound"
+    [ bounds.Absmac_intf.f_ack ] r.Spec_check.ack_delays;
+  Alcotest.(check int) "nice even at the latest schedule" 0
+    r.Spec_check.not_nice;
+  Alcotest.(check int) "no progress violations" 0
+    r.Spec_check.progress_violations
+
+let test_ideal_abort_recorded () =
+  let g = path_graph 3 in
+  let trace, horizon =
+    run_ideal ~slots:50 g ~actions:(fun mac ->
+        ignore (Ideal_mac.bcast mac ~node:0 ~data:1);
+        Ideal_mac.abort mac ~node:0)
+  in
+  let r =
+    Spec_check.check trace ~graph:g ~f_ack:bounds.Absmac_intf.f_ack
+      ~f_prog:bounds.Absmac_intf.f_prog ~horizon
+  in
+  Alcotest.(check int) "one broadcast" 1 r.Spec_check.broadcasts;
+  Alcotest.(check int) "zero acked" 0 r.Spec_check.acked;
+  Alcotest.(check int) "one aborted" 1 r.Spec_check.aborted
+
+let test_spec_check_flags_violations () =
+  (* Feed a hand-built bad trace: an ack later than f_ack with a missing
+     neighbor rcv, and a long neighbor-activity window with no rcv. *)
+  let g = path_graph 3 in
+  let trace = Trace.create () in
+  Trace.record trace ~slot:0 (Trace.Bcast { node = 1; msg = 0 });
+  Trace.record trace ~slot:2 (Trace.Rcv { node = 0; msg = 0; from = 1 });
+  (* neighbor 2 never receives; ack at 40 > f_ack = 15 *)
+  Trace.record trace ~slot:40 (Trace.Ack { node = 1; msg = 0 });
+  let r =
+    Spec_check.check trace ~graph:g ~f_ack:15 ~f_prog:4 ~horizon:60
+  in
+  Alcotest.(check int) "late ack flagged" 1 r.Spec_check.late_acks;
+  Alcotest.(check int) "not nice flagged" 1 r.Spec_check.not_nice;
+  (* Node 2's window [0,40] of length >= f_prog has no rcv. *)
+  Alcotest.(check bool) "progress violation flagged" true
+    (r.Spec_check.progress_violations >= 1)
+
+let test_violating_policy_is_caught () =
+  (* The deliberately spec-breaking scheduler must light up every flag of
+     the checker: a starved neighbor (not nice), a late ack, and a missed
+     progress window. *)
+  let g = path_graph 5 in
+  let trace, horizon =
+    run_ideal ~policy:(Ideal_mac.Violating 1.0) ~slots:200 g
+      ~actions:(fun mac -> ignore (Ideal_mac.bcast mac ~node:2 ~data:1))
+  in
+  let r =
+    Spec_check.check trace ~graph:g ~f_ack:bounds.Absmac_intf.f_ack
+      ~f_prog:bounds.Absmac_intf.f_prog ~horizon
+  in
+  Alcotest.(check bool) "late ack flagged" true (r.Spec_check.late_acks >= 1);
+  Alcotest.(check bool) "not nice flagged" true (r.Spec_check.not_nice >= 1);
+  Alcotest.(check bool) "progress violation flagged" true
+    (r.Spec_check.progress_violations >= 1)
+
+let test_violating_policy_rate () =
+  (* With violation probability ~1/2 over many broadcasts, both conforming
+     and violating executions must appear. *)
+  let g = path_graph 3 in
+  let trace = Trace.create () in
+  let mac =
+    Ideal_mac.create ~policy:(Ideal_mac.Violating 0.5) ~trace g ~bounds
+      ~rng:(Rng.create 17)
+  in
+  for i = 0 to 19 do
+    ignore (Ideal_mac.bcast mac ~node:(i mod 3) ~data:i);
+    for _ = 1 to 2 * bounds.Absmac_intf.f_ack do
+      Ideal_mac.step mac
+    done
+  done;
+  let r =
+    Spec_check.check trace ~graph:g ~f_ack:bounds.Absmac_intf.f_ack
+      ~f_prog:bounds.Absmac_intf.f_prog ~horizon:(Ideal_mac.now mac)
+  in
+  Alcotest.(check int) "all broadcasts tracked" 20 r.Spec_check.broadcasts;
+  Alcotest.(check bool) "some nice" true (r.Spec_check.nice > 0);
+  Alcotest.(check bool) "some not nice" true (r.Spec_check.not_nice > 0)
+
+let test_combined_mac_statistical_conformance () =
+  (* The SINR implementation, checked statistically: acks within the cap
+     (always, by construction), most broadcasts nice, and approximate
+     progress (checked against G_{1-2eps} with f_approg) mostly served. *)
+  let rng = Rng.create 99 in
+  let pts =
+    Placement.uniform rng ~n:30 ~box:(Box.square ~side:20.) ~min_dist:1.
+  in
+  let sinr = Sinr.create cfg pts in
+  let trace = Trace.create () in
+  let mac = Combined_mac.create ~trace sinr ~rng:(Rng.split rng ~key:1) in
+  let senders = [ 0; 6; 12; 18; 24 ] in
+  List.iter (fun v -> ignore (Combined_mac.bcast mac ~node:v ~data:v)) senders;
+  let outstanding () = List.exists (fun v -> Combined_mac.busy mac ~node:v) senders in
+  let budget = ref ((Combined_mac.bounds mac).Absmac_intf.f_ack + 10) in
+  while outstanding () && !budget > 0 do
+    Combined_mac.step mac;
+    decr budget
+  done;
+  let horizon = Combined_mac.now mac in
+  let strong = Induced.strong cfg pts in
+  let r =
+    Spec_check.check trace ~graph:strong
+      ~f_ack:(Combined_mac.bounds mac).Absmac_intf.f_ack
+      ~f_prog:(Combined_mac.bounds mac).Absmac_intf.f_ack ~horizon
+  in
+  Alcotest.(check int) "all acked" (List.length senders) r.Spec_check.acked;
+  Alcotest.(check int) "acks within the cap" 0 r.Spec_check.late_acks;
+  Alcotest.(check bool) "most broadcasts nice (eps_ack = 0.1)" true
+    (r.Spec_check.not_nice <= 1);
+  (* Approximate progress against G~ with the f_approg bound. *)
+  let approx = Induced.approx cfg pts in
+  let ra =
+    Spec_check.check trace ~graph:approx
+      ~f_ack:(Combined_mac.bounds mac).Absmac_intf.f_ack
+      ~f_prog:(Combined_mac.bounds mac).Absmac_intf.f_approg ~horizon
+  in
+  Alcotest.(check bool) "approx progress mostly served" true
+    (ra.Spec_check.progress_violations
+     <= max 1 (ra.Spec_check.progress_checks / 10))
+
+let suite =
+  [ Alcotest.test_case "ideal random conforms" `Quick test_ideal_random_conforms;
+    Alcotest.test_case "ideal adversarial tight" `Quick
+      test_ideal_adversarial_conforms_tightly;
+    Alcotest.test_case "ideal abort recorded" `Quick test_ideal_abort_recorded;
+    Alcotest.test_case "checker flags violations" `Quick
+      test_spec_check_flags_violations;
+    Alcotest.test_case "violating policy caught" `Quick
+      test_violating_policy_is_caught;
+    Alcotest.test_case "violating policy rate" `Quick
+      test_violating_policy_rate;
+    Alcotest.test_case "combined MAC statistical conformance" `Slow
+      test_combined_mac_statistical_conformance ]

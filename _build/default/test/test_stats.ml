@@ -1,0 +1,125 @@
+(* Tests for the statistics substrate. *)
+
+open Sinr_stats
+
+let test_summary_basic () =
+  let s = Summary.of_samples [| 1.; 2.; 3.; 4.; 5. |] in
+  Alcotest.(check int) "count" 5 s.count;
+  Alcotest.(check (float 1e-9)) "mean" 3.0 s.mean;
+  Alcotest.(check (float 1e-9)) "median" 3.0 s.median;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.min;
+  Alcotest.(check (float 1e-9)) "max" 5.0 s.max;
+  Alcotest.(check (float 1e-6)) "stddev" (sqrt 2.5) s.stddev
+
+let test_summary_single () =
+  let s = Summary.of_samples [| 7. |] in
+  Alcotest.(check (float 1e-9)) "mean" 7.0 s.mean;
+  Alcotest.(check (float 1e-9)) "stddev" 0.0 s.stddev
+
+let test_summary_empty () =
+  Alcotest.(check bool) "raises" true
+    (try ignore (Summary.of_samples [||]); false
+     with Invalid_argument _ -> true)
+
+let test_percentile_interpolation () =
+  let xs = [| 0.; 10. |] in
+  Alcotest.(check (float 1e-9)) "p50 interpolates" 5.0 (Summary.percentile xs 0.5);
+  Alcotest.(check (float 1e-9)) "p0" 0.0 (Summary.percentile xs 0.);
+  Alcotest.(check (float 1e-9)) "p100" 10.0 (Summary.percentile xs 1.)
+
+let test_fit_linear_exact () =
+  let xs = [| 1.; 2.; 3.; 4. |] in
+  let ys = Array.map (fun x -> 3. +. (2. *. x)) xs in
+  let a, b, r2 = Fit.linear xs ys in
+  Alcotest.(check (float 1e-9)) "intercept" 3.0 a;
+  Alcotest.(check (float 1e-9)) "slope" 2.0 b;
+  Alcotest.(check (float 1e-9)) "r2" 1.0 r2
+
+let test_fit_proportional () =
+  let preds = [| 1.; 2.; 4. |] in
+  let ys = [| 3.; 6.; 12. |] in
+  let c, r2 = Fit.proportional preds ys in
+  Alcotest.(check (float 1e-9)) "scale" 3.0 c;
+  Alcotest.(check (float 1e-9)) "r2" 1.0 r2
+
+let test_fit_proportional_noisy () =
+  let preds = [| 1.; 2.; 4.; 8. |] in
+  let ys = [| 3.1; 5.9; 12.2; 23.8 |] in
+  let c, r2 = Fit.proportional preds ys in
+  Alcotest.(check bool) "scale near 3" true (Float.abs (c -. 3.) < 0.1);
+  Alcotest.(check bool) "r2 high" true (r2 > 0.99)
+
+let test_fit_power_law () =
+  let xs = [| 1.; 2.; 4.; 8.; 16. |] in
+  let ys = Array.map (fun x -> 5. *. (x ** 1.5)) xs in
+  let c, k, r2 = Fit.power_law xs ys in
+  Alcotest.(check (float 1e-6)) "coef" 5.0 c;
+  Alcotest.(check (float 1e-6)) "exponent" 1.5 k;
+  Alcotest.(check (float 1e-6)) "r2" 1.0 r2
+
+let test_growth_ratio () =
+  let preds = [| 1.; 10. |] and ys = [| 2.; 20. |] in
+  Alcotest.(check (float 1e-9)) "matched growth" 1.0 (Fit.growth_ratio preds ys)
+
+let test_table_render () =
+  let t =
+    Table.create ~title:"demo" ~header:[ "a"; "b" ]
+      ~aligns:[ Table.Left; Table.Right ] ()
+  in
+  Table.add_row t [ "x"; "1" ];
+  Table.add_row t [ "yy"; "22" ];
+  let out = Table.render t in
+  Alcotest.(check bool) "has title" true
+    (String.length out > 4 && String.sub out 0 4 = "demo");
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    m = 0 || go 0
+  in
+  Alcotest.(check bool) "row rendered" true (contains out "| yy | 22 |")
+
+let test_table_bad_row () =
+  let t = Table.create ~title:"t" ~header:[ "a"; "b" ] () in
+  Alcotest.(check bool) "raises" true
+    (try Table.add_row t [ "only-one" ]; false
+     with Invalid_argument _ -> true)
+
+let test_table_csv () =
+  let t = Table.create ~title:"t" ~header:[ "a"; "b" ] () in
+  Table.add_row t [ "1"; "x,y" ];
+  Alcotest.(check string) "csv quoting" "a,b\n1,\"x,y\"\n" (Table.to_csv t)
+
+let prop_summary_bounds =
+  QCheck.Test.make ~name:"mean lies within [min, max]" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 50) (float_bound_exclusive 1000.))
+    (fun xs ->
+      let s = Summary.of_samples (Array.of_list xs) in
+      s.min <= s.mean +. 1e-9 && s.mean <= s.max +. 1e-9)
+
+let prop_proportional_r2_le_1 =
+  QCheck.Test.make ~name:"proportional fit r2 <= 1" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 2 20)
+              (pair (float_range 0.1 100.) (float_range 0.1 100.)))
+    (fun pairs ->
+      let preds = Array.of_list (List.map fst pairs) in
+      let ys = Array.of_list (List.map snd pairs) in
+      let _, r2 = Fit.proportional preds ys in
+      r2 <= 1.0 +. 1e-9)
+
+let suite =
+  [ Alcotest.test_case "summary basic" `Quick test_summary_basic;
+    Alcotest.test_case "summary single" `Quick test_summary_single;
+    Alcotest.test_case "summary empty" `Quick test_summary_empty;
+    Alcotest.test_case "percentile interpolation" `Quick
+      test_percentile_interpolation;
+    Alcotest.test_case "linear fit exact" `Quick test_fit_linear_exact;
+    Alcotest.test_case "proportional fit" `Quick test_fit_proportional;
+    Alcotest.test_case "proportional fit noisy" `Quick
+      test_fit_proportional_noisy;
+    Alcotest.test_case "power law fit" `Quick test_fit_power_law;
+    Alcotest.test_case "growth ratio" `Quick test_growth_ratio;
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "table bad row" `Quick test_table_bad_row;
+    Alcotest.test_case "table csv" `Quick test_table_csv;
+    QCheck_alcotest.to_alcotest prop_summary_bounds;
+    QCheck_alcotest.to_alcotest prop_proportional_r2_le_1 ]
