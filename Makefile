@@ -1,0 +1,22 @@
+.PHONY: all build check test fmt bench clean
+
+all: build
+
+build:
+	dune build
+
+# Tier-1 gate: full build + test suite.
+check:
+	dune build
+	dune runtest
+
+test: check
+
+fmt:
+	dune fmt
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -256,6 +256,19 @@ let experiments =
     ("capacity", capacity);
     ("micro", micro) ]
 
+(* Machine-readable companion to the printed tables: the telemetry snapshot
+   of everything the experiments did, plus a wall-time gauge per experiment.
+   The [micro] kernels run with telemetry disabled so the Bechamel numbers
+   measure the uninstrumented hot paths (the disabled-overhead guarantee the
+   registry makes is itself checked by the sinr_resolve kernel). *)
+let obs_path = "BENCH_obs.json"
+
+let record_seconds id dt =
+  Sinr_obs.Metrics.with_enabled (fun () ->
+      Sinr_obs.Metrics.set
+        (Sinr_obs.Metrics.gauge ("bench." ^ id ^ ".seconds"))
+        dt)
+
 let () =
   let requested =
     match Array.to_list Sys.argv with
@@ -268,11 +281,16 @@ let () =
       match List.assoc_opt id experiments with
       | Some f ->
         let t = Unix.gettimeofday () in
-        f ();
-        Fmt.pr "@.[%s done in %.1fs]@." id (Unix.gettimeofday () -. t)
+        if id = "micro" then f () else Sinr_obs.Metrics.with_enabled f;
+        let dt = Unix.gettimeofday () -. t in
+        record_seconds id dt;
+        Fmt.pr "@.[%s done in %.1fs]@." id dt
       | None ->
         Fmt.epr "unknown experiment %S; known: %s@." id
           (String.concat " " (List.map fst experiments));
         exit 2)
     requested;
-  Fmt.pr "@.total wall time: %.1fs@." (Unix.gettimeofday () -. t0)
+  let snap = Sinr_obs.Metrics.snapshot () in
+  Sinr_obs.Sink.write_snapshot ~label:"bench" obs_path snap;
+  Fmt.pr "@.[obs snapshot written: %s]@." obs_path;
+  Fmt.pr "total wall time: %.1fs@." (Unix.gettimeofday () -. t0)

@@ -5,12 +5,18 @@
      smb        run global single-message broadcast (ours + baselines)
      cons       run network-wide consensus
      approg     measure approximate progress on a deployment
-     exp        run a named bench experiment (same ids as bench/main.exe) *)
+     exp        run a named bench experiment (same ids as bench/main.exe)
+     obs        run an instrumented workload and print the metric snapshot
+
+   The run subcommands take --metrics-out FILE: the run executes with the
+   telemetry registry enabled and its final snapshot is written to FILE as
+   one JSONL object (see DESIGN.md "Observability"). *)
 
 open Cmdliner
 open Sinr_geom
 open Sinr_phys
 open Sinr_expt
+open Sinr_obs
 
 (* ---------------- shared arguments ---------------- *)
 
@@ -28,6 +34,32 @@ let degree_arg =
 let range_arg =
   Arg.(value & opt float 12.0
        & info [ "range" ] ~docv:"R" ~doc:"Transmission range R (sets Lambda).")
+
+let metrics_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-out" ] ~docv:"FILE"
+           ~doc:"Enable telemetry for the run and write the final metric \
+                 snapshot to $(docv) as one JSONL object.")
+
+(* Run [f] with telemetry per [metrics_out]; write the snapshot after. *)
+let with_metrics ~label metrics_out f =
+  match metrics_out with
+  | None -> f ()
+  | Some path ->
+    (* Open before the (possibly long) run so an unwritable path fails
+       fast instead of discarding the finished simulation's snapshot. *)
+    let oc =
+      try open_out path
+      with Sys_error e ->
+        Fmt.epr "sinr_sim: cannot write metrics: %s@." e;
+        Stdlib.exit 1
+    in
+    Fun.protect ~finally:(fun () -> close_out_noerr oc) @@ fun () ->
+    Metrics.reset ();
+    Metrics.set_enabled true;
+    Fun.protect ~finally:(fun () -> Metrics.set_enabled false) f;
+    output_string oc (Sink.snapshot_to_jsonl ~label (Metrics.snapshot ()));
+    Fmt.pr "[metrics written: %s]@." path
 
 let deployment ~seed ~n ~degree ~range =
   let config = Config.with_range ~range () in
@@ -55,7 +87,8 @@ let profile_cmd =
 (* ---------------- smb ---------------- *)
 
 let smb_cmd =
-  let run seed n degree range =
+  let run seed n degree range metrics_out =
+    with_metrics ~label:"smb" metrics_out @@ fun () ->
     let d = deployment ~seed ~n ~degree ~range in
     pp_profile d;
     let budget = 40_000_000 in
@@ -89,7 +122,8 @@ let smb_cmd =
   Cmd.v
     (Cmd.info "smb"
        ~doc:"Global single-message broadcast: ours vs the baselines.")
-    Term.(const run $ seed_arg $ n_arg $ degree_arg $ range_arg)
+    Term.(const run $ seed_arg $ n_arg $ degree_arg $ range_arg
+          $ metrics_out_arg)
 
 (* ---------------- cons ---------------- *)
 
@@ -98,7 +132,8 @@ let cons_cmd =
     Arg.(value & opt int 0
          & info [ "crashes" ] ~docv:"K" ~doc:"Crash K nodes mid-run.")
   in
-  let run seed n degree range crashes =
+  let run seed n degree range crashes metrics_out =
+    with_metrics ~label:"cons" metrics_out @@ fun () ->
     let d = deployment ~seed ~n ~degree ~range in
     pp_profile d;
     let rng = Rng.create (seed + 10) in
@@ -125,12 +160,14 @@ let cons_cmd =
   in
   Cmd.v
     (Cmd.info "cons" ~doc:"Network-wide consensus over the absMAC.")
-    Term.(const run $ seed_arg $ n_arg $ degree_arg $ range_arg $ crashes_arg)
+    Term.(const run $ seed_arg $ n_arg $ degree_arg $ range_arg $ crashes_arg
+          $ metrics_out_arg)
 
 (* ---------------- approg ---------------- *)
 
 let approg_cmd =
-  let run seed n degree range =
+  let run seed n degree range metrics_out =
+    with_metrics ~label:"approg" metrics_out @@ fun () ->
     let d = deployment ~seed ~n ~degree ~range in
     pp_profile d;
     let senders = List.filter (fun v -> v mod 2 = 0) (List.init n Fun.id) in
@@ -168,7 +205,8 @@ let approg_cmd =
   Cmd.v
     (Cmd.info "approg"
        ~doc:"Measure approximate progress of Algorithm 9.1 on a deployment.")
-    Term.(const run $ seed_arg $ n_arg $ degree_arg $ range_arg)
+    Term.(const run $ seed_arg $ n_arg $ degree_arg $ range_arg
+          $ metrics_out_arg)
 
 (* ---------------- exp ---------------- *)
 
@@ -180,7 +218,8 @@ let exp_cmd =
                    table1-approg, thm8-decay, table2-smb, table1-mmb, \
                    table1-cons, ablation, mac-compare, capacity).")
   in
-  let run id =
+  let run id metrics_out =
+    with_metrics ~label:("exp:" ^ id) metrics_out @@ fun () ->
     match id with
     | "table1-ack" -> ignore (Exp_ack.run ())
     | "fig1-progress-lb" -> ignore (Exp_progress_lb.run ())
@@ -205,11 +244,67 @@ let exp_cmd =
   in
   Cmd.v
     (Cmd.info "exp" ~doc:"Run a named experiment (see DESIGN.md index).")
-    Term.(const run $ id_arg)
+    Term.(const run $ id_arg $ metrics_out_arg)
+
+(* ---------------- obs ---------------- *)
+
+(* Run the full Algorithm 11.1 stack under telemetry on a standard workload
+   (simultaneous broadcasts from every even node, run to the last ack) and
+   print the snapshot.  This exercises every instrumented layer: engine
+   slot accounting, B.1 acknowledgments on even slots, the Algorithm 9.1
+   epoch machinery on odd slots, and the MAC's ack bookkeeping. *)
+let obs_cmd =
+  let format_arg =
+    Arg.(value
+         & opt (enum [ ("pretty", `Pretty); ("json", `Json); ("prom", `Prom) ])
+             `Pretty
+         & info [ "format" ] ~docv:"FMT"
+             ~doc:"Snapshot rendering: $(b,pretty) (aligned table), \
+                   $(b,json) (one JSONL object), or $(b,prom) \
+                   (Prometheus text exposition).")
+  in
+  let slots_arg =
+    Arg.(value & opt int 200_000
+         & info [ "max-slots" ] ~docv:"SLOTS"
+             ~doc:"Slot budget for the instrumented workload.")
+  in
+  let run seed n degree range format max_slots metrics_out =
+    let d = deployment ~seed ~n ~degree ~range in
+    let senders = List.filter (fun v -> v mod 2 = 0) (List.init n Fun.id) in
+    Metrics.reset ();
+    Metrics.set_enabled true;
+    Fun.protect
+      ~finally:(fun () -> Metrics.set_enabled false)
+      (fun () ->
+        ignore
+          (Sinr_mac.Measure.acks d.Workloads.sinr
+             ~rng:(Rng.create (seed + 4))
+             ~senders ~max_slots));
+    let snap = Metrics.snapshot () in
+    (match format with
+     | `Pretty -> Fmt.pr "%a" Sink.pp_snapshot snap
+     | `Json -> print_string (Sink.snapshot_to_jsonl ~label:"obs" snap)
+     | `Prom -> print_string (Sink.snapshot_to_prometheus snap));
+    match metrics_out with
+    | None -> ()
+    | Some path ->
+      Sink.write_snapshot ~label:"obs" path snap;
+      Fmt.pr "[metrics written: %s]@." path
+  in
+  Cmd.v
+    (Cmd.info "obs"
+       ~doc:"Run an instrumented absMAC workload and print the telemetry \
+             snapshot.")
+    Term.(const run $ seed_arg $ n_arg $ degree_arg $ range_arg $ format_arg
+          $ slots_arg $ metrics_out_arg)
 
 let () =
   let doc = "Local broadcast layer for the SINR network model — simulator" in
   let info = Cmd.info "sinr_sim" ~version:"1.0.0" ~doc in
+  (* Cmdliner renders the one-letter node-count option as [-n]; the
+     double-dash spelling [--n] is common enough to accept as an alias. *)
+  let argv = Array.map (fun a -> if a = "--n" then "-n" else a) Sys.argv in
   exit
-    (Cmd.eval
-       (Cmd.group info [ profile_cmd; smb_cmd; cons_cmd; approg_cmd; exp_cmd ]))
+    (Cmd.eval ~argv
+       (Cmd.group info
+          [ profile_cmd; smb_cmd; cons_cmd; approg_cmd; exp_cmd; obs_cmd ]))

@@ -33,6 +33,21 @@
 open Sinr_geom
 
 open Sinr_mis
+open Sinr_obs
+
+(* Telemetry: the epoch machinery Theorem 9.1 charges slots to. *)
+let m_epochs = Metrics.counter "approg.epochs"
+let m_phases = Metrics.counter "approg.phases"
+let m_mis_rounds = Metrics.counter "approg.mis_rounds"
+let m_drops = Metrics.counter "approg.drops"
+let m_probe_tx = Metrics.counter "approg.probe_tx"
+let m_list_tx = Metrics.counter "approg.list_tx"
+let m_mis_tx = Metrics.counter "approg.mis_tx"
+let m_data_tx = Metrics.counter "approg.data_tx"
+let m_data_rcv = Metrics.counter "approg.data_rcv"
+let m_h_edges = Metrics.histogram "approg.h_edges"
+let m_mis_winners = Metrics.histogram "approg.mis_winners"
+let m_phase_members = Metrics.histogram "approg.phase_members"
 
 type stage =
   | Probe_stage of int                  (* slot within [0, T) *)
@@ -89,6 +104,7 @@ let reset_phase_tables nd =
 
 let begin_epoch t =
   t.epoch <- t.epoch + 1;
+  Metrics.incr m_epochs;
   Array.iter
     (fun (nd : node_data) ->
       nd.member <- nd.payload <> None;
@@ -154,11 +170,16 @@ let decide t ~node =
   let _, st = stage_of t t.pos in
   match st with
   | Probe_stage _ ->
-    if nd.member && Rng.bernoulli t.rng t.params.p then Some Events.Probe
+    if nd.member && Rng.bernoulli t.rng t.params.p then begin
+      Metrics.incr m_probe_tx;
+      Some Events.Probe
+    end
     else None
   | List_stage _ ->
-    if nd.member && Rng.bernoulli t.rng t.params.p then
+    if nd.member && Rng.bernoulli t.rng t.params.p then begin
+      Metrics.incr m_list_tx;
       Some (Events.Neighbor_list nd.potential)
+    end
     else None
   | Mis_stage { round; sub = _ } ->
     (* Dropped phase participants keep beaconing their status so that
@@ -168,14 +189,18 @@ let decide t ~node =
       | None -> None
       | Some mis ->
         (match Sw_mis.outgoing mis node with
-         | Some msg -> Some (Events.Mis_round { round; msg })
+         | Some msg ->
+           Metrics.incr m_mis_tx;
+           Some (Events.Mis_round { round; msg })
          | None -> None)
     else None
   | Data_stage _ ->
     (match nd.payload with
      | Some payload when nd.member ->
-       if Rng.bernoulli t.rng (t.params.p /. t.sched.q) then
+       if Rng.bernoulli t.rng (t.params.p /. t.sched.q) then begin
+         Metrics.incr m_data_tx;
          Some (Events.Data payload)
+       end
        else None
      | Some _ | None -> None)
 
@@ -186,6 +211,7 @@ let emit_rcv t ~node ~payload ~from =
   let id = (node, Events.payload_id payload) in
   if payload.Events.origin <> node && not (Hashtbl.mem t.emitted id) then begin
     Hashtbl.add t.emitted id ();
+    Metrics.incr m_data_rcv;
     t.pending_rcv <- { node; payload; from } :: t.pending_rcv
   end
 
@@ -253,6 +279,8 @@ let finish_list_stage t =
         List.iter (fun u -> if u > v then edges := (v, u) :: !edges)
           nd.h_neighbors)
     t.nodes;
+  Metrics.observe_int m_h_edges (List.length !edges);
+  Metrics.observe_int m_phase_members (List.length !members);
   t.last_h_graph <- Some (Sinr_graph.Graph.of_edges ~n:t.n !edges)
 
 let finish_mis_round t =
@@ -273,6 +301,7 @@ let finish_mis_round t =
           if missing then begin
             nd.member <- false;
             t.drops_total <- t.drops_total + 1;
+            Metrics.incr m_drops;
             Sw_mis.drop mis v
           end
           else
@@ -285,14 +314,18 @@ let finish_mis_round t =
         end;
         nd.mis_heard <- Hashtbl.create 8)
       t.nodes;
+    Metrics.incr m_mis_rounds;
     Sw_mis.advance mis
 
 let finish_phase t =
+  Metrics.incr m_phases;
   (match t.mis with
    | None -> ()
    | Some mis ->
      let dominator = Array.make t.n false in
-     List.iter (fun v -> dominator.(v) <- true) (Sw_mis.dominators mis);
+     let winners = Sw_mis.dominators mis in
+     List.iter (fun v -> dominator.(v) <- true) winners;
+     Metrics.observe_int m_mis_winners (List.length winners);
      Array.iteri
        (fun v (nd : node_data) ->
          nd.member <- nd.member && dominator.(v);

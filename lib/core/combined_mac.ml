@@ -24,6 +24,18 @@
 open Sinr_geom
 open Sinr_phys
 open Sinr_engine
+open Sinr_obs
+
+(* Telemetry: the Algorithm 11.1 even/odd interleaving and absMAC events. *)
+let m_slots_even = Metrics.counter "mac.slots_even"
+let m_slots_odd = Metrics.counter "mac.slots_odd"
+let m_bcasts = Metrics.counter "mac.bcasts"
+let m_acks = Metrics.counter "mac.acks"
+let m_acks_capped = Metrics.counter "mac.acks_capped"
+let m_aborts = Metrics.counter "mac.aborts"
+let m_rcvs = Metrics.counter "mac.rcvs"
+let m_data_rejected = Metrics.counter "mac.data_rejected"
+let m_ack_delay = Metrics.histogram "mac.ack_delay"
 
 type t = {
   engine : Events.wire Engine.t;
@@ -102,7 +114,10 @@ let create ?(ack_params = Params.default_ack)
 let accept_data t (d : Events.wire Engine.delivery) =
   match t.exact_threshold with
   | None -> true
-  | Some thr -> d.Engine.power >= thr -. 1e-12
+  | Some thr ->
+    let ok = d.Engine.power >= thr -. 1e-12 in
+    if not ok then Metrics.incr m_data_rejected;
+    ok
 
 let n t = Engine.n t.engine
 let now t = Engine.slot t.engine
@@ -130,6 +145,7 @@ let bcast t ~node ~data =
   t.seq.(node) <- t.seq.(node) + 1;
   t.ongoing.(node) <- Some payload;
   t.bcast_slot.(node) <- now t;
+  Metrics.incr m_bcasts;
   Engine.wake t.engine node;
   Hm_ack.start t.hm ~node payload;
   Approx_progress.start t.approg ~node payload;
@@ -143,6 +159,7 @@ let abort t ~node =
     t.ongoing.(node) <- None;
     Hm_ack.stop t.hm ~node;
     Approx_progress.stop t.approg ~node;
+    Metrics.incr m_aborts;
     record t (Trace.Abort { node; msg = payload.Events.seq })
 
 let set_raw_rcv_hook t f = t.raw_rcv_hook <- Some f
@@ -150,6 +167,7 @@ let set_raw_rcv_hook t f = t.raw_rcv_hook <- Some f
 let fire_rcvs t rcvs =
   List.iter
     (fun ({ Approx_progress.node; payload; from } as ev) ->
+      Metrics.incr m_rcvs;
       record t (Trace.Rcv { node; msg = payload.Events.seq; from });
       (match t.raw_rcv_hook with Some f -> f ev | None -> ());
       t.handlers.Absmac_intf.on_rcv ~node ~payload)
@@ -158,6 +176,9 @@ let fire_rcvs t rcvs =
 let finish_ack t ~node payload ~capped =
   t.ongoing.(node) <- None;
   t.last_ack_capped.(node) <- capped;
+  Metrics.incr m_acks;
+  if capped then Metrics.incr m_acks_capped;
+  Metrics.observe_int m_ack_delay (now t - t.bcast_slot.(node));
   Hm_ack.stop t.hm ~node;
   Approx_progress.stop t.approg ~node;
   record t (Trace.Ack { node; msg = payload.Events.seq });
@@ -166,6 +187,7 @@ let finish_ack t ~node payload ~capped =
 let step t =
   let slot = Engine.slot t.engine in
   let hm_slot = slot mod 2 = 0 in
+  Metrics.incr (if hm_slot then m_slots_even else m_slots_odd);
   let decide v =
     if hm_slot then
       match Hm_ack.decide t.hm ~node:v with

@@ -14,6 +14,12 @@
    measures exactly that against Algorithm 9.1. *)
 
 open Sinr_geom
+open Sinr_obs
+
+(* Telemetry: the baseline's transmission volume and probability sweep. *)
+let m_tx = Metrics.counter "decay.tx"
+let m_slots = Metrics.counter "decay.slots"
+let m_cycles = Metrics.counter "decay.cycles"
 
 type t = {
   cycle_len : int;
@@ -46,5 +52,11 @@ let decide t ~node ~slot =
   | None -> None
   | Some payload ->
     let i = (slot - t.start_slot.(node)) mod t.cycle_len in
+    Metrics.incr m_slots;
+    if i = 0 then Metrics.incr m_cycles;
     let p = 1. /. float_of_int (1 lsl i) in
-    if Rng.bernoulli t.rng p then Some (Events.Decay payload) else None
+    if Rng.bernoulli t.rng p then begin
+      Metrics.incr m_tx;
+      Some (Events.Decay payload)
+    end
+    else None

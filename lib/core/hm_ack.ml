@@ -28,6 +28,16 @@
    Algorithm 11.1 can interleave it with Algorithm 9.1 on even/odd slots. *)
 
 open Sinr_geom
+open Sinr_obs
+
+(* Telemetry: Algorithm B.1's round structure. *)
+let m_slots = Metrics.counter "hm.slots"
+let m_tx = Metrics.counter "hm.tx"
+let m_rcv = Metrics.counter "hm.rcv"
+let m_halts = Metrics.counter "hm.halts"
+let m_fallbacks = Metrics.counter "hm.fallbacks"
+let m_ramps = Metrics.counter "hm.ramps"
+let m_broadcast_slots = Metrics.histogram "hm.broadcast_slots"
 
 type node_state = {
   mutable payload : Events.payload option; (* ongoing broadcast, if any *)
@@ -129,13 +139,20 @@ let decide t ~node =
     if nd.ramp_pending then begin
       (* Line 7: p <- min(1/16, 2p). *)
       nd.p <- Float.min t.p_cap (2. *. nd.p);
-      nd.ramp_pending <- false
+      nd.ramp_pending <- false;
+      Metrics.incr m_ramps
     end;
     nd.slots_run <- nd.slots_run + 1;
+    Metrics.incr m_slots;
     let send = Rng.bernoulli t.rng nd.p in
     (* Line 13: tp accounts for the *probability*, not the outcome. *)
     nd.tp <- nd.tp +. nd.p;
-    if nd.tp > t.tp_cap then nd.halted <- true (* lines 14-16 *)
+    if nd.tp > t.tp_cap then begin
+      (* lines 14-16 *)
+      nd.halted <- true;
+      Metrics.incr m_halts;
+      Metrics.observe_int m_broadcast_slots nd.slots_run
+    end
     else begin
       nd.j <- nd.j + 1;
       if nd.j >= t.inner_len then begin
@@ -145,7 +162,11 @@ let decide t ~node =
       end
     end;
     (* The halting slot still carries its transmission if one was drawn. *)
-    if send then Some (Events.Data payload) else None
+    if send then begin
+      Metrics.incr m_tx;
+      Some (Events.Data payload)
+    end
+    else None
 
 (* Lines 17-22: a message was received during this HM slot. *)
 let on_receive t ~node =
@@ -155,11 +176,13 @@ let on_receive t ~node =
   | Some _ when nd.halted -> ()
   | Some _ ->
     nd.rc <- nd.rc + 1;
+    Metrics.incr m_rcv;
     if nd.rc > t.rc_cap then begin
       (* FallBack to line 4: shrink p, reset rc, restart the inner loop. *)
       nd.p <- Float.max t.p_min (nd.p /. 32.);
       nd.rc <- 0;
       nd.j <- 0;
       nd.ramp_pending <- true;
-      nd.fallbacks <- nd.fallbacks + 1
+      nd.fallbacks <- nd.fallbacks + 1;
+      Metrics.incr m_fallbacks
     end

@@ -19,6 +19,22 @@
    protocols above it choose their own wire format. *)
 
 open Sinr_phys
+open Sinr_obs
+
+(* Telemetry handles (see DESIGN.md "Observability" for the catalogue).
+   Updates are single-branch no-ops unless [Metrics.set_enabled true]. *)
+let m_slots = Metrics.counter "engine.slots"
+let m_tx = Metrics.counter "engine.tx"
+let m_listens = Metrics.counter "engine.listens"
+let m_deliveries = Metrics.counter "engine.deliveries"
+let m_collision_loss = Metrics.counter "engine.collision_loss"
+let m_silence = Metrics.counter "engine.silence"
+let m_wakeups = Metrics.counter "engine.wakeups"
+let m_crashes = Metrics.counter "engine.crashes"
+let m_slot_tx = Metrics.histogram "engine.slot_tx"
+let m_slot_deliveries = Metrics.histogram "engine.slot_deliveries"
+let m_resolve_ns = Metrics.histogram "engine.resolve.ns"
+let m_resolve_minor = Metrics.histogram "engine.resolve.minor_w"
 
 type 'm action = Transmit of 'm | Listen
 
@@ -61,7 +77,11 @@ let delivery_total t = t.delivery_total
 let is_awake t v = t.awake.(v)
 let is_crashed t v = t.crashed.(v)
 
-let wake t v = if not t.crashed.(v) then t.awake.(v) <- true
+let wake t v =
+  if not t.crashed.(v) then begin
+    if not t.awake.(v) then Metrics.incr m_wakeups;
+    t.awake.(v) <- true
+  end
 
 let wake_all t =
   for v = 0 to n t - 1 do
@@ -69,6 +89,7 @@ let wake_all t =
   done
 
 let crash t v =
+  if not t.crashed.(v) then Metrics.incr m_crashes;
   t.crashed.(v) <- true;
   t.awake.(v) <- false
 
@@ -95,10 +116,34 @@ let step ?on_deliver t ~decide =
         senders := v :: !senders
       | Listen -> ()
   done;
-  t.tx_total <- t.tx_total + List.length !senders;
+  let ntx = List.length !senders in
+  t.tx_total <- t.tx_total + ntx;
+  let telemetry = Metrics.is_enabled () in
+  if telemetry then begin
+    Metrics.incr m_slots;
+    Metrics.add m_tx ntx;
+    Metrics.observe_int m_slot_tx ntx;
+    (* Awake, non-crashed nodes that chose (or defaulted) to listen. *)
+    let listeners = ref 0 in
+    for v = 0 to n - 1 do
+      if t.awake.(v) && not t.crashed.(v) && messages.(v) = None then
+        incr listeners
+    done;
+    Metrics.add m_listens !listeners
+  end;
   let deliveries = ref [] in
+  let ndeliv = ref 0 in
   if !senders <> [] then begin
-    let outcome = Sinr.resolve t.sinr ~senders:!senders in
+    let outcome =
+      if telemetry then begin
+        let r = Timer.start () in
+        let o = Sinr.resolve t.sinr ~senders:!senders in
+        Timer.observe_span ~ns:m_resolve_ns ~minor_w:m_resolve_minor
+          (Timer.stop r);
+        o
+      end
+      else Sinr.resolve t.sinr ~senders:!senders
+    in
     for u = 0 to n - 1 do
       if not t.crashed.(u) then
         match outcome.(u) with
@@ -114,23 +159,38 @@ let step ?on_deliver t ~decide =
              (match on_deliver with Some f -> f d | None -> ());
              deliveries := d :: !deliveries;
              t.delivery_total <- t.delivery_total + 1;
+             incr ndeliv;
              if t.wake_on_receive then wake t u
            | None -> assert false)
-        | None -> ()
+        | None ->
+          (* An awake listener that decoded nothing: either some sender was
+             within range (collision / interference loss) or none was
+             (silence).  The node itself cannot tell (no collision
+             detection); the observer can, so split the two. *)
+          if telemetry && t.awake.(u) && messages.(u) = None then
+            if List.exists (fun v -> Sinr.in_range t.sinr v u) !senders then
+              Metrics.incr m_collision_loss
+            else Metrics.incr m_silence
     done
+  end;
+  if telemetry then begin
+    Metrics.add m_deliveries !ndeliv;
+    Metrics.observe_int m_slot_deliveries !ndeliv
   end;
   t.slot <- t.slot + 1;
   List.rev !deliveries
 
 (* Drive the simulation until [stop] returns true or [max_slots] elapse.
-   Returns the number of slots executed. *)
-let run ?on_deliver t ~decide ~stop ~max_slots =
+   Returns the number of slots executed.  [on_slot] fires after every slot
+   with that slot's index and deliveries, so observers can hook slot
+   boundaries without reimplementing the loop. *)
+let run ?on_deliver ?on_slot t ~decide ~stop ~max_slots =
   let start = t.slot in
   let rec loop () =
     if stop () || t.slot - start >= max_slots then t.slot - start
     else begin
       let ds = step ?on_deliver t ~decide in
-      ignore ds;
+      (match on_slot with Some f -> f ~slot:(t.slot - 1) ds | None -> ());
       loop ()
     end
   in

@@ -51,6 +51,9 @@ val step :
     all others listen. Returns the slot's deliveries. *)
 
 val run :
-  ?on_deliver:('m delivery -> unit) -> 'm t -> decide:(int -> 'm action) ->
+  ?on_deliver:('m delivery -> unit) ->
+  ?on_slot:(slot:int -> 'm delivery list -> unit) ->
+  'm t -> decide:(int -> 'm action) ->
   stop:(unit -> bool) -> max_slots:int -> int
-(** Step until [stop ()] or [max_slots] slots; returns slots executed. *)
+(** Step until [stop ()] or [max_slots] slots; returns slots executed.
+    [on_slot] fires after each slot with its index and deliveries. *)

@@ -25,17 +25,22 @@ type t = {
 let create ?(capacity = 100_000) () =
   { capacity; entries = []; size = 0; dropped = 0 }
 
+(* Tail-recursive prefix-take: the buffer holds up to 100k entries by
+   default, well past the point where a non-tail scan risks the stack. *)
+let take_prefix k entries =
+  let rec go acc k = function
+    | [] -> List.rev acc
+    | _ when k = 0 -> List.rev acc
+    | e :: rest -> go (e :: acc) (k - 1) rest
+  in
+  go [] k entries
+
 let record t ~slot event =
   if t.size >= t.capacity then begin
     (* Drop the oldest half rather than scanning per insert. *)
     let keep = t.capacity / 2 in
-    let rec take k = function
-      | [] -> []
-      | _ when k = 0 -> []
-      | e :: rest -> e :: take (k - 1) rest
-    in
     t.dropped <- t.dropped + (t.size - keep);
-    t.entries <- take keep t.entries;
+    t.entries <- take_prefix keep t.entries;
     t.size <- keep
   end;
   t.entries <- { slot; event } :: t.entries;
@@ -46,11 +51,13 @@ let events t = List.rev t.entries
 let dropped t = t.dropped
 
 let find_first t pred =
+  (* Oldest-first scan; List.rev and the walk are both tail-recursive, so a
+     full-capacity buffer cannot blow the stack. *)
   let rec scan = function
     | [] -> None
-    | e :: rest -> (match scan rest with Some hit -> Some hit | None -> if pred e then Some e else None)
+    | e :: rest -> if pred e then Some e else scan rest
   in
-  scan t.entries
+  scan (List.rev t.entries)
 
 let count t pred =
   List.fold_left (fun acc e -> if pred e then acc + 1 else acc) 0 t.entries
@@ -65,3 +72,41 @@ let pp_event ppf = function
   | Note s -> Fmt.pf ppf "note(%s)" s
 
 let pp_entry ppf e = Fmt.pf ppf "[%6d] %a" e.slot pp_event e.event
+
+(* ------------------------------------------------------------------ *)
+(* Structured export (JSONL, one event per line)                       *)
+(* ------------------------------------------------------------------ *)
+
+let event_to_json =
+  let open Sinr_obs.Json in
+  function
+  | Bcast { node; msg } ->
+    Obj [ ("ev", Str "bcast"); ("node", int node); ("msg", int msg) ]
+  | Rcv { node; msg; from } ->
+    Obj
+      [ ("ev", Str "rcv"); ("node", int node); ("msg", int msg);
+        ("from", int from) ]
+  | Ack { node; msg } ->
+    Obj [ ("ev", Str "ack"); ("node", int node); ("msg", int msg) ]
+  | Abort { node; msg } ->
+    Obj [ ("ev", Str "abort"); ("node", int node); ("msg", int msg) ]
+  | Wake { node } -> Obj [ ("ev", Str "wake"); ("node", int node) ]
+  | Crash { node } -> Obj [ ("ev", Str "crash"); ("node", int node) ]
+  | Note s -> Obj [ ("ev", Str "note"); ("text", Str s) ]
+
+let entry_to_json e =
+  match event_to_json e.event with
+  | Sinr_obs.Json.Obj fields ->
+    Sinr_obs.Json.Obj (("slot", Sinr_obs.Json.int e.slot) :: fields)
+  | j -> j
+
+let to_jsonl t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (Sinr_obs.Json.to_string_json (entry_to_json e));
+      Buffer.add_char buf '\n')
+    (events t);
+  Buffer.contents buf
+
+let write_jsonl t path = Sinr_obs.Sink.write_file path (to_jsonl t)

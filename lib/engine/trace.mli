@@ -26,3 +26,10 @@ val find_first : t -> (entry -> bool) -> entry option
 val count : t -> (entry -> bool) -> int
 val pp_event : event Fmt.t
 val pp_entry : entry Fmt.t
+
+val entry_to_json : entry -> Sinr_obs.Json.t
+val to_jsonl : t -> string
+(** All retained events, oldest first, one JSON object per line. *)
+
+val write_jsonl : t -> string -> unit
+(** [write_jsonl t path] dumps {!to_jsonl} to [path]. *)

@@ -1,0 +1,257 @@
+(* A deliberately small JSON layer: enough to serialise metric snapshots and
+   trace events to JSONL and to parse them back (the round-trip is tested).
+   No opam dependency carries its weight for the flat, machine-generated
+   documents the telemetry sink emits. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let int i = Num (float_of_int i)
+
+let member name = function
+  | Obj fields -> List.assoc_opt name fields
+  | Null | Bool _ | Num _ | Str _ | List _ -> None
+
+let to_float = function Num f -> Some f | _ -> None
+let to_int = function Num f -> Some (int_of_float f) | _ -> None
+let to_string = function Str s -> Some s | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let add_num buf f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.0f" f)
+  else if Float.is_nan f then Buffer.add_string buf "null"
+  else if f = infinity then Buffer.add_string buf "1e999"
+  else if f = neg_infinity then Buffer.add_string buf "-1e999"
+  else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+
+let rec add buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num f -> add_num buf f
+  | Str s ->
+    Buffer.add_char buf '"';
+    escape buf s;
+    Buffer.add_char buf '"'
+  | List xs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ',';
+        add buf x)
+      xs;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_char buf '"';
+        escape buf k;
+        Buffer.add_string buf "\":";
+        add buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string_json j =
+  let buf = Buffer.create 256 in
+  add buf j;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing (recursive descent)                                         *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+type cursor = { s : string; mutable pos : int }
+
+let fail cur msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg cur.pos))
+
+let peek cur = if cur.pos < String.length cur.s then Some cur.s.[cur.pos] else None
+
+let advance cur = cur.pos <- cur.pos + 1
+
+let skip_ws cur =
+  let rec go () =
+    match peek cur with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance cur;
+      go ()
+    | _ -> ()
+  in
+  go ()
+
+let expect cur c =
+  match peek cur with
+  | Some c' when c' = c -> advance cur
+  | _ -> fail cur (Printf.sprintf "expected %C" c)
+
+let literal cur word value =
+  let len = String.length word in
+  if
+    cur.pos + len <= String.length cur.s
+    && String.sub cur.s cur.pos len = word
+  then begin
+    cur.pos <- cur.pos + len;
+    value
+  end
+  else fail cur (Printf.sprintf "expected %s" word)
+
+let parse_string_body cur =
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek cur with
+    | None -> fail cur "unterminated string"
+    | Some '"' -> advance cur
+    | Some '\\' ->
+      advance cur;
+      (match peek cur with
+       | Some '"' -> Buffer.add_char buf '"'; advance cur; go ()
+       | Some '\\' -> Buffer.add_char buf '\\'; advance cur; go ()
+       | Some '/' -> Buffer.add_char buf '/'; advance cur; go ()
+       | Some 'n' -> Buffer.add_char buf '\n'; advance cur; go ()
+       | Some 'r' -> Buffer.add_char buf '\r'; advance cur; go ()
+       | Some 't' -> Buffer.add_char buf '\t'; advance cur; go ()
+       | Some 'b' -> Buffer.add_char buf '\b'; advance cur; go ()
+       | Some 'f' -> Buffer.add_char buf '\012'; advance cur; go ()
+       | Some 'u' ->
+         advance cur;
+         if cur.pos + 4 > String.length cur.s then fail cur "bad \\u escape";
+         let hex = String.sub cur.s cur.pos 4 in
+         cur.pos <- cur.pos + 4;
+         let code =
+           try int_of_string ("0x" ^ hex)
+           with Failure _ -> fail cur "bad \\u escape"
+         in
+         (* Emit UTF-8 for the BMP code point; surrogate pairs of exotic
+            input collapse to their raw code units, which is fine for the
+            ASCII-only documents this sink produces. *)
+         if code < 0x80 then Buffer.add_char buf (Char.chr code)
+         else if code < 0x800 then begin
+           Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+           Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+         end
+         else begin
+           Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+           Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+           Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+         end;
+         go ()
+       | _ -> fail cur "bad escape")
+    | Some c ->
+      Buffer.add_char buf c;
+      advance cur;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number cur =
+  let start = cur.pos in
+  let is_num_char c =
+    match c with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek cur with Some c -> is_num_char c | None -> false) do
+    advance cur
+  done;
+  let text = String.sub cur.s start (cur.pos - start) in
+  match float_of_string_opt text with
+  | Some f -> Num f
+  | None -> fail cur (Printf.sprintf "bad number %S" text)
+
+let rec parse_value cur =
+  skip_ws cur;
+  match peek cur with
+  | None -> fail cur "unexpected end of input"
+  | Some '{' ->
+    advance cur;
+    skip_ws cur;
+    if peek cur = Some '}' then begin
+      advance cur;
+      Obj []
+    end
+    else begin
+      let rec fields acc =
+        skip_ws cur;
+        expect cur '"';
+        let key = parse_string_body cur in
+        skip_ws cur;
+        expect cur ':';
+        let v = parse_value cur in
+        skip_ws cur;
+        match peek cur with
+        | Some ',' ->
+          advance cur;
+          fields ((key, v) :: acc)
+        | Some '}' ->
+          advance cur;
+          List.rev ((key, v) :: acc)
+        | _ -> fail cur "expected ',' or '}'"
+      in
+      Obj (fields [])
+    end
+  | Some '[' ->
+    advance cur;
+    skip_ws cur;
+    if peek cur = Some ']' then begin
+      advance cur;
+      List []
+    end
+    else begin
+      let rec items acc =
+        let v = parse_value cur in
+        skip_ws cur;
+        match peek cur with
+        | Some ',' ->
+          advance cur;
+          items (v :: acc)
+        | Some ']' ->
+          advance cur;
+          List.rev (v :: acc)
+        | _ -> fail cur "expected ',' or ']'"
+      in
+      List (items [])
+    end
+  | Some '"' ->
+    advance cur;
+    Str (parse_string_body cur)
+  | Some 't' -> literal cur "true" (Bool true)
+  | Some 'f' -> literal cur "false" (Bool false)
+  | Some 'n' -> literal cur "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number cur
+  | Some c -> fail cur (Printf.sprintf "unexpected %C" c)
+
+let parse s =
+  let cur = { s; pos = 0 } in
+  let v = parse_value cur in
+  skip_ws cur;
+  if cur.pos <> String.length s then fail cur "trailing garbage";
+  v
+
+let parse_opt s = try Some (parse s) with Parse_error _ -> None

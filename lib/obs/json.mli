@@ -1,0 +1,30 @@
+(** Minimal JSON values, printing and parsing — just enough for the
+    telemetry sink's JSONL documents and their round-trip tests. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val int : int -> t
+
+val member : string -> t -> t option
+(** Field lookup on objects; [None] on any other constructor. *)
+
+val to_float : t -> float option
+val to_int : t -> int option
+val to_string : t -> string option
+
+val to_string_json : t -> string
+(** Compact (single-line) rendering; integers print without a decimal
+    point, NaN prints as [null]. *)
+
+exception Parse_error of string
+
+val parse : string -> t
+(** Raises {!Parse_error} on malformed input or trailing garbage. *)
+
+val parse_opt : string -> t option

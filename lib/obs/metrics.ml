@@ -1,0 +1,234 @@
+(* Process-global metrics registry.
+
+   Instrumented modules create their handles once at module-init time
+   ([counter]/[gauge]/[histogram] are get-or-create), so the hot path never
+   touches the registry: an update is a single branch on the global enable
+   flag plus a mutable-field write.  With the switch off the whole subsystem
+   costs one load-and-branch per call site, which is what lets the
+   instrumentation live inside [Engine.step] and the per-slot MAC machines
+   without a measurable tax (acceptance: < 2% on the sinr_resolve kernel).
+
+   Histograms are log2-bucketed: bucket 0 holds values in [0, 1), bucket i
+   (i >= 1) holds [2^(i-1), 2^i).  Quantiles are estimated by linear
+   interpolation inside the bucket that crosses the requested rank, clamped
+   to the exact observed min/max.  That gives factor-2 worst-case error on
+   arbitrary data and exact answers for the small-integer distributions
+   (per-slot delivery counts, MIS winner counts) we mostly observe. *)
+
+let on = ref false
+let set_enabled b = on := b
+let is_enabled () = !on
+
+(* Run [f] with the registry enabled, restoring the previous state. *)
+let with_enabled f =
+  let prev = !on in
+  on := true;
+  Fun.protect ~finally:(fun () -> on := prev) f
+
+type counter = { c_name : string; mutable count : int }
+
+type gauge = { g_name : string; mutable value : float; mutable g_set : bool }
+
+let nbuckets = 64
+
+type histogram = {
+  h_name : string;
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  buckets : int array; (* log2 buckets, length [nbuckets] *)
+}
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let register name wrap make unwrap =
+  match Hashtbl.find_opt registry name with
+  | Some m ->
+    (match unwrap m with
+     | Some h -> h
+     | None ->
+       invalid_arg
+         (Printf.sprintf "Metrics: %s already registered as a %s" name
+            (kind_name m)))
+  | None ->
+    let h = make () in
+    Hashtbl.replace registry name (wrap h);
+    h
+
+let counter name =
+  register name
+    (fun c -> Counter c)
+    (fun () -> { c_name = name; count = 0 })
+    (function Counter c -> Some c | Gauge _ | Histogram _ -> None)
+
+let gauge name =
+  register name
+    (fun g -> Gauge g)
+    (fun () -> { g_name = name; value = 0.; g_set = false })
+    (function Gauge g -> Some g | Counter _ | Histogram _ -> None)
+
+let histogram name =
+  register name
+    (fun h -> Histogram h)
+    (fun () ->
+      { h_name = name;
+        h_count = 0;
+        h_sum = 0.;
+        h_min = infinity;
+        h_max = neg_infinity;
+        buckets = Array.make nbuckets 0 })
+    (function Histogram h -> Some h | Counter _ | Gauge _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Hot-path updates                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let incr c = if !on then c.count <- c.count + 1
+let add c k = if !on then c.count <- c.count + k
+let set g v =
+  if !on then begin
+    g.value <- v;
+    g.g_set <- true
+  end
+
+(* Index of the log2 bucket holding [v] (clamped to the top bucket). *)
+let bucket_of v =
+  if v < 1. then 0
+  else
+    let i = 1 + int_of_float (Float.log2 v) in
+    if i >= nbuckets then nbuckets - 1 else i
+
+(* Lower / upper bound of bucket [i]: [0,1) for 0, [2^(i-1), 2^i) above. *)
+let bucket_lo i = if i = 0 then 0. else Float.pow 2. (float_of_int (i - 1))
+let bucket_hi i = Float.pow 2. (float_of_int i)
+
+let observe h v =
+  if !on then begin
+    let v = if Float.is_nan v then 0. else Float.max 0. v in
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum +. v;
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v;
+    let i = bucket_of v in
+    h.buckets.(i) <- h.buckets.(i) + 1
+  end
+
+let observe_int h k = observe h (float_of_int k)
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let counter_value c = c.count
+let gauge_value g = g.value
+let histogram_count h = h.h_count
+let histogram_sum h = h.h_sum
+
+(* Estimate the [q]-quantile (q in [0,1]) by walking the cumulative bucket
+   counts and interpolating linearly inside the crossing bucket. *)
+let quantile h q =
+  if h.h_count = 0 then nan
+  else begin
+    let rank = q *. float_of_int h.h_count in
+    let rec walk i seen =
+      if i >= nbuckets then h.h_max
+      else
+        let seen' = seen +. float_of_int h.buckets.(i) in
+        if seen' >= rank && h.buckets.(i) > 0 then begin
+          let lo = bucket_lo i and hi = bucket_hi i in
+          let frac =
+            if h.buckets.(i) = 0 then 0.
+            else (rank -. seen) /. float_of_int h.buckets.(i)
+          in
+          lo +. (Float.max 0. (Float.min 1. frac) *. (hi -. lo))
+        end
+        else walk (i + 1) seen'
+    in
+    let est = walk 0 0. in
+    Float.max h.h_min (Float.min h.h_max est)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type hist_summary = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+type value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of hist_summary
+
+type snapshot = (string * value) list
+
+let summarize h =
+  { count = h.h_count;
+    sum = h.h_sum;
+    min = (if h.h_count = 0 then 0. else h.h_min);
+    max = (if h.h_count = 0 then 0. else h.h_max);
+    p50 = quantile h 0.5;
+    p90 = quantile h 0.9;
+    p99 = quantile h 0.99 }
+
+(* Metrics that never fired are omitted: a snapshot describes what the run
+   actually did, and sinks need not special-case empty histograms. *)
+let live = function
+  | Counter c -> c.count > 0
+  | Gauge g -> g.g_set
+  | Histogram h -> h.h_count > 0
+
+let snapshot () =
+  Hashtbl.fold
+    (fun name m acc ->
+      if live m then
+        let v =
+          match m with
+          | Counter c -> Counter_v c.count
+          | Gauge g -> Gauge_v g.value
+          | Histogram h -> Histogram_v (summarize h)
+        in
+        (name, v) :: acc
+      else acc)
+    registry []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter c -> c.count <- 0
+      | Gauge g ->
+        g.value <- 0.;
+        g.g_set <- false
+      | Histogram h ->
+        h.h_count <- 0;
+        h.h_sum <- 0.;
+        h.h_min <- infinity;
+        h.h_max <- neg_infinity;
+        Array.fill h.buckets 0 nbuckets 0)
+    registry
+
+(* Test/tooling escape hatch: value of a named counter in this process. *)
+let counter_peek name =
+  match Hashtbl.find_opt registry name with
+  | Some (Counter c) -> Some c.count
+  | Some (Gauge _ | Histogram _) | None -> None

@@ -1,0 +1,72 @@
+(** Process-global metrics registry: named counters, gauges and log2-bucketed
+    histograms with O(1) hot-path updates.
+
+    All updates are gated on a single global flag (default {e off}); with the
+    flag off every instrumentation call site costs one load-and-branch, so
+    the registry can live inside per-slot simulation kernels. Handles are
+    get-or-create by name, intended to be created once at module-init time. *)
+
+val set_enabled : bool -> unit
+val is_enabled : unit -> bool
+
+val with_enabled : (unit -> 'a) -> 'a
+(** Run with the registry enabled, restoring the previous state after. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+(** Get or create. Raises [Invalid_argument] if [name] is already registered
+    as a different kind (same for {!gauge} and {!histogram}). *)
+
+val gauge : string -> gauge
+val histogram : string -> histogram
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val set : gauge -> float -> unit
+
+val observe : histogram -> float -> unit
+(** Negative and NaN observations are clamped to 0. *)
+
+val observe_int : histogram -> int -> unit
+
+val counter_value : counter -> int
+val gauge_value : gauge -> float
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+val quantile : histogram -> float -> float
+(** [quantile h q] for [q] in [0,1]: estimated from the log2 buckets by
+    linear interpolation, clamped to the observed min/max; [nan] when the
+    histogram is empty. Exact for distributions within one bucket, at most
+    a factor-2 off otherwise. *)
+
+type hist_summary = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+type value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of hist_summary
+
+type snapshot = (string * value) list
+(** Sorted by metric name. *)
+
+val snapshot : unit -> snapshot
+(** Current values of every metric that has been touched since the last
+    {!reset} (never-updated metrics are omitted). *)
+
+val reset : unit -> unit
+(** Zero all values; registrations (and handles) stay valid. *)
+
+val counter_peek : string -> int option
+(** Current value of a named counter, if registered ([None] otherwise). *)

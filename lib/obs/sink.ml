@@ -1,0 +1,140 @@
+(* Serialisation of metric snapshots (and arbitrary JSON events) to the two
+   formats the tooling around the simulator wants:
+
+   - JSONL: one self-contained JSON object per line, suitable for appending
+     run after run to the same file and for jq/pandas post-processing;
+   - Prometheus text exposition (version 0.0.4 subset): counters, gauges,
+     and histogram summaries rendered as <name>_count/_sum plus
+     {quantile="..."} sample lines, for scraping a long-lived run. *)
+
+let value_to_json (v : Metrics.value) =
+  match v with
+  | Metrics.Counter_v n -> Json.Obj [ ("type", Json.Str "counter"); ("value", Json.int n) ]
+  | Metrics.Gauge_v f -> Json.Obj [ ("type", Json.Str "gauge"); ("value", Json.Num f) ]
+  | Metrics.Histogram_v h ->
+    Json.Obj
+      [ ("type", Json.Str "histogram");
+        ("count", Json.int h.Metrics.count);
+        ("sum", Json.Num h.Metrics.sum);
+        ("min", Json.Num h.Metrics.min);
+        ("max", Json.Num h.Metrics.max);
+        ("p50", Json.Num h.Metrics.p50);
+        ("p90", Json.Num h.Metrics.p90);
+        ("p99", Json.Num h.Metrics.p99) ]
+
+let snapshot_to_json ?label (snap : Metrics.snapshot) =
+  let metrics =
+    Json.Obj (List.map (fun (name, v) -> (name, value_to_json v)) snap)
+  in
+  let header =
+    match label with None -> [] | Some l -> [ ("label", Json.Str l) ]
+  in
+  Json.Obj (header @ [ ("metrics", metrics) ])
+
+let snapshot_to_jsonl ?label snap =
+  Json.to_string_json (snapshot_to_json ?label snap) ^ "\n"
+
+(* Inverse of [snapshot_to_json] (up to quantile-estimate precision); used
+   by the round-trip tests and by any tool re-reading its own output. *)
+let snapshot_of_json j =
+  match Json.member "metrics" j with
+  | Some (Json.Obj fields) ->
+    let num name o = Option.bind (Json.member name o) Json.to_float in
+    let int' name o = Option.bind (Json.member name o) Json.to_int in
+    let parse_one (name, o) =
+      match Option.bind (Json.member "type" o) Json.to_string with
+      | Some "counter" ->
+        Option.map (fun v -> (name, Metrics.Counter_v v)) (int' "value" o)
+      | Some "gauge" ->
+        Option.map (fun v -> (name, Metrics.Gauge_v v)) (num "value" o)
+      | Some "histogram" ->
+        (match (int' "count" o, num "sum" o, num "min" o, num "max" o,
+                num "p50" o, num "p90" o, num "p99" o)
+         with
+         | Some count, Some sum, Some min, Some max, Some p50, Some p90,
+           Some p99 ->
+           Some
+             (name, Metrics.Histogram_v { count; sum; min; max; p50; p90; p99 })
+         | _ -> None)
+      | Some _ | None -> None
+    in
+    (try Some (List.map (fun f -> Option.get (parse_one f)) fields)
+     with Invalid_argument _ -> None)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Prometheus names allow [a-zA-Z0-9_:]; our dotted names map '.' to '_'. *)
+let prom_name name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+let prom_float f =
+  if Float.is_nan f then "NaN"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let snapshot_to_prometheus (snap : Metrics.snapshot) =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, v) ->
+      let n = prom_name name in
+      match v with
+      | Metrics.Counter_v c ->
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n%s %d\n" n n c)
+      | Metrics.Gauge_v g ->
+        Buffer.add_string buf
+          (Printf.sprintf "# TYPE %s gauge\n%s %s\n" n n (prom_float g))
+      | Metrics.Histogram_v h ->
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s summary\n" n);
+        List.iter
+          (fun (q, value) ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s{quantile=\"%s\"} %s\n" n q (prom_float value)))
+          [ ("0.5", h.Metrics.p50); ("0.9", h.Metrics.p90); ("0.99", h.Metrics.p99) ];
+        Buffer.add_string buf
+          (Printf.sprintf "%s_sum %s\n%s_count %d\n" n
+             (prom_float h.Metrics.sum) n h.Metrics.count))
+    snap;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Files and pretty-printing                                           *)
+(* ------------------------------------------------------------------ *)
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let append_line path line =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc line;
+      if String.length line = 0 || line.[String.length line - 1] <> '\n' then
+        output_char oc '\n')
+
+let write_snapshot ?label path snap =
+  write_file path (snapshot_to_jsonl ?label snap)
+
+let pp_snapshot ppf (snap : Metrics.snapshot) =
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Metrics.Counter_v c -> Fmt.pf ppf "%-32s %d@." name c
+      | Metrics.Gauge_v g -> Fmt.pf ppf "%-32s %g@." name g
+      | Metrics.Histogram_v h ->
+        Fmt.pf ppf
+          "%-32s count=%d sum=%g min=%g p50=%g p90=%g p99=%g max=%g@." name
+          h.Metrics.count h.Metrics.sum h.Metrics.min h.Metrics.p50
+          h.Metrics.p90 h.Metrics.p99 h.Metrics.max)
+    snap

@@ -1,0 +1,25 @@
+(** Serialise metric snapshots to JSONL and Prometheus text exposition. *)
+
+val snapshot_to_json : ?label:string -> Metrics.snapshot -> Json.t
+val snapshot_to_jsonl : ?label:string -> Metrics.snapshot -> string
+(** One newline-terminated JSON object: [{"label": ..., "metrics": {...}}]. *)
+
+val snapshot_of_json : Json.t -> Metrics.snapshot option
+(** Inverse of {!snapshot_to_json} (up to float formatting); [None] if the
+    document does not have the expected shape. *)
+
+val snapshot_to_prometheus : Metrics.snapshot -> string
+(** Prometheus text format: counters and gauges as single samples,
+    histograms as summaries ([_count], [_sum], [{quantile="..."}]). Dots in
+    metric names become underscores. *)
+
+val write_file : string -> string -> unit
+val append_line : string -> string -> unit
+(** Append one line (newline added if missing) — the JSONL accumulation
+    primitive. *)
+
+val write_snapshot : ?label:string -> string -> Metrics.snapshot -> unit
+(** [write_snapshot path snap] = {!write_file} of {!snapshot_to_jsonl}. *)
+
+val pp_snapshot : Metrics.snapshot Fmt.t
+(** Human-readable table, one metric per line. *)

@@ -17,4 +17,5 @@ let () =
       ("engine_ext", Test_engine_ext.suite);
       ("decay_mac", Test_decay_mac.suite);
       ("mis_ext", Test_mis_ext.suite);
-      ("expt_e2e", Test_expt_e2e.suite) ]
+      ("expt_e2e", Test_expt_e2e.suite);
+      ("obs", Test_obs.suite) ]

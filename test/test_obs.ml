@@ -1,0 +1,357 @@
+(* Tests for the telemetry subsystem (lib/obs) and its instrumentation of
+   the simulation stack. *)
+
+open Sinr_geom
+open Sinr_phys
+open Sinr_engine
+open Sinr_obs
+
+(* Every test starts from a clean, enabled registry and leaves the registry
+   disabled (the rest of the suite must keep running uninstrumented). *)
+let with_registry f () =
+  Metrics.reset ();
+  Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.set_enabled false;
+      Metrics.reset ())
+    f
+
+(* ---------------- registry basics ---------------- *)
+
+let test_disabled_is_noop () =
+  Metrics.reset ();
+  Metrics.set_enabled false;
+  let c = Metrics.counter "test.noop_counter" in
+  let h = Metrics.histogram "test.noop_hist" in
+  Metrics.incr c;
+  Metrics.add c 10;
+  Metrics.observe h 3.0;
+  Alcotest.(check int) "counter untouched" 0 (Metrics.counter_value c);
+  Alcotest.(check int) "histogram untouched" 0 (Metrics.histogram_count h);
+  Alcotest.(check bool) "snapshot omits dead metrics" true
+    (not (List.mem_assoc "test.noop_counter" (Metrics.snapshot ())))
+
+let test_counter_and_gauge =
+  with_registry (fun () ->
+      let c = Metrics.counter "test.c" in
+      let g = Metrics.gauge "test.g" in
+      Metrics.incr c;
+      Metrics.add c 4;
+      Metrics.set g 2.5;
+      Alcotest.(check int) "counter" 5 (Metrics.counter_value c);
+      Alcotest.(check (float 1e-9)) "gauge" 2.5 (Metrics.gauge_value g);
+      (* get-or-create returns the same handle *)
+      Metrics.incr (Metrics.counter "test.c");
+      Alcotest.(check int) "shared handle" 6 (Metrics.counter_value c);
+      Alcotest.(check (option int)) "peek" (Some 6)
+        (Metrics.counter_peek "test.c");
+      (* registering the same name as another kind is an error *)
+      Alcotest.check_raises "kind clash"
+        (Invalid_argument "Metrics: test.c already registered as a counter")
+        (fun () -> ignore (Metrics.gauge "test.c")))
+
+let test_histogram_buckets =
+  with_registry (fun () ->
+      let h = Metrics.histogram "test.h" in
+      (* All mass at a single value: clamping to observed min/max makes
+         every quantile exact regardless of bucket width. *)
+      for _ = 1 to 100 do
+        Metrics.observe h 5.0
+      done;
+      Alcotest.(check int) "count" 100 (Metrics.histogram_count h);
+      Alcotest.(check (float 1e-9)) "sum" 500.0 (Metrics.histogram_sum h);
+      List.iter
+        (fun q ->
+          Alcotest.(check (float 1e-9)) "point mass quantile" 5.0
+            (Metrics.quantile h q))
+        [ 0.5; 0.9; 0.99 ])
+
+let test_histogram_quantiles =
+  with_registry (fun () ->
+      let h = Metrics.histogram "test.hq" in
+      (* 90 observations in [1,2) and 10 in [64,128): p50 must sit in the
+         low bucket, p99 in the high one, and the estimates must be
+         monotone in q. *)
+      for _ = 1 to 90 do
+        Metrics.observe h 1.0
+      done;
+      for _ = 1 to 10 do
+        Metrics.observe h 100.0
+      done;
+      let p50 = Metrics.quantile h 0.5 in
+      let p90 = Metrics.quantile h 0.9 in
+      let p99 = Metrics.quantile h 0.99 in
+      Alcotest.(check bool) "p50 in low bucket" true (p50 >= 1.0 && p50 < 2.0);
+      Alcotest.(check bool) "p99 in high bucket" true
+        (p99 >= 64.0 && p99 <= 128.0);
+      Alcotest.(check bool) "monotone" true (p50 <= p90 && p90 <= p99);
+      (* negative / NaN observations are clamped, not dropped *)
+      Metrics.observe h (-3.0);
+      Alcotest.(check int) "clamped obs counted" 101
+        (Metrics.histogram_count h);
+      Alcotest.(check (float 1e-9)) "clamped to zero -> min" 0.0
+        (Metrics.quantile h 0.0))
+
+let test_reset =
+  with_registry (fun () ->
+      let c = Metrics.counter "test.reset_c" in
+      let h = Metrics.histogram "test.reset_h" in
+      Metrics.incr c;
+      Metrics.observe h 1.0;
+      Metrics.reset ();
+      Alcotest.(check int) "counter zeroed" 0 (Metrics.counter_value c);
+      Alcotest.(check int) "histogram zeroed" 0 (Metrics.histogram_count h);
+      Alcotest.(check int) "snapshot empty" 0
+        (List.length (Metrics.snapshot ())))
+
+(* ---------------- json + sink round-trip ---------------- *)
+
+let test_json_parse () =
+  let j = Json.parse {|{"a": [1, 2.5, "x\n", true, null], "b": {"c": -3}}|} in
+  Alcotest.(check (option int)) "nested int"
+    (Some (-3))
+    (Option.bind (Json.member "b" j) (fun b ->
+         Option.bind (Json.member "c" b) Json.to_int));
+  (match Json.member "a" j with
+   | Some (Json.List [ Json.Num one; Json.Num h; Json.Str s; Json.Bool true;
+                       Json.Null ]) ->
+     Alcotest.(check (float 1e-9)) "1" 1.0 one;
+     Alcotest.(check (float 1e-9)) "2.5" 2.5 h;
+     Alcotest.(check string) "escape" "x\n" s
+   | _ -> Alcotest.fail "unexpected array shape");
+  Alcotest.(check bool) "malformed rejected" true
+    (Json.parse_opt "{broken" = None);
+  Alcotest.(check bool) "trailing garbage rejected" true
+    (Json.parse_opt "1 2" = None)
+
+let value_eq a b =
+  match (a, b) with
+  | Metrics.Counter_v x, Metrics.Counter_v y -> x = y
+  | Metrics.Gauge_v x, Metrics.Gauge_v y -> Float.abs (x -. y) < 1e-9
+  | Metrics.Histogram_v x, Metrics.Histogram_v y ->
+    x.Metrics.count = y.Metrics.count
+    && Float.abs (x.Metrics.sum -. y.Metrics.sum) < 1e-6
+    && Float.abs (x.Metrics.p50 -. y.Metrics.p50) < 1e-6
+    && Float.abs (x.Metrics.p99 -. y.Metrics.p99) < 1e-6
+  | _ -> false
+
+let test_snapshot_roundtrip =
+  with_registry (fun () ->
+      Metrics.incr (Metrics.counter "rt.count");
+      Metrics.add (Metrics.counter "rt.count") 41;
+      Metrics.set (Metrics.gauge "rt.gauge") 3.25;
+      let h = Metrics.histogram "rt.hist" in
+      List.iter (Metrics.observe h) [ 1.0; 2.0; 4.0; 4.0; 150.0 ];
+      let snap = Metrics.snapshot () in
+      let line = Sink.snapshot_to_jsonl ~label:"test" snap in
+      let parsed = Json.parse (String.trim line) in
+      Alcotest.(check (option string)) "label survives" (Some "test")
+        (Option.bind (Json.member "label" parsed) Json.to_string);
+      match Sink.snapshot_of_json parsed with
+      | None -> Alcotest.fail "snapshot_of_json failed"
+      | Some snap' ->
+        Alcotest.(check int) "same cardinality" (List.length snap)
+          (List.length snap');
+        List.iter2
+          (fun (n, v) (n', v') ->
+            Alcotest.(check string) "name order" n n';
+            Alcotest.(check bool) (n ^ " value survives") true
+              (value_eq v v'))
+          snap snap')
+
+let test_prometheus =
+  with_registry (fun () ->
+      Metrics.add (Metrics.counter "prom.requests") 7;
+      Metrics.set (Metrics.gauge "prom.depth") 1.5;
+      Metrics.observe (Metrics.histogram "prom.lat") 2.0;
+      let text = Sink.snapshot_to_prometheus (Metrics.snapshot ()) in
+      let contains needle =
+        let nl = String.length needle and tl = String.length text in
+        let rec go i =
+          i + nl <= tl && (String.sub text i nl = needle || go (i + 1))
+        in
+        go 0
+      in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) ("contains " ^ needle) true (contains needle))
+        [ "# TYPE prom_requests counter"; "prom_requests 7";
+          "prom_depth 1.5"; "# TYPE prom_lat summary";
+          "prom_lat{quantile=\"0.5\"} 2"; "prom_lat_count 1" ])
+
+(* ---------------- timer ---------------- *)
+
+let test_timer =
+  with_registry (fun () ->
+      (* Cons cells allocate on the minor heap (large arrays would go
+         straight to the major heap and leave minor_words at 0). *)
+      let x, span = Timer.time (fun () -> List.length (List.init 1000 Fun.id)) in
+      Alcotest.(check int) "result passthrough" 1000 x;
+      Alcotest.(check bool) "wall time non-negative" true (span.Timer.wall_s >= 0.);
+      Alcotest.(check bool) "allocated" true (span.Timer.minor_words > 0.);
+      ignore (Timer.record ~prefix:"test.span" (fun () -> ()));
+      Alcotest.(check bool) "recorded histogram" true
+        (Metrics.histogram_count (Metrics.histogram "test.span.ns") = 1))
+
+(* ---------------- trace ring buffer ---------------- *)
+
+let test_trace_eviction_keeps_newest () =
+  let t = Trace.create ~capacity:10 () in
+  for i = 1 to 25 do
+    Trace.record t ~slot:i (Trace.Note (string_of_int i))
+  done;
+  let evs = Trace.events t in
+  Alcotest.(check bool) "bounded" true (List.length evs <= 10);
+  (* Newest entry always survives; retained slots are contiguous at the
+     tail of the recorded sequence. *)
+  let slots = List.map (fun e -> e.Trace.slot) evs in
+  let newest = List.nth slots (List.length slots - 1) in
+  Alcotest.(check int) "newest kept" 25 newest;
+  let oldest = List.hd slots in
+  Alcotest.(check (list int)) "contiguous tail"
+    (List.init (List.length slots) (fun i -> oldest + i))
+    slots;
+  Alcotest.(check int) "dropped accounts for the rest"
+    (25 - List.length slots) (Trace.dropped t)
+
+let test_trace_full_capacity_stack_safety () =
+  (* The default 100k-capacity buffer, filled to the brim: find_first and
+     the eviction path must both be stack-safe. *)
+  let t = Trace.create () in
+  for i = 0 to 100_000 do
+    Trace.record t ~slot:i (Trace.Note "x")
+  done;
+  (match Trace.find_first t (fun e -> e.Trace.slot mod 97 = 0) with
+   | Some e -> Alcotest.(check int) "oldest match" 0 (e.Trace.slot mod 97)
+   | None -> Alcotest.fail "expected a match");
+  Alcotest.(check bool) "evicted half once" true (Trace.dropped t > 0)
+
+let test_trace_jsonl () =
+  let t = Trace.create () in
+  Trace.record t ~slot:3 (Trace.Bcast { node = 1; msg = 9 });
+  Trace.record t ~slot:4 (Trace.Rcv { node = 2; msg = 9; from = 1 });
+  let lines =
+    String.split_on_char '\n' (String.trim (Trace.to_jsonl t))
+  in
+  Alcotest.(check int) "one line per event" 2 (List.length lines);
+  let first = Json.parse (List.hd lines) in
+  Alcotest.(check (option string)) "event tag" (Some "bcast")
+    (Option.bind (Json.member "ev" first) Json.to_string);
+  Alcotest.(check (option int)) "slot field" (Some 3)
+    (Option.bind (Json.member "slot" first) Json.to_int)
+
+(* ---------------- engine hooks + instrumentation ---------------- *)
+
+let cfg = Config.default
+
+let test_run_on_slot () =
+  let eng =
+    Engine.create ~wake_on_receive:false
+      (Sinr.create cfg (Placement.line ~n:2 ~spacing:5.))
+  in
+  Engine.wake eng 0;
+  let slots_seen = ref [] in
+  let deliveries_seen = ref 0 in
+  let slots =
+    Engine.run eng
+      ~on_slot:(fun ~slot ds ->
+        slots_seen := slot :: !slots_seen;
+        deliveries_seen := !deliveries_seen + List.length ds)
+      ~decide:(fun _ -> Engine.Transmit "m")
+      ~stop:(fun () -> false)
+      ~max_slots:7
+  in
+  Alcotest.(check int) "slots executed" 7 slots;
+  Alcotest.(check (list int)) "on_slot fired in order" [ 0; 1; 2; 3; 4; 5; 6 ]
+    (List.rev !slots_seen);
+  Alcotest.(check int) "deliveries threaded" (Engine.delivery_total eng)
+    !deliveries_seen
+
+let test_engine_counters =
+  with_registry (fun () ->
+      let eng =
+        Engine.create ~wake_on_receive:false
+          (Sinr.create cfg (Placement.line ~n:2 ~spacing:5.))
+      in
+      Engine.wake eng 0;
+      for _ = 1 to 5 do
+        ignore (Engine.step eng ~decide:(fun _ -> Engine.Transmit "m"))
+      done;
+      let peek n = Option.value ~default:0 (Metrics.counter_peek n) in
+      Alcotest.(check int) "engine.slots" 5 (peek "engine.slots");
+      Alcotest.(check int) "engine.tx" 5 (peek "engine.tx");
+      Alcotest.(check int) "engine.deliveries" 5 (peek "engine.deliveries");
+      Alcotest.(check int) "engine.wakeups" 1 (peek "engine.wakeups");
+      let h = Metrics.histogram "engine.slot_deliveries" in
+      Alcotest.(check int) "slot histogram count" 5
+        (Metrics.histogram_count h))
+
+(* ---------------- instrumented approx-progress smoke ---------------- *)
+
+let test_approg_instrumented_smoke =
+  with_registry (fun () ->
+      let rng = Rng.create 77 in
+      let pts =
+        Placement.uniform rng ~n:40 ~box:(Box.square ~side:25.) ~min_dist:1.
+      in
+      let sinr = Sinr.create cfg pts in
+      let lambda = Sinr_phys.Induced.lambda cfg pts in
+      let sched =
+        Sinr_mac.Params.schedule cfg ~lambda Sinr_mac.Params.default_approg
+      in
+      let senders = List.filter (fun v -> v mod 2 = 0) (List.init 40 Fun.id) in
+      let _samples, _machine =
+        Sinr_mac.Measure.approx_progress_only sinr ~rng:(Rng.create 78)
+          ~senders
+          ~max_slots:(2 * sched.Sinr_mac.Params.epoch_slots)
+      in
+      let peek n = Option.value ~default:0 (Metrics.counter_peek n) in
+      let slots = peek "engine.slots" in
+      let tx = peek "engine.tx" in
+      let deliveries = peek "engine.deliveries" in
+      let epochs = peek "approg.epochs" in
+      let phases = peek "approg.phases" in
+      Alcotest.(check bool) "ran some slots" true (slots > 0);
+      Alcotest.(check bool) "transmitted" true (tx > 0);
+      Alcotest.(check bool) "delivered" true (deliveries > 0);
+      Alcotest.(check bool) "at least one epoch" true (epochs >= 1);
+      (* Slot accounting: completed phases fit in the slots executed (each
+         phase costs phase_slots engine slots), with one-epoch slack for
+         the epoch begun at machine creation. *)
+      Alcotest.(check bool) "phases consistent with slots" true
+        (phases * sched.Sinr_mac.Params.phase_slots
+         <= slots + sched.Sinr_mac.Params.epoch_slots);
+      Alcotest.(check bool) "epochs consistent with slots" true
+        ((epochs - 1) * sched.Sinr_mac.Params.epoch_slots <= slots);
+      (* A transmission is decoded by at most (n-1) listeners (and under
+         beta > 1 at most one sender is decodable per listener per slot). *)
+      Alcotest.(check bool) "deliveries bounded by tx fan-out" true
+        (deliveries <= tx * 39);
+      Alcotest.(check bool) "engine totals agree with metrics" true
+        (deliveries <= slots * 40);
+      (* The per-slot delivery histogram covered every slot. *)
+      Alcotest.(check int) "delivery histogram count = slots" slots
+        (Metrics.histogram_count (Metrics.histogram "engine.slot_deliveries")))
+
+let suite =
+  [ Alcotest.test_case "disabled registry is a no-op" `Quick
+      test_disabled_is_noop;
+    Alcotest.test_case "counter and gauge" `Quick test_counter_and_gauge;
+    Alcotest.test_case "histogram point mass" `Quick test_histogram_buckets;
+    Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
+    Alcotest.test_case "reset" `Quick test_reset;
+    Alcotest.test_case "json parse" `Quick test_json_parse;
+    Alcotest.test_case "snapshot jsonl round-trip" `Quick
+      test_snapshot_roundtrip;
+    Alcotest.test_case "prometheus exposition" `Quick test_prometheus;
+    Alcotest.test_case "timer spans" `Quick test_timer;
+    Alcotest.test_case "trace eviction keeps newest" `Quick
+      test_trace_eviction_keeps_newest;
+    Alcotest.test_case "trace 100k stack safety" `Quick
+      test_trace_full_capacity_stack_safety;
+    Alcotest.test_case "trace jsonl export" `Quick test_trace_jsonl;
+    Alcotest.test_case "run on_slot hook" `Quick test_run_on_slot;
+    Alcotest.test_case "engine counters" `Quick test_engine_counters;
+    Alcotest.test_case "instrumented approg smoke" `Quick
+      test_approg_instrumented_smoke ]
