@@ -1,14 +1,21 @@
-.PHONY: all build check test fmt bench clean
+.PHONY: all build check test fmt bench par-smoke clean
 
 all: build
 
 build:
 	dune build
 
-# Tier-1 gate: full build + test suite.
+# Tier-1 gate: full build + test suite, then a parallel-path smoke run.
 check:
 	dune build
 	dune runtest
+	$(MAKE) par-smoke
+
+# Quick end-to-end exercise of the domain pool: one real experiment
+# through the parallel sweep at jobs=2 (its rows are asserted
+# bit-identical to jobs=1 by the test suite).
+par-smoke:
+	dune exec bench/main.exe -- --jobs 2 table1-ack
 
 test: check
 

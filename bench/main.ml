@@ -4,14 +4,22 @@
    kernels.
 
    Usage:
-     main.exe                      run everything
-     main.exe <id> [<id> ...]      run selected experiments
+     main.exe [--jobs N]           run everything
+     main.exe [--jobs N] <id> ...  run selected experiments
    ids: table1-ack fig1-progress-lb table1-approg thm8-decay table2-smb
-        table1-mmb table1-cons ablation mac-compare capacity micro *)
+        table1-mmb table1-cons ablation mac-compare capacity micro
+        par-bench
+
+   --jobs N sizes the Sinr_par domain pool the experiments' sweeps run on
+   (default: SINR_JOBS, else Domain.recommended_domain_count (); 1 forces
+   the sequential path).  A failing experiment no longer loses the run:
+   its error is reported, its status gauge records the failure, and the
+   remaining experiments plus the BENCH_obs.json snapshot still happen. *)
 
 open Sinr_geom
 open Sinr_phys
 open Sinr_expt
+open Sinr_par
 
 let table1_ack () = ignore (Exp_ack.run ())
 
@@ -243,6 +251,68 @@ let micro () =
          | Some _ | None -> Fmt.pr "%-34s (no estimate)@." name)
        (List.sort compare rows))
 
+(* ------------------------------------------------------------------ *)
+(* par-bench: sequential-vs-parallel wall clocks -> BENCH_parallel.json *)
+(* ------------------------------------------------------------------ *)
+
+(* Two Monte-Carlo-heavy workloads, each timed at jobs=1 and at the
+   parallel width (>= 4 per the perf-trajectory contract; honest numbers
+   either way — on a single-core host the speedup gauge simply reports
+   what the hardware allows).  Telemetry stays off so the clocks measure
+   the kernels, and the snapshot is assembled by hand so the file carries
+   exactly the par.bench.* gauges. *)
+let par_bench_path = "BENCH_parallel.json"
+
+let reliability_workload ~jobs () =
+  let rng = Rng.create 41 in
+  let pts =
+    Placement.uniform rng ~n:260 ~box:(Sinr_geom.Box.square ~side:70.)
+      ~min_dist:1.
+  in
+  let sinr = Sinr.create Config.default pts in
+  let est =
+    Reliability.estimate ~trials:3_000 ~jobs sinr (Rng.split rng ~key:1)
+      ~set:(List.init 260 Fun.id) ~p:0.25 ~mu:0.01
+  in
+  ignore (Reliability.graph est)
+
+let ack_sweep_workload ~jobs () =
+  let prev = Pool.default_jobs () in
+  Pool.set_default_jobs jobs;
+  Fun.protect ~finally:(fun () -> Pool.set_default_jobs prev) @@ fun () ->
+  ignore
+    (Exp_ack.run ~seeds:[ 1; 2; 3; 4; 5; 6; 7; 8 ]
+       ~deltas:[ 16; 32; 48; 64 ] ())
+
+let par_bench () =
+  Report.section "par-bench: sequential vs parallel wall clock";
+  let par_jobs = max 4 (Pool.default_jobs ()) in
+  let time f =
+    let t = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t
+  in
+  let gauges = ref [ ("par.bench.jobs", float_of_int par_jobs) ] in
+  List.iter
+    (fun (id, workload) ->
+      let seq = time (workload ~jobs:1) in
+      let par = time (workload ~jobs:par_jobs) in
+      let speedup = if par > 0. then seq /. par else 0. in
+      Fmt.pr "%-24s jobs=1 %.2fs   jobs=%d %.2fs   speedup %.2fx@." id seq
+        par_jobs par speedup;
+      gauges :=
+        (Fmt.str "par.bench.%s.speedup" id, speedup)
+        :: (Fmt.str "par.bench.%s.jobs%d.seconds" id par_jobs, par)
+        :: (Fmt.str "par.bench.%s.jobs1.seconds" id, seq)
+        :: !gauges)
+    [ ("reliability", reliability_workload); ("ack-sweep", ack_sweep_workload) ];
+  let snap =
+    List.sort compare !gauges
+    |> List.map (fun (name, v) -> (name, Sinr_obs.Metrics.Gauge_v v))
+  in
+  Sinr_obs.Sink.write_snapshot ~label:"par-bench" par_bench_path snap;
+  Fmt.pr "[parallel bench written: %s]@." par_bench_path
+
 let experiments =
   [ ("table1-ack", table1_ack);
     ("fig1-progress-lb", fig1_lb);
@@ -254,43 +324,95 @@ let experiments =
     ("ablation", ablation);
     ("mac-compare", mac_compare);
     ("capacity", capacity);
-    ("micro", micro) ]
+    ("micro", micro);
+    ("par-bench", par_bench) ]
 
 (* Machine-readable companion to the printed tables: the telemetry snapshot
-   of everything the experiments did, plus a wall-time gauge per experiment.
-   The [micro] kernels run with telemetry disabled so the Bechamel numbers
-   measure the uninstrumented hot paths (the disabled-overhead guarantee the
-   registry makes is itself checked by the sinr_resolve kernel). *)
+   of everything the experiments did, plus wall-time and status gauges per
+   experiment.  The [micro] kernels and [par-bench] clocks run with
+   telemetry disabled so their numbers measure the uninstrumented hot
+   paths (the disabled-overhead guarantee the registry makes is itself
+   checked by the sinr_resolve kernel). *)
 let obs_path = "BENCH_obs.json"
 
-let record_seconds id dt =
+let uninstrumented = [ "micro"; "par-bench" ]
+
+let record_gauge name v =
   Sinr_obs.Metrics.with_enabled (fun () ->
-      Sinr_obs.Metrics.set
-        (Sinr_obs.Metrics.gauge ("bench." ^ id ^ ".seconds"))
-        dt)
+      Sinr_obs.Metrics.set (Sinr_obs.Metrics.gauge name) v)
+
+(* Leading --jobs N / --jobs=N flags; everything else is experiment ids. *)
+let parse_args args =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some j when j >= 1 -> Pool.set_default_jobs j
+       | Some _ | None ->
+         Fmt.epr "bench: --jobs expects a positive integer, got %S@." n;
+         exit 2);
+      go acc rest
+    | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" ->
+      let n = String.sub arg 7 (String.length arg - 7) in
+      (match int_of_string_opt n with
+       | Some j when j >= 1 -> Pool.set_default_jobs j
+       | Some _ | None ->
+         Fmt.epr "bench: --jobs expects a positive integer, got %S@." n;
+         exit 2);
+      go acc rest
+    | arg :: rest -> go (arg :: acc) rest
+  in
+  go [] args
 
 let () =
+  let ids = parse_args (List.tl (Array.to_list Sys.argv)) in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: [] | [] -> List.map fst experiments
-    | _ :: args -> args
+    match ids with [] -> List.map fst experiments | ids -> ids
   in
-  let t0 = Unix.gettimeofday () in
   List.iter
     (fun id ->
-      match List.assoc_opt id experiments with
-      | Some f ->
-        let t = Unix.gettimeofday () in
-        if id = "micro" then f () else Sinr_obs.Metrics.with_enabled f;
-        let dt = Unix.gettimeofday () -. t in
-        record_seconds id dt;
-        Fmt.pr "@.[%s done in %.1fs]@." id dt
-      | None ->
+      if not (List.mem_assoc id experiments) then begin
         Fmt.epr "unknown experiment %S; known: %s@." id
           (String.concat " " (List.map fst experiments));
-        exit 2)
+        exit 2
+      end)
     requested;
-  let snap = Sinr_obs.Metrics.snapshot () in
-  Sinr_obs.Sink.write_snapshot ~label:"bench" obs_path snap;
-  Fmt.pr "@.[obs snapshot written: %s]@." obs_path;
-  Fmt.pr "total wall time: %.1fs@." (Unix.gettimeofday () -. t0)
+  let t0 = Unix.gettimeofday () in
+  Fmt.pr "[pool: %d jobs]@." (Pool.default_jobs ());
+  let failures = ref [] in
+  (* Always leave a snapshot behind, even if an experiment (or the loop
+     itself) dies: partial results beat no results. *)
+  Fun.protect
+    ~finally:(fun () ->
+      let snap = Sinr_obs.Metrics.snapshot () in
+      Sinr_obs.Sink.write_snapshot ~label:"bench" obs_path snap;
+      Fmt.pr "@.[obs snapshot written: %s]@." obs_path;
+      Fmt.pr "total wall time: %.1fs@." (Unix.gettimeofday () -. t0))
+    (fun () ->
+      List.iter
+        (fun id ->
+          let f = List.assoc id experiments in
+          let t = Unix.gettimeofday () in
+          let ok =
+            try
+              if List.mem id uninstrumented then f ()
+              else Sinr_obs.Metrics.with_enabled f;
+              true
+            with e ->
+              let bt = Printexc.get_backtrace () in
+              Fmt.epr "@.[%s FAILED: %s]@.%s@." id (Printexc.to_string e) bt;
+              false
+          in
+          let dt = Unix.gettimeofday () -. t in
+          record_gauge ("bench." ^ id ^ ".seconds") dt;
+          record_gauge ("bench." ^ id ^ ".ok") (if ok then 1. else 0.);
+          if not ok then failures := id :: !failures;
+          Fmt.pr "@.[%s %s in %.1fs]@." id
+            (if ok then "done" else "FAILED")
+            dt)
+        requested);
+  match !failures with
+  | [] -> ()
+  | fs ->
+    Fmt.epr "failed experiments: %s@." (String.concat " " (List.rev fs));
+    exit 1

@@ -10,7 +10,13 @@
 
    The run subcommands take --metrics-out FILE: the run executes with the
    telemetry registry enabled and its final snapshot is written to FILE as
-   one JSONL object (see DESIGN.md "Observability"). *)
+   one JSONL object (see DESIGN.md "Observability").
+
+   They also take --jobs N, which sets the worker-domain count of the
+   shared [Sinr_par.Pool] used by the Monte-Carlo and sweep kernels
+   (default: $SINR_JOBS, else the recommended domain count; N=1 is the
+   legacy sequential path).  Outputs are bit-identical for every N — see
+   DESIGN.md "Parallel execution". *)
 
 open Cmdliner
 open Sinr_geom
@@ -40,6 +46,21 @@ let metrics_out_arg =
        & info [ "metrics-out" ] ~docv:"FILE"
            ~doc:"Enable telemetry for the run and write the final metric \
                  snapshot to $(docv) as one JSONL object.")
+
+let jobs_arg =
+  Arg.(value & opt (some int) None
+       & info [ "jobs" ] ~docv:"N"
+           ~doc:"Worker domains for parallel kernels (Monte-Carlo \
+                 reliability, experiment sweeps). $(docv)=1 forces the \
+                 legacy sequential path; the default comes from \
+                 $(b,SINR_JOBS), else the recommended domain count. \
+                 Results are bit-identical whatever $(docv) is.")
+
+(* The --jobs flag lands in the shared-pool default, which every parallel
+   kernel downstream (Sweep grids, Reliability.estimate) picks up. *)
+let set_jobs = function
+  | None -> ()
+  | Some j -> Sinr_par.Pool.set_default_jobs j
 
 (* Run [f] with telemetry per [metrics_out]; write the snapshot after. *)
 let with_metrics ~label metrics_out f =
@@ -87,7 +108,8 @@ let profile_cmd =
 (* ---------------- smb ---------------- *)
 
 let smb_cmd =
-  let run seed n degree range metrics_out =
+  let run seed n degree range metrics_out jobs =
+    set_jobs jobs;
     with_metrics ~label:"smb" metrics_out @@ fun () ->
     let d = deployment ~seed ~n ~degree ~range in
     pp_profile d;
@@ -123,7 +145,7 @@ let smb_cmd =
     (Cmd.info "smb"
        ~doc:"Global single-message broadcast: ours vs the baselines.")
     Term.(const run $ seed_arg $ n_arg $ degree_arg $ range_arg
-          $ metrics_out_arg)
+          $ metrics_out_arg $ jobs_arg)
 
 (* ---------------- cons ---------------- *)
 
@@ -132,7 +154,8 @@ let cons_cmd =
     Arg.(value & opt int 0
          & info [ "crashes" ] ~docv:"K" ~doc:"Crash K nodes mid-run.")
   in
-  let run seed n degree range crashes metrics_out =
+  let run seed n degree range crashes metrics_out jobs =
+    set_jobs jobs;
     with_metrics ~label:"cons" metrics_out @@ fun () ->
     let d = deployment ~seed ~n ~degree ~range in
     pp_profile d;
@@ -161,12 +184,13 @@ let cons_cmd =
   Cmd.v
     (Cmd.info "cons" ~doc:"Network-wide consensus over the absMAC.")
     Term.(const run $ seed_arg $ n_arg $ degree_arg $ range_arg $ crashes_arg
-          $ metrics_out_arg)
+          $ metrics_out_arg $ jobs_arg)
 
 (* ---------------- approg ---------------- *)
 
 let approg_cmd =
-  let run seed n degree range metrics_out =
+  let run seed n degree range metrics_out jobs =
+    set_jobs jobs;
     with_metrics ~label:"approg" metrics_out @@ fun () ->
     let d = deployment ~seed ~n ~degree ~range in
     pp_profile d;
@@ -206,7 +230,7 @@ let approg_cmd =
     (Cmd.info "approg"
        ~doc:"Measure approximate progress of Algorithm 9.1 on a deployment.")
     Term.(const run $ seed_arg $ n_arg $ degree_arg $ range_arg
-          $ metrics_out_arg)
+          $ metrics_out_arg $ jobs_arg)
 
 (* ---------------- exp ---------------- *)
 
@@ -218,7 +242,8 @@ let exp_cmd =
                    table1-approg, thm8-decay, table2-smb, table1-mmb, \
                    table1-cons, ablation, mac-compare, capacity).")
   in
-  let run id metrics_out =
+  let run id metrics_out jobs =
+    set_jobs jobs;
     with_metrics ~label:("exp:" ^ id) metrics_out @@ fun () ->
     match id with
     | "table1-ack" -> ignore (Exp_ack.run ())
@@ -244,7 +269,7 @@ let exp_cmd =
   in
   Cmd.v
     (Cmd.info "exp" ~doc:"Run a named experiment (see DESIGN.md index).")
-    Term.(const run $ id_arg $ metrics_out_arg)
+    Term.(const run $ id_arg $ metrics_out_arg $ jobs_arg)
 
 (* ---------------- obs ---------------- *)
 

@@ -8,7 +8,10 @@
        Delta — the headline separation of Remark 11.2;
 
    (b) epsilon sweep: f_approg grows like log(1/eps) as the requested
-       success probability rises. *)
+       success probability rises.
+
+   Each (parameter, seed) cell — one deployment build plus its progress
+   and ack simulations — runs as one Sweep task. *)
 
 open Sinr_geom
 open Sinr_stats
@@ -33,6 +36,10 @@ let success_frac samples =
       (List.length (List.filter (fun s -> s.Measure.delay <> None) samples))
     /. float_of_int (List.length samples)
 
+let avg = function
+  | [] -> None
+  | xs -> Some (List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs))
+
 type density_row = {
   delta : int;
   lambda : float;
@@ -43,59 +50,64 @@ type density_row = {
   approg_formula : float;
 }
 
-let density_row ~seeds ~n ~side =
-  let eps = Params.default_approg.Params.eps_approg in
-  let delta = ref 0 and lambda = ref 1. and epoch = ref 0 in
-  let p90s = ref [] and succ = ref [] and acks = ref [] in
-  List.iter
-    (fun seed ->
-      let rng = Rng.create (0xA9 + (seed * 7919)) in
-      let d = Workloads.uniform_density (Rng.split rng ~key:0) ~n ~side in
-      delta := d.Workloads.profile.Induced.strong_degree;
-      lambda := d.Workloads.profile.Induced.lambda;
-      let senders = List.filter (fun v -> v mod 2 = 0) (List.init n Fun.id) in
-      let sched =
-        Params.schedule (Sinr.config d.Workloads.sinr) ~lambda:!lambda
-          Params.default_approg
-      in
-      epoch := sched.Params.epoch_slots;
-      let samples, _ =
-        Measure.approx_progress_only d.Workloads.sinr
-          ~rng:(Rng.split rng ~key:1) ~senders
-          ~max_slots:(6 * sched.Params.epoch_slots)
-      in
-      (match delays_summary samples with
-       | Some s -> p90s := s.Summary.p90 :: !p90s
-       | None -> ());
-      succ := success_frac samples :: !succ;
-      let ack_samples =
-        Measure.acks d.Workloads.sinr ~rng:(Rng.split rng ~key:2) ~senders
-          ~max_slots:4_000_000
-      in
-      match ack_samples with
-      | [] -> ()
-      | _ ->
-        let mean =
-          List.fold_left
-            (fun acc (a : Measure.ack_sample) -> acc +. float_of_int a.Measure.delay)
-            0. ack_samples
-          /. float_of_int (List.length ack_samples)
-        in
-        acks := mean :: !acks)
-    seeds;
-  let avg = function
-    | [] -> None
-    | xs -> Some (List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs))
+type density_cell = {
+  dc_delta : int;
+  dc_lambda : float;
+  dc_epoch : int;
+  dc_p90 : float option;
+  dc_success : float;
+  dc_ack_mean : float option;
+}
+
+let density_cell ~n ~side seed =
+  let rng = Rng.create (0xA9 + (seed * 7919)) in
+  let d = Workloads.uniform_density (Rng.split rng ~key:0) ~n ~side in
+  let lambda = d.Workloads.profile.Induced.lambda in
+  let senders = List.filter (fun v -> v mod 2 = 0) (List.init n Fun.id) in
+  let sched =
+    Params.schedule (Sinr.config d.Workloads.sinr) ~lambda
+      Params.default_approg
   in
-  { delta = !delta;
-    lambda = !lambda;
-    approg_p90 = avg !p90s;
+  let samples, _ =
+    Measure.approx_progress_only d.Workloads.sinr
+      ~rng:(Rng.split rng ~key:1) ~senders
+      ~max_slots:(6 * sched.Params.epoch_slots)
+  in
+  let ack_samples =
+    Measure.acks d.Workloads.sinr ~rng:(Rng.split rng ~key:2) ~senders
+      ~max_slots:4_000_000
+  in
+  { dc_delta = d.Workloads.profile.Induced.strong_degree;
+    dc_lambda = lambda;
+    dc_epoch = sched.Params.epoch_slots;
+    dc_p90 = Option.map (fun s -> s.Summary.p90) (delays_summary samples);
+    dc_success = success_frac samples;
+    dc_ack_mean =
+      (match ack_samples with
+       | [] -> None
+       | _ ->
+         Some
+           (List.fold_left
+              (fun acc (a : Measure.ack_sample) ->
+                acc +. float_of_int a.Measure.delay)
+              0. ack_samples
+            /. float_of_int (List.length ack_samples))) }
+
+let density_row_of_cells cells =
+  let eps = Params.default_approg.Params.eps_approg in
+  let last = List.nth cells (List.length cells - 1) in
+  { delta = last.dc_delta;
+    lambda = last.dc_lambda;
+    approg_p90 = avg (List.filter_map (fun c -> c.dc_p90) cells);
     approg_success =
-      (match avg !succ with Some v -> v | None -> 0.);
-    ack_mean = avg !acks;
-    epoch_slots = !epoch;
+      (match avg (List.map (fun c -> c.dc_success) cells) with
+       | Some v -> v
+       | None -> 0.);
+    ack_mean = avg (List.filter_map (fun c -> c.dc_ack_mean) cells);
+    epoch_slots = last.dc_epoch;
     approg_formula =
-      Params.f_approg_formula Config.default ~lambda:!lambda ~eps_approg:eps }
+      Params.f_approg_formula Config.default ~lambda:last.dc_lambda
+        ~eps_approg:eps }
 
 let run_density ?(seeds = [ 1; 2; 3 ]) ?(n = 60)
     ?(sides = [ 44.; 30.; 21.; 15. ]) () =
@@ -111,7 +123,11 @@ let run_density ?(seeds = [ 1; 2; 3 ]) ?(n = 60)
           "epoch slots"; "f_approg formula" ]
       ()
   in
-  let rows = List.map (fun side -> density_row ~seeds ~n ~side) sides in
+  let rows =
+    Sweep.grid ~params:sides ~seeds (fun side seed ->
+        density_cell ~n ~side seed)
+    |> List.map (fun (_, cells) -> density_row_of_cells cells)
+  in
   List.iter
     (fun r ->
       Table.add_row table
@@ -150,39 +166,44 @@ type eps_row = {
   formula : float;
 }
 
-let eps_row ~seeds ~n ~side ~eps =
+type eps_cell = {
+  ec_lambda : float;
+  ec_epoch : int;
+  ec_p90 : float option;
+  ec_success : float;
+}
+
+let eps_cell ~n ~side ~eps seed =
   let params = { Params.default_approg with Params.eps_approg = eps } in
-  let p90s = ref [] and succ = ref [] in
-  let epoch = ref 0 and lambda = ref 1. in
-  List.iter
-    (fun seed ->
-      let rng = Rng.create (0xE5 + (seed * 104729)) in
-      let d = Workloads.uniform_density (Rng.split rng ~key:0) ~n ~side in
-      lambda := d.Workloads.profile.Induced.lambda;
-      let sched =
-        Params.schedule (Sinr.config d.Workloads.sinr) ~lambda:!lambda params
-      in
-      epoch := sched.Params.epoch_slots;
-      let senders = List.filter (fun v -> v mod 2 = 0) (List.init n Fun.id) in
-      let samples, _ =
-        Measure.approx_progress_only ~params d.Workloads.sinr
-          ~rng:(Rng.split rng ~key:1) ~senders
-          ~max_slots:(6 * sched.Params.epoch_slots)
-      in
-      (match delays_summary samples with
-       | Some s -> p90s := s.Summary.p90 :: !p90s
-       | None -> ());
-      succ := success_frac samples :: !succ)
-    seeds;
-  let avg = function
-    | [] -> None
-    | xs -> Some (List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs))
+  let rng = Rng.create (0xE5 + (seed * 104729)) in
+  let d = Workloads.uniform_density (Rng.split rng ~key:0) ~n ~side in
+  let lambda = d.Workloads.profile.Induced.lambda in
+  let sched =
+    Params.schedule (Sinr.config d.Workloads.sinr) ~lambda params
   in
+  let senders = List.filter (fun v -> v mod 2 = 0) (List.init n Fun.id) in
+  let samples, _ =
+    Measure.approx_progress_only ~params d.Workloads.sinr
+      ~rng:(Rng.split rng ~key:1) ~senders
+      ~max_slots:(6 * sched.Params.epoch_slots)
+  in
+  { ec_lambda = lambda;
+    ec_epoch = sched.Params.epoch_slots;
+    ec_p90 = Option.map (fun s -> s.Summary.p90) (delays_summary samples);
+    ec_success = success_frac samples }
+
+let eps_row_of_cells ~eps cells =
+  let last = List.nth cells (List.length cells - 1) in
   { eps;
-    p90 = avg !p90s;
-    success = (match avg !succ with Some v -> v | None -> 0.);
-    epoch_slots = !epoch;
-    formula = Params.f_approg_formula Config.default ~lambda:!lambda ~eps_approg:eps }
+    p90 = avg (List.filter_map (fun c -> c.ec_p90) cells);
+    success =
+      (match avg (List.map (fun c -> c.ec_success) cells) with
+       | Some v -> v
+       | None -> 0.);
+    epoch_slots = last.ec_epoch;
+    formula =
+      Params.f_approg_formula Config.default ~lambda:last.ec_lambda
+        ~eps_approg:eps }
 
 let run_eps ?(seeds = [ 1; 2; 3 ]) ?(n = 50) ?(side = 25.)
     ?(epsilons = [ 0.3; 0.15; 0.075 ]) () =
@@ -192,7 +213,11 @@ let run_eps ?(seeds = [ 1; 2; 3 ]) ?(n = 50) ?(side = 25.)
       ~header:[ "eps"; "p90 delay"; "success"; "epoch slots"; "formula" ]
       ()
   in
-  let rows = List.map (fun eps -> eps_row ~seeds ~n ~side ~eps) epsilons in
+  let rows =
+    Sweep.grid ~params:epsilons ~seeds (fun eps seed ->
+        eps_cell ~n ~side ~eps seed)
+    |> List.map (fun (eps, cells) -> eps_row_of_cells ~eps cells)
+  in
   List.iter
     (fun r ->
       Table.add_row table

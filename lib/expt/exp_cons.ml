@@ -3,7 +3,10 @@
    Binary consensus over the enhanced absMAC on uniform deployments,
    sweeping n (with density fixed, so D grows as sqrt n); a crash-fault
    variant on dense deployments checks agreement/validity under failures.
-   Expected shape: completion ~ D * (Delta + log Lambda) * log(n*Lambda). *)
+   Expected shape: completion ~ D * (Delta + log Lambda) * log(n*Lambda).
+
+   Each (n, seed) cell — deployment build plus the full consensus run —
+   is one Sweep task; the crash sweep grids over (crash count, seed). *)
 
 open Sinr_geom
 open Sinr_stats
@@ -26,37 +29,51 @@ let formula ~n ~delta ~lambda ~diameter =
   let lognl = Float.max 1. (Float.log2 (float_of_int n *. lambda)) in
   float_of_int diameter *. (float_of_int delta +. loglam) *. lognl
 
-let row ~seeds ~n ~target_degree =
-  let delta = ref 0 and diameter = ref 0 and lambda = ref 1. in
-  let agreement_ok = ref true and validity_ok = ref true in
-  let completed, timeouts =
-    Report.trials ~seeds (fun seed ->
-        let rng = Rng.create (0xC05 + (seed * 61)) in
-        let d =
-          Workloads.connected (Rng.split rng ~key:0) (fun r ->
-              Workloads.uniform r ~n ~target_degree)
-        in
-        delta := d.Workloads.profile.Induced.strong_degree;
-        diameter := d.Workloads.profile.Induced.strong_diameter;
-        lambda := d.Workloads.profile.Induced.lambda;
-        let initial = Array.init n (fun v -> (v * 7) mod 3 = 0) in
-        let r =
-          Global.cons d.Workloads.sinr ~rng:(Rng.split rng ~key:1) ~initial
-            ~rounds_bound:(2 * (!diameter + 1))
-            ~max_slots:30_000_000
-        in
-        if not r.Global.agreement then agreement_ok := false;
-        if not r.Global.validity then validity_ok := false;
-        Report.opt_int_to_float r.Global.completed)
+type cell = {
+  c_delta : int;
+  c_diameter : int;
+  c_lambda : float;
+  c_completed : float option;
+  c_agreement : bool;
+  c_validity : bool;
+}
+
+let cons_cell ~n ~target_degree seed =
+  let rng = Rng.create (0xC05 + (seed * 61)) in
+  let d =
+    Workloads.connected (Rng.split rng ~key:0) (fun r ->
+        Workloads.uniform r ~n ~target_degree)
   in
+  let diameter = d.Workloads.profile.Induced.strong_diameter in
+  let initial = Array.init n (fun v -> (v * 7) mod 3 = 0) in
+  let r =
+    Global.cons d.Workloads.sinr ~rng:(Rng.split rng ~key:1) ~initial
+      ~rounds_bound:(2 * (diameter + 1))
+      ~max_slots:30_000_000
+  in
+  { c_delta = d.Workloads.profile.Induced.strong_degree;
+    c_diameter = diameter;
+    c_lambda = d.Workloads.profile.Induced.lambda;
+    c_completed = Report.opt_int_to_float r.Global.completed;
+    c_agreement = r.Global.agreement;
+    c_validity = r.Global.validity }
+
+let row_of_cells ~n cells =
+  let last = List.nth cells (List.length cells - 1) in
+  let values = List.filter_map (fun c -> c.c_completed) cells in
   { n;
-    delta = !delta;
-    diameter = !diameter;
-    completed;
-    timeouts;
-    agreement_ok = !agreement_ok;
-    validity_ok = !validity_ok;
-    formula = formula ~n ~delta:!delta ~lambda:!lambda ~diameter:!diameter }
+    delta = last.c_delta;
+    diameter = last.c_diameter;
+    completed =
+      (match values with
+       | [] -> None
+       | _ -> Some (Summary.of_samples (Array.of_list values)));
+    timeouts = List.length cells - List.length values;
+    agreement_ok = List.for_all (fun c -> c.c_agreement) cells;
+    validity_ok = List.for_all (fun c -> c.c_validity) cells;
+    formula =
+      formula ~n ~delta:last.c_delta ~lambda:last.c_lambda
+        ~diameter:last.c_diameter }
 
 let run ?(seeds = [ 1; 2; 3 ]) ?(ns = [ 12; 24; 48 ]) ?(target_degree = 8) () =
   Report.section "E7: network-wide consensus (Table 1, Corollary 5.5)";
@@ -67,7 +84,11 @@ let run ?(seeds = [ 1; 2; 3 ]) ?(ns = [ 12; 24; 48 ]) ?(target_degree = 8) () =
           "valid"; "formula D(Delta+logL)log(nL)" ]
       ()
   in
-  let rows = List.map (fun n -> row ~seeds ~n ~target_degree) ns in
+  let rows =
+    Sweep.grid ~params:ns ~seeds (fun n seed ->
+        cons_cell ~n ~target_degree seed)
+    |> List.map (fun (n, cells) -> row_of_cells ~n cells)
+  in
   List.iter
     (fun r ->
       Table.add_row table
@@ -99,6 +120,28 @@ type crash_row = {
   deciders : int;
 }
 
+let crash_cell ~n ~crashes seed =
+  let rng = Rng.create (0xCAFE + (seed * 71)) in
+  let pts =
+    Placement.uniform (Rng.split rng ~key:0) ~n
+      ~box:(Box.square ~side:8.) ~min_dist:1.
+  in
+  let sinr = Sinr.create Config.default pts in
+  let initial = Array.init n (fun v -> v mod 2 = 0) in
+  let faults =
+    Sinr_engine.Fault.random_crashes (Rng.split rng ~key:1) ~n
+      ~count:crashes ~horizon:10_000 ~protect:[]
+  in
+  let r =
+    Global.cons sinr ~rng:(Rng.split rng ~key:2) ~initial ~faults
+      ~rounds_bound:6 ~max_slots:30_000_000
+  in
+  { crashes;
+    completed = r.Global.completed <> None;
+    agreement = r.Global.agreement;
+    validity = r.Global.validity;
+    deciders = r.Global.deciders }
+
 let run_crashes ?(seeds = [ 1; 2; 3 ]) ?(n = 14) ?(crash_counts = [ 0; 2; 4 ])
     () =
   Report.section "E7b: consensus under crash faults";
@@ -108,32 +151,9 @@ let run_crashes ?(seeds = [ 1; 2; 3 ]) ?(n = 14) ?(crash_counts = [ 0; 2; 4 ])
       ()
   in
   let rows =
-    List.concat_map
-      (fun crashes ->
-        List.map
-          (fun seed ->
-            let rng = Rng.create (0xCAFE + (seed * 71)) in
-            let pts =
-              Placement.uniform (Rng.split rng ~key:0) ~n
-                ~box:(Box.square ~side:8.) ~min_dist:1.
-            in
-            let sinr = Sinr.create Config.default pts in
-            let initial = Array.init n (fun v -> v mod 2 = 0) in
-            let faults =
-              Sinr_engine.Fault.random_crashes (Rng.split rng ~key:1) ~n
-                ~count:crashes ~horizon:10_000 ~protect:[]
-            in
-            let r =
-              Global.cons sinr ~rng:(Rng.split rng ~key:2) ~initial ~faults
-                ~rounds_bound:6 ~max_slots:30_000_000
-            in
-            { crashes;
-              completed = r.Global.completed <> None;
-              agreement = r.Global.agreement;
-              validity = r.Global.validity;
-              deciders = r.Global.deciders })
-          seeds)
-      crash_counts
+    Sweep.grid ~params:crash_counts ~seeds (fun crashes seed ->
+        crash_cell ~n ~crashes seed)
+    |> List.concat_map snd
   in
   List.iter
     (fun r ->

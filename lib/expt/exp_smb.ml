@@ -9,7 +9,12 @@
    Sweep (a) the diameter D on line deployments (Lambda small and fixed);
    sweep (b) the distance ratio Lambda at fixed n and density.  Table 2's
    claim: ours beats [14] across the board, and beats the [32]-class when
-   log^{alpha+1} Lambda is small relative to log^2 n. *)
+   log^{alpha+1} Lambda is small relative to log^2 n.
+
+   Each (workload, seed) cell builds its deployment once and runs all
+   three algorithms on it as one Sweep task; every algorithm keeps its own
+   seeded stream, so the numbers match the former one-trial-per-algorithm
+   loops exactly. *)
 
 open Sinr_geom
 open Sinr_stats
@@ -28,49 +33,66 @@ type row = {
   decay_timeouts : int;
 }
 
-let smb_row ~seeds ~label (mk : int -> Workloads.deployment) ~max_slots =
-  let diameter = ref 0 and lambda = ref 1. in
-  let ours, ours_timeouts =
-    Report.trials ~seeds (fun seed ->
-        let d = mk seed in
-        diameter := d.Workloads.profile.Induced.strong_diameter;
-        lambda := d.Workloads.profile.Induced.lambda;
-        let r =
-          Global.smb d.Workloads.sinr
-            ~rng:(Rng.create (0x0541 + seed))
-            ~source:0 ~max_slots
-        in
-        Report.opt_int_to_float r.Global.completed)
+type cell = {
+  c_diameter : int;
+  c_lambda : float;
+  c_ours : float option;
+  c_dgkn : float option;
+  c_decay : float option;
+}
+
+let smb_cell (mk : int -> Workloads.deployment) ~max_slots seed =
+  let d = mk seed in
+  let ours =
+    Global.smb d.Workloads.sinr
+      ~rng:(Rng.create (0x0541 + seed))
+      ~source:0 ~max_slots
   in
-  let dgkn, dgkn_timeouts =
-    Report.trials ~seeds (fun seed ->
-        let d = mk seed in
-        let r =
-          Dgkn_broadcast.run d.Workloads.sinr
-            ~rng:(Rng.create (0x0D64 + seed))
-            ~source:0 ~max_slots
-        in
-        Report.opt_int_to_float r.Dgkn_broadcast.completed)
+  let dgkn =
+    Dgkn_broadcast.run d.Workloads.sinr
+      ~rng:(Rng.create (0x0D64 + seed))
+      ~source:0 ~max_slots
   in
-  let decay, decay_timeouts =
-    Report.trials ~seeds (fun seed ->
-        let d = mk seed in
-        let r =
-          Decay_flood.run d.Workloads.sinr
-            ~rng:(Rng.create (0x0DEC + seed))
-            ~source:0 ~max_slots
-        in
-        Report.opt_int_to_float r.Decay_flood.completed)
+  let decay =
+    Decay_flood.run d.Workloads.sinr
+      ~rng:(Rng.create (0x0DEC + seed))
+      ~source:0 ~max_slots
   in
+  { c_diameter = d.Workloads.profile.Induced.strong_diameter;
+    c_lambda = d.Workloads.profile.Induced.lambda;
+    c_ours = Report.opt_int_to_float ours.Global.completed;
+    c_dgkn = Report.opt_int_to_float dgkn.Dgkn_broadcast.completed;
+    c_decay = Report.opt_int_to_float decay.Decay_flood.completed }
+
+let summarize_cells proj cells =
+  let values = List.filter_map proj cells in
+  let summary =
+    match values with
+    | [] -> None
+    | _ -> Some (Summary.of_samples (Array.of_list values))
+  in
+  (summary, List.length cells - List.length values)
+
+let row_of_cells ~label cells =
+  let last = List.nth cells (List.length cells - 1) in
+  let ours, ours_timeouts = summarize_cells (fun c -> c.c_ours) cells in
+  let dgkn, dgkn_timeouts = summarize_cells (fun c -> c.c_dgkn) cells in
+  let decay, decay_timeouts = summarize_cells (fun c -> c.c_decay) cells in
   { label;
-    diameter = !diameter;
-    lambda = !lambda;
+    diameter = last.c_diameter;
+    lambda = last.c_lambda;
     ours;
     ours_timeouts;
     dgkn;
     dgkn_timeouts;
     decay;
     decay_timeouts }
+
+(* Run one sweep: [mk_of_param] names each workload and builds its seeded
+   deployment; the full (param x seed) grid runs through the pool. *)
+let sweep ~seeds ~params ~label_of ~mk_of ~max_slots =
+  Sweep.grid ~params ~seeds (fun p seed -> smb_cell (mk_of p) ~max_slots seed)
+  |> List.map (fun (p, cells) -> row_of_cells ~label:(label_of p) cells)
 
 let print_rows ~title rows =
   let table =
@@ -116,14 +138,12 @@ let winners rows =
 let run_diameter ?(seeds = [ 1; 2; 3 ]) ?(hops = [ 4; 8; 16 ]) () =
   Report.section "E5a: global SMB vs diameter (Table 2, Theorem 12.7)";
   let rows =
-    List.map
-      (fun h ->
-        smb_row ~seeds ~label:(Fmt.str "line D=%d" h)
-          (fun seed ->
-            ignore seed;
-            Workloads.line ~hops:h ())
-          ~max_slots:3_000_000)
-      hops
+    sweep ~seeds ~params:hops
+      ~label_of:(fun h -> Fmt.str "line D=%d" h)
+      ~mk_of:(fun h seed ->
+        ignore seed;
+        Workloads.line ~hops:h ())
+      ~max_slots:3_000_000
   in
   print_rows ~title:"completion slots, diameter sweep (Lambda ~ const)" rows;
   winners rows;
@@ -132,15 +152,13 @@ let run_diameter ?(seeds = [ 1; 2; 3 ]) ?(hops = [ 4; 8; 16 ]) () =
 let run_size ?(seeds = [ 1; 2; 3 ]) ?(ns = [ 20; 40; 80 ]) ?(target_degree = 8) () =
   Report.section "E5c: global SMB vs network size (Table 2 crossover, n side)";
   let rows =
-    List.map
-      (fun n ->
-        smb_row ~seeds ~label:(Fmt.str "n=%d" n)
-          (fun seed ->
-            Workloads.connected
-              (Rng.create (0x51E + (seed * 131) + n))
-              (fun rng -> Workloads.uniform rng ~n ~target_degree))
-          ~max_slots:3_000_000)
-      ns
+    sweep ~seeds ~params:ns
+      ~label_of:(fun n -> Fmt.str "n=%d" n)
+      ~mk_of:(fun n seed ->
+        Workloads.connected
+          (Rng.create (0x51E + (seed * 131) + n))
+          (fun rng -> Workloads.uniform rng ~n ~target_degree))
+      ~max_slots:3_000_000
   in
   print_rows
     ~title:"completion slots, size sweep (Lambda, density fixed: decay-flood \
@@ -152,15 +170,13 @@ let run_size ?(seeds = [ 1; 2; 3 ]) ?(ns = [ 20; 40; 80 ]) ?(target_degree = 8) 
 let run_lambda ?(seeds = [ 1; 2; 3 ]) ?(ranges = [ 6.; 12.; 24. ]) ?(n = 36) () =
   Report.section "E5b: global SMB vs Lambda (Table 2 crossover)";
   let rows =
-    List.map
-      (fun range ->
-        smb_row ~seeds ~label:(Fmt.str "R=%.0f" range)
-          (fun seed ->
-            Workloads.connected
-              (Rng.create (0x7A + (seed * 101)))
-              (fun rng -> Workloads.lambda_sweep rng ~range ~n ~per_range:6))
-          ~max_slots:3_000_000)
-      ranges
+    sweep ~seeds ~params:ranges
+      ~label_of:(fun range -> Fmt.str "R=%.0f" range)
+      ~mk_of:(fun range seed ->
+        Workloads.connected
+          (Rng.create (0x7A + (seed * 101)))
+          (fun rng -> Workloads.lambda_sweep rng ~range ~n ~per_range:6))
+      ~max_slots:3_000_000
   in
   print_rows ~title:"completion slots, Lambda sweep (n, density fixed)" rows;
   winners rows;

@@ -1,0 +1,41 @@
+(* Parallel (parameter x seed) grid runner: flatten the grid, push it
+   through the shared domain pool one cell per task, regroup in input
+   order.  See the .mli for the cell-purity requirements. *)
+
+open Sinr_par
+
+let run_pool jobs f =
+  match jobs with
+  | None -> f (Pool.get ())
+  | Some j -> Pool.with_jobs j f
+
+let cells ?jobs f l =
+  (* chunk:1 — grid cells are coarse (a whole deployment + simulation), so
+     claim them one at a time for the best tail balance. *)
+  run_pool jobs (fun pool -> Pool.map_list ~chunk:1 pool f l)
+
+let grid ?jobs ~params ~seeds f =
+  let cells_in =
+    List.concat_map (fun p -> List.map (fun s -> (p, s)) seeds) params
+  in
+  let results = cells ?jobs (fun (p, s) -> f p s) cells_in in
+  let nseeds = List.length seeds in
+  (* Regroup the flat result list: consecutive [nseeds] runs belong to
+     consecutive parameters, in input order. *)
+  let rec take k l =
+    if k = 0 then ([], l)
+    else
+      match l with
+      | [] -> invalid_arg "Sweep.grid: short result list"
+      | x :: tl ->
+        let xs, rest = take (k - 1) tl in
+        (x :: xs, rest)
+  in
+  let rec regroup params results =
+    match params with
+    | [] -> []
+    | p :: ps ->
+      let mine, rest = take nseeds results in
+      (p, mine) :: regroup ps rest
+  in
+  regroup params results

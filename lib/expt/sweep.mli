@@ -1,0 +1,24 @@
+(** Parallel (parameter × seed) grid runner for the experiment harness.
+
+    Each grid cell — one deployment build plus its simulation — runs as one
+    [Sinr_par.Pool] task. The determinism contract of the pool carries
+    over: results come back grouped by parameter in input order with seeds
+    in input order, so an experiment's rows (and every value in them) are
+    identical whatever the [jobs] setting.
+
+    Cell functions must be self-contained: derive all randomness from the
+    cell's own [(param, seed)] pair (the experiment modules all build
+    [Rng.create (constant + seed)] streams), touch no shared mutable state,
+    and print nothing — aggregation and table rendering happen in the
+    calling domain afterwards. *)
+
+val cells : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Parallel map preserving order: one task per element. [jobs] defaults
+    to [Pool.default_jobs ()]. *)
+
+val grid :
+  ?jobs:int -> params:'p list -> seeds:int list -> ('p -> int -> 'c)
+  -> ('p * 'c list) list
+(** [grid ~params ~seeds f] evaluates [f param seed] for the full cartesian
+    grid, one cell per task, and regroups: one entry per parameter in input
+    order, carrying its cells in seed order. *)

@@ -3,10 +3,19 @@
    Instrumented modules create their handles once at module-init time
    ([counter]/[gauge]/[histogram] are get-or-create), so the hot path never
    touches the registry: an update is a single branch on the global enable
-   flag plus a mutable-field write.  With the switch off the whole subsystem
-   costs one load-and-branch per call site, which is what lets the
-   instrumentation live inside [Engine.step] and the per-slot MAC machines
-   without a measurable tax (acceptance: < 2% on the sinr_resolve kernel).
+   flag plus one atomic (or mutex-protected, for histograms) write.  With
+   the switch off the whole subsystem costs one load-and-branch per call
+   site, which is what lets the instrumentation live inside [Engine.step]
+   and the per-slot MAC machines without a measurable tax (acceptance: < 2%
+   on the sinr_resolve kernel).
+
+   Domain safety: instrumented kernels run inside [Sinr_par.Pool] workers,
+   so every update must tolerate concurrent writers from several domains.
+   Counters and gauges live in [Atomic.t] cells (an update is one RMW / one
+   store, never torn); each histogram carries its own mutex because an
+   observation touches five fields that must move together; and the
+   registry table itself is guarded by a global mutex (registration is
+   module-init-time cold path, snapshot/reset are tooling paths).
 
    Histograms are log2-bucketed: bucket 0 holds values in [0, 1), bucket i
    (i >= 1) holds [2^(i-1), 2^i).  Quantiles are estimated by linear
@@ -15,24 +24,29 @@
    arbitrary data and exact answers for the small-integer distributions
    (per-slot delivery counts, MIS winner counts) we mostly observe. *)
 
-let on = ref false
-let set_enabled b = on := b
-let is_enabled () = !on
+let on = Atomic.make false
+let set_enabled b = Atomic.set on b
+let is_enabled () = Atomic.get on
 
 (* Run [f] with the registry enabled, restoring the previous state. *)
 let with_enabled f =
-  let prev = !on in
-  on := true;
-  Fun.protect ~finally:(fun () -> on := prev) f
+  let prev = Atomic.get on in
+  Atomic.set on true;
+  Fun.protect ~finally:(fun () -> Atomic.set on prev) f
 
-type counter = { c_name : string; mutable count : int }
+type counter = { c_name : string; count : int Atomic.t }
 
-type gauge = { g_name : string; mutable value : float; mutable g_set : bool }
+type gauge = {
+  g_name : string;
+  value : float Atomic.t;
+  g_set : bool Atomic.t;
+}
 
 let nbuckets = 64
 
 type histogram = {
   h_name : string;
+  h_mutex : Mutex.t;
   mutable h_count : int;
   mutable h_sum : float;
   mutable h_min : float;
@@ -46,6 +60,7 @@ type metric =
   | Histogram of histogram
 
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let registry_mutex = Mutex.create ()
 
 let kind_name = function
   | Counter _ -> "counter"
@@ -53,6 +68,8 @@ let kind_name = function
   | Histogram _ -> "histogram"
 
 let register name wrap make unwrap =
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) @@ fun () ->
   match Hashtbl.find_opt registry name with
   | Some m ->
     (match unwrap m with
@@ -69,13 +86,14 @@ let register name wrap make unwrap =
 let counter name =
   register name
     (fun c -> Counter c)
-    (fun () -> { c_name = name; count = 0 })
+    (fun () -> { c_name = name; count = Atomic.make 0 })
     (function Counter c -> Some c | Gauge _ | Histogram _ -> None)
 
 let gauge name =
   register name
     (fun g -> Gauge g)
-    (fun () -> { g_name = name; value = 0.; g_set = false })
+    (fun () ->
+      { g_name = name; value = Atomic.make 0.; g_set = Atomic.make false })
     (function Gauge g -> Some g | Counter _ | Histogram _ -> None)
 
 let histogram name =
@@ -83,6 +101,7 @@ let histogram name =
     (fun h -> Histogram h)
     (fun () ->
       { h_name = name;
+        h_mutex = Mutex.create ();
         h_count = 0;
         h_sum = 0.;
         h_min = infinity;
@@ -94,12 +113,15 @@ let histogram name =
 (* Hot-path updates                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let incr c = if !on then c.count <- c.count + 1
-let add c k = if !on then c.count <- c.count + k
+let incr c = if Atomic.get on then Atomic.incr c.count
+
+let add c k =
+  if Atomic.get on then ignore (Atomic.fetch_and_add c.count k)
+
 let set g v =
-  if !on then begin
-    g.value <- v;
-    g.g_set <- true
+  if Atomic.get on then begin
+    Atomic.set g.value v;
+    Atomic.set g.g_set true
   end
 
 (* Index of the log2 bucket holding [v] (clamped to the top bucket). *)
@@ -114,14 +136,17 @@ let bucket_lo i = if i = 0 then 0. else Float.pow 2. (float_of_int (i - 1))
 let bucket_hi i = Float.pow 2. (float_of_int i)
 
 let observe h v =
-  if !on then begin
+  if Atomic.get on then begin
     let v = if Float.is_nan v then 0. else Float.max 0. v in
+    (* Nothing below can raise: plain float/int field updates. *)
+    Mutex.lock h.h_mutex;
     h.h_count <- h.h_count + 1;
     h.h_sum <- h.h_sum +. v;
     if v < h.h_min then h.h_min <- v;
     if v > h.h_max then h.h_max <- v;
     let i = bucket_of v in
-    h.buckets.(i) <- h.buckets.(i) + 1
+    h.buckets.(i) <- h.buckets.(i) + 1;
+    Mutex.unlock h.h_mutex
   end
 
 let observe_int h k = observe h (float_of_int k)
@@ -130,14 +155,18 @@ let observe_int h k = observe h (float_of_int k)
 (* Reading                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let counter_value c = c.count
-let gauge_value g = g.value
+let counter_value c = Atomic.get c.count
+let gauge_value g = Atomic.get g.value
 let histogram_count h = h.h_count
 let histogram_sum h = h.h_sum
 
 (* Estimate the [q]-quantile (q in [0,1]) by walking the cumulative bucket
-   counts and interpolating linearly inside the crossing bucket. *)
+   counts and interpolating linearly inside the crossing bucket.  The walk
+   happens under the histogram's mutex so a concurrent [observe] cannot
+   tear the count/bucket pair mid-scan. *)
 let quantile h q =
+  Mutex.lock h.h_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock h.h_mutex) @@ fun () ->
   if h.h_count = 0 then nan
   else begin
     let rank = q *. float_of_int h.h_count in
@@ -192,43 +221,54 @@ let summarize h =
 (* Metrics that never fired are omitted: a snapshot describes what the run
    actually did, and sinks need not special-case empty histograms. *)
 let live = function
-  | Counter c -> c.count > 0
-  | Gauge g -> g.g_set
+  | Counter c -> Atomic.get c.count > 0
+  | Gauge g -> Atomic.get g.g_set
   | Histogram h -> h.h_count > 0
 
 let snapshot () =
-  Hashtbl.fold
-    (fun name m acc ->
+  let metrics =
+    Mutex.lock registry_mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) @@ fun () ->
+    Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry []
+  in
+  List.fold_left
+    (fun acc (name, m) ->
       if live m then
         let v =
           match m with
-          | Counter c -> Counter_v c.count
-          | Gauge g -> Gauge_v g.value
+          | Counter c -> Counter_v (Atomic.get c.count)
+          | Gauge g -> Gauge_v (Atomic.get g.value)
           | Histogram h -> Histogram_v (summarize h)
         in
         (name, v) :: acc
       else acc)
-    registry []
+    [] metrics
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let reset () =
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) @@ fun () ->
   Hashtbl.iter
     (fun _ m ->
       match m with
-      | Counter c -> c.count <- 0
+      | Counter c -> Atomic.set c.count 0
       | Gauge g ->
-        g.value <- 0.;
-        g.g_set <- false
+        Atomic.set g.value 0.;
+        Atomic.set g.g_set false
       | Histogram h ->
+        Mutex.lock h.h_mutex;
         h.h_count <- 0;
         h.h_sum <- 0.;
         h.h_min <- infinity;
         h.h_max <- neg_infinity;
-        Array.fill h.buckets 0 nbuckets 0)
+        Array.fill h.buckets 0 nbuckets 0;
+        Mutex.unlock h.h_mutex)
     registry
 
 (* Test/tooling escape hatch: value of a named counter in this process. *)
 let counter_peek name =
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) @@ fun () ->
   match Hashtbl.find_opt registry name with
-  | Some (Counter c) -> Some c.count
+  | Some (Counter c) -> Some (Atomic.get c.count)
   | Some (Gauge _ | Histogram _) | None -> None

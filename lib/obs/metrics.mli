@@ -4,7 +4,12 @@
     All updates are gated on a single global flag (default {e off}); with the
     flag off every instrumentation call site costs one load-and-branch, so
     the registry can live inside per-slot simulation kernels. Handles are
-    get-or-create by name, intended to be created once at module-init time. *)
+    get-or-create by name, intended to be created once at module-init time.
+
+    The registry is domain-safe: counters and gauges are atomic, histogram
+    observations are serialized per histogram, and registration/snapshot/
+    reset are mutually excluded, so instrumented kernels may run inside
+    [Sinr_par.Pool] workers without torn updates or lost counts. *)
 
 val set_enabled : bool -> unit
 val is_enabled : unit -> bool

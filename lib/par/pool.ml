@@ -1,0 +1,246 @@
+(* Fixed-size domain pool with deterministic task ordering.
+
+   Scheduling is a shared claim counter under the pool mutex: whoever is
+   idle (the jobs-1 resident workers plus the submitting domain itself)
+   claims the next chunk of consecutive task indices, runs it unlocked, and
+   reports back.  Work distribution is therefore dynamic — domains that get
+   cheap chunks claim more — but every task knows its global index, so
+   output placement (and the reduction order in [map_reduce]) never depends
+   on which domain ran what.  Combined with the RNG-splitting contract
+   (task i draws only from [Rng.split ~key:i]) this makes parallel runs
+   bit-identical to sequential runs.
+
+   A pool of size 1 has no workers and never touches the mutex: [jobs=1]
+   is the legacy sequential path, not a degenerate parallel one. *)
+
+open Sinr_obs
+
+(* Handles created once at module init; updates are gated on the registry's
+   enable flag and are domain-safe (see lib/obs). *)
+let m_tasks = Metrics.counter "par.tasks"
+let m_chunks = Metrics.counter "par.steals_or_chunks"
+let m_workers = Metrics.counter "par.workers"
+let m_task_ns = Metrics.histogram "par.task.ns"
+
+type job = {
+  run : int -> unit; (* execute chunk [c]; chunk range decoding is baked in *)
+  total : int; (* number of chunks *)
+  mutable next : int; (* next unclaimed chunk *)
+  mutable finished : int; (* chunks fully executed *)
+  mutable failed : (exn * Printexc.raw_backtrace) option; (* first failure *)
+}
+
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  todo : Condition.t; (* workers wait here for a job *)
+  idle : Condition.t; (* the submitter waits here for completion *)
+  mutable job : job option;
+  mutable quit : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let jobs t = t.size
+
+(* Run one chunk with telemetry; never raises (the chunk body's exception
+   is captured into the job). *)
+let timed_chunk run c =
+  Metrics.incr m_chunks;
+  if Metrics.is_enabled () then begin
+    let t0 = Unix.gettimeofday () in
+    let r = try Ok (run c) with e -> Error (e, Printexc.get_raw_backtrace ()) in
+    Metrics.observe m_task_ns ((Unix.gettimeofday () -. t0) *. 1e9);
+    r
+  end
+  else try Ok (run c) with e -> Error (e, Printexc.get_raw_backtrace ())
+
+(* Claim and execute chunks of [j] until none are left.  The pool mutex is
+   held on entry and on exit; it is released while a chunk runs. *)
+let rec drain t (j : job) =
+  if j.next < j.total then begin
+    let c = j.next in
+    j.next <- j.next + 1;
+    Mutex.unlock t.mutex;
+    let r = timed_chunk j.run c in
+    Mutex.lock t.mutex;
+    (match r with
+     | Ok () -> ()
+     | Error eb -> if j.failed = None then j.failed <- Some eb);
+    j.finished <- j.finished + 1;
+    if j.finished = j.total then Condition.broadcast t.idle;
+    drain t j
+  end
+
+let worker t =
+  let rec loop () =
+    match t.job with
+    | Some j when j.next < j.total ->
+      drain t j;
+      loop ()
+    | _ ->
+      if t.quit then Mutex.unlock t.mutex
+      else begin
+        Condition.wait t.todo t.mutex;
+        loop ()
+      end
+  in
+  Mutex.lock t.mutex;
+  loop ()
+
+let create ~jobs =
+  let size = max 1 jobs in
+  let t =
+    { size;
+      mutex = Mutex.create ();
+      todo = Condition.create ();
+      idle = Condition.create ();
+      job = None;
+      quit = false;
+      workers = [] }
+  in
+  if size > 1 then begin
+    t.workers <- List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+    Metrics.add m_workers (size - 1)
+  end;
+  t
+
+let shutdown t =
+  if t.size > 1 then begin
+    Mutex.lock t.mutex;
+    if t.quit then Mutex.unlock t.mutex
+    else begin
+      t.quit <- true;
+      Condition.broadcast t.todo;
+      let ws = t.workers in
+      t.workers <- [];
+      Mutex.unlock t.mutex;
+      List.iter Domain.join ws
+    end
+  end
+
+(* Execute [chunks] calls of [run] through the pool.  Sequential pools and
+   nested submissions (a task re-entering the pool it runs on) execute
+   inline in claim order — same results, no deadlock. *)
+let run_job t ~chunks run =
+  if chunks > 0 then
+    if t.size = 1 then
+      for c = 0 to chunks - 1 do
+        match timed_chunk run c with
+        | Ok () -> ()
+        | Error (e, bt) -> Printexc.raise_with_backtrace e bt
+      done
+    else begin
+      Mutex.lock t.mutex;
+      if t.job <> None then begin
+        Mutex.unlock t.mutex;
+        for c = 0 to chunks - 1 do
+          match timed_chunk run c with
+          | Ok () -> ()
+          | Error (e, bt) -> Printexc.raise_with_backtrace e bt
+        done
+      end
+      else begin
+        let j = { run; total = chunks; next = 0; finished = 0; failed = None } in
+        t.job <- Some j;
+        Condition.broadcast t.todo;
+        drain t j;
+        while j.finished < j.total do
+          Condition.wait t.idle t.mutex
+        done;
+        t.job <- None;
+        Mutex.unlock t.mutex;
+        match j.failed with
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ()
+      end
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic combinators                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Roughly four claims per domain balances the tail of uneven tasks
+   without making cheap tasks fight over the claim counter. *)
+let default_chunk t ~n = max 1 (n / (t.size * 4))
+
+let mapi ?chunk t ~n f =
+  if n = 0 then [||]
+  else begin
+    Metrics.add m_tasks n;
+    let chunk =
+      match chunk with Some c -> max 1 c | None -> default_chunk t ~n
+    in
+    let nchunks = (n + chunk - 1) / chunk in
+    let results = Array.make n None in
+    run_job t ~chunks:nchunks (fun c ->
+        let lo = c * chunk and hi = min n ((c + 1) * chunk) in
+        for i = lo to hi - 1 do
+          results.(i) <- Some (f i)
+        done);
+    Array.map Option.get results
+  end
+
+let map ?chunk t f arr =
+  mapi ?chunk t ~n:(Array.length arr) (fun i -> f arr.(i))
+
+let map_list ?chunk t f l = Array.to_list (map ?chunk t f (Array.of_list l))
+
+let map_reduce ?chunk t ~n ~map ~reduce ~init =
+  Array.fold_left reduce init (mapi ?chunk t ~n map)
+
+let map_seeded ?chunk t ~rng ~n f =
+  mapi ?chunk t ~n (fun i -> f i (Sinr_geom.Rng.split rng ~key:i))
+
+(* ------------------------------------------------------------------ *)
+(* Shared default pool                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let requested = ref None (* set_default_jobs, overrides the environment *)
+
+let env_jobs () =
+  match Sys.getenv_opt "SINR_JOBS" with
+  | None -> None
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some j when j >= 1 -> Some j
+     | Some _ | None -> None)
+
+let default_jobs () =
+  match !requested with
+  | Some j -> j
+  | None ->
+    (match env_jobs () with
+     | Some j -> j
+     | None -> Domain.recommended_domain_count ())
+
+let set_default_jobs j = requested := Some (max 1 j)
+
+let shared = ref None
+let shared_mutex = Mutex.create ()
+let exit_hook = ref false
+
+let get () =
+  Mutex.lock shared_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock shared_mutex) @@ fun () ->
+  let want = default_jobs () in
+  match !shared with
+  | Some p when p.size = want -> p
+  | prev ->
+    Option.iter shutdown prev;
+    let p = create ~jobs:want in
+    shared := Some p;
+    if not !exit_hook then begin
+      exit_hook := true;
+      (* Idle workers block on [todo]; join them before the runtime tears
+         the process down. *)
+      at_exit (fun () -> Option.iter shutdown !shared)
+    end;
+    p
+
+let with_jobs jobs f =
+  let jobs = max 1 jobs in
+  if jobs = default_jobs () then f (get ())
+  else begin
+    let p = create ~jobs in
+    Fun.protect ~finally:(fun () -> shutdown p) (fun () -> f p)
+  end

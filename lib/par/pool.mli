@@ -1,0 +1,90 @@
+(** Fixed-size domain pool for embarrassingly-parallel simulation work.
+
+    Built on stdlib [Domain]/[Mutex]/[Condition] only (no domainslib). A
+    pool of size [jobs] owns [jobs - 1] resident worker domains; the
+    submitting domain always participates, so [jobs = 1] is the legacy
+    sequential path and never touches a domain, a mutex or a condition
+    variable.
+
+    {b Determinism is a hard contract.} Every combinator hands tasks out by
+    index and assembles results in task-index order, so for a pure task
+    function the output is bit-identical whatever [jobs] is, including 1.
+    Callers running randomized tasks must give task [i] its own child
+    stream ([Rng.split ~key:i] — see {!map_seeded}); a task must never draw
+    from a stream shared with another task.
+
+    Nested submissions (a task calling back into the same pool) degrade to
+    inline sequential execution rather than deadlocking, so library code
+    can parallelize unconditionally.
+
+    Telemetry (when [Sinr_obs.Metrics] is enabled): [par.tasks] counts
+    tasks submitted, [par.steals_or_chunks] counts chunk claims,
+    [par.workers] counts worker-domain spawns, and [par.task.ns] records
+    per-chunk wall time in nanoseconds. *)
+
+type t
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [jobs - 1] resident workers ([jobs] is clamped to
+    [>= 1]). The pool stays alive until {!shutdown}. *)
+
+val jobs : t -> int
+
+val shutdown : t -> unit
+(** Terminate and join the workers. Idempotent. Outstanding work finishes
+    first (shutdown only takes effect between jobs). *)
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic combinators                                           *)
+(* ------------------------------------------------------------------ *)
+
+val map : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map pool f arr] applies [f] to every element; [res.(i) = f arr.(i)]
+    with results placed by index. [chunk] (default: spread tasks roughly
+    4 chunks per worker) sets how many consecutive indices one claim
+    takes — raise it for very cheap tasks. Any exception raised by a task
+    is re-raised in the caller after all claimed tasks finish. *)
+
+val mapi : ?chunk:int -> t -> n:int -> (int -> 'b) -> 'b array
+(** [mapi pool ~n f] is [map] over the index range [0 .. n-1]. *)
+
+val map_list : ?chunk:int -> t -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map} over a list, preserving order. *)
+
+val map_reduce :
+  ?chunk:int -> t -> n:int -> map:(int -> 'a) -> reduce:('acc -> 'a -> 'acc)
+  -> init:'acc -> 'acc
+(** [map_reduce pool ~n ~map ~reduce ~init] computes [map i] for every
+    [i < n] in parallel, then folds the results {e sequentially in index
+    order} in the calling domain: the reduction order (and therefore
+    non-associative merges, e.g. float sums) is independent of [jobs]. *)
+
+val map_seeded :
+  ?chunk:int -> t -> rng:Sinr_geom.Rng.t -> n:int
+  -> (int -> Sinr_geom.Rng.t -> 'b) -> 'b array
+(** [map_seeded pool ~rng ~n f] runs [f i (Rng.split rng ~key:i)] for every
+    task index — the RNG-splitting contract packaged: the parent stream is
+    never advanced and task [i]'s draws depend only on [(seed, i)]. *)
+
+(* ------------------------------------------------------------------ *)
+(* Shared default pool                                                 *)
+(* ------------------------------------------------------------------ *)
+
+val default_jobs : unit -> int
+(** Current default parallelism: the last {!set_default_jobs}, else the
+    [SINR_JOBS] environment variable, else
+    [Domain.recommended_domain_count ()]. *)
+
+val set_default_jobs : int -> unit
+(** Override the default (clamped to [>= 1]); the CLI [--jobs] flag lands
+    here. Takes effect on the next {!get} (an existing shared pool of a
+    different size is torn down and replaced). *)
+
+val get : unit -> t
+(** The process-shared pool, created lazily at {!default_jobs} size and
+    re-created when the default changes. Never shut it down directly; it is
+    torn down automatically at exit. *)
+
+val with_jobs : int -> (t -> 'a) -> 'a
+(** [with_jobs jobs f] runs [f] with a pool of exactly [jobs]: the shared
+    pool when sizes match, else a temporary pool torn down after [f]. *)

@@ -9,9 +9,16 @@
    The distributed algorithm below the MAC layer only *estimates* this graph
    (that estimate lives in lib/core); this module computes a Monte-Carlo
    reference used by tests, by the oracle variants of Algorithm 9.1 and by
-   the ablation benches. *)
+   the ablation benches.
+
+   The ~400 slot simulations are independent, so they run through
+   [Sinr_par.Pool].  Determinism contract: trial t draws only from the
+   child stream [Rng.split rng ~key:t], and chunk tallies are merged by
+   integer addition, so the estimate is bit-identical for every [jobs]
+   setting (including the sequential [jobs = 1] path). *)
 
 open Sinr_graph
+open Sinr_par
 
 type estimate = {
   graph : Graph.t;                (* edges with both directions >= mu *)
@@ -19,7 +26,7 @@ type estimate = {
   trials : int;
 }
 
-let estimate ?(trials = 400) sinr rng ~set ~p ~mu =
+let estimate ?(trials = 400) ?jobs sinr rng ~set ~p ~mu =
   if p <= 0. || p > 0.5 then invalid_arg "Reliability.estimate: p not in (0, 1/2]";
   if mu <= 0. || mu >= p then invalid_arg "Reliability.estimate: mu not in (0, p)";
   let n = Sinr.n sinr in
@@ -30,11 +37,12 @@ let estimate ?(trials = 400) sinr rng ~set ~p ~mu =
   (* counts.(i_receiver * m + i_sender) over member indices *)
   let pos = Array.make n (-1) in
   Array.iteri (fun i v -> pos.(v) <- i) members;
-  let counts = Array.make (m * m) 0 in
-  for _ = 1 to trials do
+  (* One independent slot simulation, tallying into [counts]. *)
+  let run_trial counts t =
+    let trng = Sinr_geom.Rng.split rng ~key:t in
     let senders =
       Array.to_list members
-      |> List.filter (fun _ -> Sinr_geom.Rng.bernoulli rng p)
+      |> List.filter (fun _ -> Sinr_geom.Rng.bernoulli trng p)
     in
     if senders <> [] then begin
       let outcome = Sinr.resolve sinr ~senders in
@@ -47,7 +55,38 @@ let estimate ?(trials = 400) sinr rng ~set ~p ~mu =
           | Some _ | None -> ())
         members
     end
-  done;
+  in
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> Pool.default_jobs ()
+  in
+  let counts =
+    if jobs = 1 then begin
+      let counts = Array.make (m * m) 0 in
+      for t = 0 to trials - 1 do
+        run_trial counts t
+      done;
+      counts
+    end
+    else
+      Pool.with_jobs jobs (fun pool ->
+          (* Each pool task owns a chunk of trials and a private tally;
+             tallies merge by addition, so chunking cannot change the
+             result. *)
+          let chunk = max 1 (trials / (Pool.jobs pool * 4)) in
+          let nchunks = (trials + chunk - 1) / chunk in
+          Pool.map_reduce ~chunk:1 pool ~n:nchunks
+            ~map:(fun c ->
+              let part = Array.make (m * m) 0 in
+              let lo = c * chunk and hi = min trials ((c + 1) * chunk) in
+              for t = lo to hi - 1 do
+                run_trial part t
+              done;
+              part)
+            ~reduce:(fun acc part ->
+              Array.iteri (fun i v -> acc.(i) <- acc.(i) + v) part;
+              acc)
+            ~init:(Array.make (m * m) 0))
+  in
   let prob (u, v) =
     if u < 0 || u >= n || v < 0 || v >= n || pos.(u) < 0 || pos.(v) < 0 then 0.
     else float_of_int counts.((pos.(u) * m) + pos.(v)) /. float_of_int trials

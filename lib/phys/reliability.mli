@@ -7,10 +7,15 @@ open Sinr_graph
 type estimate
 
 val estimate :
-  ?trials:int -> Sinr.t -> Sinr_geom.Rng.t -> set:int list -> p:float ->
-  mu:float -> estimate
+  ?trials:int -> ?jobs:int -> Sinr.t -> Sinr_geom.Rng.t -> set:int list ->
+  p:float -> mu:float -> estimate
 (** Estimate by [trials] (default 400) independent slot simulations.
-    Requires [p ∈ (0, 1/2]] and [μ ∈ (0, p)]. *)
+    Requires [p ∈ (0, 1/2]] and [μ ∈ (0, p)].
+
+    Trials run through [Sinr_par.Pool] on [jobs] domains (default:
+    [Pool.default_jobs ()]; [1] forces the sequential path). Trial [t]
+    draws only from [Rng.split rng ~key:t] and per-domain tallies merge by
+    addition, so the result is bit-identical for every [jobs] setting. *)
 
 val graph : estimate -> Graph.t
 (** Edges whose reception probability is ≥ μ in both directions. *)

@@ -18,4 +18,5 @@ let () =
       ("decay_mac", Test_decay_mac.suite);
       ("mis_ext", Test_mis_ext.suite);
       ("expt_e2e", Test_expt_e2e.suite);
-      ("obs", Test_obs.suite) ]
+      ("obs", Test_obs.suite);
+      ("par", Test_par.suite) ]

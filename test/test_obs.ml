@@ -105,6 +105,50 @@ let test_reset =
       Alcotest.(check int) "snapshot empty" 0
         (List.length (Metrics.snapshot ())))
 
+(* ---------------- domain safety ---------------- *)
+
+let test_multi_domain_stress =
+  with_registry (fun () ->
+      (* Four domains hammer the same counter, gauge and histogram through
+         the public API, each fetching its own handles so concurrent
+         get-or-create registration is exercised too.  Counters and
+         histogram totals are exact (atomics / per-histogram lock), so the
+         checks are equalities, not bounds. *)
+      let domains = 4 and incrs = 25_000 and observes = 5_000 in
+      let spawned =
+        Array.init domains (fun d ->
+            Domain.spawn (fun () ->
+                let c = Metrics.counter "stress.c" in
+                let g = Metrics.gauge "stress.g" in
+                let h = Metrics.histogram "stress.h" in
+                for _ = 1 to incrs do
+                  Metrics.incr c
+                done;
+                Metrics.add c 5;
+                Metrics.set g (float_of_int d);
+                for _ = 1 to observes do
+                  Metrics.observe h 2.0
+                done))
+      in
+      Array.iter Domain.join spawned;
+      Alcotest.(check int) "counter total exact"
+        ((domains * incrs) + (domains * 5))
+        (Metrics.counter_value (Metrics.counter "stress.c"));
+      let h = Metrics.histogram "stress.h" in
+      Alcotest.(check int) "histogram count exact" (domains * observes)
+        (Metrics.histogram_count h);
+      Alcotest.(check (float 1e-6)) "histogram sum exact"
+        (2.0 *. float_of_int (domains * observes))
+        (Metrics.histogram_sum h);
+      Alcotest.(check (float 1e-9)) "point-mass quantile survives" 2.0
+        (Metrics.quantile h 0.5);
+      let g = Metrics.gauge_value (Metrics.gauge "stress.g") in
+      Alcotest.(check bool) "gauge holds one of the written values" true
+        (List.mem g [ 0.; 1.; 2.; 3. ]);
+      (* The registry itself stayed consistent under concurrent create. *)
+      Alcotest.(check int) "three metrics registered" 3
+        (List.length (Metrics.snapshot ())))
+
 (* ---------------- json + sink round-trip ---------------- *)
 
 let test_json_parse () =
@@ -341,6 +385,8 @@ let suite =
     Alcotest.test_case "histogram point mass" `Quick test_histogram_buckets;
     Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
     Alcotest.test_case "reset" `Quick test_reset;
+    Alcotest.test_case "multi-domain stress (exact totals)" `Quick
+      test_multi_domain_stress;
     Alcotest.test_case "json parse" `Quick test_json_parse;
     Alcotest.test_case "snapshot jsonl round-trip" `Quick
       test_snapshot_roundtrip;

@@ -1,0 +1,181 @@
+(* Tests for lib/par: the deterministic domain pool and the determinism
+   contract of its integration points (Reliability Monte-Carlo kernel,
+   experiment sweeps).
+
+   The contract under test everywhere: for the same seed, parallel output
+   is bit-identical to sequential output — [jobs] must never change a
+   result, only the wall clock. *)
+
+open Sinr_geom
+open Sinr_par
+
+(* ---------------- pool combinators ---------------- *)
+
+let test_map_identity_and_order () =
+  Pool.with_jobs 4 @@ fun pool ->
+  Alcotest.(check int) "pool size" 4 (Pool.jobs pool);
+  let input = Array.init 1003 Fun.id in
+  Alcotest.(check (array int))
+    "map places results by index"
+    (Array.map (fun x -> x * x) input)
+    (Pool.map pool (fun x -> x * x) input);
+  (* A chunk size that does not divide n: the tail chunk must still land. *)
+  Alcotest.(check (array int))
+    "mapi with ragged chunking"
+    (Array.init 1003 (fun i -> i - 500))
+    (Pool.mapi ~chunk:7 pool ~n:1003 (fun i -> i - 500));
+  Alcotest.(check (list string))
+    "map_list preserves order"
+    [ "0"; "1"; "2"; "3"; "4" ]
+    (Pool.map_list pool string_of_int [ 0; 1; 2; 3; 4 ])
+
+let test_map_reduce_index_order () =
+  (* A non-commutative, non-associative reduce: only a sequential
+     index-order fold in the caller gives this exact string whatever the
+     chunking, which is precisely the documented contract. *)
+  let expected =
+    List.fold_left
+      (fun acc i -> acc ^ ";" ^ string_of_int i)
+      "init"
+      (List.init 57 Fun.id)
+  in
+  List.iter
+    (fun jobs ->
+      Pool.with_jobs jobs @@ fun pool ->
+      Alcotest.(check string)
+        (Printf.sprintf "fold order independent of jobs=%d" jobs)
+        expected
+        (Pool.map_reduce ~chunk:3 pool ~n:57 ~map:string_of_int
+           ~reduce:(fun acc s -> acc ^ ";" ^ s)
+           ~init:"init"))
+    [ 1; 2; 4 ]
+
+let test_map_seeded_jobs_invariant () =
+  let draw jobs =
+    Pool.with_jobs jobs @@ fun pool ->
+    Pool.map_seeded pool ~rng:(Rng.create 99) ~n:200 (fun i rng ->
+        (* Several draws per task: any stream sharing between tasks would
+           show up as a jobs-dependent result. *)
+        float_of_int i +. Rng.float rng 1.0 +. Rng.float rng 1.0)
+  in
+  let seq = draw 1 in
+  Alcotest.(check (array (float 0.0))) "jobs=4 bit-identical" seq (draw 4);
+  Alcotest.(check (array (float 0.0))) "jobs=3 bit-identical" seq (draw 3)
+
+let test_exception_propagates () =
+  Pool.with_jobs 4 @@ fun pool ->
+  Alcotest.check_raises "task failure re-raised in caller"
+    (Failure "task 37") (fun () ->
+      ignore
+        (Pool.mapi ~chunk:1 pool ~n:100 (fun i ->
+             if i = 37 then failwith "task 37" else i)));
+  (* The pool survives a failed job and runs the next one normally. *)
+  Alcotest.(check (array int))
+    "pool usable after failure"
+    (Array.init 100 Fun.id)
+    (Pool.mapi pool ~n:100 Fun.id)
+
+let test_nested_submission_runs_inline () =
+  Pool.with_jobs 4 @@ fun pool ->
+  let out =
+    Pool.mapi ~chunk:1 pool ~n:8 (fun i ->
+        (* Re-entering the same pool from a task must degrade to inline
+           sequential execution, not deadlock. *)
+        Array.fold_left ( + ) 0
+          (Pool.mapi pool ~n:10 (fun j -> (i * 10) + j)))
+  in
+  Alcotest.(check (array int))
+    "nested totals"
+    (Array.init 8 (fun i -> (i * 100) + 45))
+    out
+
+let test_default_jobs_override () =
+  let prev = Pool.default_jobs () in
+  Fun.protect ~finally:(fun () -> Pool.set_default_jobs prev) @@ fun () ->
+  Pool.set_default_jobs 3;
+  Alcotest.(check int) "override visible" 3 (Pool.default_jobs ());
+  Alcotest.(check int) "shared pool resized" 3 (Pool.jobs (Pool.get ()));
+  Pool.set_default_jobs 0;
+  Alcotest.(check int) "clamped to >= 1" 1 (Pool.default_jobs ())
+
+(* ---------------- Reliability Monte-Carlo determinism ---------------- *)
+
+let test_reliability_jobs_invariant () =
+  let estimate jobs =
+    let rng = Rng.create 5 in
+    let pts =
+      Placement.uniform rng ~n:40 ~box:(Box.square ~side:18.) ~min_dist:1.
+    in
+    let sinr = Sinr_phys.Sinr.create Sinr_phys.Config.default pts in
+    Sinr_phys.Reliability.estimate ~trials:240 ~jobs sinr
+      (Rng.split rng ~key:1)
+      ~set:(List.init 40 Fun.id) ~p:0.3 ~mu:0.02
+  in
+  let seq = estimate 1 and par = estimate 4 in
+  Alcotest.(check bool) "same reliability graph" true
+    (Sinr_graph.Graph.equal
+       (Sinr_phys.Reliability.graph seq)
+       (Sinr_phys.Reliability.graph par));
+  Alcotest.(check bool) "graph is non-trivial" true
+    (Sinr_graph.Graph.num_edges (Sinr_phys.Reliability.graph seq) > 0);
+  for u = 0 to 39 do
+    for v = 0 to 39 do
+      let p1 = Sinr_phys.Reliability.success_prob seq (u, v) in
+      let p4 = Sinr_phys.Reliability.success_prob par (u, v) in
+      if p1 <> p4 then
+        Alcotest.failf "success_prob (%d,%d): jobs=1 %.6f <> jobs=4 %.6f" u v
+          p1 p4
+    done
+  done
+
+(* ---------------- sweep / experiment determinism ---------------- *)
+
+let test_grid_shape_and_order () =
+  let grid jobs =
+    Sinr_expt.Sweep.grid ~jobs ~params:[ "a"; "b"; "c" ] ~seeds:[ 10; 20 ]
+      (fun p s -> Printf.sprintf "%s/%d" p s)
+  in
+  let expected =
+    [ ("a", [ "a/10"; "a/20" ]);
+      ("b", [ "b/10"; "b/20" ]);
+      ("c", [ "c/10"; "c/20" ]) ]
+  in
+  Alcotest.(check (list (pair string (list string))))
+    "grouped by param in input order, seeds in input order"
+    expected (grid 1);
+  Alcotest.(check (list (pair string (list string))))
+    "same grouping at jobs=4" expected (grid 4)
+
+let test_exp_sweep_jobs_invariant () =
+  (* A full experiment through the parallel grid: the emitted rows — every
+     float, summary and count in them — must be identical whatever the
+     shared pool's size. *)
+  let rows jobs =
+    let prev = Pool.default_jobs () in
+    Pool.set_default_jobs jobs;
+    Fun.protect ~finally:(fun () -> Pool.set_default_jobs prev) @@ fun () ->
+    Sinr_expt.Exp_ack.run ~seeds:[ 1; 2 ] ~deltas:[ 3; 5 ] ()
+  in
+  let seq = rows 1 and par = rows 4 in
+  Alcotest.(check int) "row count" (List.length seq) (List.length par);
+  Alcotest.(check bool) "rows bit-identical across jobs" true
+    (Stdlib.compare seq par = 0)
+
+let suite =
+  [ Alcotest.test_case "map identity and order" `Quick
+      test_map_identity_and_order;
+    Alcotest.test_case "map_reduce folds in index order" `Quick
+      test_map_reduce_index_order;
+    Alcotest.test_case "map_seeded jobs-invariant" `Quick
+      test_map_seeded_jobs_invariant;
+    Alcotest.test_case "task exception propagates" `Quick
+      test_exception_propagates;
+    Alcotest.test_case "nested submission runs inline" `Quick
+      test_nested_submission_runs_inline;
+    Alcotest.test_case "default jobs override" `Quick
+      test_default_jobs_override;
+    Alcotest.test_case "reliability estimate jobs-invariant" `Quick
+      test_reliability_jobs_invariant;
+    Alcotest.test_case "sweep grid shape" `Quick test_grid_shape_and_order;
+    Alcotest.test_case "experiment rows jobs-invariant" `Quick
+      test_exp_sweep_jobs_invariant ]
