@@ -1,4 +1,4 @@
-.PHONY: all build check test fmt bench par-smoke clean
+.PHONY: all build check test fmt bench par-smoke chaos-smoke clean
 
 all: build
 
@@ -16,6 +16,14 @@ check:
 # bit-identical to jobs=1 by the test suite).
 par-smoke:
 	dune exec bench/main.exe -- --jobs 2 table1-ack
+
+# End-to-end exercise of the fault-injection stack: the full E-chaos
+# degradation sweep (writes BENCH_chaos.json), then one heavily
+# adversarial single scenario through the CLI.
+chaos-smoke:
+	dune exec bench/main.exe -- --jobs 2 chaos
+	dune exec bin/sinr_sim.exe -- chaos --seed 3 --n 36 --degree 6 \
+	  --jam 0.5 --crash-frac 0.2 --abort-rate 0.0005
 
 test: check
 

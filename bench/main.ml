@@ -7,7 +7,7 @@
      main.exe [--jobs N]           run everything
      main.exe [--jobs N] <id> ...  run selected experiments
    ids: table1-ack fig1-progress-lb table1-approg thm8-decay table2-smb
-        table1-mmb table1-cons ablation mac-compare capacity micro
+        table1-mmb table1-cons ablation mac-compare capacity chaos micro
         par-bench
 
    --jobs N sizes the Sinr_par domain pool the experiments' sweeps run on
@@ -47,6 +47,8 @@ let ablation () = ignore (Exp_ablation.run ())
 let mac_compare () = ignore (Exp_mac_compare.run ())
 
 let capacity () = ignore (Exp_capacity.run ())
+
+let chaos () = ignore (Exp_chaos.run ~out:"BENCH_chaos.json" ())
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the hot kernels                         *)
@@ -324,6 +326,7 @@ let experiments =
     ("ablation", ablation);
     ("mac-compare", mac_compare);
     ("capacity", capacity);
+    ("chaos", chaos);
     ("micro", micro);
     ("par-bench", par_bench) ]
 

@@ -5,6 +5,7 @@
      smb        run global single-message broadcast (ours + baselines)
      cons       run network-wide consensus
      approg     measure approximate progress on a deployment
+     chaos      run the absMAC under adversarial channels/faults (lib/chaos)
      exp        run a named bench experiment (same ids as bench/main.exe)
      obs        run an instrumented workload and print the metric snapshot
 
@@ -232,6 +233,84 @@ let approg_cmd =
     Term.(const run $ seed_arg $ n_arg $ degree_arg $ range_arg
           $ metrics_out_arg $ jobs_arg)
 
+(* ---------------- chaos ---------------- *)
+
+(* One adversarial scenario (lib/chaos) on the uniform deployment: even
+   nodes broadcast through the retry wrapper while the requested
+   adversaries run; prints the degradation report.  The full sweep with
+   curves is `sinr_sim exp chaos` (or bench/main.exe chaos). *)
+let chaos_cmd =
+  let jam_arg =
+    Arg.(value & opt float 0.
+         & info [ "jam" ] ~docv:"DUTY"
+             ~doc:"Jamming duty-cycle in [0,1]: fraction of each 64-slot \
+                   window jammed (noise x40) at a random phase.")
+  in
+  let fading_arg =
+    Arg.(value & opt float 0.
+         & info [ "fading" ] ~docv:"SIGMA"
+             ~doc:"Log-normal fading: per-slot per-link gain multiplier \
+                   exp($(docv)*N(0,1)).")
+  in
+  let crash_frac_arg =
+    Arg.(value & opt float 0.
+         & info [ "crash-frac" ] ~docv:"F"
+             ~doc:"Crash a random $(docv) fraction of the nodes at random \
+                   slots within the first f_ack window.")
+  in
+  let downtime_arg =
+    Arg.(value & opt int 0
+         & info [ "downtime" ] ~docv:"SLOTS"
+             ~doc:"Crashed nodes recover after $(docv) slots (0 = never).")
+  in
+  let abort_rate_arg =
+    Arg.(value & opt float 0.
+         & info [ "abort-rate" ] ~docv:"P"
+             ~doc:"Per-slot probability that each busy node's broadcast is \
+                   adversarially aborted.")
+  in
+  let run seed n degree jam fading crash_frac downtime abort_rate metrics_out
+      jobs =
+    set_jobs jobs;
+    with_metrics ~label:"chaos" metrics_out @@ fun () ->
+    let spec =
+      { Exp_chaos.clean with
+        Exp_chaos.jam_duty = jam;
+        fading_sigma = fading;
+        crash_frac;
+        crash_downtime = downtime;
+        abort_rate }
+    in
+    let o = Exp_chaos.run_scenario ~n ~degree ~seed spec in
+    Fmt.pr "adversaries: jam=%.2f fading=%.2f crash=%.2f(down %d) abort=%.3f@."
+      jam fading crash_frac downtime abort_rate;
+    Fmt.pr "acked %d/%d (gave up %d, unfinished %d) in %d slots@."
+      o.Exp_chaos.o_acked o.Exp_chaos.o_senders o.Exp_chaos.o_gave_up
+      o.Exp_chaos.o_unfinished o.Exp_chaos.o_slots;
+    if o.Exp_chaos.o_acked > 0 then
+      Fmt.pr "ack latency: mean %.1f max %d slots@." o.Exp_chaos.o_ack_mean
+        o.Exp_chaos.o_ack_max;
+    Fmt.pr "approx progress: %d/%d listeners" o.Exp_chaos.o_approg_done
+      o.Exp_chaos.o_approg_watched;
+    if o.Exp_chaos.o_approg_done > 0 then
+      Fmt.pr ", mean %.1f slots" o.Exp_chaos.o_approg_mean;
+    Fmt.pr "@.";
+    Fmt.pr "retries: %d reissues, %d timeouts; chaos: %d forced aborts, %d \
+            crashes@."
+      o.Exp_chaos.o_reissues o.Exp_chaos.o_timeouts
+      o.Exp_chaos.o_forced_aborts o.Exp_chaos.o_crashes;
+    Fmt.pr "spec: %d late acks, %d aborted, %d/%d progress violations@."
+      o.Exp_chaos.o_late_acks o.Exp_chaos.o_aborted
+      o.Exp_chaos.o_prog_violations o.Exp_chaos.o_prog_checks
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Run the absMAC under adversarial channel conditions and \
+             faults, and report the degradation.")
+    Term.(const run $ seed_arg $ n_arg $ degree_arg $ jam_arg $ fading_arg
+          $ crash_frac_arg $ downtime_arg $ abort_rate_arg $ metrics_out_arg
+          $ jobs_arg)
+
 (* ---------------- exp ---------------- *)
 
 let exp_cmd =
@@ -240,7 +319,7 @@ let exp_cmd =
          & info [] ~docv:"ID"
              ~doc:"Experiment id (table1-ack, fig1-progress-lb, \
                    table1-approg, thm8-decay, table2-smb, table1-mmb, \
-                   table1-cons, ablation, mac-compare, capacity).")
+                   table1-cons, ablation, mac-compare, capacity, chaos).")
   in
   let run id metrics_out jobs =
     set_jobs jobs;
@@ -263,6 +342,7 @@ let exp_cmd =
     | "ablation" -> ignore (Exp_ablation.run ())
     | "mac-compare" -> ignore (Exp_mac_compare.run ())
     | "capacity" -> ignore (Exp_capacity.run ())
+    | "chaos" -> ignore (Exp_chaos.run ~out:"BENCH_chaos.json" ())
     | other ->
       Fmt.epr "unknown experiment %S@." other;
       exit 2
@@ -332,4 +412,5 @@ let () =
   exit
     (Cmd.eval ~argv
        (Cmd.group info
-          [ profile_cmd; smb_cmd; cons_cmd; approg_cmd; exp_cmd; obs_cmd ]))
+          [ profile_cmd; smb_cmd; cons_cmd; approg_cmd; chaos_cmd; exp_cmd;
+            obs_cmd ]))

@@ -1,0 +1,234 @@
+(* Adversarial channel & fault injection (see the .mli for the model and
+   the determinism contract).
+
+   Implementation notes:
+
+   - Channel randomness is hash-indexed, not drawn sequentially: the gain
+     of link (v,u) in slot s depends only on (seed, s, v*n+u).  This keeps
+     a run bit-identical whatever order (or how often) the engine evaluates
+     the perturbation, and costs O(1) with no state allocation per draw
+     (Rng.hash_unit / hash_gaussian).
+
+   - Fault schedules (crash–recover) are materialized at construction time
+     from the adversary's own stream, then replayed by slot; the only
+     mutable state is the replay cursor, advanced once per slot by [tick].
+
+   - Telemetry (when Sinr_obs.Metrics is enabled): chaos.jam_slots,
+     chaos.crashes, chaos.recoveries, chaos.forced_aborts. *)
+
+open Sinr_geom
+open Sinr_phys
+open Sinr_engine
+open Sinr_obs
+
+let m_jam_slots = Metrics.counter "chaos.jam_slots"
+let m_crashes = Metrics.counter "chaos.crashes"
+let m_recoveries = Metrics.counter "chaos.recoveries"
+let m_forced_aborts = Metrics.counter "chaos.forced_aborts"
+
+type sim = {
+  n : int;
+  slot : unit -> int;
+  crash : int -> unit;
+  revive : int -> unit;
+  is_crashed : int -> bool;
+  busy : int -> bool;
+  abort : int -> unit;
+}
+
+let sim_of_engine ?(busy = fun _ -> false) ?(abort = fun _ -> ()) engine =
+  { n = Engine.n engine;
+    slot = (fun () -> Engine.slot engine);
+    crash = Engine.crash engine;
+    revive = Engine.revive engine;
+    is_crashed = Engine.is_crashed engine;
+    busy;
+    abort }
+
+type t = {
+  name : string;
+  on_slot : sim -> slot:int -> unit;
+  perturb : slot:int -> Sinr.perturb option;
+}
+
+let none =
+  { name = "none";
+    on_slot = (fun _ ~slot:_ -> ());
+    perturb = (fun ~slot:_ -> None) }
+
+(* Multiplicative composition of two slot perturbations. *)
+let compose_perturb a b =
+  { Sinr.noise_factor = (fun u -> a.Sinr.noise_factor u *. b.Sinr.noise_factor u);
+    gain =
+      (fun ~sender ~receiver ->
+        a.Sinr.gain ~sender ~receiver *. b.Sinr.gain ~sender ~receiver) }
+
+let all ts =
+  match ts with
+  | [] -> none
+  | [ t ] -> t
+  | ts ->
+    { name = String.concat "+" (List.map (fun t -> t.name) ts);
+      on_slot = (fun sim ~slot -> List.iter (fun t -> t.on_slot sim ~slot) ts);
+      perturb =
+        (fun ~slot ->
+          List.fold_left
+            (fun acc t ->
+              match (acc, t.perturb ~slot) with
+              | None, p | p, None -> p
+              | Some a, Some b -> Some (compose_perturb a b))
+            None ts) }
+
+let install t _sim engine = Engine.set_perturb engine t.perturb
+
+let tick t sim = t.on_slot sim ~slot:(sim.slot ())
+
+(* ------------------------------------------------------------------ *)
+(* Jamming                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let jam ?(period = 64) ?disk ~rng ~duty ~mult points =
+  if period <= 0 then invalid_arg "Chaos.jam: period must be positive";
+  let rng = Rng.split_name rng ~name:"chaos.jam" in
+  let burst = int_of_float (duty *. float_of_int period) in
+  let in_disk =
+    match disk with
+    | None -> fun _ -> true
+    | Some (center, radius) ->
+      fun u -> Point.dist points.(u) center <= radius
+  in
+  let jammed slot =
+    if duty >= 1. || burst >= period then true
+    else if duty <= 0. || burst <= 0 then false
+    else begin
+      (* Burst of [burst] consecutive slots at a random phase per window:
+         bursty rather than striped, deterministic per (seed, window). *)
+      let window = slot / period in
+      let phase =
+        int_of_float (Rng.hash_unit rng window 0 *. float_of_int (period - burst + 1))
+      in
+      let off = slot mod period in
+      off >= phase && off < phase + burst
+    end
+  in
+  { name = Fmt.str "jam(duty=%.2f,x%.0f)" duty mult;
+    on_slot = (fun _ ~slot:_ -> ());
+    perturb =
+      (fun ~slot ->
+        if jammed slot then begin
+          Metrics.incr m_jam_slots;
+          Some
+            { Sinr.noise_factor =
+                (fun u -> if in_disk u then mult else 1.);
+              gain = (fun ~sender:_ ~receiver:_ -> 1.) }
+        end
+        else None) }
+
+(* ------------------------------------------------------------------ *)
+(* Fading                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let fading ~rng ~sigma ~n =
+  let rng = Rng.split_name rng ~name:"chaos.fading" in
+  { name = Fmt.str "fading(sigma=%.2f)" sigma;
+    on_slot = (fun _ ~slot:_ -> ());
+    perturb =
+      (fun ~slot ->
+        if sigma <= 0. then None
+        else
+          Some
+            { Sinr.noise_factor = (fun _ -> 1.);
+              gain =
+                (fun ~sender ~receiver ->
+                  exp
+                    (sigma
+                     *. Rng.hash_gaussian rng slot ((sender * n) + receiver))) }) }
+
+(* ------------------------------------------------------------------ *)
+(* Crash / crash–recover schedules                                     *)
+(* ------------------------------------------------------------------ *)
+
+type fault_action = Crash_node of int | Revive_node of int
+
+(* Replay a (slot, action) schedule, applying everything due at or before
+   the current slot.  The schedule is sorted and consumed in order; the
+   cursor is the adversary's only mutable state. *)
+let of_schedule name schedule =
+  let pending = ref (List.sort compare schedule) in
+  { name;
+    on_slot =
+      (fun sim ~slot ->
+        let due, later = List.partition (fun (s, _) -> s <= slot) !pending in
+        pending := later;
+        List.iter
+          (fun (_, action) ->
+            match action with
+            | Crash_node v ->
+              if not (sim.is_crashed v) then begin
+                Metrics.incr m_crashes;
+                sim.crash v
+              end
+            | Revive_node v ->
+              if sim.is_crashed v then begin
+                Metrics.incr m_recoveries;
+                sim.revive v
+              end)
+          due);
+    perturb = (fun ~slot:_ -> None) }
+
+let crash_recover ~rng ~n ~frac ~horizon ~downtime ?(protect = []) () =
+  let rng = Rng.split_name rng ~name:"chaos.crash" in
+  let protected_ = Array.make n false in
+  List.iter
+    (fun v ->
+      if v < 0 || v >= n then
+        invalid_arg "Chaos.crash_recover: protected node out of range";
+      protected_.(v) <- true)
+    protect;
+  let eligible = ref [] in
+  for v = n - 1 downto 0 do
+    if not protected_.(v) then eligible := v :: !eligible
+  done;
+  let eligible = Array.of_list !eligible in
+  let count = int_of_float (frac *. float_of_int n) in
+  if count > Array.length eligible then
+    invalid_arg
+      (Fmt.str "Chaos.crash_recover: %d victims exceed the %d unprotected nodes"
+         count (Array.length eligible));
+  Rng.shuffle rng eligible;
+  let schedule = ref [] in
+  for i = 0 to count - 1 do
+    let v = eligible.(i) in
+    let down_at = Rng.int rng (max 1 horizon) in
+    schedule := (down_at, Crash_node v) :: !schedule;
+    if downtime > 0 then
+      schedule := (down_at + downtime, Revive_node v) :: !schedule
+  done;
+  of_schedule
+    (Fmt.str "crash(frac=%.2f,down=%d)" frac downtime)
+    !schedule
+
+let crash_plan plan =
+  of_schedule "crash-plan" (List.map (fun (s, v) -> (s, Crash_node v)) plan)
+
+(* ------------------------------------------------------------------ *)
+(* Abort pressure                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let abort_pressure ~rng ~rate =
+  let rng = Rng.split_name rng ~name:"chaos.abort" in
+  { name = Fmt.str "abort(rate=%.3f)" rate;
+    on_slot =
+      (fun sim ~slot ->
+        if rate > 0. then
+          for v = 0 to sim.n - 1 do
+            if
+              sim.busy v
+              && (not (sim.is_crashed v))
+              && Rng.hash_unit rng slot v < rate
+            then begin
+              Metrics.incr m_forced_aborts;
+              sim.abort v
+            end
+          done);
+    perturb = (fun ~slot:_ -> None) }

@@ -1,0 +1,100 @@
+(** Adversarial channel and fault injection for the absMAC stack.
+
+    The guarantees we reproduce (Theorems 5.1, 9.1, 11.1) are proved for a
+    clean SINR channel with fixed background noise and crash-free nodes.
+    This module supplies the adversaries the surrounding literature studies
+    (Ghaffari–Kantor–Lynch–Newport's unreliable links, Newport's crashes):
+    per-slot channel perturbations (jamming, multiplicative fading), crash
+    and crash–recover schedules, and abort pressure on ongoing broadcasts.
+    The chaos experiments ({!Sinr_expt.Exp_chaos}) measure how gracefully
+    the stack degrades under them.
+
+    {b Determinism contract.} Every adversary is built from an explicit
+    {!Sinr_geom.Rng.t} and draws its per-slot randomness through pure hash
+    functions of [(seed, slot, node)] ({!Sinr_geom.Rng.hash_unit}), never
+    from a shared mutable stream — so a run is bit-identical for a fixed
+    seed whatever the [--jobs] setting, matching the [lib/par] contract. *)
+
+open Sinr_geom
+open Sinr_phys
+open Sinr_engine
+
+(** The narrow handle an adversary acts through. Wrapping the engine (and
+    optionally the MAC layer) behind first-order functions keeps the
+    adversary type monomorphic even though ['m Engine.t] is not. *)
+type sim = {
+  n : int;
+  slot : unit -> int;
+  crash : int -> unit;
+  revive : int -> unit;
+  is_crashed : int -> bool;
+  busy : int -> bool;  (** MAC-level: node has an ongoing broadcast *)
+  abort : int -> unit; (** MAC-level: force-abort the node's broadcast *)
+}
+
+val sim_of_engine :
+  ?busy:(int -> bool) -> ?abort:(int -> unit) -> 'm Engine.t -> sim
+(** Engine-backed handle. [busy]/[abort] default to "never busy" / no-op;
+    pass the MAC layer's to let abort-pressure adversaries reach it. *)
+
+(** A composable adversary: [on_slot] performs fault actions (crash,
+    revive, forced abort) before the slot runs; [perturb] supplies the
+    slot's channel state to {!Engine.set_perturb}. *)
+type t = {
+  name : string;
+  on_slot : sim -> slot:int -> unit;
+  perturb : slot:int -> Sinr.perturb option;
+}
+
+val none : t
+(** The empty adversary: clean channel, no faults. *)
+
+val all : t list -> t
+(** Compose: fault actions apply in order; channel perturbations compose
+    multiplicatively (noise factors and link gains multiply). *)
+
+val install : t -> sim -> 'm Engine.t -> unit
+(** Hook the adversary's channel perturbation into the engine. Fault
+    actions still need {!tick} before every slot. *)
+
+val tick : t -> sim -> unit
+(** Apply the adversary's fault actions for the current slot. Call once
+    per slot, before stepping the engine/MAC. *)
+
+(** {1 Concrete adversaries} *)
+
+val jam :
+  ?period:int -> ?disk:(Point.t * float) -> rng:Rng.t -> duty:float ->
+  mult:float -> Point.t array -> t
+(** Bursty jamming: in every window of [period] slots (default 64) a burst
+    of [duty]·[period] consecutive slots is jammed, at a per-window phase
+    drawn from the adversary's stream. During a burst the ambient noise N
+    seen by every receiver — or only receivers inside [disk] (center,
+    radius) — is multiplied by [mult]. [duty] ≤ 0 disables; ≥ 1 jams every
+    slot. *)
+
+val fading :
+  rng:Rng.t -> sigma:float -> n:int -> t
+(** Per-slot log-normal multiplicative fading: link (v → u) in slot s has
+    its received power multiplied by exp(σ·Z) with Z a standard normal
+    hash-drawn from (seed, s, v·n+u) — median gain 1, independent across
+    slots and links. σ flaps exactly the gray-zone links
+    G₁₋ε \ G₁₋₂ε whose SINR margin is small. [sigma] ≤ 0 disables. *)
+
+val crash_recover :
+  rng:Rng.t -> n:int -> frac:float -> horizon:int -> downtime:int ->
+  ?protect:int list -> unit -> t
+(** Crash ⌊[frac]·n⌋ distinct victims outside [protect] (exact shuffle
+    sampling, like {!Fault.random_crashes}) at uniform slots in
+    [0, horizon); each recovers [downtime] slots later ([downtime] ≤ 0:
+    never — the crash-only plan of old). Raises [Invalid_argument] when the
+    victim count exceeds the unprotected population. *)
+
+val crash_plan : Fault.plan -> t
+(** Lift an existing crash-only {!Fault.plan} into an adversary. *)
+
+val abort_pressure : rng:Rng.t -> rate:float -> t
+(** Message-abort pressure: each slot, each busy node's broadcast is
+    force-aborted with probability [rate] (hash-drawn per (slot, node)).
+    Models an environment that keeps cancelling in-flight broadcasts; the
+    {!Sinr_proto.Mac_driver.with_retry} wrapper measures recovery from it. *)

@@ -35,6 +35,7 @@ let m_acks_capped = Metrics.counter "mac.acks_capped"
 let m_aborts = Metrics.counter "mac.aborts"
 let m_rcvs = Metrics.counter "mac.rcvs"
 let m_data_rejected = Metrics.counter "mac.data_rejected"
+let m_crash_drops = Metrics.counter "mac.crash_drops"
 let m_ack_delay = Metrics.histogram "mac.ack_delay"
 
 type t = {
@@ -93,7 +94,7 @@ let create ?(ack_params = Params.default_ack)
         (config.Config.power /. (Config.strong_range config ** config.Config.alpha))
     else None
   in
-  { engine = Engine.create sinr;
+  { engine = Engine.create ?trace sinr;
     hm;
     approg;
     lambda;
@@ -228,13 +229,24 @@ let step t =
       deliveries;
     fire_rcvs t (Approx_progress.end_slot t.approg)
   end;
-  (* Acknowledgments: B.1 halt or the f_ack cap. *)
+  (* Acknowledgments: B.1 halt or the f_ack cap.  A node that crashed with
+     an ongoing broadcast must never ack (the ack cap is a timer, not a
+     liveness proof): drop the payload as an abort, which Spec_check then
+     counts as aborted rather than as a late-ack violation. *)
   Array.iteri
     (fun node slot0 ->
       match t.ongoing.(node) with
       | None -> ()
       | Some payload ->
-        let halted = Hm_ack.halted t.hm ~node in
-        if halted || now t - slot0 >= t.fack_cap then
-          finish_ack t ~node payload ~capped:(not halted))
+        if Engine.is_crashed t.engine node then begin
+          t.ongoing.(node) <- None;
+          Hm_ack.stop t.hm ~node;
+          Approx_progress.stop t.approg ~node;
+          Metrics.incr m_crash_drops;
+          record t (Trace.Abort { node; msg = payload.Events.seq })
+        end
+        else
+          let halted = Hm_ack.halted t.hm ~node in
+          if halted || now t - slot0 >= t.fack_cap then
+            finish_ack t ~node payload ~capped:(not halted))
     t.bcast_slot

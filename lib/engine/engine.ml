@@ -31,6 +31,8 @@ let m_collision_loss = Metrics.counter "engine.collision_loss"
 let m_silence = Metrics.counter "engine.silence"
 let m_wakeups = Metrics.counter "engine.wakeups"
 let m_crashes = Metrics.counter "engine.crashes"
+let m_recoveries = Metrics.counter "engine.recoveries"
+let m_perturbed_slots = Metrics.counter "engine.perturbed_slots"
 let m_slot_tx = Metrics.histogram "engine.slot_tx"
 let m_slot_deliveries = Metrics.histogram "engine.slot_deliveries"
 let m_resolve_ns = Metrics.histogram "engine.resolve.ns"
@@ -56,9 +58,15 @@ type 'm t = {
   wake_on_receive : bool;
   mutable tx_total : int;        (* transmissions across all slots *)
   mutable delivery_total : int;  (* successful decodings across all slots *)
+  trace : Trace.t option;
+      (* fault events (wake/crash/recover) are recorded here so Spec_check
+         and the chaos experiments see the full execution *)
+  mutable perturb : slot:int -> Sinr.perturb option;
+      (* per-slot adversarial channel state (lib/chaos); the default is the
+         clean channel *)
 }
 
-let create ?(wake_on_receive = true) sinr =
+let create ?(wake_on_receive = true) ?trace sinr =
   let n = Sinr.n sinr in
   { sinr;
     slot = 0;
@@ -66,7 +74,16 @@ let create ?(wake_on_receive = true) sinr =
     crashed = Array.make n false;
     wake_on_receive;
     tx_total = 0;
-    delivery_total = 0 }
+    delivery_total = 0;
+    trace;
+    perturb = (fun ~slot:_ -> None) }
+
+let set_perturb t f = t.perturb <- f
+
+let record t ev =
+  match t.trace with
+  | Some tr -> Trace.record tr ~slot:t.slot ev
+  | None -> ()
 
 let sinr t = t.sinr
 let n t = Sinr.n t.sinr
@@ -78,9 +95,10 @@ let is_awake t v = t.awake.(v)
 let is_crashed t v = t.crashed.(v)
 
 let wake t v =
-  if not t.crashed.(v) then begin
-    if not t.awake.(v) then Metrics.incr m_wakeups;
-    t.awake.(v) <- true
+  if (not t.crashed.(v)) && not t.awake.(v) then begin
+    Metrics.incr m_wakeups;
+    t.awake.(v) <- true;
+    record t (Trace.Wake { node = v })
   end
 
 let wake_all t =
@@ -88,10 +106,27 @@ let wake_all t =
     wake t v
   done
 
+(* Idempotent: a second crash of the same node (double-crash) and a crash
+   of a still-asleep node are both no-ops beyond the first effect — exactly
+   one Crash trace event and metric tick per node per down-phase. *)
 let crash t v =
-  if not t.crashed.(v) then Metrics.incr m_crashes;
-  t.crashed.(v) <- true;
-  t.awake.(v) <- false
+  if not t.crashed.(v) then begin
+    Metrics.incr m_crashes;
+    t.crashed.(v) <- true;
+    t.awake.(v) <- false;
+    record t (Trace.Crash { node = v })
+  end
+
+(* Crash–recover adversaries un-crash a node: it rejoins asleep, so the
+   conditional-wakeup rule (Definition 4.4) applies to the recovered node
+   like to a fresh one — it participates again only after an environment
+   wake or a decoded message. *)
+let revive t v =
+  if t.crashed.(v) then begin
+    Metrics.incr m_recoveries;
+    t.crashed.(v) <- false;
+    record t (Trace.Recover { node = v })
+  end
 
 let awake_nodes t =
   let acc = ref [] in
@@ -134,15 +169,19 @@ let step ?on_deliver t ~decide =
   let deliveries = ref [] in
   let ndeliv = ref 0 in
   if !senders <> [] then begin
+    (* The adversary's channel state for this slot; [None] keeps the exact
+       clean-channel resolution path. *)
+    let perturb = t.perturb ~slot:t.slot in
+    if telemetry && Option.is_some perturb then Metrics.incr m_perturbed_slots;
     let outcome =
       if telemetry then begin
         let r = Timer.start () in
-        let o = Sinr.resolve t.sinr ~senders:!senders in
+        let o = Sinr.resolve ?perturb t.sinr ~senders:!senders in
         Timer.observe_span ~ns:m_resolve_ns ~minor_w:m_resolve_minor
           (Timer.stop r);
         o
       end
-      else Sinr.resolve t.sinr ~senders:!senders
+      else Sinr.resolve ?perturb t.sinr ~senders:!senders
     in
     for u = 0 to n - 1 do
       if not t.crashed.(u) then

@@ -19,10 +19,16 @@ type 'm delivery = {
 
 type 'm t
 
-val create : ?wake_on_receive:bool -> Sinr.t -> 'm t
+val create : ?wake_on_receive:bool -> ?trace:Trace.t -> Sinr.t -> 'm t
 (** Fresh simulation with every node asleep. [wake_on_receive] (default
     true) makes asleep nodes wake when they decode a message, per the
-    conditional-wakeup model. *)
+    conditional-wakeup model. [trace] records Wake/Crash/Recover fault
+    events as the simulation advances. *)
+
+val set_perturb : 'm t -> (slot:int -> Sinr.perturb option) -> unit
+(** Install a per-slot channel-perturbation hook (an adversary from
+    [lib/chaos]). Consulted once per slot before SINR resolution; [None]
+    keeps the clean-channel fast path. *)
 
 val sinr : 'm t -> Sinr.t
 val n : 'm t -> int
@@ -40,7 +46,13 @@ val wake : 'm t -> int -> unit
 
 val wake_all : 'm t -> unit
 val crash : 'm t -> int -> unit
-(** Silence a node permanently (consensus fault injection). *)
+(** Silence a node (fault injection). Idempotent: double-crash and
+    crash-before-wake record a single Crash event. *)
+
+val revive : 'm t -> int -> unit
+(** Un-crash a node (crash–recover adversaries). The node rejoins asleep —
+    conditional wakeup applies as for a fresh node. No effect on
+    non-crashed nodes. *)
 
 val awake_nodes : 'm t -> int list
 

@@ -11,21 +11,32 @@ type plan = (int * int) list (* (slot, node), sorted by slot *)
 let none : plan = []
 
 (* Crash [count] distinct nodes, avoiding [protect], at uniform slots within
-   [0, horizon). *)
+   [0, horizon).  Exact sampling: shuffle the eligible nodes and take a
+   prefix, so the plan always has exactly [count] victims — the old
+   rejection loop was O(count²) and could silently under-sample when its
+   try budget ran out. *)
 let random_crashes rng ~n ~count ~horizon ~protect : plan =
-  if count < 0 || count >= n then invalid_arg "Fault.random_crashes: bad count";
+  if count < 0 then invalid_arg "Fault.random_crashes: negative count";
   let protected_ = Array.make n false in
-  List.iter (fun v -> protected_.(v) <- true) protect;
-  let victims = ref [] in
-  let tries = ref 0 in
-  while List.length !victims < count && !tries < 100 * n do
-    incr tries;
-    let v = Rng.int rng n in
-    if (not protected_.(v)) && not (List.mem v !victims) then
-      victims := v :: !victims
+  List.iter
+    (fun v ->
+      if v < 0 || v >= n then
+        invalid_arg "Fault.random_crashes: protected node out of range";
+      protected_.(v) <- true)
+    protect;
+  let eligible = ref [] in
+  for v = n - 1 downto 0 do
+    if not protected_.(v) then eligible := v :: !eligible
   done;
+  let eligible = Array.of_list !eligible in
+  if count > Array.length eligible then
+    invalid_arg
+      (Fmt.str
+         "Fault.random_crashes: count %d exceeds the %d unprotected nodes"
+         count (Array.length eligible));
+  Rng.shuffle rng eligible;
   let plan =
-    List.map (fun v -> (Rng.int rng (max 1 horizon), v)) !victims
+    List.init count (fun i -> (Rng.int rng (max 1 horizon), eligible.(i)))
   in
   List.sort compare plan
 

@@ -9,8 +9,10 @@ val none : plan
 
 val random_crashes :
   Rng.t -> n:int -> count:int -> horizon:int -> protect:int list -> plan
-(** [count] distinct victims outside [protect], each crashing at a uniform
-    slot in [0, horizon). *)
+(** Exactly [count] distinct victims outside [protect] (shuffle-based exact
+    sampling), each crashing at a uniform slot in [0, horizon). Raises
+    [Invalid_argument] when [count] is negative or exceeds the number of
+    unprotected nodes. *)
 
 val apply : plan -> 'm Engine.t -> int list * plan
 (** Crash every node whose slot has arrived; returns (newly crashed,

@@ -11,6 +11,7 @@ type event =
   | Abort of { node : int; msg : int }
   | Wake of { node : int }
   | Crash of { node : int }
+  | Recover of { node : int } (* crash–recover adversaries revive the node *)
   | Note of string
 
 type entry = { slot : int; event : event }
@@ -69,6 +70,7 @@ let pp_event ppf = function
   | Abort { node; msg } -> Fmt.pf ppf "abort(m%d)_%d" msg node
   | Wake { node } -> Fmt.pf ppf "wake_%d" node
   | Crash { node } -> Fmt.pf ppf "crash_%d" node
+  | Recover { node } -> Fmt.pf ppf "recover_%d" node
   | Note s -> Fmt.pf ppf "note(%s)" s
 
 let pp_entry ppf e = Fmt.pf ppf "[%6d] %a" e.slot pp_event e.event
@@ -92,6 +94,7 @@ let event_to_json =
     Obj [ ("ev", Str "abort"); ("node", int node); ("msg", int msg) ]
   | Wake { node } -> Obj [ ("ev", Str "wake"); ("node", int node) ]
   | Crash { node } -> Obj [ ("ev", Str "crash"); ("node", int node) ]
+  | Recover { node } -> Obj [ ("ev", Str "recover"); ("node", int node) ]
   | Note s -> Obj [ ("ev", Str "note"); ("text", Str s) ]
 
 let entry_to_json e =

@@ -8,6 +8,7 @@ type event =
   | Abort of { node : int; msg : int }
   | Wake of { node : int }
   | Crash of { node : int }
+  | Recover of { node : int }
   | Note of string
 
 type entry = { slot : int; event : event }

@@ -1,0 +1,74 @@
+(** E-chaos — graceful degradation of Algorithm 11.1 under the lib/chaos
+    adversaries (jamming, fading, crash–recover, abort pressure).
+
+    One sweep axis per adversary, each varied with the others off; every
+    point reports ack latency, approximate-progress latency, retry-wrapper
+    activity and {!Sinr_mac.Spec_check} violation counts, aggregated over
+    seeds.  Degradation curves are optionally written as JSON ([~out]). *)
+
+type spec = {
+  jam_duty : float;       (** fraction of each jam period jammed *)
+  jam_mult : float;       (** noise multiplier during a burst *)
+  jam_period : int;
+  fading_sigma : float;   (** log-normal sigma on link gains *)
+  crash_frac : float;     (** fraction of nodes crashed *)
+  crash_downtime : int;   (** slots until recovery; [<= 0] = never *)
+  abort_rate : float;     (** per-slot per-busy-node forced-abort prob. *)
+}
+
+val clean : spec
+(** All adversaries off (the baseline row of every axis). *)
+
+type outcome = {
+  o_senders : int;
+  o_acked : int;
+  o_gave_up : int;
+  o_unfinished : int;
+  o_ack_mean : float;     (** slots, over acked payloads; nan when none *)
+  o_ack_max : int;
+  o_approg_watched : int;
+  o_approg_done : int;
+  o_approg_mean : float;  (** nan when no watched listener progressed *)
+  o_reissues : int;
+  o_timeouts : int;
+  o_forced_aborts : int;
+  o_crashes : int;
+  o_late_acks : int;
+  o_aborted : int;
+  o_prog_checks : int;
+  o_prog_violations : int;
+  o_slots : int;
+}
+
+val run_scenario :
+  ?n:int -> ?degree:int -> ?budget_mult:int -> seed:int -> spec -> outcome
+(** One deployment + adversary + workload (every even node broadcasts once
+    at slot 0 through {!Sinr_proto.Mac_driver.with_retry}), run until all
+    payloads resolve or [budget_mult * f_ack] slots elapse.  Fully
+    determined by [(n, degree, seed, spec)]. *)
+
+type row = {
+  axis : string;
+  level : float;
+  acked_frac : float;
+  ack_mean : float;
+  approg_frac : float;
+  approg_mean : float;
+  reissues : float;
+  forced_aborts : float;
+  crashes : float;
+  gave_up : float;
+  late_acks : float;
+  aborted : float;
+  prog_violations : float;
+  prog_checks : float;
+}
+
+val run :
+  ?jobs:int -> ?seeds:int list -> ?n:int -> ?degree:int ->
+  ?axes:(string * float list * (float -> spec)) list ->
+  ?out:string -> unit -> row list
+(** The degradation sweep: per axis, per level, [run_scenario] over the
+    seeds via {!Sweep.grid} (bit-identical whatever [jobs]); prints the
+    aggregated table and, when [out] is given, writes the curves there as
+    JSON. *)

@@ -57,6 +57,27 @@ let pick t arr =
   if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
   arr.(Random.State.int t.state (Array.length arr))
 
+(* ------------------------------------------------------------------ *)
+(* Pure (stateless) hash draws                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-event draws keyed by integers, with no state allocation: the value
+   depends only on (seed, k1, k2).  Channel perturbations (per-slot
+   per-link fading, jamming phases) need millions of independent draws per
+   run; materializing a [Random.State.t] for each would dominate the
+   simulation, and sequential draws would make the value depend on
+   evaluation order.  The quality of [mix]'s SplitMix-style finalizer is
+   plenty for simulation noise. *)
+
+let hash_unit t k1 k2 =
+  float_of_int (mix (mix t.seed k1) k2) /. (float_of_int max_int +. 1.)
+
+(* Standard normal from two independent hash draws (Box-Muller). *)
+let hash_gaussian t k1 k2 =
+  let u1 = Float.max 1e-12 (hash_unit t k1 (2 * k2)) in
+  let u2 = hash_unit t k1 ((2 * k2) + 1) in
+  sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2)
+
 (* Standard normal via Box-Muller; used for jittered placements. *)
 let gaussian t =
   let u1 = max 1e-12 (Random.State.float t.state 1.0) in

@@ -42,3 +42,14 @@ val pick : t -> 'a array -> 'a
 
 val gaussian : t -> float
 (** Standard normal deviate (Box–Muller). *)
+
+val hash_unit : t -> int -> int -> float
+(** [hash_unit t k1 k2] is a uniform draw in [0, 1) that depends only on
+    [(seed t, k1, k2)] — a pure hash, no state, no draw order. Intended for
+    per-event randomness indexed by integers (e.g. per-slot per-link
+    channel noise), where sequential draws would make results depend on
+    evaluation order. *)
+
+val hash_gaussian : t -> int -> int -> float
+(** Standard normal deviate from two {!hash_unit} draws; pure in
+    [(seed t, k1, k2)]. *)

@@ -31,6 +31,21 @@ let config t = t.config
 let points t = t.points
 let n t = Array.length t.points
 
+(* A per-slot channel perturbation, supplied by an adversary (lib/chaos):
+   [noise_factor u] scales the ambient noise N seen by receiver u (jamming
+   raises it), [gain ~sender ~receiver] scales the received power of one
+   link (multiplicative fading makes gray-zone links flap).  The identity
+   perturbation is factor 1 everywhere; [None] keeps the exact clean-channel
+   fast path. *)
+type perturb = {
+  noise_factor : int -> float;
+  gain : sender:int -> receiver:int -> float;
+}
+
+let no_perturb =
+  { noise_factor = (fun _ -> 1.);
+    gain = (fun ~sender:_ ~receiver:_ -> 1.) }
+
 (* Received power at plane position [at] from a transmitter at [from]. *)
 let power_between t ~from ~at =
   let d = Point.dist from at in
@@ -52,29 +67,33 @@ let link_sinr t ~senders ~sender:v ~receiver:u =
   let total = interference_at t ~senders ~at in
   signal /. (t.config.Config.noise +. total -. signal)
 
-(* Which sender (if any) does a listener decode, given the power of each
-   sender at the listener and the total incoming power? *)
-let decode_one t ~sender_powers ~total =
-  let beta = t.config.Config.beta and noise = t.config.Config.noise in
-  List.find_map
-    (fun (v, pw) ->
-      if pw >= beta *. (noise +. total -. pw) then Some v else None)
-    sender_powers
-
-let reception t ~senders ~receiver:u =
+let reception ?perturb t ~senders ~receiver:u =
   if List.mem u senders then None
   else begin
+    let p = Option.value perturb ~default:no_perturb in
     let at = t.points.(u) in
     let sender_powers =
-      List.map (fun v -> (v, power_between t ~from:t.points.(v) ~at)) senders
+      List.map
+        (fun v ->
+          ( v,
+            power_between t ~from:t.points.(v) ~at
+            *. p.gain ~sender:v ~receiver:u ))
+        senders
     in
     let total = List.fold_left (fun acc (_, pw) -> acc +. pw) 0. sender_powers in
-    decode_one t ~sender_powers ~total
+    let beta = t.config.Config.beta
+    and noise = t.config.Config.noise *. p.noise_factor u in
+    List.find_map
+      (fun (v, pw) ->
+        if pw >= beta *. (noise +. total -. pw) then Some v else None)
+      sender_powers
   end
 
 (* Resolve a whole slot: for every node, the sender it decodes (None for
-   transmitters and for listeners that decode nothing).  O(|S| * n). *)
-let resolve t ~senders =
+   transmitters and for listeners that decode nothing).  O(|S| * n).
+   [perturb] applies the slot's adversarial channel state; omitting it is
+   the clean-channel fast path (no per-link closure calls). *)
+let resolve ?perturb t ~senders =
   let n = Array.length t.points in
   let is_sender = Array.make n false in
   List.iter
@@ -86,24 +105,49 @@ let resolve t ~senders =
   let beta = t.config.Config.beta and noise = t.config.Config.noise in
   (* For each listener: one pass accumulating total power while remembering
      the strongest sender; only the strongest can pass the beta > 1 test. *)
-  for u = 0 to n - 1 do
-    if not is_sender.(u) then begin
-      let at = t.points.(u) in
-      let total = ref 0. in
-      let best = ref (-1) and best_pw = ref 0. in
-      List.iter
-        (fun v ->
-          let pw = power_between t ~from:t.points.(v) ~at in
-          total := !total +. pw;
-          if pw > !best_pw then begin
-            best_pw := pw;
-            best := v
-          end)
-        senders;
-      if !best >= 0 && !best_pw >= beta *. (noise +. !total -. !best_pw) then
-        result.(u) <- Some !best
-    end
-  done;
+  (match perturb with
+   | None ->
+     for u = 0 to n - 1 do
+       if not is_sender.(u) then begin
+         let at = t.points.(u) in
+         let total = ref 0. in
+         let best = ref (-1) and best_pw = ref 0. in
+         List.iter
+           (fun v ->
+             let pw = power_between t ~from:t.points.(v) ~at in
+             total := !total +. pw;
+             if pw > !best_pw then begin
+               best_pw := pw;
+               best := v
+             end)
+           senders;
+         if !best >= 0 && !best_pw >= beta *. (noise +. !total -. !best_pw)
+         then result.(u) <- Some !best
+       end
+     done
+   | Some p ->
+     for u = 0 to n - 1 do
+       if not is_sender.(u) then begin
+         let at = t.points.(u) in
+         let total = ref 0. in
+         let best = ref (-1) and best_pw = ref 0. in
+         List.iter
+           (fun v ->
+             let pw =
+               power_between t ~from:t.points.(v) ~at
+               *. p.gain ~sender:v ~receiver:u
+             in
+             total := !total +. pw;
+             if pw > !best_pw then begin
+               best_pw := pw;
+               best := v
+             end)
+           senders;
+         let noise = noise *. p.noise_factor u in
+         if !best >= 0 && !best_pw >= beta *. (noise +. !total -. !best_pw)
+         then result.(u) <- Some !best
+       end
+     done);
   result
 
 (* Is a single isolated transmission from v decodable at u?  Defines weak

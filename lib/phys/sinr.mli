@@ -25,11 +25,24 @@ val link_sinr : t -> senders:int list -> sender:int -> receiver:int -> float
 (** SINR of the link [sender → receiver] against [senders] (which must
     contain [sender]). *)
 
-val reception : t -> senders:int list -> receiver:int -> int option
+type perturb = {
+  noise_factor : int -> float;
+      (** multiplier on the ambient noise N seen by a receiver (jamming) *)
+  gain : sender:int -> receiver:int -> float;
+      (** multiplier on one link's received power (fading) *)
+}
+(** One slot's adversarial channel state (see [lib/chaos]). Factor 1
+    everywhere is the identity; omitting the perturbation entirely keeps
+    the clean-channel fast path. *)
+
+val no_perturb : perturb
+(** The identity perturbation. *)
+
+val reception : ?perturb:perturb -> t -> senders:int list -> receiver:int -> int option
 (** The sender decoded by [receiver] in a slot where exactly [senders]
     transmit; [None] if the receiver transmits or decodes nothing. *)
 
-val resolve : t -> senders:int list -> int option array
+val resolve : ?perturb:perturb -> t -> senders:int list -> int option array
 (** Per-node decoding outcome for a whole slot, in O(|senders| · n). *)
 
 val in_range : t -> int -> int -> bool

@@ -19,4 +19,5 @@ let () =
       ("mis_ext", Test_mis_ext.suite);
       ("expt_e2e", Test_expt_e2e.suite);
       ("obs", Test_obs.suite);
-      ("par", Test_par.suite) ]
+      ("par", Test_par.suite);
+      ("chaos", Test_chaos.suite) ]
