@@ -1,4 +1,4 @@
-.PHONY: all build check test fmt bench par-smoke chaos-smoke clean
+.PHONY: all build check test fmt bench par-smoke chaos-smoke phys-smoke clean
 
 all: build
 
@@ -24,6 +24,14 @@ chaos-smoke:
 	dune exec bench/main.exe -- --jobs 2 chaos
 	dune exec bin/sinr_sim.exe -- chaos --seed 3 --n 36 --degree 6 \
 	  --jam 0.5 --crash-frac 0.2 --abort-rate 0.0005
+
+# End-to-end exercise of the physics fast path: the CLI self-check
+# (exits 1 if the cached kernel diverges from the seed kernel), once
+# exact and once in the opt-in far-field mode.
+phys-smoke:
+	dune exec bin/sinr_sim.exe -- phys --seed 3 --n 90 --cases 60
+	dune exec bin/sinr_sim.exe -- phys --seed 3 --n 90 --cases 60 \
+	  --phys-farfield 0.2
 
 test: check
 

@@ -8,7 +8,7 @@
      main.exe [--jobs N] <id> ...  run selected experiments
    ids: table1-ack fig1-progress-lb table1-approg thm8-decay table2-smb
         table1-mmb table1-cons ablation mac-compare capacity chaos micro
-        par-bench
+        par-bench phys
 
    --jobs N sizes the Sinr_par domain pool the experiments' sweeps run on
    (default: SINR_JOBS, else Domain.recommended_domain_count (); 1 forces
@@ -289,12 +289,22 @@ let ack_sweep_workload ~jobs () =
 let par_bench () =
   Report.section "par-bench: sequential vs parallel wall clock";
   let par_jobs = max 4 (Pool.default_jobs ()) in
+  let cores = Domain.recommended_domain_count () in
+  if par_jobs > cores then
+    Fmt.epr
+      "[par-bench: %d jobs exceed the %d recommended cores — parallel \
+       clocks will understate the speedup]@."
+      par_jobs cores;
   let time f =
     let t = Unix.gettimeofday () in
     f ();
     Unix.gettimeofday () -. t
   in
-  let gauges = ref [ ("par.bench.jobs", float_of_int par_jobs) ] in
+  let gauges =
+    ref
+      [ ("par.bench.jobs", float_of_int par_jobs);
+        ("par.bench.cores", float_of_int cores) ]
+  in
   List.iter
     (fun (id, workload) ->
       let seq = time (workload ~jobs:1) in
@@ -315,6 +325,132 @@ let par_bench () =
   Sinr_obs.Sink.write_snapshot ~label:"par-bench" par_bench_path snap;
   Fmt.pr "[parallel bench written: %s]@." par_bench_path
 
+(* ------------------------------------------------------------------ *)
+(* phys: fast-path vs seed-kernel resolve throughput -> BENCH_phys.json *)
+(* ------------------------------------------------------------------ *)
+
+(* The acceptance gauge of the physics fast path (DESIGN.md "Physics fast
+   path"): slot-resolution throughput of the cached kernel against the
+   seed kernel (Sinr.resolve_reference) at n in {64, 256, 1024} with
+   |S| = n/4 senders, plus the Reliability.estimate wall clock on both
+   kernels and a far-field sample.  Telemetry stays off (the experiment
+   is in [uninstrumented]) so the clocks measure the kernels. *)
+let phys_bench_path = "BENCH_phys.json"
+
+(* Adaptive repetition: run [f] until >= 0.3 s of wall clock, return
+   calls per second. *)
+let calls_per_second f =
+  f ();
+  (* warm-up: fills cache rows, faults code in *)
+  let rec go reps =
+    let t = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    let dt = Unix.gettimeofday () -. t in
+    if dt >= 0.3 then float_of_int reps /. dt else go (reps * 4)
+  in
+  go 1
+
+let phys_deployment ~n =
+  let rng = Rng.create 51 in
+  (* Constant density: ~20 in-range neighbours per node at R = 12. *)
+  let side = 4.4 *. sqrt (float_of_int n) in
+  let pts =
+    Placement.uniform rng ~n ~box:(Sinr_geom.Box.square ~side) ~min_dist:1.
+  in
+  (Sinr.create Config.default pts, List.init (n / 4) (fun i -> i * 4))
+
+let phys_bench () =
+  Report.section "phys: cached kernel vs seed kernel";
+  let gauges = ref [] in
+  let record name v = gauges := (name, v) :: !gauges in
+  List.iter
+    (fun n ->
+      let sinr, senders = phys_deployment ~n in
+      let cached =
+        calls_per_second (fun () -> ignore (Sinr.resolve sinr ~senders))
+      in
+      let reference =
+        calls_per_second (fun () ->
+            ignore (Sinr.resolve_reference sinr ~senders))
+      in
+      let speedup = cached /. reference in
+      Fmt.pr
+        "resolve n=%-5d |S|=%-4d cached %10.0f slots/s   seed %10.0f \
+         slots/s   speedup %5.2fx@."
+        n (List.length senders) cached reference speedup;
+      record (Fmt.str "phys.bench.n%d.cached.slots_per_s" n) cached;
+      record (Fmt.str "phys.bench.n%d.reference.slots_per_s" n) reference;
+      record (Fmt.str "phys.bench.n%d.speedup" n) speedup)
+    [ 64; 256; 1024 ];
+  (* Reliability.estimate wall clock: the production path (cached kernel,
+     scratch sender arrays) against the same trial loop on the seed
+     kernel. *)
+  let rel_n = 256 and trials = 1_500 and p = 0.25 in
+  let sinr, _ = phys_deployment ~n:rel_n in
+  let set = List.init rel_n Fun.id in
+  let rel_rng = Rng.create 52 in
+  let time f =
+    let t = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t
+  in
+  let cached_s =
+    time (fun () ->
+        ignore
+          (Reliability.estimate ~trials ~jobs:1 sinr rel_rng ~set ~p ~mu:0.01))
+  in
+  let reference_s =
+    time (fun () ->
+        (* The seed's trial loop verbatim: list senders, reference kernel. *)
+        let members = Array.of_list set in
+        for t = 0 to trials - 1 do
+          let trng = Rng.split rel_rng ~key:t in
+          let senders =
+            Array.to_list members
+            |> List.filter (fun _ -> Rng.bernoulli trng p)
+          in
+          if senders <> [] then
+            ignore (Sinr.resolve_reference sinr ~senders)
+        done)
+  in
+  Fmt.pr
+    "reliability n=%d trials=%d   cached %.2fs   seed %.2fs   speedup \
+     %.2fx@."
+    rel_n trials cached_s reference_s
+    (if cached_s > 0. then reference_s /. cached_s else 0.);
+  record "phys.bench.reliability.cached.seconds" cached_s;
+  record "phys.bench.reliability.reference.seconds" reference_s;
+  record "phys.bench.reliability.speedup"
+    (if cached_s > 0. then reference_s /. cached_s else 0.);
+  (* Far-field sample: the opt-in approximate mode on the largest
+     deployment.  Its win is pruning per-sender pow calls, so the natural
+     baseline is the seed kernel (the cached table already amortizes the
+     pows away; far field is for deployments past the cache budget). *)
+  let eps = 0.25 in
+  Phys_tuning.set_farfield (Some eps);
+  let ff_rate, ref_rate =
+    Fun.protect ~finally:(fun () -> Phys_tuning.set_farfield None)
+    @@ fun () ->
+    let sinr_ff, senders = phys_deployment ~n:1024 in
+    ( calls_per_second (fun () -> ignore (Sinr.resolve sinr_ff ~senders)),
+      calls_per_second (fun () ->
+          ignore (Sinr.resolve_reference sinr_ff ~senders)) )
+  in
+  Fmt.pr "farfield n=1024 eps=%.2f   %10.0f slots/s   seed %10.0f slots/s   \
+          speedup %5.2fx@."
+    eps ff_rate ref_rate (ff_rate /. ref_rate);
+  record "phys.bench.farfield.eps" eps;
+  record "phys.bench.farfield.n1024.slots_per_s" ff_rate;
+  record "phys.bench.farfield.n1024.vs_reference_speedup" (ff_rate /. ref_rate);
+  let snap =
+    List.sort compare !gauges
+    |> List.map (fun (name, v) -> (name, Sinr_obs.Metrics.Gauge_v v))
+  in
+  Sinr_obs.Sink.write_snapshot ~label:"phys-bench" phys_bench_path snap;
+  Fmt.pr "[phys bench written: %s]@." phys_bench_path
+
 let experiments =
   [ ("table1-ack", table1_ack);
     ("fig1-progress-lb", fig1_lb);
@@ -328,7 +464,8 @@ let experiments =
     ("capacity", capacity);
     ("chaos", chaos);
     ("micro", micro);
-    ("par-bench", par_bench) ]
+    ("par-bench", par_bench);
+    ("phys", phys_bench) ]
 
 (* Machine-readable companion to the printed tables: the telemetry snapshot
    of everything the experiments did, plus wall-time and status gauges per
@@ -338,7 +475,7 @@ let experiments =
    checked by the sinr_resolve kernel). *)
 let obs_path = "BENCH_obs.json"
 
-let uninstrumented = [ "micro"; "par-bench" ]
+let uninstrumented = [ "micro"; "par-bench"; "phys" ]
 
 let record_gauge name v =
   Sinr_obs.Metrics.with_enabled (fun () ->

@@ -8,6 +8,11 @@
      chaos      run the absMAC under adversarial channels/faults (lib/chaos)
      exp        run a named bench experiment (same ids as bench/main.exe)
      obs        run an instrumented workload and print the metric snapshot
+     phys       check the physics fast path against the seed kernel
+
+   The run subcommands take --phys-farfield EPS: opt into the grid-pruned
+   far-field interference mode with relative error bound EPS (DESIGN.md
+   "Physics fast path"; default is the exact kernel).
 
    The run subcommands take --metrics-out FILE: the run executes with the
    telemetry registry enabled and its final snapshot is written to FILE as
@@ -63,6 +68,24 @@ let set_jobs = function
   | None -> ()
   | Some j -> Sinr_par.Pool.set_default_jobs j
 
+let farfield_arg =
+  Arg.(value & opt (some float) None
+       & info [ "phys-farfield" ] ~docv:"EPS"
+           ~doc:"Opt into the grid-pruned far-field interference mode: \
+                 distant senders are aggregated per grid cell with relative \
+                 interference error at most $(docv) (in (0,1)). The default \
+                 is the exact kernel.")
+
+(* The flag lands in the Phys_tuning knob, which every Sinr.create from
+   here on captures. *)
+let set_farfield = function
+  | None -> ()
+  | Some eps ->
+    (try Phys_tuning.set_farfield (Some eps)
+     with Invalid_argument _ ->
+       Fmt.epr "sinr_sim: --phys-farfield expects EPS in (0, 1), got %g@." eps;
+       Stdlib.exit 2)
+
 (* Run [f] with telemetry per [metrics_out]; write the snapshot after. *)
 let with_metrics ~label metrics_out f =
   match metrics_out with
@@ -109,8 +132,9 @@ let profile_cmd =
 (* ---------------- smb ---------------- *)
 
 let smb_cmd =
-  let run seed n degree range metrics_out jobs =
+  let run seed n degree range farfield metrics_out jobs =
     set_jobs jobs;
+    set_farfield farfield;
     with_metrics ~label:"smb" metrics_out @@ fun () ->
     let d = deployment ~seed ~n ~degree ~range in
     pp_profile d;
@@ -145,7 +169,7 @@ let smb_cmd =
   Cmd.v
     (Cmd.info "smb"
        ~doc:"Global single-message broadcast: ours vs the baselines.")
-    Term.(const run $ seed_arg $ n_arg $ degree_arg $ range_arg
+    Term.(const run $ seed_arg $ n_arg $ degree_arg $ range_arg $ farfield_arg
           $ metrics_out_arg $ jobs_arg)
 
 (* ---------------- cons ---------------- *)
@@ -155,8 +179,9 @@ let cons_cmd =
     Arg.(value & opt int 0
          & info [ "crashes" ] ~docv:"K" ~doc:"Crash K nodes mid-run.")
   in
-  let run seed n degree range crashes metrics_out jobs =
+  let run seed n degree range crashes farfield metrics_out jobs =
     set_jobs jobs;
+    set_farfield farfield;
     with_metrics ~label:"cons" metrics_out @@ fun () ->
     let d = deployment ~seed ~n ~degree ~range in
     pp_profile d;
@@ -185,13 +210,14 @@ let cons_cmd =
   Cmd.v
     (Cmd.info "cons" ~doc:"Network-wide consensus over the absMAC.")
     Term.(const run $ seed_arg $ n_arg $ degree_arg $ range_arg $ crashes_arg
-          $ metrics_out_arg $ jobs_arg)
+          $ farfield_arg $ metrics_out_arg $ jobs_arg)
 
 (* ---------------- approg ---------------- *)
 
 let approg_cmd =
-  let run seed n degree range metrics_out jobs =
+  let run seed n degree range farfield metrics_out jobs =
     set_jobs jobs;
+    set_farfield farfield;
     with_metrics ~label:"approg" metrics_out @@ fun () ->
     let d = deployment ~seed ~n ~degree ~range in
     pp_profile d;
@@ -230,7 +256,7 @@ let approg_cmd =
   Cmd.v
     (Cmd.info "approg"
        ~doc:"Measure approximate progress of Algorithm 9.1 on a deployment.")
-    Term.(const run $ seed_arg $ n_arg $ degree_arg $ range_arg
+    Term.(const run $ seed_arg $ n_arg $ degree_arg $ range_arg $ farfield_arg
           $ metrics_out_arg $ jobs_arg)
 
 (* ---------------- chaos ---------------- *)
@@ -269,9 +295,10 @@ let chaos_cmd =
              ~doc:"Per-slot probability that each busy node's broadcast is \
                    adversarially aborted.")
   in
-  let run seed n degree jam fading crash_frac downtime abort_rate metrics_out
-      jobs =
+  let run seed n degree jam fading crash_frac downtime abort_rate farfield
+      metrics_out jobs =
     set_jobs jobs;
+    set_farfield farfield;
     with_metrics ~label:"chaos" metrics_out @@ fun () ->
     let spec =
       { Exp_chaos.clean with
@@ -308,8 +335,8 @@ let chaos_cmd =
        ~doc:"Run the absMAC under adversarial channel conditions and \
              faults, and report the degradation.")
     Term.(const run $ seed_arg $ n_arg $ degree_arg $ jam_arg $ fading_arg
-          $ crash_frac_arg $ downtime_arg $ abort_rate_arg $ metrics_out_arg
-          $ jobs_arg)
+          $ crash_frac_arg $ downtime_arg $ abort_rate_arg $ farfield_arg
+          $ metrics_out_arg $ jobs_arg)
 
 (* ---------------- exp ---------------- *)
 
@@ -403,6 +430,114 @@ let obs_cmd =
     Term.(const run $ seed_arg $ n_arg $ degree_arg $ range_arg $ format_arg
           $ slots_arg $ metrics_out_arg)
 
+(* ---------------- phys ---------------- *)
+
+(* Self-check of the physics fast path (DESIGN.md "Physics fast path"):
+   resolve the same random slots through the cached kernel and through the
+   seed kernel (Sinr.resolve_reference) and demand bit-identical outcomes;
+   then a small throughput sample and, when --phys-farfield is given, the
+   observed far-field interference error against its eps bound.  Exits 1 on
+   any mismatch, so `make phys-smoke` can gate CI on it. *)
+let phys_cmd =
+  let cases_arg =
+    Arg.(value & opt int 80
+         & info [ "cases" ] ~docv:"K"
+             ~doc:"Number of random slots to check for equivalence.")
+  in
+  let run seed n degree range cases farfield metrics_out jobs =
+    set_jobs jobs;
+    set_farfield farfield;
+    with_metrics ~label:"phys" metrics_out @@ fun () ->
+    let d = deployment ~seed ~n ~degree ~range in
+    let sinr = d.Workloads.sinr in
+    let n = Sinr.n sinr in
+    let rng = Rng.create (seed + 20) in
+    let slot_senders case =
+      let r = Rng.split rng ~key:case in
+      List.filter (fun _ -> Rng.bernoulli r 0.3) (List.init n Fun.id)
+    in
+    (* Equivalence: exact unless the far-field mode was requested. *)
+    let mismatches = ref 0 and checked = ref 0 in
+    for case = 0 to cases - 1 do
+      let senders = slot_senders case in
+      if senders <> [] then begin
+        incr checked;
+        if Sinr.resolve sinr ~senders <> Sinr.resolve_reference sinr ~senders
+        then incr mismatches
+      end
+    done;
+    let exact = farfield = None in
+    Fmt.pr "equivalence: %d/%d slots %s (%d mismatch%s)@." (!checked - !mismatches)
+      !checked
+      (if exact then "bit-identical to the seed kernel"
+       else "compared against the exact kernel")
+      !mismatches
+      (if !mismatches = 1 then "" else "es");
+    (* Far-field error sample: the observed relative interference error
+       must stay within the advertised eps bound. *)
+    (match Sinr.farfield sinr with
+     | None -> ()
+     | Some ff ->
+       let worst = ref 0. in
+       for case = 0 to min 19 (cases - 1) do
+         let senders = slot_senders case in
+         if senders <> [] then
+           for u = 0 to n - 1 do
+             if not (List.mem u senders) then begin
+               let exact =
+                 Sinr.interference_at sinr ~senders ~at:(Sinr.points sinr).(u)
+               in
+               let approx = Farfield.interference ff ~receiver:u ~senders in
+               if exact > 0. then
+                 worst := Float.max !worst (Float.abs (approx -. exact) /. exact)
+             end
+           done
+       done;
+       Fmt.pr "farfield: eps=%.3f threshold=%.1f cell=%.1f observed max \
+               relative interference error %.4f@."
+         (Farfield.eps ff) (Farfield.threshold ff) (Farfield.cell_size ff)
+         !worst;
+       if !worst > Farfield.eps ff then begin
+         Fmt.epr "sinr_sim phys: far-field error exceeds its eps bound@.";
+         Stdlib.exit 1
+       end);
+    (* Throughput sample: cached kernel vs seed kernel on one busy slot. *)
+    let senders = List.filter (fun v -> v mod 4 = 0) (List.init n Fun.id) in
+    let rate f =
+      f ();
+      let rec go reps =
+        let t = Unix.gettimeofday () in
+        for _ = 1 to reps do f () done;
+        let dt = Unix.gettimeofday () -. t in
+        if dt >= 0.2 then float_of_int reps /. dt else go (reps * 4)
+      in
+      go 1
+    in
+    let cached = rate (fun () -> ignore (Sinr.resolve sinr ~senders)) in
+    let reference =
+      rate (fun () -> ignore (Sinr.resolve_reference sinr ~senders))
+    in
+    Fmt.pr "throughput: n=%d |S|=%d cached %.0f slots/s, seed %.0f slots/s \
+            (%.1fx)@."
+      n (List.length senders) cached reference (cached /. reference);
+    let cache = Sinr.gain_cache sinr in
+    Fmt.pr "gain cache: %d/%d rows resident, %d bytes (cap admits %d rows)@."
+      (Gain_cache.rows_cached cache)
+      n
+      (Gain_cache.bytes_cached cache)
+      (Gain_cache.max_rows cache);
+    if !mismatches > 0 then begin
+      Fmt.epr "sinr_sim phys: fast path diverged from the seed kernel@.";
+      Stdlib.exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "phys"
+       ~doc:"Check the physics fast path against the seed kernel (exit 1 \
+             on divergence) and sample its throughput.")
+    Term.(const run $ seed_arg $ n_arg $ degree_arg $ range_arg $ cases_arg
+          $ farfield_arg $ metrics_out_arg $ jobs_arg)
+
 let () =
   let doc = "Local broadcast layer for the SINR network model — simulator" in
   let info = Cmd.info "sinr_sim" ~version:"1.0.0" ~doc in
@@ -413,4 +548,4 @@ let () =
     (Cmd.eval ~argv
        (Cmd.group info
           [ profile_cmd; smb_cmd; cons_cmd; approg_cmd; chaos_cmd; exp_cmd;
-            obs_cmd ]))
+            obs_cmd; phys_cmd ]))

@@ -189,11 +189,9 @@ let step ?on_deliver t ~decide =
         | Some v ->
           (match messages.(v) with
            | Some m ->
-             let power =
-               Sinr.power_between t.sinr
-                 ~from:(Sinr.points t.sinr).(v)
-                 ~at:(Sinr.points t.sinr).(u)
-             in
+             (* Cached-gain lookup: same value as power_between on the two
+                positions, without re-deriving the path loss. *)
+             let power = Sinr.power t.sinr ~sender:v ~receiver:u in
              let d = { receiver = u; sender = v; message = m; power } in
              (match on_deliver with Some f -> f d | None -> ());
              deliveries := d :: !deliveries;

@@ -1,0 +1,111 @@
+(* Precomputed pairwise received-power table.
+
+   The point set of a [Sinr.t] is frozen for the life of the simulator, so
+   the received power P/d(v,u)^alpha of every ordered pair is a constant of
+   the deployment — yet the seed kernel re-derived it (a sqrt plus a libm
+   pow) for every (sender, listener) pair of every slot.  This module
+   stores the n x n table once, as flat unboxed rows.
+
+   Bit-identity contract: a cached entry is produced by evaluating exactly
+   the seed expression
+
+       power /. (Point.dist points.(v) points.(u) ** alpha)
+
+   so reading the cache can never change a resolution outcome, a seeded
+   experiment number or a Spec_check verdict.  The diagonal is stored as
+   0 and never read (a node is either the listener or a sender, and
+   half-duplex listeners skip themselves).
+
+   Memory cap: rows are filled lazily, first touch wins, until the
+   configured byte budget (Phys_tuning.cache_cap_bytes at Sinr.create
+   time) is spent; past the cap a row is computed into the caller's
+   per-domain scratch buffer and not retained.  Row publication goes
+   through an [Atomic.t] per row, so concurrent Pool workers (the
+   Reliability Monte-Carlo) either see a fully initialized row or build
+   their own — a lost race wastes one row fill of identical values, never
+   correctness.
+
+   Telemetry (when Sinr_obs.Metrics is enabled): phys.cache.hits,
+   phys.cache.fills (rows retained), phys.cache.scratch_rows (rows
+   recomputed past the cap). *)
+
+open Sinr_geom
+open Sinr_obs
+
+let m_hits = Metrics.counter "phys.cache.hits"
+let m_fills = Metrics.counter "phys.cache.fills"
+let m_scratch = Metrics.counter "phys.cache.scratch_rows"
+
+type t = {
+  power : float;
+  alpha : float;
+  points : Point.t array;
+  n : int;
+  rows : Float.Array.t option Atomic.t array;
+  reserved : int Atomic.t;  (* rows admitted against the cap *)
+  max_rows : int;
+}
+
+let create (config : Config.t) points ~cap_bytes =
+  let n = Array.length points in
+  let row_bytes = max 1 (n * 8) in
+  { power = config.Config.power;
+    alpha = config.Config.alpha;
+    points;
+    n;
+    rows = Array.init n (fun _ -> Atomic.make None);
+    reserved = Atomic.make 0;
+    max_rows = max 0 (cap_bytes / row_bytes) }
+
+let n t = t.n
+let max_rows t = t.max_rows
+
+let rows_cached t = min t.max_rows (Atomic.get t.reserved)
+
+let bytes_cached t = rows_cached t * t.n * 8
+
+(* The seed formula, verbatim (Sinr.power_between inlined on node pairs). *)
+let compute t ~sender:v ~receiver:u =
+  t.power /. (Point.dist t.points.(v) t.points.(u) ** t.alpha)
+
+let fill_into t u (dst : Float.Array.t) =
+  let pts = t.points and at = t.points.(u) in
+  for v = 0 to t.n - 1 do
+    Float.Array.unsafe_set dst v
+      (if v = u then 0.
+       else t.power /. (Point.dist pts.(v) at ** t.alpha))
+  done
+
+(* Admit one more row against the byte budget. *)
+let rec reserve t =
+  let c = Atomic.get t.reserved in
+  c < t.max_rows
+  && (Atomic.compare_and_set t.reserved c (c + 1) || reserve t)
+
+let row t u ~scratch =
+  match Atomic.get t.rows.(u) with
+  | Some r ->
+    Metrics.incr m_hits;
+    r
+  | None ->
+    if reserve t then begin
+      let r = Float.Array.create t.n in
+      fill_into t u r;
+      Atomic.set t.rows.(u) (Some r);
+      Metrics.incr m_fills;
+      r
+    end
+    else begin
+      Metrics.incr m_scratch;
+      fill_into t u scratch;
+      scratch
+    end
+
+(* Single-pair lookup (engine delivery power): O(1) when the receiver's
+   row is resident, otherwise one direct evaluation — never a row fill. *)
+let pair t ~sender ~receiver =
+  match Atomic.get t.rows.(receiver) with
+  | Some r ->
+    Metrics.incr m_hits;
+    Float.Array.get r sender
+  | None -> compute t ~sender ~receiver

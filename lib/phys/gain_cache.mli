@@ -1,0 +1,35 @@
+(** Precomputed n x n received-power table for a frozen point set.
+
+    Entries are produced by evaluating the seed formula
+    [power /. (dist points.(v) points.(u) ** alpha)] verbatim, so reading
+    the cache is bit-identical to computing on the fly. Rows fill lazily
+    (first touch wins, atomic publication — safe under [Sinr_par.Pool]
+    workers) until the byte budget is spent; past the cap rows are
+    recomputed into the caller's scratch buffer. *)
+
+open Sinr_geom
+
+type t
+
+val create : Config.t -> Point.t array -> cap_bytes:int -> t
+
+val n : t -> int
+
+val max_rows : t -> int
+(** How many rows the byte budget admits. *)
+
+val rows_cached : t -> int
+val bytes_cached : t -> int
+
+val row : t -> int -> scratch:Float.Array.t -> Float.Array.t
+(** [row t u ~scratch] is receiver [u]'s power row: index [v] holds the
+    received power of a transmission from [v] at [u] (diagonal 0, never
+    meaningful). Returns the resident row, or fills [scratch] (length
+    [>= n t]) and returns it when the cap is exhausted. *)
+
+val pair : t -> sender:int -> receiver:int -> float
+(** One entry: cached when the receiver's row is resident, otherwise a
+    direct evaluation of the same expression. Never triggers a row fill. *)
+
+val compute : t -> sender:int -> receiver:int -> float
+(** The uncached seed expression (exposed for tests). *)

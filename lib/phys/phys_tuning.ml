@@ -1,0 +1,42 @@
+(* Process-global tuning knobs for the physics fast path.
+
+   These are *performance* knobs, not model parameters: whatever their
+   values, the clean-channel resolution outcome is bit-identical to the
+   direct evaluation of Eq. 1 — except for the explicitly approximate
+   far-field mode, which is off unless an eps is installed and whose
+   relative interference error is bounded by that eps (see Farfield).
+
+   The knobs are read once per [Sinr.create] and captured in the instance,
+   so flipping them mid-run never changes the physics of an existing
+   simulator — only simulators created afterwards. *)
+
+let default_cache_mb = 64
+
+let cache_cap = ref (
+  match Sys.getenv_opt "SINR_PHYS_CACHE_MB" with
+  | Some s ->
+    (match int_of_string_opt s with
+     | Some mb when mb >= 0 -> mb * 1024 * 1024
+     | Some _ | None -> default_cache_mb * 1024 * 1024)
+  | None -> default_cache_mb * 1024 * 1024)
+
+let cache_cap_bytes () = !cache_cap
+let set_cache_cap_bytes b = cache_cap := max 0 b
+
+let farfield = ref None
+
+let farfield_eps () = !farfield
+
+let set_farfield = function
+  | None -> farfield := None
+  | Some eps ->
+    if eps <= 0. || eps >= 1. then
+      invalid_arg "Phys_tuning.set_farfield: eps must lie in (0, 1)";
+    farfield := Some eps
+
+(* Below this node count the per-chunk pool overhead dwarfs the scoring
+   work, so resolve stays on the sequential path. *)
+let par_thresh = ref 1024
+
+let par_threshold () = !par_thresh
+let set_par_threshold n = par_thresh := max 1 n

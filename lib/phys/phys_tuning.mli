@@ -1,0 +1,31 @@
+(** Process-global tuning knobs for the physics fast path.
+
+    Performance knobs only — none of them changes a clean-channel
+    resolution outcome (the far-field mode is the one explicitly
+    approximate opt-in, with a bounded interference error). Values are
+    read once per [Sinr.create] and captured in the instance. *)
+
+val cache_cap_bytes : unit -> int
+(** Memory budget for [Gain_cache] rows, in bytes. Default 64 MiB,
+    overridable with the [SINR_PHYS_CACHE_MB] environment variable.
+    [0] disables row retention entirely (every row is recomputed into a
+    per-domain scratch buffer). *)
+
+val set_cache_cap_bytes : int -> unit
+(** Clamped to [>= 0]. *)
+
+val farfield_eps : unit -> float option
+(** Relative interference error bound of the grid-pruned far-field mode;
+    [None] (the default) keeps exact semantics. *)
+
+val set_farfield : float option -> unit
+(** Install (or clear) the far-field mode for simulators created from now
+    on. Raises [Invalid_argument] unless the eps lies in (0, 1). *)
+
+val par_threshold : unit -> int
+(** Minimum node count before [Sinr.resolve] fans listeners out over the
+    shared [Sinr_par.Pool] (and only when the pool default is > 1 job).
+    Default 1024. *)
+
+val set_par_threshold : int -> unit
+(** Clamped to [>= 1]. *)

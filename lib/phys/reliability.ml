@@ -37,15 +37,23 @@ let estimate ?(trials = 400) ?jobs sinr rng ~set ~p ~mu =
   (* counts.(i_receiver * m + i_sender) over member indices *)
   let pos = Array.make n (-1) in
   Array.iteri (fun i v -> pos.(v) <- i) members;
-  (* One independent slot simulation, tallying into [counts]. *)
-  let run_trial counts t =
+  (* One independent slot simulation, tallying into [counts].  The slot's
+     senders are drawn into [scratch] (reused across the chunk's trials —
+     no per-trial list allocation) by one bernoulli draw per member in
+     member-index order: exactly the draw order of the seed's
+     [Array.to_list members |> List.filter], so estimates stay
+     bit-identical. *)
+  let run_trial counts scratch t =
     let trng = Sinr_geom.Rng.split rng ~key:t in
-    let senders =
-      Array.to_list members
-      |> List.filter (fun _ -> Sinr_geom.Rng.bernoulli trng p)
-    in
-    if senders <> [] then begin
-      let outcome = Sinr.resolve sinr ~senders in
+    let nsend = ref 0 in
+    for i = 0 to m - 1 do
+      if Sinr_geom.Rng.bernoulli trng p then begin
+        scratch.(!nsend) <- members.(i);
+        incr nsend
+      end
+    done;
+    if !nsend > 0 then begin
+      let outcome = Sinr.resolve_array sinr ~senders:scratch ~nsenders:!nsend in
       Array.iter
         (fun u ->
           match outcome.(u) with
@@ -62,24 +70,26 @@ let estimate ?(trials = 400) ?jobs sinr rng ~set ~p ~mu =
   let counts =
     if jobs = 1 then begin
       let counts = Array.make (m * m) 0 in
+      let scratch = Array.make m 0 in
       for t = 0 to trials - 1 do
-        run_trial counts t
+        run_trial counts scratch t
       done;
       counts
     end
     else
       Pool.with_jobs jobs (fun pool ->
-          (* Each pool task owns a chunk of trials and a private tally;
-             tallies merge by addition, so chunking cannot change the
-             result. *)
+          (* Each pool task owns a chunk of trials, a private tally and a
+             private sender scratch; tallies merge by addition, so
+             chunking cannot change the result. *)
           let chunk = max 1 (trials / (Pool.jobs pool * 4)) in
           let nchunks = (trials + chunk - 1) / chunk in
           Pool.map_reduce ~chunk:1 pool ~n:nchunks
             ~map:(fun c ->
               let part = Array.make (m * m) 0 in
+              let scratch = Array.make m 0 in
               let lo = c * chunk and hi = min trials ((c + 1) * chunk) in
               for t = lo to hi - 1 do
-                run_trial part t
+                run_trial part scratch t
               done;
               part)
             ~reduce:(fun acc part ->

@@ -9,13 +9,34 @@
    Because beta > 1, at most one sender can satisfy this at u, so reception
    resolves to at most one message per listener per slot.  Transmitters are
    half-duplex: a node in S never receives.  There is no collision
-   detection: a listener that decodes nothing learns nothing (Section 4.6). *)
+   detection: a listener that decodes nothing learns nothing (Section 4.6).
+
+   Fast path (see DESIGN.md "Physics fast path").  The point set is frozen
+   for the life of the simulator, so link powers are constants: resolution
+   reads them from a per-receiver [Gain_cache] row (bit-identical to the
+   direct formula) instead of re-deriving a sqrt and a libm pow per pair
+   per slot.  Senders travel as an int array plus a membership bitmap held
+   in per-domain scratch (no per-slot list/tuple churn), perturbed gains
+   multiply the cached clean-channel power, listeners fan out over
+   [Sinr_par.Pool] past [Phys_tuning.par_threshold], and the opt-in
+   [Farfield] mode aggregates far interference with a bounded eps error.
+   [resolve_reference] keeps the seed kernel verbatim so tests and benches
+   can assert the equivalence. *)
 
 open Sinr_geom
+open Sinr_par
+open Sinr_obs
+
+let m_resolve_calls = Metrics.counter "phys.resolve.calls"
+let m_resolve_links = Metrics.counter "phys.resolve.links"
+let m_resolve_ns = Metrics.histogram "phys.resolve.ns"
 
 type t = {
   config : Config.t;
   points : Point.t array;
+  cache : Gain_cache.t;
+  farfield : Farfield.t option;
+  par_threshold : int;
 }
 
 let create config points =
@@ -25,11 +46,23 @@ let create config points =
     invalid_arg
       (Fmt.str "Sinr.create: min pairwise distance %.4g violates the \
                 near-field normalization (must be >= 1)" dmin);
-  { config; points }
+  (* Tuning knobs are captured here: flipping them later never changes an
+     existing simulator. *)
+  { config;
+    points;
+    cache =
+      Gain_cache.create config points ~cap_bytes:(Phys_tuning.cache_cap_bytes ());
+    farfield =
+      (match Phys_tuning.farfield_eps () with
+       | None -> None
+       | Some eps -> Some (Farfield.create config points ~eps));
+    par_threshold = Phys_tuning.par_threshold () }
 
 let config t = t.config
 let points t = t.points
 let n t = Array.length t.points
+let gain_cache t = t.cache
+let farfield t = t.farfield
 
 (* A per-slot channel perturbation, supplied by an adversary (lib/chaos):
    [noise_factor u] scales the ambient noise N seen by receiver u (jamming
@@ -52,6 +85,11 @@ let power_between t ~from ~at =
   if d <= 0. then invalid_arg "Sinr.power_between: coincident points";
   t.config.Config.power /. (d ** t.config.Config.alpha)
 
+(* Cached received power of the node link v -> u (same value as
+   [power_between] on their positions, read from the gain table when the
+   receiver's row is resident). *)
+let power t ~sender ~receiver = Gain_cache.pair t.cache ~sender ~receiver
+
 (* Total power arriving at [at] when exactly the nodes of [senders]
    transmit; [at] may be any plane position (Lemma 10.3 evaluates
    interference at arbitrary points i). *)
@@ -67,33 +105,283 @@ let link_sinr t ~senders ~sender:v ~receiver:u =
   let total = interference_at t ~senders ~at in
   signal /. (t.config.Config.noise +. total -. signal)
 
-let reception ?perturb t ~senders ~receiver:u =
-  if List.mem u senders then None
+(* ------------------------------------------------------------------ *)
+(* Per-domain scratch                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Sender ids + membership bitmap, and a row buffer for uncached gain
+   rows.  Held in domain-local storage so Pool workers never share, with
+   a busy flag so reentrant use (a perturb closure calling back into
+   reception) falls back to fresh allocations instead of aliasing.  The
+   bitmap invariant: all-zero between uses (resolve clears exactly the
+   bits it set, under Fun.protect). *)
+type sender_scratch = {
+  mutable ids : int array;
+  mutable mark : Bytes.t;
+  mutable s_busy : bool;
+}
+
+type row_scratch = {
+  mutable buf : Float.Array.t;
+  mutable r_busy : bool;
+}
+
+let sender_key =
+  Domain.DLS.new_key (fun () ->
+      { ids = [||]; mark = Bytes.empty; s_busy = false })
+
+let row_key =
+  Domain.DLS.new_key (fun () ->
+      { buf = Float.Array.create 0; r_busy = false })
+
+let with_senders ~count ~n f =
+  let sc = Domain.DLS.get sender_key in
+  if sc.s_busy then
+    f { ids = Array.make (max 1 count) 0;
+        mark = Bytes.make n '\000';
+        s_busy = true }
   else begin
-    let p = Option.value perturb ~default:no_perturb in
-    let at = t.points.(u) in
-    let sender_powers =
-      List.map
-        (fun v ->
-          ( v,
-            power_between t ~from:t.points.(v) ~at
-            *. p.gain ~sender:v ~receiver:u ))
-        senders
-    in
-    let total = List.fold_left (fun acc (_, pw) -> acc +. pw) 0. sender_powers in
-    let beta = t.config.Config.beta
-    and noise = t.config.Config.noise *. p.noise_factor u in
-    List.find_map
-      (fun (v, pw) ->
-        if pw >= beta *. (noise +. total -. pw) then Some v else None)
-      sender_powers
+    sc.s_busy <- true;
+    if Array.length sc.ids < count then sc.ids <- Array.make count 0;
+    if Bytes.length sc.mark < n then sc.mark <- Bytes.make n '\000';
+    Fun.protect ~finally:(fun () -> sc.s_busy <- false) (fun () -> f sc)
   end
+
+let with_row ~n f =
+  let rc = Domain.DLS.get row_key in
+  if rc.r_busy then f (Float.Array.create n)
+  else begin
+    rc.r_busy <- true;
+    if Float.Array.length rc.buf < n then rc.buf <- Float.Array.create n;
+    Fun.protect ~finally:(fun () -> rc.r_busy <- false) (fun () -> f rc.buf)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Scoring kernel                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Score listeners [lo..hi]: one row read per listener, one pass over the
+   sender array accumulating total power while tracking the strongest
+   sender — only the strongest can pass the beta > 1 test.  Iteration
+   order matches the seed kernel's list order, so the float accumulation
+   (and therefore every decision) is bit-identical. *)
+let score_range t ~ids ~nsend ~mark ~rowbuf ~result ~lo ~hi =
+  let beta = t.config.Config.beta and noise = t.config.Config.noise in
+  for u = lo to hi do
+    if Bytes.unsafe_get mark u = '\000' then begin
+      let row = Gain_cache.row t.cache u ~scratch:rowbuf in
+      let total = ref 0. in
+      let best = ref (-1) and best_pw = ref 0. in
+      for k = 0 to nsend - 1 do
+        let v = Array.unsafe_get ids k in
+        let pw = Float.Array.unsafe_get row v in
+        total := !total +. pw;
+        if pw > !best_pw then begin
+          best_pw := pw;
+          best := v
+        end
+      done;
+      if !best >= 0 && !best_pw >= beta *. (noise +. !total -. !best_pw)
+      then result.(u) <- Some !best
+    end
+  done
+
+(* The perturbed variant: adversarial gains multiply the cached
+   clean-channel powers, exactly as the seed kernel multiplied the freshly
+   computed ones. *)
+let score_range_perturbed t p ~ids ~nsend ~mark ~rowbuf ~result ~lo ~hi =
+  let beta = t.config.Config.beta and noise = t.config.Config.noise in
+  for u = lo to hi do
+    if Bytes.unsafe_get mark u = '\000' then begin
+      let row = Gain_cache.row t.cache u ~scratch:rowbuf in
+      let total = ref 0. in
+      let best = ref (-1) and best_pw = ref 0. in
+      for k = 0 to nsend - 1 do
+        let v = Array.unsafe_get ids k in
+        let pw = Float.Array.unsafe_get row v *. p.gain ~sender:v ~receiver:u in
+        total := !total +. pw;
+        if pw > !best_pw then begin
+          best_pw := pw;
+          best := v
+        end
+      done;
+      let noise = noise *. p.noise_factor u in
+      if !best >= 0 && !best_pw >= beta *. (noise +. !total -. !best_pw)
+      then result.(u) <- Some !best
+    end
+  done
+
+(* Whole-slot resolution over a marked sender set.  Dispatch: perturbed
+   slots run the sequential perturbed kernel (adversary closures are not
+   required to be domain-safe); clean slots run the far-field kernel when
+   one is installed, fan listeners out over the shared pool past the
+   parallelism threshold, and otherwise run the sequential cached kernel. *)
+let resolve_marked ?perturb t ~ids ~nsend ~mark =
+  let n = Array.length t.points in
+  let result = Array.make n None in
+  if nsend > 0 then begin
+    let telemetry = Metrics.is_enabled () in
+    let run () =
+      match perturb with
+      | Some p ->
+        with_row ~n (fun rowbuf ->
+            score_range_perturbed t p ~ids ~nsend ~mark ~rowbuf ~result ~lo:0
+              ~hi:(n - 1))
+      | None ->
+        (match t.farfield with
+         | Some ff ->
+           with_row ~n (fun rowbuf ->
+               Farfield.resolve ff ~cache:t.cache ~scratch:rowbuf ~ids ~nsend
+                 ~mark ~result)
+         | None ->
+           if n >= t.par_threshold && Pool.default_jobs () > 1 then begin
+             let pool = Pool.get () in
+             let jobs = Pool.jobs pool in
+             if jobs > 1 then begin
+               (* Chunked listener ranges; each chunk writes a disjoint
+                  slice of [result] and scores listeners independently, so
+                  the outcome is bit-identical whatever the jobs count. *)
+               let csize = max 64 ((n + (jobs * 4) - 1) / (jobs * 4)) in
+               let nchunks = (n + csize - 1) / csize in
+               ignore
+                 (Pool.mapi ~chunk:1 pool ~n:nchunks (fun c ->
+                      let lo = c * csize in
+                      let hi = min (n - 1) (lo + csize - 1) in
+                      with_row ~n (fun rowbuf ->
+                          score_range t ~ids ~nsend ~mark ~rowbuf ~result ~lo
+                            ~hi)))
+             end
+             else
+               with_row ~n (fun rowbuf ->
+                   score_range t ~ids ~nsend ~mark ~rowbuf ~result ~lo:0
+                     ~hi:(n - 1))
+           end
+           else
+             with_row ~n (fun rowbuf ->
+                 score_range t ~ids ~nsend ~mark ~rowbuf ~result ~lo:0
+                   ~hi:(n - 1)))
+    in
+    if telemetry then begin
+      Metrics.incr m_resolve_calls;
+      Metrics.add m_resolve_links (nsend * n);
+      let r = Timer.start () in
+      run ();
+      Metrics.observe m_resolve_ns ((Timer.stop r).Timer.wall_s *. 1e9)
+    end
+    else run ()
+  end;
+  result
+
+(* Copy + validate the sender list into scratch, then set the membership
+   bitmap.  Validation happens before any bit is set, so a raise leaves
+   the bitmap invariant (all-zero) intact. *)
+let load_senders ~who ~n sc senders =
+  let k = ref 0 in
+  List.iter
+    (fun s ->
+      if s < 0 || s >= n then invalid_arg (who ^ ": sender out of range");
+      sc.ids.(!k) <- s;
+      incr k)
+    senders;
+  for i = 0 to !k - 1 do
+    Bytes.unsafe_set sc.mark sc.ids.(i) '\001'
+  done;
+  !k
+
+let clear_marks mark ids nsend =
+  for i = 0 to nsend - 1 do
+    Bytes.unsafe_set mark (Array.unsafe_get ids i) '\000'
+  done
 
 (* Resolve a whole slot: for every node, the sender it decodes (None for
    transmitters and for listeners that decode nothing).  O(|S| * n).
    [perturb] applies the slot's adversarial channel state; omitting it is
-   the clean-channel fast path (no per-link closure calls). *)
+   the clean-channel fast path. *)
 let resolve ?perturb t ~senders =
+  let n = Array.length t.points in
+  let count = List.length senders in
+  with_senders ~count ~n @@ fun sc ->
+  let nsend = load_senders ~who:"Sinr.resolve" ~n sc senders in
+  Fun.protect
+    ~finally:(fun () -> clear_marks sc.mark sc.ids nsend)
+    (fun () -> resolve_marked ?perturb t ~ids:sc.ids ~nsend ~mark:sc.mark)
+
+(* Array-scratch entry point (Reliability's Monte-Carlo trials): the first
+   [nsenders] entries of [senders] transmit; the caller's array is only
+   read. *)
+let resolve_array ?perturb t ~senders ~nsenders =
+  let n = Array.length t.points in
+  if nsenders < 0 || nsenders > Array.length senders then
+    invalid_arg "Sinr.resolve_array: nsenders out of bounds";
+  for k = 0 to nsenders - 1 do
+    let s = Array.unsafe_get senders k in
+    if s < 0 || s >= n then invalid_arg "Sinr.resolve: sender out of range"
+  done;
+  with_senders ~count:0 ~n @@ fun sc ->
+  for k = 0 to nsenders - 1 do
+    Bytes.unsafe_set sc.mark (Array.unsafe_get senders k) '\001'
+  done;
+  Fun.protect
+    ~finally:(fun () -> clear_marks sc.mark senders nsenders)
+    (fun () -> resolve_marked ?perturb t ~ids:senders ~nsend:nsenders ~mark:sc.mark)
+
+(* Single-listener reception through the same kernel: O(|S|) to mark the
+   membership bitmap (the test [u in senders] is then O(1)), one row read,
+   one scoring pass. *)
+let reception ?perturb t ~senders ~receiver:u =
+  let n = Array.length t.points in
+  if u < 0 || u >= n then invalid_arg "Sinr.reception: receiver out of range";
+  let count = List.length senders in
+  with_senders ~count ~n @@ fun sc ->
+  let nsend = load_senders ~who:"Sinr.reception" ~n sc senders in
+  Fun.protect
+    ~finally:(fun () -> clear_marks sc.mark sc.ids nsend)
+    (fun () ->
+      if Bytes.get sc.mark u <> '\000' || nsend = 0 then None
+      else
+        with_row ~n @@ fun rowbuf ->
+        let row = Gain_cache.row t.cache u ~scratch:rowbuf in
+        let p = Option.value perturb ~default:no_perturb in
+        let total = ref 0. in
+        let best = ref (-1) and best_pw = ref 0. in
+        (match perturb with
+         | None ->
+           for k = 0 to nsend - 1 do
+             let v = Array.unsafe_get sc.ids k in
+             let pw = Float.Array.unsafe_get row v in
+             total := !total +. pw;
+             if pw > !best_pw then begin
+               best_pw := pw;
+               best := v
+             end
+           done
+         | Some p ->
+           for k = 0 to nsend - 1 do
+             let v = Array.unsafe_get sc.ids k in
+             let pw =
+               Float.Array.unsafe_get row v *. p.gain ~sender:v ~receiver:u
+             in
+             total := !total +. pw;
+             if pw > !best_pw then begin
+               best_pw := pw;
+               best := v
+             end
+           done);
+        let beta = t.config.Config.beta in
+        let noise = t.config.Config.noise *. p.noise_factor u in
+        if !best >= 0 && !best_pw >= beta *. (noise +. !total -. !best_pw)
+        then Some !best
+        else None)
+
+(* ------------------------------------------------------------------ *)
+(* Seed kernel, kept verbatim                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The pre-cache implementation: re-derives every link power (a sqrt and a
+   libm pow per pair).  The fast path above must stay bit-identical to
+   this; the equivalence is asserted by the phys_fast property suite and
+   measured by `bench/main.exe phys`. *)
+let resolve_reference ?perturb t ~senders =
   let n = Array.length t.points in
   let is_sender = Array.make n false in
   List.iter
@@ -103,8 +391,6 @@ let resolve ?perturb t ~senders =
     senders;
   let result = Array.make n None in
   let beta = t.config.Config.beta and noise = t.config.Config.noise in
-  (* For each listener: one pass accumulating total power while remembering
-     the strongest sender; only the strongest can pass the beta > 1 test. *)
   (match perturb with
    | None ->
      for u = 0 to n - 1 do

@@ -1,7 +1,14 @@
 (** Exact SINR reception resolution (paper Eq. 1).
 
     Because β > 1 at most one concurrent sender is decodable per listener;
-    transmitters are half-duplex; there is no collision detection. *)
+    transmitters are half-duplex; there is no collision detection.
+
+    Resolution runs on a cached-gain fast path (see DESIGN.md "Physics
+    fast path"): link powers are read from a precomputed per-receiver row
+    that stores bit-identical results of the seed formula, so outcomes —
+    including every seeded experiment number — are unchanged. The seed
+    kernel is kept as {!resolve_reference} for equivalence tests and
+    benchmarks. *)
 
 open Sinr_geom
 
@@ -9,14 +16,27 @@ type t
 
 val create : Config.t -> Point.t array -> t
 (** Raises [Invalid_argument] if any pairwise distance is below 1 (the
-    near-field normalization of Section 4.2). *)
+    near-field normalization of Section 4.2). Captures the current
+    [Phys_tuning] knobs (gain-cache byte cap, optional far-field eps,
+    parallelism threshold). *)
 
 val config : t -> Config.t
 val points : t -> Point.t array
 val n : t -> int
 
+val gain_cache : t -> Gain_cache.t
+(** The instance's pairwise received-power table (for stats and tests). *)
+
+val farfield : t -> Farfield.t option
+(** The grid-pruned far-field state, when one was installed at creation. *)
+
 val power_between : t -> from:Point.t -> at:Point.t -> float
 (** Received power [P/d^α] between two plane positions. *)
+
+val power : t -> sender:int -> receiver:int -> float
+(** Received power of the node link [sender → receiver]; same value as
+    {!power_between} on their positions, served from the gain cache when
+    the receiver's row is resident. *)
 
 val interference_at : t -> senders:int list -> at:Point.t -> float
 (** Total power arriving at a plane position from the given transmitters. *)
@@ -33,17 +53,31 @@ type perturb = {
 }
 (** One slot's adversarial channel state (see [lib/chaos]). Factor 1
     everywhere is the identity; omitting the perturbation entirely keeps
-    the clean-channel fast path. *)
+    the clean-channel fast path. Perturbed gains multiply the cached
+    clean-channel powers. *)
 
 val no_perturb : perturb
 (** The identity perturbation. *)
 
 val reception : ?perturb:perturb -> t -> senders:int list -> receiver:int -> int option
 (** The sender decoded by [receiver] in a slot where exactly [senders]
-    transmit; [None] if the receiver transmits or decodes nothing. *)
+    transmit; [None] if the receiver transmits or decodes nothing.
+    Membership is one O(|senders|) bitmap pass (then O(1)); scoring goes
+    through the shared cached kernel. *)
 
 val resolve : ?perturb:perturb -> t -> senders:int list -> int option array
 (** Per-node decoding outcome for a whole slot, in O(|senders| · n). *)
+
+val resolve_array :
+  ?perturb:perturb -> t -> senders:int array -> nsenders:int -> int option array
+(** {!resolve} with the senders given as the first [nsenders] entries of a
+    reusable array (only read) — the allocation-free entry point for
+    Monte-Carlo trial loops. *)
+
+val resolve_reference : ?perturb:perturb -> t -> senders:int list -> int option array
+(** The seed kernel, verbatim: re-derives every link power per pair per
+    slot. The fast path is asserted bit-identical to this by the test
+    suite; `bench/main.exe phys` measures the gap. *)
 
 val in_range : t -> int -> int -> bool
 (** Weak reachability: distance at most the transmission range R. *)

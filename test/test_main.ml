@@ -20,4 +20,5 @@ let () =
       ("expt_e2e", Test_expt_e2e.suite);
       ("obs", Test_obs.suite);
       ("par", Test_par.suite);
-      ("chaos", Test_chaos.suite) ]
+      ("chaos", Test_chaos.suite);
+      ("phys_fast", Test_phys_fast.suite) ]
