@@ -1,4 +1,5 @@
-.PHONY: all build check test fmt bench par-smoke chaos-smoke phys-smoke clean
+.PHONY: all build check test fmt bench par-smoke chaos-smoke phys-smoke \
+        obs-smoke bench-diff clean
 
 all: build
 
@@ -32,6 +33,30 @@ phys-smoke:
 	dune exec bin/sinr_sim.exe -- phys --seed 3 --n 90 --cases 60
 	dune exec bin/sinr_sim.exe -- phys --seed 3 --n 90 --cases 60 \
 	  --phys-farfield 0.2
+
+# End-to-end exercise of the tracing layer: a traced run of the full
+# Algorithm 11.1 stack dumping a flight-recorder JSONL, then trace-report
+# reconstructing per-message ack/progress latencies from it.  --strict
+# exits 1 if any message exceeds its Thm 5.1 / Thm 9.1 bound.
+obs-smoke:
+	dune exec bin/sinr_sim.exe -- obs --seed 3 --n 24 --max-slots 60000 \
+	  --trace-out flight-obs.jsonl --prometheus-out obs.prom
+	dune exec bin/sinr_sim.exe -- trace-report --strict flight-obs.jsonl
+
+# Bench regression gate: regenerate the machine-portable benchmarks and
+# compare them against the committed baselines.  Exits 1 on regression.
+# Absolute wall clocks are ignored (machine-dependent); the gate holds the
+# speedup ratios and the tracing-overhead gauges, which transfer across
+# hosts.  Wide tolerance: CI runners are noisy.
+bench-diff:
+	dune exec bench/main.exe -- phys trace-overhead
+	dune exec bench/main.exe -- diff \
+	  --baseline bench/baselines/BENCH_phys.json --tolerance 0.75 \
+	  --ignore '*.slots_per_s' --ignore '*.seconds'
+	dune exec bench/main.exe -- diff \
+	  --baseline bench/baselines/BENCH_obs.json --tolerance 0.75 \
+	  --ignore '*.seconds' --ignore '*.ns' --ignore '*.spread' \
+	  --ignore '*.ring_entries'
 
 test: check
 

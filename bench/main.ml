@@ -6,9 +6,13 @@
    Usage:
      main.exe [--jobs N]           run everything
      main.exe [--jobs N] <id> ...  run selected experiments
+     main.exe diff --baseline PATH [--current PATH] [--tolerance T]
+              [--ignore GLOB]...   regression gate: compare a fresh
+              BENCH_*.json against a committed baseline; exit 1 on any
+              regressed or missing metric (see lib/obs/bench_diff.mli)
    ids: table1-ack fig1-progress-lb table1-approg thm8-decay table2-smb
         table1-mmb table1-cons ablation mac-compare capacity chaos micro
-        par-bench phys
+        par-bench phys trace-overhead
 
    --jobs N sizes the Sinr_par domain pool the experiments' sweeps run on
    (default: SINR_JOBS, else Domain.recommended_domain_count (); 1 forces
@@ -451,6 +455,92 @@ let phys_bench () =
   Sinr_obs.Sink.write_snapshot ~label:"phys-bench" phys_bench_path snap;
   Fmt.pr "[phys bench written: %s]@." phys_bench_path
 
+let record_gauge name v =
+  Sinr_obs.Metrics.with_enabled (fun () ->
+      Sinr_obs.Metrics.set (Sinr_obs.Metrics.gauge name) v)
+
+(* ------------------------------------------------------------------ *)
+(* trace-overhead: disabled-tracing cost of the span hooks             *)
+(* ------------------------------------------------------------------ *)
+
+(* The one-load-and-branch guarantee (DESIGN.md §11): the span hooks in
+   Engine.step / Combined_mac / the B.1 and 9.1 machines must be free
+   when the recorder is off.  Clock the same Algorithm 11.1 ack workload
+   with the recorder off twice — the relative spread between the two off
+   runs is the host's noise floor, and the disabled hook cost has to hide
+   inside it — then once with the recorder on for the honest price of
+   full tracing.  The gauges land in BENCH_obs.json; `bench diff` gates
+   obs.bench.off.spread (band) so a hook creeping out of the branch shows
+   up as a regression. *)
+let trace_overhead () =
+  Report.section "trace-overhead: span hooks off vs on";
+  let workload () =
+    let rng = Rng.create 61 in
+    let pts =
+      Placement.uniform rng ~n:48 ~box:(Sinr_geom.Box.square ~side:26.)
+        ~min_dist:1.
+    in
+    let sinr = Sinr.create Config.default pts in
+    let senders = List.filter (fun v -> v mod 2 = 0) (List.init 48 Fun.id) in
+    ignore
+      (Sinr_mac.Measure.acks sinr ~rng:(Rng.create 62) ~senders
+         ~max_slots:120_000)
+  in
+  let time f =
+    let t = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t
+  in
+  workload ();
+  (* warm-up: faults code in, fills gain-cache rows *)
+  let once = time workload in
+  (* One Measure.acks run is a few ms; repeat until the clocks dominate
+     scheduler and GC noise. *)
+  let reps = max 3 (int_of_float (Float.ceil (0.5 /. Float.max once 1e-4))) in
+  let run () =
+    for _ = 1 to reps do
+      workload ()
+    done
+  in
+  let off1 = time run in
+  let off2 = time run in
+  let off = Float.min off1 off2 in
+  let spread = if off > 0. then Float.abs (off1 -. off2) /. off else 0. in
+  Sinr_obs.Recorder.clear ();
+  Sinr_obs.Recorder.set_enabled true;
+  let traced =
+    Fun.protect
+      ~finally:(fun () -> Sinr_obs.Recorder.set_enabled false)
+      (fun () -> time run)
+  in
+  let entries = List.length (Sinr_obs.Span.entries ()) in
+  let dropped = Sinr_obs.Span.dropped_count () in
+  Sinr_obs.Recorder.clear ();
+  let ratio = if off > 0. then traced /. off else 0. in
+  (* Direct price of the guard itself: every disabled hook reduces to this
+     one load-and-branch. *)
+  let iters = 20_000_000 in
+  let hits = ref 0 in
+  let t = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    if Sinr_obs.Recorder.is_enabled () then incr hits
+  done;
+  let check_ns =
+    (Unix.gettimeofday () -. t) /. float_of_int iters *. 1e9
+  in
+  assert (!hits = 0);
+  Fmt.pr
+    "acks workload x%d: off %.3fs / %.3fs (spread %.1f%%)   traced %.3fs \
+     (%.2fx)   ring %d entries, %d dropped@."
+    reps off1 off2 (100. *. spread) traced ratio entries dropped;
+  Fmt.pr "disabled check: %.2f ns/call@." check_ns;
+  record_gauge "obs.bench.off.seconds" off;
+  record_gauge "obs.bench.off.spread" spread;
+  record_gauge "obs.bench.traced.seconds" traced;
+  record_gauge "obs.bench.traced_ratio" ratio;
+  record_gauge "obs.bench.ring_entries" (float_of_int entries);
+  record_gauge "obs.bench.disabled_check.ns" check_ns
+
 let experiments =
   [ ("table1-ack", table1_ack);
     ("fig1-progress-lb", fig1_lb);
@@ -465,7 +555,8 @@ let experiments =
     ("chaos", chaos);
     ("micro", micro);
     ("par-bench", par_bench);
-    ("phys", phys_bench) ]
+    ("phys", phys_bench);
+    ("trace-overhead", trace_overhead) ]
 
 (* Machine-readable companion to the printed tables: the telemetry snapshot
    of everything the experiments did, plus wall-time and status gauges per
@@ -475,11 +566,7 @@ let experiments =
    checked by the sinr_resolve kernel). *)
 let obs_path = "BENCH_obs.json"
 
-let uninstrumented = [ "micro"; "par-bench"; "phys" ]
-
-let record_gauge name v =
-  Sinr_obs.Metrics.with_enabled (fun () ->
-      Sinr_obs.Metrics.set (Sinr_obs.Metrics.gauge name) v)
+let uninstrumented = [ "micro"; "par-bench"; "phys"; "trace-overhead" ]
 
 (* Leading --jobs N / --jobs=N flags; everything else is experiment ids. *)
 let parse_args args =
@@ -504,8 +591,85 @@ let parse_args args =
   in
   go [] args
 
-let () =
-  let ids = parse_args (List.tl (Array.to_list Sys.argv)) in
+(* bench diff: the regression gate.  Compares a fresh snapshot against a
+   committed baseline (lib/obs/bench_diff.mli documents the per-metric
+   direction heuristics) and exits 1 on any Regressed or Missing finding,
+   so CI can run `bench phys && bench diff --baseline
+   bench/baselines/BENCH_phys.json ...` as a gate.  --current defaults to
+   the baseline's basename in the working directory — where the
+   experiments write their BENCH_*.json. *)
+let diff_mode args =
+  let baseline = ref None and current = ref None in
+  let tolerance = ref 0.25 and ignores = ref [] in
+  let rec go = function
+    | [] -> ()
+    | "--baseline" :: p :: rest ->
+      baseline := Some p;
+      go rest
+    | "--current" :: p :: rest ->
+      current := Some p;
+      go rest
+    | "--tolerance" :: t :: rest ->
+      (match float_of_string_opt t with
+       | Some v when v >= 0. -> tolerance := v
+       | Some _ | None ->
+         Fmt.epr "bench diff: --tolerance expects a non-negative number, \
+                  got %S@." t;
+         exit 2);
+      go rest
+    | "--ignore" :: p :: rest ->
+      ignores := p :: !ignores;
+      go rest
+    | arg :: _ ->
+      Fmt.epr "bench diff: unknown argument %S@." arg;
+      Fmt.epr "usage: bench diff --baseline PATH [--current PATH] \
+               [--tolerance T] [--ignore GLOB]...@.";
+      exit 2
+  in
+  go args;
+  let baseline_path =
+    match !baseline with
+    | Some p -> p
+    | None ->
+      Fmt.epr "bench diff: --baseline PATH is required@.";
+      exit 2
+  in
+  let current_path =
+    match !current with
+    | Some p -> p
+    | None -> Filename.basename baseline_path
+  in
+  let load path =
+    try Sinr_obs.Bench_diff.load_snapshot path with
+    | Sys_error msg ->
+      Fmt.epr "bench diff: %s@." msg;
+      exit 2
+    | Failure msg ->
+      Fmt.epr "bench diff: %s@." msg;
+      exit 2
+    | Sinr_obs.Json.Parse_error msg ->
+      Fmt.epr "bench diff: %s: malformed JSON: %s@." path msg;
+      exit 2
+  in
+  let b = load baseline_path in
+  let c = load current_path in
+  let findings =
+    Sinr_obs.Bench_diff.diff ~tolerance:!tolerance
+      ~ignores:(List.rev !ignores) ~baseline:b ~current:c ()
+  in
+  Fmt.pr "baseline %s@.current  %s@.tolerance %g@.@." baseline_path
+    current_path !tolerance;
+  Fmt.pr "%a" Sinr_obs.Bench_diff.pp_findings findings;
+  match Sinr_obs.Bench_diff.regressions findings with
+  | [] -> Fmt.pr "@.bench diff: ok (%d metrics checked)@."
+            (List.length findings)
+  | regs ->
+    Fmt.epr "@.bench diff: %d regression%s@." (List.length regs)
+      (if List.length regs = 1 then "" else "s");
+    exit 1
+
+let run_experiments args =
+  let ids = parse_args args in
   let requested =
     match ids with [] -> List.map fst experiments | ids -> ids
   in
@@ -556,3 +720,8 @@ let () =
   | fs ->
     Fmt.epr "failed experiments: %s@." (String.concat " " (List.rev fs));
     exit 1
+
+let () =
+  match List.tl (Array.to_list Sys.argv) with
+  | "diff" :: rest -> diff_mode rest
+  | args -> run_experiments args

@@ -9,6 +9,7 @@
      exp        run a named bench experiment (same ids as bench/main.exe)
      obs        run an instrumented workload and print the metric snapshot
      phys       check the physics fast path against the seed kernel
+     trace-report  analyze a flight-recorder dump against the theorem bounds
 
    The run subcommands take --phys-farfield EPS: opt into the grid-pruned
    far-field interference mode with relative error bound EPS (DESIGN.md
@@ -16,7 +17,11 @@
 
    The run subcommands take --metrics-out FILE: the run executes with the
    telemetry registry enabled and its final snapshot is written to FILE as
-   one JSONL object (see DESIGN.md "Observability").
+   one JSONL object (see DESIGN.md "Observability").  --prometheus-out
+   FILE additionally renders the same snapshot as Prometheus text, and
+   --trace-out FILE arms the causal tracing layer (Span/Recorder) and
+   dumps the flight-recorder ring to FILE after the run — feed that file
+   to `sinr_sim trace-report`.
 
    They also take --jobs N, which sets the worker-domain count of the
    shared [Sinr_par.Pool] used by the Monte-Carlo and sweep kernels
@@ -53,6 +58,19 @@ let metrics_out_arg =
            ~doc:"Enable telemetry for the run and write the final metric \
                  snapshot to $(docv) as one JSONL object.")
 
+let prom_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "prometheus-out" ] ~docv:"FILE"
+           ~doc:"Enable telemetry for the run and write the final snapshot \
+                 to $(docv) as Prometheus text exposition.")
+
+let trace_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Enable causal tracing (spans + flight recorder) for the \
+                 run and dump the recorder ring to $(docv) as JSONL; \
+                 analyze it with $(b,sinr_sim trace-report).")
+
 let jobs_arg =
   Arg.(value & opt (some int) None
        & info [ "jobs" ] ~docv:"N"
@@ -86,25 +104,58 @@ let set_farfield = function
        Fmt.epr "sinr_sim: --phys-farfield expects EPS in (0, 1), got %g@." eps;
        Stdlib.exit 2)
 
-(* Run [f] with telemetry per [metrics_out]; write the snapshot after. *)
-let with_metrics ~label metrics_out f =
-  match metrics_out with
-  | None -> f ()
-  | Some path ->
-    (* Open before the (possibly long) run so an unwritable path fails
-       fast instead of discarding the finished simulation's snapshot. *)
-    let oc =
-      try open_out path
-      with Sys_error e ->
-        Fmt.epr "sinr_sim: cannot write metrics: %s@." e;
-        Stdlib.exit 1
-    in
-    Fun.protect ~finally:(fun () -> close_out_noerr oc) @@ fun () ->
-    Metrics.reset ();
-    Metrics.set_enabled true;
-    Fun.protect ~finally:(fun () -> Metrics.set_enabled false) f;
-    output_string oc (Sink.snapshot_to_jsonl ~label (Metrics.snapshot ()));
-    Fmt.pr "[metrics written: %s]@." path
+(* Probe that [path] is creatable/writable before a (possibly long) run so
+   a bad path fails fast instead of discarding the finished simulation's
+   output.  Append mode: no truncation of an existing file. *)
+let probe_writable path =
+  match open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path with
+  | oc -> close_out_noerr oc
+  | exception Sys_error e ->
+    Fmt.epr "sinr_sim: cannot write output: %s@." e;
+    Stdlib.exit 1
+
+(* Run [f] with telemetry/tracing per the output flags, then write the
+   metric snapshot (JSONL and/or Prometheus) and the flight-recorder dump
+   to their files. *)
+let with_obs ~label ~metrics_out ~prom_out ~trace_out f =
+  let need_metrics = metrics_out <> None || prom_out <> None in
+  if not (need_metrics || trace_out <> None) then f ()
+  else begin
+    List.iter
+      (fun o -> Option.iter probe_writable o)
+      [ metrics_out; prom_out; trace_out ];
+    if need_metrics then begin
+      Metrics.reset ();
+      Metrics.set_enabled true
+    end;
+    if trace_out <> None then begin
+      Recorder.clear ();
+      Recorder.set_enabled true
+    end;
+    Fun.protect
+      ~finally:(fun () ->
+        Metrics.set_enabled false;
+        Recorder.set_enabled false)
+      f;
+    if need_metrics then begin
+      let snap = Metrics.snapshot () in
+      Option.iter
+        (fun path ->
+          Sink.write_snapshot ~label path snap;
+          Fmt.pr "[metrics written: %s]@." path)
+        metrics_out;
+      Option.iter
+        (fun path ->
+          Sink.write_file path (Sink.snapshot_to_prometheus snap);
+          Fmt.pr "[prometheus written: %s]@." path)
+        prom_out
+    end;
+    Option.iter
+      (fun path ->
+        let p = Recorder.dump ~path ~reason:label () in
+        Fmt.pr "[trace written: %s]@." p)
+      trace_out
+  end
 
 let deployment ~seed ~n ~degree ~range =
   let config = Config.with_range ~range () in
@@ -132,10 +183,10 @@ let profile_cmd =
 (* ---------------- smb ---------------- *)
 
 let smb_cmd =
-  let run seed n degree range farfield metrics_out jobs =
+  let run seed n degree range farfield metrics_out prom_out trace_out jobs =
     set_jobs jobs;
     set_farfield farfield;
-    with_metrics ~label:"smb" metrics_out @@ fun () ->
+    with_obs ~label:"smb" ~metrics_out ~prom_out ~trace_out @@ fun () ->
     let d = deployment ~seed ~n ~degree ~range in
     pp_profile d;
     let budget = 40_000_000 in
@@ -170,7 +221,7 @@ let smb_cmd =
     (Cmd.info "smb"
        ~doc:"Global single-message broadcast: ours vs the baselines.")
     Term.(const run $ seed_arg $ n_arg $ degree_arg $ range_arg $ farfield_arg
-          $ metrics_out_arg $ jobs_arg)
+          $ metrics_out_arg $ prom_out_arg $ trace_out_arg $ jobs_arg)
 
 (* ---------------- cons ---------------- *)
 
@@ -179,10 +230,11 @@ let cons_cmd =
     Arg.(value & opt int 0
          & info [ "crashes" ] ~docv:"K" ~doc:"Crash K nodes mid-run.")
   in
-  let run seed n degree range crashes farfield metrics_out jobs =
+  let run seed n degree range crashes farfield metrics_out prom_out trace_out
+      jobs =
     set_jobs jobs;
     set_farfield farfield;
-    with_metrics ~label:"cons" metrics_out @@ fun () ->
+    with_obs ~label:"cons" ~metrics_out ~prom_out ~trace_out @@ fun () ->
     let d = deployment ~seed ~n ~degree ~range in
     pp_profile d;
     let rng = Rng.create (seed + 10) in
@@ -210,15 +262,16 @@ let cons_cmd =
   Cmd.v
     (Cmd.info "cons" ~doc:"Network-wide consensus over the absMAC.")
     Term.(const run $ seed_arg $ n_arg $ degree_arg $ range_arg $ crashes_arg
-          $ farfield_arg $ metrics_out_arg $ jobs_arg)
+          $ farfield_arg $ metrics_out_arg $ prom_out_arg $ trace_out_arg
+          $ jobs_arg)
 
 (* ---------------- approg ---------------- *)
 
 let approg_cmd =
-  let run seed n degree range farfield metrics_out jobs =
+  let run seed n degree range farfield metrics_out prom_out trace_out jobs =
     set_jobs jobs;
     set_farfield farfield;
-    with_metrics ~label:"approg" metrics_out @@ fun () ->
+    with_obs ~label:"approg" ~metrics_out ~prom_out ~trace_out @@ fun () ->
     let d = deployment ~seed ~n ~degree ~range in
     pp_profile d;
     let senders = List.filter (fun v -> v mod 2 = 0) (List.init n Fun.id) in
@@ -257,7 +310,7 @@ let approg_cmd =
     (Cmd.info "approg"
        ~doc:"Measure approximate progress of Algorithm 9.1 on a deployment.")
     Term.(const run $ seed_arg $ n_arg $ degree_arg $ range_arg $ farfield_arg
-          $ metrics_out_arg $ jobs_arg)
+          $ metrics_out_arg $ prom_out_arg $ trace_out_arg $ jobs_arg)
 
 (* ---------------- chaos ---------------- *)
 
@@ -296,10 +349,10 @@ let chaos_cmd =
                    adversarially aborted.")
   in
   let run seed n degree jam fading crash_frac downtime abort_rate farfield
-      metrics_out jobs =
+      metrics_out prom_out trace_out jobs =
     set_jobs jobs;
     set_farfield farfield;
-    with_metrics ~label:"chaos" metrics_out @@ fun () ->
+    with_obs ~label:"chaos" ~metrics_out ~prom_out ~trace_out @@ fun () ->
     let spec =
       { Exp_chaos.clean with
         Exp_chaos.jam_duty = jam;
@@ -336,7 +389,7 @@ let chaos_cmd =
              faults, and report the degradation.")
     Term.(const run $ seed_arg $ n_arg $ degree_arg $ jam_arg $ fading_arg
           $ crash_frac_arg $ downtime_arg $ abort_rate_arg $ farfield_arg
-          $ metrics_out_arg $ jobs_arg)
+          $ metrics_out_arg $ prom_out_arg $ trace_out_arg $ jobs_arg)
 
 (* ---------------- exp ---------------- *)
 
@@ -348,9 +401,10 @@ let exp_cmd =
                    table1-approg, thm8-decay, table2-smb, table1-mmb, \
                    table1-cons, ablation, mac-compare, capacity, chaos).")
   in
-  let run id metrics_out jobs =
+  let run id metrics_out prom_out trace_out jobs =
     set_jobs jobs;
-    with_metrics ~label:("exp:" ^ id) metrics_out @@ fun () ->
+    with_obs ~label:("exp:" ^ id) ~metrics_out ~prom_out ~trace_out
+    @@ fun () ->
     match id with
     | "table1-ack" -> ignore (Exp_ack.run ())
     | "fig1-progress-lb" -> ignore (Exp_progress_lb.run ())
@@ -376,7 +430,8 @@ let exp_cmd =
   in
   Cmd.v
     (Cmd.info "exp" ~doc:"Run a named experiment (see DESIGN.md index).")
-    Term.(const run $ id_arg $ metrics_out_arg $ jobs_arg)
+    Term.(const run $ id_arg $ metrics_out_arg $ prom_out_arg $ trace_out_arg
+          $ jobs_arg)
 
 (* ---------------- obs ---------------- *)
 
@@ -400,13 +455,21 @@ let obs_cmd =
          & info [ "max-slots" ] ~docv:"SLOTS"
              ~doc:"Slot budget for the instrumented workload.")
   in
-  let run seed n degree range format max_slots metrics_out =
+  let run seed n degree range format max_slots metrics_out prom_out trace_out
+      =
+    List.iter (Option.iter probe_writable) [ metrics_out; prom_out; trace_out ];
     let d = deployment ~seed ~n ~degree ~range in
     let senders = List.filter (fun v -> v mod 2 = 0) (List.init n Fun.id) in
     Metrics.reset ();
     Metrics.set_enabled true;
+    if trace_out <> None then begin
+      Recorder.clear ();
+      Recorder.set_enabled true
+    end;
     Fun.protect
-      ~finally:(fun () -> Metrics.set_enabled false)
+      ~finally:(fun () ->
+        Metrics.set_enabled false;
+        Recorder.set_enabled false)
       (fun () ->
         ignore
           (Sinr_mac.Measure.acks d.Workloads.sinr
@@ -417,18 +480,70 @@ let obs_cmd =
      | `Pretty -> Fmt.pr "%a" Sink.pp_snapshot snap
      | `Json -> print_string (Sink.snapshot_to_jsonl ~label:"obs" snap)
      | `Prom -> print_string (Sink.snapshot_to_prometheus snap));
-    match metrics_out with
+    (match metrics_out with
+     | None -> ()
+     | Some path ->
+       Sink.write_snapshot ~label:"obs" path snap;
+       Fmt.pr "[metrics written: %s]@." path);
+    (match prom_out with
+     | None -> ()
+     | Some path ->
+       Sink.write_file path (Sink.snapshot_to_prometheus snap);
+       Fmt.pr "[prometheus written: %s]@." path);
+    match trace_out with
     | None -> ()
     | Some path ->
-      Sink.write_snapshot ~label:"obs" path snap;
-      Fmt.pr "[metrics written: %s]@." path
+      ignore (Recorder.dump ~path ~reason:"obs" ());
+      Fmt.pr "[trace written: %s]@." path
   in
   Cmd.v
     (Cmd.info "obs"
        ~doc:"Run an instrumented absMAC workload and print the telemetry \
              snapshot.")
     Term.(const run $ seed_arg $ n_arg $ degree_arg $ range_arg $ format_arg
-          $ slots_arg $ metrics_out_arg)
+          $ slots_arg $ metrics_out_arg $ prom_out_arg $ trace_out_arg)
+
+(* ---------------- trace-report ---------------- *)
+
+(* Offline analysis of a flight-recorder dump: per-message f_ack / f_approg
+   latencies with percentiles against the bounds the MAC recorded into the
+   mac.bcast span attributes, plus the Algorithm 9.1 epoch/phase timeline
+   for any message that exceeded them.  --strict turns flagged messages
+   into a non-zero exit for CI. *)
+let trace_report_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"TRACE"
+             ~doc:"Flight-recorder JSONL dump (from --trace-out or a \
+                   flight-*.jsonl written on violation/crash).")
+  in
+  let strict_arg =
+    Arg.(value & flag
+         & info [ "strict" ]
+             ~doc:"Exit 1 when any message exceeds its ack or progress \
+                   bound.")
+  in
+  let run file strict =
+    match Trace_report.load_file file with
+    | exception Sys_error msg ->
+      Fmt.epr "sinr_sim trace-report: %s@." msg;
+      exit 2
+    | exception Json.Parse_error msg ->
+      Fmt.epr "sinr_sim trace-report: %s: malformed JSON: %s@." file msg;
+      exit 2
+    | exception Failure msg ->
+      Fmt.epr "sinr_sim trace-report: %s@." msg;
+      exit 2
+    | trace ->
+      let r = Trace_report.analyze trace in
+      Fmt.pr "%a" Trace_report.pp r;
+      if strict && Trace_report.flagged r > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "trace-report"
+       ~doc:"Analyze a flight-recorder dump: per-message ack/progress \
+             latency percentiles against the Thm 5.1 / Thm 9.1 bounds.")
+    Term.(const run $ file_arg $ strict_arg)
 
 (* ---------------- phys ---------------- *)
 
@@ -444,10 +559,11 @@ let phys_cmd =
          & info [ "cases" ] ~docv:"K"
              ~doc:"Number of random slots to check for equivalence.")
   in
-  let run seed n degree range cases farfield metrics_out jobs =
+  let run seed n degree range cases farfield metrics_out prom_out trace_out
+      jobs =
     set_jobs jobs;
     set_farfield farfield;
-    with_metrics ~label:"phys" metrics_out @@ fun () ->
+    with_obs ~label:"phys" ~metrics_out ~prom_out ~trace_out @@ fun () ->
     let d = deployment ~seed ~n ~degree ~range in
     let sinr = d.Workloads.sinr in
     let n = Sinr.n sinr in
@@ -536,7 +652,8 @@ let phys_cmd =
        ~doc:"Check the physics fast path against the seed kernel (exit 1 \
              on divergence) and sample its throughput.")
     Term.(const run $ seed_arg $ n_arg $ degree_arg $ range_arg $ cases_arg
-          $ farfield_arg $ metrics_out_arg $ jobs_arg)
+          $ farfield_arg $ metrics_out_arg $ prom_out_arg $ trace_out_arg
+          $ jobs_arg)
 
 let () =
   let doc = "Local broadcast layer for the SINR network model — simulator" in
@@ -548,4 +665,4 @@ let () =
     (Cmd.eval ~argv
        (Cmd.group info
           [ profile_cmd; smb_cmd; cons_cmd; approg_cmd; chaos_cmd; exp_cmd;
-            obs_cmd; phys_cmd ]))
+            obs_cmd; phys_cmd; trace_report_cmd ]))

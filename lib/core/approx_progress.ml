@@ -83,6 +83,17 @@ type t = {
   (* diagnostics *)
   mutable last_h_graph : Sinr_graph.Graph.t option;
   mutable drops_total : int;
+  (* causal tracing: the epoch > phase > stage span stack currently open,
+     rolled forward by [trace_slot] as the machine advances.  [clock]
+     supplies engine slots (Combined_mac installs Engine.slot); the
+     default counts this machine's own slots so standalone runs still get
+     a monotone axis. *)
+  mutable clock : unit -> int;
+  mutable epoch_span : Span.id;
+  mutable phase_span : Span.id;
+  mutable stage_span : Span.id;
+  mutable span_phase : int;
+  mutable span_stage : int;
 }
 
 let fresh_node () =
@@ -102,7 +113,25 @@ let reset_phase_tables nd =
   nd.h_neighbors <- [];
   nd.mis_heard <- Hashtbl.create 8
 
+(* Close the open span stack, innermost first (stage, then phase, then —
+   when [epoch_too] — the epoch).  Integer compares when nothing is open. *)
+let close_spans t ~epoch_too =
+  let slot = t.clock () in
+  if t.stage_span <> Span.none then begin
+    Span.finish t.stage_span ~slot;
+    t.stage_span <- Span.none
+  end;
+  if t.phase_span <> Span.none then begin
+    Span.finish t.phase_span ~slot;
+    t.phase_span <- Span.none
+  end;
+  if epoch_too && t.epoch_span <> Span.none then begin
+    Span.finish t.epoch_span ~slot;
+    t.epoch_span <- Span.none
+  end
+
 let begin_epoch t =
+  close_spans t ~epoch_too:true;
   t.epoch <- t.epoch + 1;
   Metrics.incr m_epochs;
   Array.iter
@@ -129,8 +158,15 @@ let create params config ~lambda ~n ~rng =
       epoch = -1;
       pending_rcv = [];
       last_h_graph = None;
-      drops_total = 0 }
+      drops_total = 0;
+      clock = (fun () -> 0);
+      epoch_span = Span.none;
+      phase_span = Span.none;
+      stage_span = Span.none;
+      span_phase = -1;
+      span_stage = -1 }
   in
+  t.clock <- (fun () -> (max 0 t.epoch * t.sched.Params.epoch_slots) + t.pos);
   begin_epoch t;
   t
 
@@ -145,6 +181,8 @@ let last_h_graph t = t.last_h_graph
 let start t ~node payload = t.nodes.(node).payload <- Some payload
 
 let stop t ~node = t.nodes.(node).payload <- None
+
+let set_clock t f = t.clock <- f
 
 (* Decode the position within the epoch into (phase, stage). *)
 let stage_of t pos =
@@ -302,6 +340,9 @@ let finish_mis_round t =
             nd.member <- false;
             t.drops_total <- t.drops_total + 1;
             Metrics.incr m_drops;
+            if t.phase_span <> Span.none then
+              Span.annotate t.phase_span ~slot:(t.clock ())
+                (Printf.sprintf "drop node=%d" v);
             Sw_mis.drop mis v
           end
           else
@@ -342,9 +383,57 @@ let drain_rcv t =
   t.pending_rcv <- [];
   out
 
+let stage_tag = function
+  | Probe_stage _ -> 0
+  | List_stage _ -> 1
+  | Mis_stage _ -> 2
+  | Data_stage _ -> 3
+
+let stage_span_name = function
+  | 0 -> "approg.probe"
+  | 1 -> "approg.list"
+  | 2 -> "approg.mis"
+  | _ -> "approg.data"
+
+(* Roll the epoch > phase > stage span stack so that it covers the slot
+   about to close.  Runs once per Algorithm 9.1 slot, only with tracing
+   armed (one load-and-branch otherwise, checked by the caller). *)
+let trace_slot t =
+  let slot = t.clock () in
+  let phase, st = stage_of t t.pos in
+  let tag = stage_tag st in
+  if t.epoch_span = Span.none then begin
+    t.epoch_span <- Span.start ~name:"approg.epoch" ~slot ();
+    Span.set_attr t.epoch_span "epoch" (Json.int t.epoch);
+    Span.set_attr t.epoch_span "epoch_slots"
+      (Json.int t.sched.Params.epoch_slots)
+  end;
+  if t.phase_span = Span.none || t.span_phase <> phase then begin
+    close_spans t ~epoch_too:false;
+    t.phase_span <-
+      Span.start ~parent:t.epoch_span ~name:"approg.phase" ~slot ();
+    Span.set_attr t.phase_span "epoch" (Json.int t.epoch);
+    Span.set_attr t.phase_span "phase" (Json.int phase);
+    t.span_phase <- phase
+  end;
+  if t.stage_span = Span.none || t.span_stage <> tag then begin
+    if t.stage_span <> Span.none then begin
+      Span.finish t.stage_span ~slot;
+      t.stage_span <- Span.none
+    end;
+    t.stage_span <-
+      Span.start ~parent:t.phase_span ~name:(stage_span_name tag) ~slot ();
+    (match st with
+     | Mis_stage { round; _ } ->
+       Span.set_attr t.stage_span "first_round" (Json.int round)
+     | Probe_stage _ | List_stage _ | Data_stage _ -> ());
+    t.span_stage <- tag
+  end
+
 (* Advance past the slot that just completed; returns the rcv outputs. *)
 let end_slot t =
   let s = t.sched in
+  if Span.is_enabled () then trace_slot t;
   let _, st = stage_of t t.pos in
   (match st with
    | Probe_stage o -> if o = s.t - 1 then finish_probe_stage t

@@ -55,3 +55,10 @@ val last_h_graph : t -> Sinr_graph.Graph.t option
 val drain_rcv : t -> rcv_event list
 (** Pull rcv outputs accumulated since the last drain (used by the combined
     MAC after even-slot deliveries; {!end_slot} drains implicitly). *)
+
+(** {1 Causal tracing hooks} *)
+
+val set_clock : t -> (unit -> int) -> unit
+(** Install the engine-slot clock for the epoch/phase/stage spans the
+    machine emits while tracing is enabled (Combined_mac installs
+    [Engine.slot]; the default counts this machine's own slots). *)

@@ -55,6 +55,8 @@ type t = {
   bcast_slot : int array;
   last_ack_capped : bool array;
   trace : Trace.t option;
+  spans : Span.id array;     (* per-node root span of the ongoing bcast *)
+  hm_spans : Span.id array;  (* its hm.bcast child *)
 }
 
 let create ?(ack_params = Params.default_ack)
@@ -94,7 +96,11 @@ let create ?(ack_params = Params.default_ack)
         (config.Config.power /. (Config.strong_range config ** config.Config.alpha))
     else None
   in
-  { engine = Engine.create ?trace sinr;
+  let engine = Engine.create ?trace sinr in
+  (* Span annotations from the sub-machines carry engine slots. *)
+  Hm_ack.set_clock hm (fun () -> Engine.slot engine);
+  Approx_progress.set_clock approg (fun () -> Engine.slot engine);
+  { engine;
     hm;
     approg;
     lambda;
@@ -107,7 +113,9 @@ let create ?(ack_params = Params.default_ack)
     ongoing = Array.make n None;
     bcast_slot = Array.make n 0;
     last_ack_capped = Array.make n false;
-    trace }
+    trace;
+    spans = Array.make n Span.none;
+    hm_spans = Array.make n Span.none }
 
 (* Exact local broadcast (Remark 4.6): with signal-strength measurement a
    node can reject data from outside the strong radius, because received
@@ -134,10 +142,36 @@ let lambda t = t.lambda
    than a natural Algorithm B.1 halt. *)
 let last_ack_capped t ~node = t.last_ack_capped.(node)
 
+(* absMAC events go to the bounded trace (when attached) and are mirrored
+   into the flight-recorder ring while tracing is armed. *)
 let record t ev =
-  match t.trace with
-  | Some tr -> Trace.record tr ~slot:(now t) ev
-  | None -> ()
+  (match t.trace with
+   | Some tr -> Trace.record tr ~slot:(now t) ev
+   | None -> ());
+  if Recorder.is_enabled () then
+    Recorder.event ~slot:(now t) (Trace.event_to_json ev)
+
+(* Close the node's hm.bcast and mac.bcast spans with a final [outcome]
+   attribute ("ack" / "ack_capped" / "abort" / "crash_drop").  Guarded by
+   the root id, so this is two array reads and a compare when tracing is
+   off (or was off at bcast time). *)
+let finish_spans t ~node ~outcome =
+  let root = t.spans.(node) in
+  if root <> Span.none then begin
+    let slot = now t in
+    let hm_span = t.hm_spans.(node) in
+    if hm_span <> Span.none then begin
+      Span.set_attr hm_span "slots_run"
+        (Json.int (Hm_ack.slots_run t.hm ~node));
+      Span.set_attr hm_span "fallbacks"
+        (Json.int (Hm_ack.fallbacks t.hm ~node));
+      Span.finish hm_span ~slot
+    end;
+    Span.set_attr root "outcome" (Json.Str outcome);
+    Span.finish root ~slot;
+    t.spans.(node) <- Span.none;
+    t.hm_spans.(node) <- Span.none
+  end
 
 let bcast t ~node ~data =
   if busy t ~node then
@@ -151,6 +185,19 @@ let bcast t ~node ~data =
   Hm_ack.start t.hm ~node payload;
   Approx_progress.start t.approg ~node payload;
   record t (Trace.Bcast { node; msg = payload.Events.seq });
+  if Span.is_enabled () then begin
+    let slot = now t in
+    let root = Span.start ~name:"mac.bcast" ~slot () in
+    Span.set_attr root "node" (Json.int node);
+    Span.set_attr root "seq" (Json.int payload.Events.seq);
+    Span.set_attr root "f_ack" (Json.int t.fack_cap);
+    Span.set_attr root "f_approg"
+      (Json.int t.bounds.Absmac_intf.f_approg);
+    t.spans.(node) <- root;
+    let hm_span = Span.start ~parent:root ~name:"hm.bcast" ~slot () in
+    t.hm_spans.(node) <- hm_span;
+    Hm_ack.set_span t.hm ~node hm_span
+  end;
   payload
 
 let abort t ~node =
@@ -158,6 +205,7 @@ let abort t ~node =
   | None -> ()
   | Some payload ->
     t.ongoing.(node) <- None;
+    finish_spans t ~node ~outcome:"abort";
     Hm_ack.stop t.hm ~node;
     Approx_progress.stop t.approg ~node;
     Metrics.incr m_aborts;
@@ -170,6 +218,15 @@ let fire_rcvs t rcvs =
     (fun ({ Approx_progress.node; payload; from } as ev) ->
       Metrics.incr m_rcvs;
       record t (Trace.Rcv { node; msg = payload.Events.seq; from });
+      (* Progress annotation on the originator's span — only while that
+         broadcast is still the ongoing one (a rcv can trail an ack). *)
+      (if Span.is_enabled () then
+         let origin = payload.Events.origin in
+         match t.ongoing.(origin) with
+         | Some p when p.Events.seq = payload.Events.seq ->
+           Span.annotate t.spans.(origin) ~slot:(now t)
+             (Printf.sprintf "rcv@%d from=%d" node from)
+         | Some _ | None -> ());
       (match t.raw_rcv_hook with Some f -> f ev | None -> ());
       t.handlers.Absmac_intf.on_rcv ~node ~payload)
     rcvs
@@ -180,6 +237,7 @@ let finish_ack t ~node payload ~capped =
   Metrics.incr m_acks;
   if capped then Metrics.incr m_acks_capped;
   Metrics.observe_int m_ack_delay (now t - t.bcast_slot.(node));
+  finish_spans t ~node ~outcome:(if capped then "ack_capped" else "ack");
   Hm_ack.stop t.hm ~node;
   Approx_progress.stop t.approg ~node;
   record t (Trace.Ack { node; msg = payload.Events.seq });
@@ -240,10 +298,16 @@ let step t =
       | Some payload ->
         if Engine.is_crashed t.engine node then begin
           t.ongoing.(node) <- None;
+          finish_spans t ~node ~outcome:"crash_drop";
           Hm_ack.stop t.hm ~node;
           Approx_progress.stop t.approg ~node;
           Metrics.incr m_crash_drops;
-          record t (Trace.Abort { node; msg = payload.Events.seq })
+          record t (Trace.Abort { node; msg = payload.Events.seq });
+          (* Flight-recorder trigger: a node died with a broadcast in
+             flight.  One dump per run (dump_once), containing the just-
+             finished crash_drop span and the history around it. *)
+          if Recorder.is_enabled () then
+            ignore (Recorder.dump_once ~reason:"crash-mid-broadcast" ())
         end
         else
           let halted = Hm_ack.halted t.hm ~node in

@@ -61,6 +61,12 @@ type t = {
   p_cap : float;
   nodes : node_state array;
   rng : Rng.t;
+  spans : Span.id array;
+      (* per-node causal span of the ongoing broadcast (Combined_mac owns
+         open/close; this machine only annotates halt/fallback moments) *)
+  mutable clock : unit -> int;
+      (* engine-slot clock for span annotations; Combined_mac installs the
+         real one, the default stamps 0 *)
 }
 
 let fresh_node () =
@@ -96,7 +102,9 @@ let create (params : Params.ack) ~lambda ~n ~rng =
     p_start = 1. /. (params.p_start_div *. float_of_int n_tilde);
     p_cap = params.p_cap;
     nodes = Array.init n (fun _ -> fresh_node ());
-    rng }
+    rng;
+    spans = Array.make n Span.none;
+    clock = (fun () -> 0) }
 
 let n_tilde t = t.n_tilde
 
@@ -117,7 +125,11 @@ let start t ~node payload =
 let stop t ~node =
   let nd = t.nodes.(node) in
   nd.payload <- None;
-  nd.halted <- false
+  nd.halted <- false;
+  t.spans.(node) <- Span.none
+
+let set_clock t f = t.clock <- f
+let set_span t ~node id = t.spans.(node) <- id
 
 let active t ~node =
   let nd = t.nodes.(node) in
@@ -151,7 +163,9 @@ let decide t ~node =
       (* lines 14-16 *)
       nd.halted <- true;
       Metrics.incr m_halts;
-      Metrics.observe_int m_broadcast_slots nd.slots_run
+      Metrics.observe_int m_broadcast_slots nd.slots_run;
+      if t.spans.(node) <> Span.none then
+        Span.annotate t.spans.(node) ~slot:(t.clock ()) "hm.halt"
     end
     else begin
       nd.j <- nd.j + 1;
@@ -184,5 +198,8 @@ let on_receive t ~node =
       nd.j <- 0;
       nd.ramp_pending <- true;
       nd.fallbacks <- nd.fallbacks + 1;
-      Metrics.incr m_fallbacks
+      Metrics.incr m_fallbacks;
+      if t.spans.(node) <> Span.none then
+        Span.annotate t.spans.(node) ~slot:(t.clock ())
+          (Printf.sprintf "hm.fallback p=%.3g" nd.p)
     end

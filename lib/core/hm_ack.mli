@@ -40,3 +40,16 @@ val decide : t -> node:int -> Events.wire option
 val on_receive : t -> node:int -> unit
 (** Report that the node decoded some message during this HM slot
     (lines 17–22: reception counting and FallBack). *)
+
+(** {1 Causal tracing hooks}
+
+    Combined_mac opens one span per broadcast and hands it down; the
+    machine annotates its halt and FallBack moments onto it. All no-ops
+    while tracing is disabled. *)
+
+val set_clock : t -> (unit -> int) -> unit
+(** Install the engine-slot clock used to stamp annotations (the default
+    stamps 0). *)
+
+val set_span : t -> node:int -> Sinr_obs.Span.id -> unit
+(** Attach the node's ongoing-broadcast span; cleared by {!stop}. *)

@@ -161,6 +161,11 @@ let check trace ~graph ~f_ack ~f_prog ~horizon =
     progress_checks;
     progress_violations }
 
+(* Hard spec violations (the flight-recorder dump trigger): acks past
+   f_ack plus unserved progress windows.  Aborted/unfinished broadcasts
+   are not violations — the spec permits aborts and open horizons. *)
+let violations r = r.late_acks + r.progress_violations
+
 let pp ppf r =
   Fmt.pf ppf
     "spec: bcasts=%d acked=%d aborted=%d unfinished=%d late_acks=%d \

@@ -26,4 +26,8 @@ val check :
     acknowledgments/progress, G₁₋₂ε for approximate progress — pass the
     matching [f_prog]); [horizon] closes still-open broadcasts. *)
 
+val violations : report -> int
+(** Hard violations: [late_acks + progress_violations]. Non-zero triggers
+    the flight-recorder dump in the chaos experiments. *)
+
 val pp : report Fmt.t

@@ -80,10 +80,15 @@ let create ?(wake_on_receive = true) ?trace sinr =
 
 let set_perturb t f = t.perturb <- f
 
+(* Fault/wake events go to the bounded trace (when one is attached) and,
+   with tracing armed, to the flight recorder ring — the recorder check is
+   the tracing layer's single load-and-branch. *)
 let record t ev =
-  match t.trace with
-  | Some tr -> Trace.record tr ~slot:t.slot ev
-  | None -> ()
+  (match t.trace with
+   | Some tr -> Trace.record tr ~slot:t.slot ev
+   | None -> ());
+  if Recorder.is_enabled () then
+    Recorder.event ~slot:t.slot (Trace.event_to_json ev)
 
 let sinr t = t.sinr
 let n t = Sinr.n t.sinr
@@ -154,6 +159,9 @@ let step ?on_deliver t ~decide =
   let ntx = List.length !senders in
   t.tx_total <- t.tx_total + ntx;
   let telemetry = Metrics.is_enabled () in
+  (* Hoisted once per slot, like [telemetry]: with tracing off the whole
+     recorder integration is this one load-and-branch. *)
+  let tracing = Recorder.is_enabled () in
   if telemetry then begin
     Metrics.incr m_slots;
     Metrics.add m_tx ntx;
@@ -193,6 +201,11 @@ let step ?on_deliver t ~decide =
                 positions, without re-deriving the path loss. *)
              let power = Sinr.power t.sinr ~sender:v ~receiver:u in
              let d = { receiver = u; sender = v; message = m; power } in
+             if tracing then
+               Recorder.event ~slot:t.slot
+                 (Json.Obj
+                    [ ("ev", Json.Str "deliver"); ("rx", Json.int u);
+                      ("tx", Json.int v) ]);
              (match on_deliver with Some f -> f d | None -> ());
              deliveries := d :: !deliveries;
              t.delivery_total <- t.delivery_total + 1;

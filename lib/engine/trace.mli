@@ -28,6 +28,11 @@ val count : t -> (entry -> bool) -> int
 val pp_event : event Fmt.t
 val pp_entry : entry Fmt.t
 
+val event_to_json : event -> Sinr_obs.Json.t
+(** The event alone, as [{"ev":..., ...}] — the flight recorder mirrors
+    events through this without the slot field (the recorder stamps its
+    own). *)
+
 val entry_to_json : entry -> Sinr_obs.Json.t
 val to_jsonl : t -> string
 (** All retained events, oldest first, one JSON object per line. *)

@@ -174,6 +174,11 @@ let run_scenario ?(n = 36) ?(degree = 6) ?(budget_mult = 6) ~seed spec =
     Spec_check.check trace ~graph:approx ~f_ack
       ~f_prog:(min bounds.Absmac_intf.f_approg f_ack) ~horizon
   in
+  (* Flight recorder: a scenario run under tracing that breaks the spec
+     dumps the ring, so the failing message's span timeline survives the
+     run (one dump per reason; see Recorder.dump_once). *)
+  if Sinr_obs.Recorder.is_enabled () && Spec_check.violations report > 0 then
+    ignore (Sinr_obs.Recorder.dump_once ~reason:"spec-violation" ());
   let stats = retry.Mac_driver.stats () in
   let acks = !ack_slots in
   let progs = List.filter_map (fun i -> first_prog.(i)) listeners in

@@ -160,33 +160,38 @@ let gauge_value g = Atomic.get g.value
 let histogram_count h = h.h_count
 let histogram_sum h = h.h_sum
 
-(* Estimate the [q]-quantile (q in [0,1]) by walking the cumulative bucket
-   counts and interpolating linearly inside the crossing bucket.  The walk
-   happens under the histogram's mutex so a concurrent [observe] cannot
-   tear the count/bucket pair mid-scan. *)
-let quantile h q =
-  Mutex.lock h.h_mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock h.h_mutex) @@ fun () ->
-  if h.h_count = 0 then nan
+(* Estimate the [q]-quantile (q in [0,1]) of a log2-bucketed count array by
+   walking the cumulative counts and interpolating linearly inside the
+   crossing bucket, then clamping to the observed [lo]/[hi].  Standalone so
+   tools that build their own bucket arrays (trace-report's latency
+   percentiles) share the estimator and its tests. *)
+let estimate_quantile ~counts ~total ~lo ~hi q =
+  if total = 0 then nan
   else begin
-    let rank = q *. float_of_int h.h_count in
+    let n = Array.length counts in
+    let rank = q *. float_of_int total in
     let rec walk i seen =
-      if i >= nbuckets then h.h_max
+      if i >= n then hi
       else
-        let seen' = seen +. float_of_int h.buckets.(i) in
-        if seen' >= rank && h.buckets.(i) > 0 then begin
-          let lo = bucket_lo i and hi = bucket_hi i in
-          let frac =
-            if h.buckets.(i) = 0 then 0.
-            else (rank -. seen) /. float_of_int h.buckets.(i)
-          in
-          lo +. (Float.max 0. (Float.min 1. frac) *. (hi -. lo))
+        let seen' = seen +. float_of_int counts.(i) in
+        if seen' >= rank && counts.(i) > 0 then begin
+          let blo = bucket_lo i and bhi = bucket_hi i in
+          let frac = (rank -. seen) /. float_of_int counts.(i) in
+          blo +. (Float.max 0. (Float.min 1. frac) *. (bhi -. blo))
         end
         else walk (i + 1) seen'
     in
     let est = walk 0 0. in
-    Float.max h.h_min (Float.min h.h_max est)
+    Float.max lo (Float.min hi est)
   end
+
+(* Histogram wrapper: the walk happens under the histogram's mutex so a
+   concurrent [observe] cannot tear the count/bucket pair mid-scan. *)
+let quantile h q =
+  Mutex.lock h.h_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock h.h_mutex) @@ fun () ->
+  estimate_quantile ~counts:h.buckets ~total:h.h_count ~lo:h.h_min
+    ~hi:h.h_max q
 
 (* ------------------------------------------------------------------ *)
 (* Snapshots                                                           *)

@@ -48,6 +48,26 @@ val quantile : histogram -> float -> float
     histogram is empty. Exact for distributions within one bucket, at most
     a factor-2 off otherwise. *)
 
+(** {1 The bucket scheme, exposed}
+
+    Tools that aggregate their own samples (trace-report's latency
+    percentiles) reuse the registry's log2 bucketing and estimator instead
+    of reinventing them. *)
+
+val nbuckets : int
+(** Buckets per histogram: bucket 0 holds [\[0,1)], bucket [i >= 1] holds
+    [\[2^(i-1), 2^i)], the top bucket absorbs everything above. *)
+
+val bucket_of : float -> int
+(** Index of the bucket holding a (non-negative) value. *)
+
+val estimate_quantile :
+  counts:int array -> total:int -> lo:float -> hi:float -> float -> float
+(** [estimate_quantile ~counts ~total ~lo ~hi q]: the [q]-quantile of a
+    log2-bucketed count array with [total] samples whose observed extremes
+    are [lo]/[hi]; linear interpolation inside the crossing bucket, result
+    clamped to [\[lo, hi\]], [nan] when [total = 0]. Monotone in [q]. *)
+
 type hist_summary = {
   count : int;
   sum : float;

@@ -1,0 +1,93 @@
+(* Flight recorder: the dump side of the span ring.
+
+   Span keeps the bounded ring of finished spans + events; this module
+   owns when and where that ring hits disk.  Dump triggers (see the
+   call sites):
+
+   - Spec_check reports a violation     -> Exp_chaos.run_scenario
+   - a node crashes mid-broadcast       -> Combined_mac.step
+   - the caller asks                    -> sinr_sim --trace-out, tests
+
+   [dump_once] deduplicates per reason so a crashy run produces one dump
+   per failure class instead of one per crash; [clear] re-arms them.
+
+   A dump is JSONL: a header line, then still-open spans (what was in
+   flight when the failure hit), then the ring oldest-first.  Files are
+   written via Sink.write_file, i.e. atomically. *)
+
+(* The recorder shares Span's enable flag: one switch arms the whole
+   tracing layer, so "is tracing on" is a single atomic load everywhere. *)
+let set_enabled = Span.set_enabled
+let is_enabled = Span.is_enabled
+let with_enabled = Span.with_enabled
+
+let mutex = Mutex.create ()
+let dump_dir = ref "."
+let dumped : (string, unit) Hashtbl.t = Hashtbl.create 8
+
+let configure ?capacity ?dir () =
+  (match capacity with Some c -> Span.set_capacity c | None -> ());
+  match dir with
+  | Some d ->
+    Mutex.lock mutex;
+    dump_dir := d;
+    Mutex.unlock mutex
+  | None -> ()
+
+let event ~slot body = Span.record_event ~slot body
+
+let clear () =
+  Span.clear ();
+  Mutex.lock mutex;
+  Hashtbl.reset dumped;
+  Mutex.unlock mutex
+
+(* File-name-safe version of a dump reason. *)
+let sanitize reason =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> c
+      | _ -> '-')
+    reason
+
+let to_jsonl ~reason () =
+  let open_spans = Span.open_spans () in
+  let entries = Span.entries () in
+  let buf = Buffer.create 4096 in
+  let line j =
+    Buffer.add_string buf (Json.to_string_json j);
+    Buffer.add_char buf '\n'
+  in
+  line
+    (Json.Obj
+       [ ("flight", Json.Str reason);
+         ("open", Json.int (List.length open_spans));
+         ("entries", Json.int (List.length entries));
+         ("dropped", Json.int (Span.dropped_count ())) ]);
+  List.iter (fun sp -> line (Span.span_to_json sp)) open_spans;
+  List.iter (fun e -> line (Span.entry_to_json e)) entries;
+  Buffer.contents buf
+
+let dump ?path ~reason () =
+  let path =
+    match path with
+    | Some p -> p
+    | None ->
+      Mutex.lock mutex;
+      let d = !dump_dir in
+      Mutex.unlock mutex;
+      Filename.concat d ("flight-" ^ sanitize reason ^ ".jsonl")
+  in
+  Sink.write_file path (to_jsonl ~reason ());
+  path
+
+let dump_once ?path ~reason () =
+  let fresh =
+    Mutex.lock mutex;
+    let fresh = not (Hashtbl.mem dumped reason) in
+    if fresh then Hashtbl.replace dumped reason ();
+    Mutex.unlock mutex;
+    fresh
+  in
+  if fresh then Some (dump ?path ~reason ()) else None

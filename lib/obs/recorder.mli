@@ -1,0 +1,38 @@
+(** Flight recorder: bounded in-memory history of spans + events, dumped to
+    JSONL on failure or on request.
+
+    Storage is {!Span}'s ring; this module owns the dump policy. Dumps are
+    triggered by Spec_check violations (Exp_chaos), crash-mid-broadcast
+    (Combined_mac), or the caller ([sinr_sim --trace-out]). Shares Span's
+    enable flag — {!set_enabled}[ true] arms both spans and events. *)
+
+val set_enabled : bool -> unit
+val is_enabled : unit -> bool
+val with_enabled : (unit -> 'a) -> 'a
+
+val configure : ?capacity:int -> ?dir:string -> unit -> unit
+(** [capacity]: ring size in entries (resets ring contents; default
+    {!Span.default_capacity}). [dir]: directory for default dump paths
+    (default ["."]). *)
+
+val event : slot:int -> Json.t -> unit
+(** Record a loose event (= {!Span.record_event}); no-op when disabled. *)
+
+val clear : unit -> unit
+(** Drop ring + open spans and re-arm {!dump_once} reasons. *)
+
+val to_jsonl : reason:string -> unit -> string
+(** The dump text: a header line
+    [{"flight":reason,"open":..,"entries":..,"dropped":..}], then
+    still-open spans (oldest start first), then ring entries oldest-first,
+    one JSON object per line. *)
+
+val dump : ?path:string -> reason:string -> unit -> string
+(** Write {!to_jsonl} atomically and return the path written. Default path
+    is [<dir>/flight-<sanitized reason>.jsonl]. Works regardless of the
+    enable flag (dumping whatever history exists). *)
+
+val dump_once : ?path:string -> reason:string -> unit -> string option
+(** Like {!dump} but at most once per [reason] until {!clear}: [None] when
+    this reason already dumped. Failure hooks use this so a crashy run
+    yields one dump per failure class. *)

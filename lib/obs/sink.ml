@@ -108,11 +108,25 @@ let snapshot_to_prometheus (snap : Metrics.snapshot) =
 (* Files and pretty-printing                                           *)
 (* ------------------------------------------------------------------ *)
 
+(* Atomic write: land the bytes in a sibling temp file, then rename over
+   the destination.  rename(2) within one directory is atomic on POSIX, so
+   an interrupted run leaves either the old file or the new one — never a
+   torn BENCH_*.json.  The pid suffix keeps concurrent writers (bench
+   under --jobs, tests) off each other's temp files. *)
 let write_file path contents =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc contents)
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let oc = open_out tmp in
+  (try
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () -> output_string oc contents)
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  try Sys.rename tmp path
+  with e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e
 
 let append_line path line =
   let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in

@@ -14,6 +14,9 @@ val snapshot_to_prometheus : Metrics.snapshot -> string
     metric names become underscores. *)
 
 val write_file : string -> string -> unit
+(** Atomic replace: writes a sibling temp file and [rename]s it over
+    [path], so readers and interrupted runs never see a torn file. *)
+
 val append_line : string -> string -> unit
 (** Append one line (newline added if missing) — the JSONL accumulation
     primitive. *)

@@ -19,6 +19,7 @@ let () =
       ("mis_ext", Test_mis_ext.suite);
       ("expt_e2e", Test_expt_e2e.suite);
       ("obs", Test_obs.suite);
+      ("trace", Test_trace.suite);
       ("par", Test_par.suite);
       ("chaos", Test_chaos.suite);
       ("phys_fast", Test_phys_fast.suite) ]

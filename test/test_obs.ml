@@ -93,6 +93,54 @@ let test_histogram_quantiles =
       Alcotest.(check (float 1e-9)) "clamped to zero -> min" 0.0
         (Metrics.quantile h 0.0))
 
+(* The standalone estimator behind both Metrics.quantile and trace-report's
+   percentile lines: monotone in q over arbitrary bucket shapes, clamped to
+   the observed extremes, nan when empty. *)
+let test_estimate_quantile_monotone () =
+  let grid =
+    [ 0.0; 0.01; 0.1; 0.25; 0.5; 0.75; 0.9; 0.95; 0.99; 0.999; 1.0 ]
+  in
+  let check_dist name values =
+    let counts = Array.make Metrics.nbuckets 0 in
+    let lo = ref infinity and hi = ref neg_infinity in
+    List.iter
+      (fun v ->
+        if v < !lo then lo := v;
+        if v > !hi then hi := v;
+        let i = Metrics.bucket_of v in
+        counts.(i) <- counts.(i) + 1)
+      values;
+    let total = List.length values in
+    let q p =
+      Metrics.estimate_quantile ~counts ~total ~lo:!lo ~hi:!hi p
+    in
+    let estimates = List.map q grid in
+    let rec monotone = function
+      | a :: (b :: _ as rest) -> a <= b && monotone rest
+      | _ -> true
+    in
+    Alcotest.(check bool) (name ^ " monotone over the grid") true
+      (monotone estimates);
+    List.iter
+      (fun e ->
+        Alcotest.(check bool) (name ^ " clamped to [lo, hi]") true
+          (e >= !lo && e <= !hi))
+      estimates
+  in
+  check_dist "uniform" (List.init 100 (fun i -> float_of_int (i + 1)));
+  check_dist "point mass" (List.init 50 (fun _ -> 17.0));
+  check_dist "bimodal"
+    (List.init 90 (fun _ -> 1.5) @ List.init 10 (fun _ -> 900.));
+  check_dist "powers"
+    (List.init 20 (fun i -> Float.of_int (1 lsl (i mod 10))));
+  check_dist "single sample" [ 3.25 ];
+  (* Empty input: nan, not an exception. *)
+  Alcotest.(check bool) "empty input is nan" true
+    (Float.is_nan
+       (Metrics.estimate_quantile
+          ~counts:(Array.make Metrics.nbuckets 0)
+          ~total:0 ~lo:infinity ~hi:neg_infinity 0.5))
+
 let test_reset =
   with_registry (fun () ->
       let c = Metrics.counter "test.reset_c" in
@@ -169,6 +217,96 @@ let test_json_parse () =
   Alcotest.(check bool) "trailing garbage rejected" true
     (Json.parse_opt "1 2" = None)
 
+let test_json_escapes () =
+  (* \u escapes: ASCII, 2-byte and 3-byte UTF-8 targets. *)
+  (match Json.parse {|"\u0041\u00e9\u20ac"|} with
+   | Json.Str s ->
+     Alcotest.(check string) "unicode escapes decode to UTF-8"
+       "A\xc3\xa9\xe2\x82\xac" s
+   | _ -> Alcotest.fail "expected a string");
+  (match Json.parse {|"\b\f\/\\\""|} with
+   | Json.Str s ->
+     Alcotest.(check string) "rare escapes" "\b\012/\\\"" s
+   | _ -> Alcotest.fail "expected a string");
+  (* Control characters render as \u escapes and survive a round trip. *)
+  let original = Json.Str "tab\there\x01\x1f" in
+  let printed = Json.to_string_json original in
+  Alcotest.(check bool) "control chars escaped on output" true
+    (String.for_all (fun c -> Char.code c >= 0x20) printed);
+  Alcotest.(check bool) "string round-trips" true
+    (Json.parse printed = original);
+  Alcotest.(check bool) "bad unicode escape rejected" true
+    (Json.parse_opt {|"\uZZZZ"|} = None);
+  Alcotest.(check bool) "truncated unicode escape rejected" true
+    (Json.parse_opt {|"\u00|} = None);
+  Alcotest.(check bool) "unknown escape rejected" true
+    (Json.parse_opt {|"\q"|} = None);
+  Alcotest.(check bool) "unterminated string rejected" true
+    (Json.parse_opt {|"abc|} = None)
+
+let test_json_numbers () =
+  let num s =
+    match Json.parse s with
+    | Json.Num f -> f
+    | _ -> Alcotest.failf "%s did not parse to a number" s
+  in
+  Alcotest.(check (float 1e-9)) "exponent" 2500. (num "2.5e3");
+  Alcotest.(check (float 1e-12)) "negative exponent" (-0.005) (num "-0.5E-2");
+  Alcotest.(check (float 1e294)) "huge but finite" 1e308 (num "1e308");
+  (* The sink prints infinities as +-1e999 (out of double range, so they
+     parse straight back to infinities) and NaN as null. *)
+  Alcotest.(check bool) "1e999 overflows to infinity" true
+    (num "1e999" = infinity);
+  Alcotest.(check bool) "-1e999 overflows to -infinity" true
+    (num "-1e999" = neg_infinity);
+  Alcotest.(check string) "infinity prints as 1e999" "1e999"
+    (Json.to_string_json (Json.Num infinity));
+  Alcotest.(check bool) "infinity round-trips" true
+    (Json.parse (Json.to_string_json (Json.Num infinity)) = Json.Num infinity);
+  Alcotest.(check string) "nan prints as null" "null"
+    (Json.to_string_json (Json.Num Float.nan));
+  Alcotest.(check bool) "lone minus rejected" true
+    (Json.parse_opt "-" = None);
+  Alcotest.(check bool) "double dot rejected" true
+    (Json.parse_opt "1.2.3" = None)
+
+let test_json_deep_nesting () =
+  let depth = 200 in
+  let deep_list =
+    String.concat "" (List.init depth (fun _ -> "["))
+    ^ "7"
+    ^ String.concat "" (List.init depth (fun _ -> "]"))
+  in
+  let rec unwrap d j =
+    match j with
+    | Json.List [ inner ] -> unwrap (d + 1) inner
+    | Json.Num f -> (d, f)
+    | _ -> Alcotest.fail "unexpected shape in deep list"
+  in
+  let d, f = unwrap 0 (Json.parse deep_list) in
+  Alcotest.(check int) "all layers parsed" depth d;
+  Alcotest.(check (float 1e-9)) "payload intact" 7. f;
+  (* Deep objects, and the printer survives the same depth. *)
+  let deep_obj =
+    String.concat "" (List.init depth (fun _ -> {|{"k":|}))
+    ^ "null"
+    ^ String.make depth '}'
+  in
+  let j = Json.parse deep_obj in
+  Alcotest.(check bool) "deep object round-trips" true
+    (Json.parse (Json.to_string_json j) = j)
+
+let test_json_trailing_garbage () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (Printf.sprintf "%S rejected" s) true
+        (Json.parse_opt s = None))
+    [ "[1,]"; {|{"a":1,}|}; "{} x"; "[] []"; "1 2"; {|"a" "b"|}; "tru";
+      "nul"; "[1 2]"; {|{"a" 1}|}; "," ];
+  (* Leading/trailing whitespace is not garbage. *)
+  Alcotest.(check bool) "surrounding whitespace accepted" true
+    (Json.parse "  [1, 2]  \n" = Json.List [ Json.Num 1.; Json.Num 2. ])
+
 let value_eq a b =
   match (a, b) with
   | Metrics.Counter_v x, Metrics.Counter_v y -> x = y
@@ -203,6 +341,31 @@ let test_snapshot_roundtrip =
             Alcotest.(check bool) (n ^ " value survives") true
               (value_eq v v'))
           snap snap')
+
+(* write_file goes through a temp-and-rename: the destination either holds
+   the old contents or the new ones, and no *.tmp.* residue survives. *)
+let test_atomic_write_file () =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "sinr-obs-atomic-%d" (Unix.getpid ()))
+  in
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o700;
+  let path = Filename.concat dir "snap.json" in
+  Sink.write_file path "first\n";
+  Sink.write_file path "second\n";
+  let ic = open_in path in
+  let contents =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  Alcotest.(check string) "overwrite lands the new contents" "second\n"
+    contents;
+  Alcotest.(check (list string)) "no temp residue" [ "snap.json" ]
+    (Array.to_list (Sys.readdir dir) |> List.sort compare);
+  Sys.remove path;
+  Unix.rmdir dir
 
 let test_prometheus =
   with_registry (fun () ->
@@ -388,6 +551,15 @@ let suite =
     Alcotest.test_case "multi-domain stress (exact totals)" `Quick
       test_multi_domain_stress;
     Alcotest.test_case "json parse" `Quick test_json_parse;
+    Alcotest.test_case "json escapes" `Quick test_json_escapes;
+    Alcotest.test_case "json numbers (exponents, infinities)" `Quick
+      test_json_numbers;
+    Alcotest.test_case "json deep nesting" `Quick test_json_deep_nesting;
+    Alcotest.test_case "json trailing garbage" `Quick
+      test_json_trailing_garbage;
+    Alcotest.test_case "quantile estimator monotone" `Quick
+      test_estimate_quantile_monotone;
+    Alcotest.test_case "atomic write_file" `Quick test_atomic_write_file;
     Alcotest.test_case "snapshot jsonl round-trip" `Quick
       test_snapshot_roundtrip;
     Alcotest.test_case "prometheus exposition" `Quick test_prometheus;

@@ -1,0 +1,445 @@
+(* Tests for the causal-tracing layer: Span ring semantics, the flight
+   recorder's dump triggers (caller, crash-mid-broadcast, Spec_check
+   violation), trace-report's per-message reconstruction against the
+   Thm 5.1 / Thm 9.1 bounds, and the bench-diff regression gate. *)
+
+open Sinr_geom
+open Sinr_phys
+open Sinr_engine
+open Sinr_mac
+open Sinr_obs
+
+let cfg = Config.default
+
+let line_net n spacing = Sinr.create cfg (Placement.line ~n ~spacing)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* Fresh scratch directory per test (no Filename.temp_dir in this stdlib
+   vintage; pid + counter keeps reruns and parallel suites apart). *)
+let tmp_counter = ref 0
+
+let fresh_dir prefix =
+  incr tmp_counter;
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "%s-%d-%d" prefix (Unix.getpid ()) !tmp_counter)
+  in
+  Unix.mkdir d 0o700;
+  d
+
+(* Every test leaves the recorder disabled, empty and dumping to the cwd
+   again: the rest of the suite must keep running untraced. *)
+let with_recorder ?capacity ?dir f () =
+  Recorder.configure ?capacity ?dir ();
+  Recorder.clear ();
+  Recorder.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Recorder.set_enabled false;
+      Recorder.clear ();
+      Recorder.configure ~capacity:Span.default_capacity ~dir:"." ())
+    f
+
+(* ---------------- Span basics ---------------- *)
+
+let test_span_disabled_is_none () =
+  Span.set_enabled false;
+  let id = Span.start ~name:"x" ~slot:0 () in
+  Alcotest.(check bool) "start returns none when off" true
+    ((id :> int) = (Span.none :> int));
+  (* Every operation on none is a no-op, not an error. *)
+  Span.set_attr id "k" (Json.Num 1.);
+  Span.annotate id ~slot:1 "note";
+  Span.finish id ~slot:2;
+  Span.record_event ~slot:0 (Json.Obj [ ("ev", Json.Str "x") ]);
+  Alcotest.(check int) "ring untouched" 0 (List.length (Span.entries ()))
+
+let test_span_parent_attrs_notes =
+  with_recorder (fun () ->
+      let root = Span.start ~name:"root" ~slot:10 () in
+      Alcotest.(check bool) "live span has a real id" false
+        ((root :> int) = (Span.none :> int));
+      let child = Span.start ~parent:root ~name:"child" ~slot:11 () in
+      Span.set_attr child "k" (Json.Num 7.);
+      Span.set_attr child "k" (Json.Num 8.);
+      (* replace, not append *)
+      Span.annotate child ~slot:12 "first";
+      Span.annotate child ~slot:13 "second";
+      Span.finish child ~slot:14;
+      Span.finish root ~slot:20;
+      match Span.entries () with
+      | [ Span.Span_entry c; Span.Span_entry r ] ->
+        (* child finished first, so it enters the ring first *)
+        Alcotest.(check string) "child name" "child" c.Span.name;
+        Alcotest.(check bool) "child parent = root" true
+          ((c.Span.parent :> int) = (r.Span.id :> int));
+        Alcotest.(check int) "child start" 11 c.Span.start_slot;
+        Alcotest.(check int) "child end" 14 c.Span.end_slot;
+        Alcotest.(check (list (pair int string)))
+          "notes stored newest-first" [ (13, "second"); (12, "first") ]
+          c.Span.notes;
+        Alcotest.(check int) "attr replaced" 1 (List.length c.Span.attrs);
+        Alcotest.(check bool) "attr value is the newest" true
+          (List.assoc "k" c.Span.attrs = Json.Num 8.);
+        Alcotest.(check bool) "root is a root" true
+          ((r.Span.parent :> int) = (Span.none :> int))
+      | es ->
+        Alcotest.failf "expected exactly two span entries, got %d"
+          (List.length es))
+
+let test_ring_eviction =
+  with_recorder ~capacity:16 (fun () ->
+      Alcotest.(check int) "capacity clamped as asked" 16 (Span.capacity ());
+      for slot = 0 to 19 do
+        Span.record_event ~slot (Json.Obj [ ("ev", Json.Str "tick") ])
+      done;
+      let es = Span.entries () in
+      Alcotest.(check int) "ring holds capacity entries" 16 (List.length es);
+      Alcotest.(check int) "overwrites counted" 4 (Span.dropped_count ());
+      match es with
+      | Span.Event_entry { slot; _ } :: _ ->
+        Alcotest.(check int) "oldest survivor is slot 4" 4 slot
+      | _ -> Alcotest.fail "expected an event entry first")
+
+let test_disabled_mac_run_records_nothing () =
+  Recorder.set_enabled false;
+  Recorder.clear ();
+  let mac = Combined_mac.create (line_net 3 3.) ~rng:(Rng.create 3) in
+  ignore (Combined_mac.bcast mac ~node:0 ~data:1);
+  for _ = 1 to 200 do
+    Combined_mac.step mac
+  done;
+  Alcotest.(check int) "no ring entries from an untraced run" 0
+    (List.length (Span.entries ()));
+  Alcotest.(check int) "nothing dropped either" 0 (Span.dropped_count ())
+
+(* ---------------- Recorder dumps ---------------- *)
+
+let test_dump_roundtrip () =
+  let dir = fresh_dir "sinr-trace-rt" in
+  with_recorder ~dir
+    (fun () ->
+      let s = Span.start ~name:"unit.span" ~slot:3 () in
+      Span.set_attr s "node" (Json.int 4);
+      Span.finish s ~slot:9;
+      Recorder.event ~slot:5
+        (Json.Obj [ ("ev", Json.Str "rcv"); ("from", Json.int 4);
+                    ("msg", Json.int 0) ]);
+      let open_span = Span.start ~name:"unit.open" ~slot:7 () in
+      ignore open_span;
+      let path = Recorder.dump ~reason:"unit test!" () in
+      Alcotest.(check bool) "default path sanitizes the reason" true
+        (Filename.basename path = "flight-unit-test-.jsonl");
+      let tr = Trace_report.load_file path in
+      Alcotest.(check bool) "header carries the reason" true
+        (List.assoc_opt "flight" tr.Trace_report.header
+         = Some (Json.Str "unit test!"));
+      Alcotest.(check int) "both spans present" 2
+        (List.length tr.Trace_report.spans);
+      Alcotest.(check int) "event present" 1
+        (List.length tr.Trace_report.events);
+      let opened =
+        List.find
+          (fun sp -> sp.Trace_report.s_name = "unit.open")
+          tr.Trace_report.spans
+      in
+      Alcotest.(check bool) "open span dumped with no end" true
+        (opened.Trace_report.s_end = None);
+      (* dump_once: once per reason until clear *)
+      Alcotest.(check bool) "first dump_once fires" true
+        (Recorder.dump_once ~reason:"r1" () <> None);
+      Alcotest.(check bool) "second is deduped" true
+        (Recorder.dump_once ~reason:"r1" () = None);
+      Recorder.clear ();
+      Alcotest.(check bool) "clear re-arms the reason" true
+        (Recorder.dump_once ~reason:"r1" () <> None))
+    ()
+
+let test_crash_mid_broadcast_dumps () =
+  let dir = fresh_dir "sinr-trace-crash" in
+  with_recorder ~dir
+    (fun () ->
+      let mac = Combined_mac.create (line_net 3 3.) ~rng:(Rng.create 5) in
+      ignore (Combined_mac.bcast mac ~node:0 ~data:1);
+      for _ = 1 to 6 do
+        Combined_mac.step mac
+      done;
+      Engine.crash (Combined_mac.engine mac) 0;
+      let path = Filename.concat dir "flight-crash-mid-broadcast.jsonl" in
+      let budget = ref (Combined_mac.bounds mac).Absmac_intf.f_ack in
+      while (not (Sys.file_exists path)) && !budget > 0 do
+        Combined_mac.step mac;
+        decr budget
+      done;
+      Alcotest.(check bool) "crash produced a flight dump" true
+        (Sys.file_exists path);
+      let tr = Trace_report.load_file path in
+      let bcast =
+        List.find
+          (fun sp -> sp.Trace_report.s_name = "mac.bcast")
+          tr.Trace_report.spans
+      in
+      Alcotest.(check bool) "root span closed as crash_drop" true
+        (List.assoc_opt "outcome" bcast.Trace_report.s_attrs
+         = Some (Json.Str "crash_drop"));
+      let r = Trace_report.analyze tr in
+      match r.Trace_report.messages with
+      | [ m ] ->
+        Alcotest.(check int) "originator" 0 m.Trace_report.m_node;
+        Alcotest.(check string) "outcome" "crash_drop"
+          m.Trace_report.m_outcome
+      | ms -> Alcotest.failf "expected one message, got %d" (List.length ms))
+    ()
+
+(* ---------------- Spec_check violation -> flight recorder ----------- *)
+
+(* A jammed channel makes Algorithm 11.1 miss its windows; E-chaos checks
+   the run with Spec_check and, with the recorder armed, must leave a
+   flight-spec-violation.jsonl behind whose spans reconstruct the failing
+   message's epoch/phase timeline.  The harsh spec below violates on the
+   first seed on this deployment; the short seed sweep keeps the test
+   robust if kernel details shift the RNG stream. *)
+let test_spec_violation_dumps_and_reconstructs () =
+  let dir = fresh_dir "sinr-trace-spec" in
+  with_recorder ~capacity:262_144 ~dir
+    (fun () ->
+      let harsh =
+        { Sinr_expt.Exp_chaos.clean with
+          jam_duty = 0.9;
+          jam_mult = 1e9;
+          jam_period = 20 }
+      in
+      let path = Filename.concat dir "flight-spec-violation.jsonl" in
+      let seeds = [ 1; 2; 3; 4 ] in
+      let violated =
+        List.exists
+          (fun seed ->
+            if Sys.file_exists path then true
+            else begin
+              Recorder.clear ();
+              let o =
+                Sinr_expt.Exp_chaos.run_scenario ~n:16 ~degree:4 ~seed harsh
+              in
+              ignore o;
+              Sys.file_exists path
+            end)
+          seeds
+      in
+      Alcotest.(check bool) "violating run dumped the recorder" true violated;
+      let tr = Trace_report.load_file path in
+      let r = Trace_report.analyze tr in
+      Alcotest.(check bool) "messages reconstructed" true
+        (r.Trace_report.messages <> []);
+      (* Causality: every mac.bcast root has its B.1 child hanging off it. *)
+      let roots =
+        List.filter
+          (fun sp -> sp.Trace_report.s_name = "mac.bcast")
+          tr.Trace_report.spans
+      in
+      Alcotest.(check bool) "mac.bcast spans present" true (roots <> []);
+      let has_hm_child root =
+        List.exists
+          (fun sp ->
+            sp.Trace_report.s_name = "hm.bcast"
+            && sp.Trace_report.s_parent = Some root.Trace_report.s_id)
+          tr.Trace_report.spans
+      in
+      Alcotest.(check bool) "each root has an hm.bcast child" true
+        (List.for_all has_hm_child roots);
+      (* Timeline: the 9.1 epoch/phase machinery overlaps the messages. *)
+      let horizon = r.Trace_report.horizon in
+      let overlaps m sp =
+        let m_end =
+          Option.value m.Trace_report.m_end ~default:horizon
+        in
+        let sp_end =
+          Option.value sp.Trace_report.s_end ~default:horizon
+        in
+        sp.Trace_report.s_start <= m_end
+        && sp_end >= m.Trace_report.m_start
+      in
+      let m0 = List.hd r.Trace_report.messages in
+      Alcotest.(check bool)
+        "epoch/phase spans cover the first message's lifetime" true
+        (List.exists (overlaps m0) r.Trace_report.approg_spans);
+      (* The report renders without raising. *)
+      ignore (Fmt.str "%a" Trace_report.pp r))
+    ()
+
+(* ---------------- trace-report on a synthetic dump ---------------- *)
+
+let synthetic_lines =
+  [ {|{"flight":"synthetic","open":0,"entries":5,"dropped":0}|};
+    {|{"kind":"span","id":1,"parent":null,"name":"mac.bcast","start":0,"end":50,"attrs":{"node":0,"seq":0,"f_ack":100,"f_approg":40,"outcome":"ack"},"notes":[]}|};
+    {|{"kind":"span","id":2,"parent":1,"name":"hm.bcast","start":0,"end":50,"attrs":{},"notes":[]}|};
+    {|{"kind":"span","id":3,"parent":null,"name":"mac.bcast","start":10,"end":400,"attrs":{"node":2,"seq":0,"f_ack":100,"f_approg":40,"outcome":"ack_capped"},"notes":[]}|};
+    {|{"kind":"span","id":4,"parent":null,"name":"approg.epoch","start":0,"end":300,"attrs":{"epoch":0,"epoch_slots":300},"notes":[]}|};
+    {|{"kind":"span","id":5,"parent":4,"name":"approg.mis","start":6,"end":290,"attrs":{},"notes":[]}|};
+    {|{"kind":"event","slot":20,"ev":"rcv","node":1,"msg":0,"from":0}|};
+    {|{"kind":"event","slot":90,"ev":"rcv","node":1,"msg":0,"from":2}|} ]
+
+let test_trace_report_synthetic () =
+  let r = Trace_report.analyze (Trace_report.of_lines synthetic_lines) in
+  Alcotest.(check int) "two messages" 2 (List.length r.Trace_report.messages);
+  Alcotest.(check int) "horizon is the last slot" 400 r.Trace_report.horizon;
+  (match r.Trace_report.messages with
+   | [ ok_msg; late ] ->
+     Alcotest.(check bool) "in-bound message unflagged" false
+       (ok_msg.Trace_report.m_late_ack || ok_msg.Trace_report.m_late_prog);
+     Alcotest.(check (option int)) "ack delay" (Some 50)
+       ok_msg.Trace_report.m_ack_delay;
+     Alcotest.(check (option int)) "progress delay" (Some 20)
+       ok_msg.Trace_report.m_prog_delay;
+     (* 390 > f_ack=100 and 80 > f_approg=40: both bounds blown. *)
+     Alcotest.(check bool) "late ack flagged" true
+       late.Trace_report.m_late_ack;
+     Alcotest.(check bool) "late progress flagged" true
+       late.Trace_report.m_late_prog
+   | ms -> Alcotest.failf "expected 2 messages, got %d" (List.length ms));
+  Alcotest.(check int) "one flagged message" 1 (Trace_report.flagged r);
+  (match r.Trace_report.ack_pcts with
+   | None -> Alcotest.fail "expected ack percentiles"
+   | Some (p50, p90, p99) ->
+     Alcotest.(check bool) "percentiles monotone" true
+       (p50 <= p90 && p90 <= p99);
+     Alcotest.(check bool) "percentiles within sample range" true
+       (p50 >= 50. && p99 <= 390.));
+  Alcotest.(check bool) "mis stage aggregated" true
+    (List.exists
+       (fun (name, count, slots) ->
+         name = "approg.mis" && count = 1 && slots = 284)
+       r.Trace_report.stages);
+  let rendered = Fmt.str "%a" Trace_report.pp r in
+  Alcotest.(check bool) "report flags the offender" true
+    (contains rendered "EXCEEDS BOUND");
+  Alcotest.(check bool) "offender breakdown names the epoch span" true
+    (contains rendered "approg.epoch")
+
+let test_trace_report_rejects_garbage () =
+  Alcotest.check_raises "unknown kind"
+    (Failure "unknown line kind \"blob\"")
+    (fun () ->
+      ignore (Trace_report.of_lines [ {|{"kind":"blob"}|} ]));
+  Alcotest.(check bool) "malformed json raises Parse_error" true
+    (try
+       ignore (Trace_report.of_lines [ "{oops" ]);
+       false
+     with Json.Parse_error _ -> true)
+
+(* ---------------- bench diff ---------------- *)
+
+let test_bench_diff_directions () =
+  Alcotest.(check bool) "seconds regress upward" true
+    (Bench_diff.direction_of_name "bench.phys.seconds" = Bench_diff.Lower_better);
+  Alcotest.(check bool) "latency regresses upward" true
+    (Bench_diff.direction_of_name "mac.ack_latency" = Bench_diff.Lower_better);
+  Alcotest.(check bool) "speedups regress downward" true
+    (Bench_diff.direction_of_name "phys.bench.n64.speedup"
+     = Bench_diff.Higher_better);
+  Alcotest.(check bool) "unknown names get a band" true
+    (Bench_diff.direction_of_name "obs.bench.ring_entries" = Bench_diff.Band)
+
+let test_bench_diff_glob () =
+  Alcotest.(check bool) "suffix glob" true
+    (Bench_diff.glob_match "*.seconds" "a.b.seconds");
+  Alcotest.(check bool) "no partial suffix" false
+    (Bench_diff.glob_match "*.seconds" "a.b.second");
+  Alcotest.(check bool) "infix glob" true
+    (Bench_diff.glob_match "phys.*.speedup" "phys.bench.n64.speedup");
+  Alcotest.(check bool) "literal must match exactly" false
+    (Bench_diff.glob_match "abc" "abcd");
+  Alcotest.(check bool) "star alone matches anything" true
+    (Bench_diff.glob_match "*" "")
+
+let statuses findings =
+  List.map (fun f -> (f.Bench_diff.metric, f.Bench_diff.status)) findings
+
+let test_bench_diff_gate () =
+  let baseline =
+    [ ("a.speedup", Metrics.Gauge_v 4.0);
+      ("b.seconds", Metrics.Gauge_v 1.0);
+      ("c.count", Metrics.Counter_v 100);
+      ("d.gone", Metrics.Gauge_v 1.0) ]
+  in
+  let current =
+    [ ("a.speedup", Metrics.Gauge_v 2.0);  (* 50% drop: regressed *)
+      ("b.seconds", Metrics.Gauge_v 1.1);  (* within 25% band: ok *)
+      ("c.count", Metrics.Counter_v 110);  (* within band: ok *)
+      ("e.fresh", Metrics.Gauge_v 9.0) ]   (* new: not a regression *)
+  in
+  let findings = Bench_diff.diff ~baseline ~current () in
+  let st = statuses findings in
+  Alcotest.(check bool) "speedup drop regresses" true
+    (List.assoc "a.speedup" st = Bench_diff.Regressed);
+  Alcotest.(check bool) "small slowdown tolerated" true
+    (List.assoc "b.seconds" st = Bench_diff.Ok);
+  Alcotest.(check bool) "counter drift in band" true
+    (List.assoc "c.count" st = Bench_diff.Ok);
+  Alcotest.(check bool) "vanished metric is missing" true
+    (List.assoc "d.gone" st = Bench_diff.Missing);
+  Alcotest.(check bool) "new metric reported, harmless" true
+    (List.assoc "e.fresh" st = Bench_diff.New_metric);
+  let regs =
+    List.map (fun f -> f.Bench_diff.metric)
+      (Bench_diff.regressions findings)
+  in
+  Alcotest.(check (list string)) "gate fails on regressed + missing"
+    [ "a.speedup"; "d.gone" ] (List.sort compare regs);
+  (* Ignore globs pull metrics out of the gate entirely. *)
+  let lenient =
+    Bench_diff.diff ~ignores:[ "a.*"; "d.gone" ] ~baseline ~current ()
+  in
+  Alcotest.(check int) "ignored metrics cannot regress" 0
+    (List.length (Bench_diff.regressions lenient));
+  (* A wider tolerance forgives the speedup drop. *)
+  let wide = Bench_diff.diff ~tolerance:0.6 ~baseline ~current () in
+  Alcotest.(check int) "tolerance widens the band" 1
+    (List.length (Bench_diff.regressions wide))
+(* only d.gone left *)
+
+let test_bench_diff_histogram_p50 () =
+  let h p50 =
+    Metrics.Histogram_v
+      { Metrics.count = 10; sum = 100.; min = 1.; max = 50.; p50; p90 = 40.;
+        p99 = 50. }
+  in
+  let findings =
+    Bench_diff.diff
+      ~baseline:[ ("x.latency", h 10.) ]
+      ~current:[ ("x.latency", h 30.) ]
+      ()
+  in
+  Alcotest.(check int) "p50 tripling regresses a latency histogram" 1
+    (List.length (Bench_diff.regressions findings))
+
+let suite =
+  [ Alcotest.test_case "span: disabled start is none" `Quick
+      test_span_disabled_is_none;
+    Alcotest.test_case "span: parent links, attrs, notes" `Quick
+      test_span_parent_attrs_notes;
+    Alcotest.test_case "span: ring eviction keeps newest" `Quick
+      test_ring_eviction;
+    Alcotest.test_case "span: untraced MAC run records nothing" `Quick
+      test_disabled_mac_run_records_nothing;
+    Alcotest.test_case "recorder: dump round-trip + dump_once" `Quick
+      test_dump_roundtrip;
+    Alcotest.test_case "recorder: crash-mid-broadcast dumps" `Quick
+      test_crash_mid_broadcast_dumps;
+    Alcotest.test_case "recorder: spec violation dumps a timeline" `Slow
+      test_spec_violation_dumps_and_reconstructs;
+    Alcotest.test_case "trace-report: synthetic bounds check" `Quick
+      test_trace_report_synthetic;
+    Alcotest.test_case "trace-report: rejects garbage" `Quick
+      test_trace_report_rejects_garbage;
+    Alcotest.test_case "bench diff: direction heuristics" `Quick
+      test_bench_diff_directions;
+    Alcotest.test_case "bench diff: ignore globs" `Quick test_bench_diff_glob;
+    Alcotest.test_case "bench diff: gate semantics" `Quick
+      test_bench_diff_gate;
+    Alcotest.test_case "bench diff: histograms compare on p50" `Quick
+      test_bench_diff_histogram_p50 ]
