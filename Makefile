@@ -1,5 +1,5 @@
 .PHONY: all build check test fmt bench par-smoke chaos-smoke phys-smoke \
-        obs-smoke bench-diff clean
+        obs-smoke serve-smoke bench-diff clean
 
 all: build
 
@@ -43,13 +43,40 @@ obs-smoke:
 	  --trace-out flight-obs.jsonl --prometheus-out obs.prom
 	dune exec bin/sinr_sim.exe -- trace-report --strict flight-obs.jsonl
 
+# End-to-end exercise of the live observability plane: run a real sweep
+# with the embedded HTTP server up, scrape /metrics and /healthz while it
+# runs, and assert the scrape is well-formed Prometheus exposition.  The
+# scrape is kept as serve-metrics.prom (uploaded as a CI artifact).  The
+# binary is launched directly (not via dune exec) so $$! is the simulator
+# pid, not a wrapper.
+serve-smoke:
+	dune build bin/sinr_sim.exe
+	./_build/default/bin/sinr_sim.exe exp table1-ack --serve 9464 \
+	  > serve-smoke.log 2>&1 & pid=$$!; \
+	up=0; for i in $$(seq 1 50); do \
+	  if curl -sf http://127.0.0.1:9464/healthz >/dev/null 2>&1; \
+	  then up=1; break; fi; sleep 0.1; done; \
+	if [ $$up -ne 1 ]; then echo "serve-smoke: server never came up"; \
+	  cat serve-smoke.log; kill $$pid 2>/dev/null; exit 1; fi; \
+	health=$$(curl -sf http://127.0.0.1:9464/healthz); \
+	curl -sf http://127.0.0.1:9464/metrics > serve-metrics.prom; \
+	rc=$$?; kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	if [ $$rc -ne 0 ]; then echo "serve-smoke: /metrics scrape failed"; exit 1; fi; \
+	if [ "$$health" != "ok" ]; then echo "serve-smoke: bad /healthz: $$health"; exit 1; fi; \
+	grep -q '^# TYPE engine_slots counter' serve-metrics.prom || \
+	  { echo "serve-smoke: /metrics missing engine_slots family"; exit 1; }; \
+	awk '!/^#/ && !/^[a-zA-Z0-9_:]+(\{[^}]*\})? (-?[0-9.eE+-]+|NaN|[+-]Inf)$$/ \
+	  { print "serve-smoke: bad exposition line: " $$0; bad=1 } END { exit bad }' \
+	  serve-metrics.prom; \
+	echo "serve-smoke: OK ($$(wc -l < serve-metrics.prom) exposition lines)"
+
 # Bench regression gate: regenerate the machine-portable benchmarks and
 # compare them against the committed baselines.  Exits 1 on regression.
 # Absolute wall clocks are ignored (machine-dependent); the gate holds the
 # speedup ratios and the tracing-overhead gauges, which transfer across
 # hosts.  Wide tolerance: CI runners are noisy.
 bench-diff:
-	dune exec bench/main.exe -- phys trace-overhead
+	dune exec bench/main.exe -- phys trace-overhead metrics-overhead
 	dune exec bench/main.exe -- diff \
 	  --baseline bench/baselines/BENCH_phys.json --tolerance 0.75 \
 	  --ignore '*.slots_per_s' --ignore '*.seconds'

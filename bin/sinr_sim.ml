@@ -10,6 +10,12 @@
      obs        run an instrumented workload and print the metric snapshot
      phys       check the physics fast path against the seed kernel
      trace-report  analyze a flight-recorder dump against the theorem bounds
+     profile-report  profile where slot time goes, per engine stage
+
+   The run subcommands take --serve PORT: the run executes with telemetry
+   enabled and an embedded HTTP server on 127.0.0.1:PORT serving GET
+   /metrics (Prometheus text of the live snapshot), /healthz and /spans
+   for its duration, so long sweeps can be scraped mid-flight.
 
    The run subcommands take --phys-farfield EPS: opt into the grid-pruned
    far-field interference mode with relative error bound EPS (DESIGN.md
@@ -71,6 +77,15 @@ let trace_out_arg =
                  run and dump the recorder ring to $(docv) as JSONL; \
                  analyze it with $(b,sinr_sim trace-report).")
 
+let serve_arg =
+  Arg.(value & opt (some int) None
+       & info [ "serve" ] ~docv:"PORT"
+           ~doc:"Serve live observability over HTTP on 127.0.0.1:$(docv) \
+                 for the duration of the run: $(b,GET /metrics) (Prometheus \
+                 text of the live snapshot), $(b,/healthz), and $(b,/spans) \
+                 (flight-recorder ring as JSONL). Implies telemetry. \
+                 $(docv)=0 lets the kernel pick a free port (printed).")
+
 let jobs_arg =
   Arg.(value & opt (some int) None
        & info [ "jobs" ] ~docv:"N"
@@ -114,11 +129,29 @@ let probe_writable path =
     Fmt.epr "sinr_sim: cannot write output: %s@." e;
     Stdlib.exit 1
 
-(* Run [f] with telemetry/tracing per the output flags, then write the
-   metric snapshot (JSONL and/or Prometheus) and the flight-recorder dump
-   to their files. *)
-let with_obs ~label ~metrics_out ~prom_out ~trace_out f =
-  let need_metrics = metrics_out <> None || prom_out <> None in
+(* Start the embedded observability server (when --serve was given) and
+   say where it listens; the caller stops it when the run is over. *)
+let start_server = function
+  | None -> None
+  | Some port ->
+    (match Http.serve ~port () with
+     | s ->
+       Fmt.pr "[serving /metrics /healthz /spans on http://127.0.0.1:%d]@."
+         (Http.port s);
+       Some s
+     | exception Unix.Unix_error (e, _, _) ->
+       Fmt.epr "sinr_sim: cannot serve on port %d: %s@." port
+         (Unix.error_message e);
+       Stdlib.exit 1)
+
+(* Run [f] with telemetry/tracing per the output flags — and, with --serve,
+   the live HTTP endpoint up for the duration — then write the metric
+   snapshot (JSONL and/or Prometheus) and the flight-recorder dump to
+   their files. *)
+let with_obs ~label ~metrics_out ~prom_out ~trace_out ~serve f =
+  let need_metrics =
+    metrics_out <> None || prom_out <> None || serve <> None
+  in
   if not (need_metrics || trace_out <> None) then f ()
   else begin
     List.iter
@@ -132,8 +165,10 @@ let with_obs ~label ~metrics_out ~prom_out ~trace_out f =
       Recorder.clear ();
       Recorder.set_enabled true
     end;
+    let server = start_server serve in
     Fun.protect
       ~finally:(fun () ->
+        Option.iter Http.stop server;
         Metrics.set_enabled false;
         Recorder.set_enabled false)
       f;
@@ -183,10 +218,12 @@ let profile_cmd =
 (* ---------------- smb ---------------- *)
 
 let smb_cmd =
-  let run seed n degree range farfield metrics_out prom_out trace_out jobs =
+  let run seed n degree range farfield metrics_out prom_out trace_out jobs
+      serve =
     set_jobs jobs;
     set_farfield farfield;
-    with_obs ~label:"smb" ~metrics_out ~prom_out ~trace_out @@ fun () ->
+    with_obs ~label:"smb" ~metrics_out ~prom_out ~trace_out ~serve
+    @@ fun () ->
     let d = deployment ~seed ~n ~degree ~range in
     pp_profile d;
     let budget = 40_000_000 in
@@ -221,7 +258,8 @@ let smb_cmd =
     (Cmd.info "smb"
        ~doc:"Global single-message broadcast: ours vs the baselines.")
     Term.(const run $ seed_arg $ n_arg $ degree_arg $ range_arg $ farfield_arg
-          $ metrics_out_arg $ prom_out_arg $ trace_out_arg $ jobs_arg)
+          $ metrics_out_arg $ prom_out_arg $ trace_out_arg $ jobs_arg
+          $ serve_arg)
 
 (* ---------------- cons ---------------- *)
 
@@ -231,10 +269,11 @@ let cons_cmd =
          & info [ "crashes" ] ~docv:"K" ~doc:"Crash K nodes mid-run.")
   in
   let run seed n degree range crashes farfield metrics_out prom_out trace_out
-      jobs =
+      jobs serve =
     set_jobs jobs;
     set_farfield farfield;
-    with_obs ~label:"cons" ~metrics_out ~prom_out ~trace_out @@ fun () ->
+    with_obs ~label:"cons" ~metrics_out ~prom_out ~trace_out ~serve
+    @@ fun () ->
     let d = deployment ~seed ~n ~degree ~range in
     pp_profile d;
     let rng = Rng.create (seed + 10) in
@@ -263,15 +302,17 @@ let cons_cmd =
     (Cmd.info "cons" ~doc:"Network-wide consensus over the absMAC.")
     Term.(const run $ seed_arg $ n_arg $ degree_arg $ range_arg $ crashes_arg
           $ farfield_arg $ metrics_out_arg $ prom_out_arg $ trace_out_arg
-          $ jobs_arg)
+          $ jobs_arg $ serve_arg)
 
 (* ---------------- approg ---------------- *)
 
 let approg_cmd =
-  let run seed n degree range farfield metrics_out prom_out trace_out jobs =
+  let run seed n degree range farfield metrics_out prom_out trace_out jobs
+      serve =
     set_jobs jobs;
     set_farfield farfield;
-    with_obs ~label:"approg" ~metrics_out ~prom_out ~trace_out @@ fun () ->
+    with_obs ~label:"approg" ~metrics_out ~prom_out ~trace_out ~serve
+    @@ fun () ->
     let d = deployment ~seed ~n ~degree ~range in
     pp_profile d;
     let senders = List.filter (fun v -> v mod 2 = 0) (List.init n Fun.id) in
@@ -310,7 +351,8 @@ let approg_cmd =
     (Cmd.info "approg"
        ~doc:"Measure approximate progress of Algorithm 9.1 on a deployment.")
     Term.(const run $ seed_arg $ n_arg $ degree_arg $ range_arg $ farfield_arg
-          $ metrics_out_arg $ prom_out_arg $ trace_out_arg $ jobs_arg)
+          $ metrics_out_arg $ prom_out_arg $ trace_out_arg $ jobs_arg
+          $ serve_arg)
 
 (* ---------------- chaos ---------------- *)
 
@@ -349,10 +391,11 @@ let chaos_cmd =
                    adversarially aborted.")
   in
   let run seed n degree jam fading crash_frac downtime abort_rate farfield
-      metrics_out prom_out trace_out jobs =
+      metrics_out prom_out trace_out jobs serve =
     set_jobs jobs;
     set_farfield farfield;
-    with_obs ~label:"chaos" ~metrics_out ~prom_out ~trace_out @@ fun () ->
+    with_obs ~label:"chaos" ~metrics_out ~prom_out ~trace_out ~serve
+    @@ fun () ->
     let spec =
       { Exp_chaos.clean with
         Exp_chaos.jam_duty = jam;
@@ -389,7 +432,8 @@ let chaos_cmd =
              faults, and report the degradation.")
     Term.(const run $ seed_arg $ n_arg $ degree_arg $ jam_arg $ fading_arg
           $ crash_frac_arg $ downtime_arg $ abort_rate_arg $ farfield_arg
-          $ metrics_out_arg $ prom_out_arg $ trace_out_arg $ jobs_arg)
+          $ metrics_out_arg $ prom_out_arg $ trace_out_arg $ jobs_arg
+          $ serve_arg)
 
 (* ---------------- exp ---------------- *)
 
@@ -401,9 +445,9 @@ let exp_cmd =
                    table1-approg, thm8-decay, table2-smb, table1-mmb, \
                    table1-cons, ablation, mac-compare, capacity, chaos).")
   in
-  let run id metrics_out prom_out trace_out jobs =
+  let run id metrics_out prom_out trace_out jobs serve =
     set_jobs jobs;
-    with_obs ~label:("exp:" ^ id) ~metrics_out ~prom_out ~trace_out
+    with_obs ~label:("exp:" ^ id) ~metrics_out ~prom_out ~trace_out ~serve
     @@ fun () ->
     match id with
     | "table1-ack" -> ignore (Exp_ack.run ())
@@ -431,7 +475,7 @@ let exp_cmd =
   Cmd.v
     (Cmd.info "exp" ~doc:"Run a named experiment (see DESIGN.md index).")
     Term.(const run $ id_arg $ metrics_out_arg $ prom_out_arg $ trace_out_arg
-          $ jobs_arg)
+          $ jobs_arg $ serve_arg)
 
 (* ---------------- obs ---------------- *)
 
@@ -456,7 +500,7 @@ let obs_cmd =
              ~doc:"Slot budget for the instrumented workload.")
   in
   let run seed n degree range format max_slots metrics_out prom_out trace_out
-      =
+      serve =
     List.iter (Option.iter probe_writable) [ metrics_out; prom_out; trace_out ];
     let d = deployment ~seed ~n ~degree ~range in
     let senders = List.filter (fun v -> v mod 2 = 0) (List.init n Fun.id) in
@@ -466,8 +510,10 @@ let obs_cmd =
       Recorder.clear ();
       Recorder.set_enabled true
     end;
+    let server = start_server serve in
     Fun.protect
       ~finally:(fun () ->
+        Option.iter Http.stop server;
         Metrics.set_enabled false;
         Recorder.set_enabled false)
       (fun () ->
@@ -501,7 +547,8 @@ let obs_cmd =
        ~doc:"Run an instrumented absMAC workload and print the telemetry \
              snapshot.")
     Term.(const run $ seed_arg $ n_arg $ degree_arg $ range_arg $ format_arg
-          $ slots_arg $ metrics_out_arg $ prom_out_arg $ trace_out_arg)
+          $ slots_arg $ metrics_out_arg $ prom_out_arg $ trace_out_arg
+          $ serve_arg)
 
 (* ---------------- trace-report ---------------- *)
 
@@ -560,10 +607,11 @@ let phys_cmd =
              ~doc:"Number of random slots to check for equivalence.")
   in
   let run seed n degree range cases farfield metrics_out prom_out trace_out
-      jobs =
+      jobs serve =
     set_jobs jobs;
     set_farfield farfield;
-    with_obs ~label:"phys" ~metrics_out ~prom_out ~trace_out @@ fun () ->
+    with_obs ~label:"phys" ~metrics_out ~prom_out ~trace_out ~serve
+    @@ fun () ->
     let d = deployment ~seed ~n ~degree ~range in
     let sinr = d.Workloads.sinr in
     let n = Sinr.n sinr in
@@ -653,7 +701,63 @@ let phys_cmd =
              on divergence) and sample its throughput.")
     Term.(const run $ seed_arg $ n_arg $ degree_arg $ range_arg $ cases_arg
           $ farfield_arg $ metrics_out_arg $ prom_out_arg $ trace_out_arg
-          $ jobs_arg)
+          $ jobs_arg $ serve_arg)
+
+(* ---------------- profile-report ---------------- *)
+
+(* Where does a slot's wall time go?  Runs the standard instrumented
+   workload (even nodes broadcast through Algorithm 11.1 to the last ack)
+   with the slot-phase profiler armed, then prints the per-stage table —
+   share of slot time, p50/p99 per stage — aggregated from the
+   [profile.*.ns] histograms.  The same rows flow through --metrics-out /
+   --prometheus-out / --serve like any other metric. *)
+let profile_report_cmd =
+  let slots_arg =
+    Arg.(value & opt int 50_000
+         & info [ "max-slots" ] ~docv:"SLOTS"
+             ~doc:"Slot budget for the profiled workload.")
+  in
+  let run seed n degree range max_slots farfield jobs serve metrics_out
+      prom_out =
+    set_jobs jobs;
+    set_farfield farfield;
+    List.iter (Option.iter probe_writable) [ metrics_out; prom_out ];
+    let d = deployment ~seed ~n ~degree ~range in
+    let senders = List.filter (fun v -> v mod 2 = 0) (List.init n Fun.id) in
+    Metrics.reset ();
+    let server = start_server serve in
+    Fun.protect ~finally:(fun () -> Option.iter Http.stop server)
+    @@ fun () ->
+    Profile.with_enabled (fun () ->
+        ignore
+          (Sinr_mac.Measure.acks d.Workloads.sinr
+             ~rng:(Rng.create (seed + 4))
+             ~senders ~max_slots));
+    match Profile.report () with
+    | None ->
+      Fmt.epr "sinr_sim profile-report: no slots were profiled@.";
+      Stdlib.exit 1
+    | Some r ->
+      Fmt.pr "%a" Profile.pp_report r;
+      let snap = Metrics.snapshot () in
+      Option.iter
+        (fun path ->
+          Sink.write_snapshot ~label:"profile-report" path snap;
+          Fmt.pr "[metrics written: %s]@." path)
+        metrics_out;
+      Option.iter
+        (fun path ->
+          Sink.write_file path (Sink.snapshot_to_prometheus snap);
+          Fmt.pr "[prometheus written: %s]@." path)
+        prom_out
+  in
+  Cmd.v
+    (Cmd.info "profile-report"
+       ~doc:"Profile an instrumented absMAC workload and print the \
+             per-stage slot-time table (share, p50, p99).")
+    Term.(const run $ seed_arg $ n_arg $ degree_arg $ range_arg $ slots_arg
+          $ farfield_arg $ jobs_arg $ serve_arg $ metrics_out_arg
+          $ prom_out_arg)
 
 let () =
   let doc = "Local broadcast layer for the SINR network model — simulator" in
@@ -665,4 +769,4 @@ let () =
     (Cmd.eval ~argv
        (Cmd.group info
           [ profile_cmd; smb_cmd; cons_cmd; approg_cmd; chaos_cmd; exp_cmd;
-            obs_cmd; phys_cmd; trace_report_cmd ]))
+            obs_cmd; phys_cmd; trace_report_cmd; profile_report_cmd ]))

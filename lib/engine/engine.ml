@@ -146,8 +146,13 @@ let awake_nodes t =
    callers can distinguish "received while asleep". *)
 let step ?on_deliver t ~decide =
   let n = n t in
+  (* Profiler stage boundaries (profile.<stage>.ns, see lib/obs/profile).
+     With the profiler off every [Profile.start] is one atomic load and
+     every [Profile.stop] one float compare. *)
+  let p_step = Profile.start () in
   let messages = Array.make n None in
   let senders = ref [] in
+  let p0 = Profile.start () in
   for v = 0 to n - 1 do
     if t.awake.(v) && not t.crashed.(v) then
       match decide v with
@@ -156,6 +161,7 @@ let step ?on_deliver t ~decide =
         senders := v :: !senders
       | Listen -> ()
   done;
+  Profile.stop Profile.Decide p0;
   let ntx = List.length !senders in
   t.tx_total <- t.tx_total + ntx;
   let telemetry = Metrics.is_enabled () in
@@ -163,6 +169,7 @@ let step ?on_deliver t ~decide =
      recorder integration is this one load-and-branch. *)
   let tracing = Recorder.is_enabled () in
   if telemetry then begin
+    let p0 = Profile.start () in
     Metrics.incr m_slots;
     Metrics.add m_tx ntx;
     Metrics.observe_int m_slot_tx ntx;
@@ -172,15 +179,19 @@ let step ?on_deliver t ~decide =
       if t.awake.(v) && not t.crashed.(v) && messages.(v) = None then
         incr listeners
     done;
-    Metrics.add m_listens !listeners
+    Metrics.add m_listens !listeners;
+    Profile.stop Profile.Telemetry p0
   end;
   let deliveries = ref [] in
   let ndeliv = ref 0 in
   if !senders <> [] then begin
     (* The adversary's channel state for this slot; [None] keeps the exact
        clean-channel resolution path. *)
+    let p0 = Profile.start () in
     let perturb = t.perturb ~slot:t.slot in
+    Profile.stop Profile.Perturb p0;
     if telemetry && Option.is_some perturb then Metrics.incr m_perturbed_slots;
+    let p0 = Profile.start () in
     let outcome =
       if telemetry then begin
         let r = Timer.start () in
@@ -191,6 +202,8 @@ let step ?on_deliver t ~decide =
       end
       else Sinr.resolve ?perturb t.sinr ~senders:!senders
     in
+    Profile.stop Profile.Resolve p0;
+    let p0 = Profile.start () in
     for u = 0 to n - 1 do
       if not t.crashed.(u) then
         match outcome.(u) with
@@ -221,14 +234,19 @@ let step ?on_deliver t ~decide =
             if List.exists (fun v -> Sinr.in_range t.sinr v u) !senders then
               Metrics.incr m_collision_loss
             else Metrics.incr m_silence
-    done
+    done;
+    Profile.stop Profile.Delivery p0
   end;
   if telemetry then begin
+    let p0 = Profile.start () in
     Metrics.add m_deliveries !ndeliv;
-    Metrics.observe_int m_slot_deliveries !ndeliv
+    Metrics.observe_int m_slot_deliveries !ndeliv;
+    Profile.stop Profile.Telemetry p0
   end;
   t.slot <- t.slot + 1;
-  List.rev !deliveries
+  let out = List.rev !deliveries in
+  Profile.stop Profile.Step p_step;
+  out
 
 (* Drive the simulation until [stop] returns true or [max_slots] elapse.
    Returns the number of slots executed.  [on_slot] fires after every slot

@@ -1,0 +1,181 @@
+(* Embedded scrape endpoint: a minimal, dependency-free HTTP/1.1 server on
+   a background domain, so a long chaos/reliability sweep can be watched
+   live instead of post-mortem.
+
+   Scope is deliberately tiny — GET only, one connection at a time,
+   Connection: close — because the only clients are curl and a Prometheus
+   scraper, both of which retry.  Serving stays safe while the simulation
+   runs on other domains: /metrics renders [Metrics.snapshot] (a lock-free
+   shard merge), /spans renders the flight-recorder ring, and neither takes
+   a lock the hot path could hold.
+
+   Shutdown: [stop] shuts the listening socket down, which makes the
+   blocked [Unix.accept] in the server domain fail; the accept loop treats
+   any listen-socket error as the exit signal and the domain is joined.
+   Binds the loopback interface only — this is a local observability port,
+   not a public API. *)
+
+type t = {
+  sock : Unix.file_descr;
+  port : int;
+  stopping : bool Atomic.t;
+  mutable worker : unit Domain.t option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Request handling (pure: request text in, response text out)         *)
+(* ------------------------------------------------------------------ *)
+
+let body_for path =
+  match path with
+  | "/metrics" ->
+    Some
+      ( "text/plain; version=0.0.4",
+        Sink.snapshot_to_prometheus (Metrics.snapshot ()) )
+  | "/healthz" -> Some ("text/plain", "ok\n")
+  | "/spans" ->
+    Some ("application/jsonl", Recorder.to_jsonl ~reason:"http-scrape" ())
+  | _ -> None
+
+let respond ~status ~content_type body =
+  Printf.sprintf
+    "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+     close\r\n\r\n%s"
+    status content_type (String.length body) body
+
+(* [request] is everything up to the header terminator; only the request
+   line matters to us. *)
+let response_for request =
+  let line =
+    match String.index_opt request '\r' with
+    | Some i -> String.sub request 0 i
+    | None -> (
+      match String.index_opt request '\n' with
+      | Some i -> String.sub request 0 i
+      | None -> request)
+  in
+  match String.split_on_char ' ' line with
+  | [ "GET"; path; _version ] -> (
+    (* Strip any query string: /metrics?x=y scrapes the same as /metrics. *)
+    let path =
+      match String.index_opt path '?' with
+      | Some i -> String.sub path 0 i
+      | None -> path
+    in
+    match body_for path with
+    | Some (content_type, body) -> respond ~status:"200 OK" ~content_type body
+    | None ->
+      respond ~status:"404 Not Found" ~content_type:"text/plain"
+        "not found\n")
+  | (("HEAD" | "POST" | "PUT" | "DELETE" | "PATCH" | "OPTIONS") :: _) ->
+    respond ~status:"405 Method Not Allowed" ~content_type:"text/plain"
+      "only GET is served\n"
+  | _ ->
+    respond ~status:"400 Bad Request" ~content_type:"text/plain"
+      "bad request\n"
+
+(* ------------------------------------------------------------------ *)
+(* Socket plumbing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let max_request = 8192
+
+(* Read until the blank line ending the header block, EOF, or the size
+   cap.  A per-socket receive timeout (set by the caller) bounds how long a
+   stalled client can hold the single-threaded accept loop. *)
+let read_request fd =
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 1024 in
+  let rec loop () =
+    if Buffer.length buf >= max_request then Buffer.contents buf
+    else
+      let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+      if n = 0 then Buffer.contents buf
+      else begin
+        Buffer.add_subbytes buf chunk 0 n;
+        let s = Buffer.contents buf in
+        let has_terminator =
+          (* "\r\n\r\n" or a bare "\n\n" from hand-typed clients *)
+          let rec scan i =
+            if i + 1 >= String.length s then false
+            else if s.[i] = '\n' && (s.[i + 1] = '\n'
+                                     || (i + 2 < String.length s
+                                         && s.[i + 1] = '\r'
+                                         && s.[i + 2] = '\n'))
+            then true
+            else scan (i + 1)
+          in
+          scan 0
+        in
+        if has_terminator then s else loop ()
+      end
+  in
+  loop ()
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let len = Bytes.length b in
+  let rec go off =
+    if off < len then
+      let n = Unix.write fd b off (len - off) in
+      go (off + n)
+  in
+  go 0
+
+let handle_client fd =
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+  Unix.setsockopt_float fd Unix.SO_SNDTIMEO 5.0;
+  let request = read_request fd in
+  if String.length request > 0 then write_all fd (response_for request)
+
+let accept_loop t =
+  let rec loop () =
+    match Unix.accept t.sock with
+    | fd, _addr ->
+      (try handle_client fd with _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      if not (Atomic.get t.stopping) then loop ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      if not (Atomic.get t.stopping) then loop ()
+    | exception Unix.Unix_error _ ->
+      (* The listening socket was closed (stop) or is unusable; either way
+         the server's life is over. *)
+      ()
+  in
+  loop ()
+
+let serve ?(addr = "127.0.0.1") ~port () =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt sock Unix.SO_REUSEADDR true;
+     Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string addr, port));
+     Unix.listen sock 16
+   with e ->
+     (try Unix.close sock with Unix.Unix_error _ -> ());
+     raise e);
+  let port =
+    (* With port 0 the kernel picked one; report the real port either way. *)
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> port
+  in
+  let t = { sock; port; stopping = Atomic.make false; worker = None } in
+  t.worker <- Some (Domain.spawn (fun () -> accept_loop t));
+  t
+
+let port t = t.port
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    (* shutdown(2) — not close — wakes a thread blocked in accept(2) on
+       Linux; close only marks the fd and leaves the accept sleeping.  The
+       fd itself is closed after the join, so its number cannot be reused
+       under the still-running server domain. *)
+    (try Unix.shutdown t.sock Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    (match t.worker with
+    | Some d ->
+      t.worker <- None;
+      Domain.join d
+    | None -> ());
+    try Unix.close t.sock with Unix.Unix_error _ -> ()
+  end

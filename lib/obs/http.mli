@@ -1,0 +1,34 @@
+(** Embedded observability endpoint: a minimal dependency-free HTTP server
+    (GET-only, loopback-only, one background domain) exposing the live
+    state of a running simulation:
+
+    - [/metrics] — the current {!Metrics.snapshot} in Prometheus text
+      exposition format ({!Sink.snapshot_to_prometheus});
+    - [/healthz] — ["ok"], for liveness probes and smoke tests;
+    - [/spans] — the flight-recorder ring as JSONL
+      ({!Recorder.to_jsonl}).
+
+    Reading is safe while the simulation runs on other domains: both
+    endpoints render from lock-free structures (sharded histograms, the
+    span ring), so a scrape can never block the per-slot hot path.
+
+    Enabled from the CLI with [sinr_sim <cmd> --serve PORT]. *)
+
+type t
+(** A running server (listening socket + accept-loop domain). *)
+
+val serve : ?addr:string -> port:int -> unit -> t
+(** Bind [addr] (default ["127.0.0.1"]) on [port] and serve until {!stop}.
+    [port = 0] lets the kernel pick a free port — read it back with
+    {!port}. Raises [Unix.Unix_error] if the bind fails (port taken). *)
+
+val port : t -> int
+(** The actual bound port (useful after [serve ~port:0]). *)
+
+val stop : t -> unit
+(** Shut down the listener and join the server domain. Idempotent. *)
+
+val response_for : string -> string
+(** [response_for request] is the full HTTP response (status line, headers,
+    body) for a raw request string — the routing logic without the socket,
+    exposed for tests. *)

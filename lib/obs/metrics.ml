@@ -3,19 +3,35 @@
    Instrumented modules create their handles once at module-init time
    ([counter]/[gauge]/[histogram] are get-or-create), so the hot path never
    touches the registry: an update is a single branch on the global enable
-   flag plus one atomic (or mutex-protected, for histograms) write.  With
-   the switch off the whole subsystem costs one load-and-branch per call
-   site, which is what lets the instrumentation live inside [Engine.step]
-   and the per-slot MAC machines without a measurable tax (acceptance: < 2%
-   on the sinr_resolve kernel).
+   flag plus one atomic RMW (counters/gauges) or a handful of plain writes
+   into a per-domain shard (histograms).  With the switch off the whole
+   subsystem costs one load-and-branch per call site, which is what lets
+   the instrumentation live inside [Engine.step] and the per-slot MAC
+   machines without a measurable tax (acceptance: < 2% on the sinr_resolve
+   kernel).
 
    Domain safety: instrumented kernels run inside [Sinr_par.Pool] workers,
    so every update must tolerate concurrent writers from several domains.
    Counters and gauges live in [Atomic.t] cells (an update is one RMW / one
-   store, never torn); each histogram carries its own mutex because an
-   observation touches five fields that must move together; and the
-   registry table itself is guarded by a global mutex (registration is
-   module-init-time cold path, snapshot/reset are tooling paths).
+   store, never torn).  Histograms are *sharded*: each domain that observes
+   into a histogram owns a private shard (bucket array + count + sum/min/
+   max, reached through [Domain.DLS] like the per-domain scratch in
+   lib/phys), so the hot path is mutex-free — no lock, no RMW, no false
+   sharing between domains.  Shards are merged lock-free at read time
+   (snapshot/quantile): the merge walks the shard list in creation order,
+   so the merged result — including the float sum — is deterministic for a
+   given set of quiescent shards.  A snapshot taken *while* other domains
+   observe is a consistent-enough live view (each shard is read once; a
+   concurrent observation is either fully missed or fully seen per field),
+   which is exactly what a /metrics scrape of a running sweep needs; exact
+   totals are guaranteed once writers have quiesced (e.g. after
+   [Domain.join], which publishes the writers' plain stores).
+
+   [reset] bumps a global shard epoch instead of zeroing in place: stale
+   shards become invisible to the merge immediately, and each writing
+   domain lazily re-shards on its next observation.  The registry table
+   itself is guarded by a global mutex (registration is module-init-time
+   cold path, snapshot/reset are tooling paths).
 
    Histograms are log2-bucketed: bucket 0 holds values in [0, 1), bucket i
    (i >= 1) holds [2^(i-1), 2^i).  Quantiles are estimated by linear
@@ -44,15 +60,65 @@ type gauge = {
 
 let nbuckets = 64
 
+(* One domain's private slice of a histogram.  [sh_stats] is a floatarray
+   (sum at 0, min at 1, max at 2) so the float updates are unboxed stores —
+   a mutable float field in this mixed record would re-box on every
+   observation.  Only the owning domain ever writes a shard; readers merge
+   without locks. *)
+type hshard = {
+  sh_epoch : int; (* shard generation; stale shards are invisible *)
+  sh_seq : int; (* creation order, fixes the merge (float-sum) order *)
+  mutable sh_count : int;
+  sh_buckets : int array; (* log2 buckets, length [nbuckets] *)
+  sh_stats : floatarray; (* 0: sum, 1: min, 2: max *)
+}
+
 type histogram = {
   h_name : string;
-  h_mutex : Mutex.t;
-  mutable h_count : int;
-  mutable h_sum : float;
-  mutable h_min : float;
-  mutable h_max : float;
-  buckets : int array; (* log2 buckets, length [nbuckets] *)
+  h_key : hshard ref Domain.DLS.key;
+      (* per-domain cache of this domain's current shard *)
+  h_shards : hshard list Atomic.t;
+      (* every shard of the current epoch (plus, transiently, stale ones
+         filtered out at merge time) *)
 }
+
+(* Bumped by [reset]; a shard is live iff its epoch matches. *)
+let shard_epoch = Atomic.make 0
+let shard_seq = Atomic.make 0
+
+(* DLS initial value: an empty shard with an impossible epoch, so the
+   first observation (and the first after a reset) takes the slow
+   re-shard path. *)
+let dead_shard =
+  { sh_epoch = -1;
+    sh_seq = -1;
+    sh_count = 0;
+    sh_buckets = [||];
+    sh_stats = Float.Array.create 0 }
+
+(* Cold path: make this domain a fresh shard for [h], publish it for the
+   mergers (CAS push), and cache it in the domain-local cell.  Raced by
+   [reset]: a shard pushed with a stale epoch is simply never merged and
+   gets replaced on the next observation. *)
+let fresh_shard h cell =
+  let stats = Float.Array.create 3 in
+  Float.Array.set stats 0 0.;
+  Float.Array.set stats 1 infinity;
+  Float.Array.set stats 2 neg_infinity;
+  let s =
+    { sh_epoch = Atomic.get shard_epoch;
+      sh_seq = Atomic.fetch_and_add shard_seq 1;
+      sh_count = 0;
+      sh_buckets = Array.make nbuckets 0;
+      sh_stats = stats }
+  in
+  let rec push () =
+    let cur = Atomic.get h.h_shards in
+    if not (Atomic.compare_and_set h.h_shards cur (s :: cur)) then push ()
+  in
+  push ();
+  cell := s;
+  s
 
 type metric =
   | Counter of counter
@@ -101,12 +167,8 @@ let histogram name =
     (fun h -> Histogram h)
     (fun () ->
       { h_name = name;
-        h_mutex = Mutex.create ();
-        h_count = 0;
-        h_sum = 0.;
-        h_min = infinity;
-        h_max = neg_infinity;
-        buckets = Array.make nbuckets 0 })
+        h_key = Domain.DLS.new_key (fun () -> ref dead_shard);
+        h_shards = Atomic.make [] })
     (function Histogram h -> Some h | Counter _ | Gauge _ -> None)
 
 (* ------------------------------------------------------------------ *)
@@ -124,29 +186,42 @@ let set g v =
     Atomic.set g.g_set true
   end
 
-(* Index of the log2 bucket holding [v] (clamped to the top bucket). *)
+(* Index of the log2 bucket holding [v] (clamped to the top bucket).  For
+   v >= 1, floor(log2 v) is exactly the IEEE-754 biased exponent minus the
+   bias — a couple of integer ops on the hot path instead of a libm log2
+   call (and immune to the round-below-integer hazard log2 has at exact
+   powers of two).  Infinities land in the top bucket via the clamp. *)
 let bucket_of v =
   if v < 1. then 0
   else
-    let i = 1 + int_of_float (Float.log2 v) in
-    if i >= nbuckets then nbuckets - 1 else i
+    let e =
+      (Int64.to_int (Int64.shift_right_logical (Int64.bits_of_float v) 52)
+       land 0x7ff)
+      - 1023
+    in
+    if e + 1 >= nbuckets then nbuckets - 1 else e + 1
 
 (* Lower / upper bound of bucket [i]: [0,1) for 0, [2^(i-1), 2^i) above. *)
 let bucket_lo i = if i = 0 then 0. else Float.pow 2. (float_of_int (i - 1))
 let bucket_hi i = Float.pow 2. (float_of_int i)
 
+(* Mutex-free: a DLS load, an epoch check, then plain stores into this
+   domain's own shard. *)
 let observe h v =
   if Atomic.get on then begin
     let v = if Float.is_nan v then 0. else Float.max 0. v in
-    (* Nothing below can raise: plain float/int field updates. *)
-    Mutex.lock h.h_mutex;
-    h.h_count <- h.h_count + 1;
-    h.h_sum <- h.h_sum +. v;
-    if v < h.h_min then h.h_min <- v;
-    if v > h.h_max then h.h_max <- v;
+    let cell = Domain.DLS.get h.h_key in
+    let s = !cell in
+    let s =
+      if s.sh_epoch = Atomic.get shard_epoch then s else fresh_shard h cell
+    in
+    s.sh_count <- s.sh_count + 1;
+    let st = s.sh_stats in
+    Float.Array.unsafe_set st 0 (Float.Array.unsafe_get st 0 +. v);
+    if v < Float.Array.unsafe_get st 1 then Float.Array.unsafe_set st 1 v;
+    if v > Float.Array.unsafe_get st 2 then Float.Array.unsafe_set st 2 v;
     let i = bucket_of v in
-    h.buckets.(i) <- h.buckets.(i) + 1;
-    Mutex.unlock h.h_mutex
+    Array.unsafe_set s.sh_buckets i (Array.unsafe_get s.sh_buckets i + 1)
   end
 
 let observe_int h k = observe h (float_of_int k)
@@ -155,10 +230,49 @@ let observe_int h k = observe h (float_of_int k)
 (* Reading                                                             *)
 (* ------------------------------------------------------------------ *)
 
+type merged = {
+  m_count : int;
+  m_sum : float;
+  m_min : float;
+  m_max : float;
+  m_buckets : int array;
+}
+
+(* Lock-free merge of a histogram's live shards.  Shards are walked in
+   creation order (sh_seq), so the float accumulation — and therefore the
+   merged result — is deterministic for a given shard population. *)
+let merge h =
+  let e = Atomic.get shard_epoch in
+  let shards =
+    Atomic.get h.h_shards
+    |> List.filter (fun s -> s.sh_epoch = e)
+    |> List.sort (fun a b -> compare a.sh_seq b.sh_seq)
+  in
+  let buckets = Array.make nbuckets 0 in
+  let count = ref 0 in
+  let sum = ref 0. in
+  let mn = ref infinity in
+  let mx = ref neg_infinity in
+  List.iter
+    (fun s ->
+      count := !count + s.sh_count;
+      sum := !sum +. Float.Array.get s.sh_stats 0;
+      let smin = Float.Array.get s.sh_stats 1 in
+      let smax = Float.Array.get s.sh_stats 2 in
+      if smin < !mn then mn := smin;
+      if smax > !mx then mx := smax;
+      for i = 0 to nbuckets - 1 do
+        buckets.(i) <- buckets.(i) + s.sh_buckets.(i)
+      done)
+    shards;
+  { m_count = !count; m_sum = !sum; m_min = !mn; m_max = !mx;
+    m_buckets = buckets }
+
 let counter_value c = Atomic.get c.count
 let gauge_value g = Atomic.get g.value
-let histogram_count h = h.h_count
-let histogram_sum h = h.h_sum
+let histogram_count h = (merge h).m_count
+let histogram_sum h = (merge h).m_sum
+let histogram_buckets h = (merge h).m_buckets
 
 (* Estimate the [q]-quantile (q in [0,1]) of a log2-bucketed count array by
    walking the cumulative counts and interpolating linearly inside the
@@ -185,13 +299,10 @@ let estimate_quantile ~counts ~total ~lo ~hi q =
     Float.max lo (Float.min hi est)
   end
 
-(* Histogram wrapper: the walk happens under the histogram's mutex so a
-   concurrent [observe] cannot tear the count/bucket pair mid-scan. *)
 let quantile h q =
-  Mutex.lock h.h_mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock h.h_mutex) @@ fun () ->
-  estimate_quantile ~counts:h.buckets ~total:h.h_count ~lo:h.h_min
-    ~hi:h.h_max q
+  let m = merge h in
+  estimate_quantile ~counts:m.m_buckets ~total:m.m_count ~lo:m.m_min
+    ~hi:m.m_max q
 
 (* ------------------------------------------------------------------ *)
 (* Snapshots                                                           *)
@@ -214,21 +325,20 @@ type value =
 
 type snapshot = (string * value) list
 
-let summarize h =
-  { count = h.h_count;
-    sum = h.h_sum;
-    min = (if h.h_count = 0 then 0. else h.h_min);
-    max = (if h.h_count = 0 then 0. else h.h_max);
-    p50 = quantile h 0.5;
-    p90 = quantile h 0.9;
-    p99 = quantile h 0.99 }
+let summarize_merged m =
+  let q p =
+    estimate_quantile ~counts:m.m_buckets ~total:m.m_count ~lo:m.m_min
+      ~hi:m.m_max p
+  in
+  { count = m.m_count;
+    sum = m.m_sum;
+    min = (if m.m_count = 0 then 0. else m.m_min);
+    max = (if m.m_count = 0 then 0. else m.m_max);
+    p50 = q 0.5;
+    p90 = q 0.9;
+    p99 = q 0.99 }
 
-(* Metrics that never fired are omitted: a snapshot describes what the run
-   actually did, and sinks need not special-case empty histograms. *)
-let live = function
-  | Counter c -> Atomic.get c.count > 0
-  | Gauge g -> Atomic.get g.g_set
-  | Histogram h -> h.h_count > 0
+let summarize h = summarize_merged (merge h)
 
 let snapshot () =
   let metrics =
@@ -236,23 +346,32 @@ let snapshot () =
     Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) @@ fun () ->
     Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry []
   in
+  (* Metrics that never fired are omitted: a snapshot describes what the
+     run actually did, and sinks need not special-case empty histograms.
+     Each histogram is merged exactly once. *)
   List.fold_left
     (fun acc (name, m) ->
-      if live m then
-        let v =
-          match m with
-          | Counter c -> Counter_v (Atomic.get c.count)
-          | Gauge g -> Gauge_v (Atomic.get g.value)
-          | Histogram h -> Histogram_v (summarize h)
-        in
-        (name, v) :: acc
-      else acc)
+      match m with
+      | Counter c ->
+        let v = Atomic.get c.count in
+        if v > 0 then (name, Counter_v v) :: acc else acc
+      | Gauge g ->
+        if Atomic.get g.g_set then (name, Gauge_v (Atomic.get g.value)) :: acc
+        else acc
+      | Histogram h ->
+        let m = merge h in
+        if m.m_count > 0 then (name, Histogram_v (summarize_merged m)) :: acc
+        else acc)
     [] metrics
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let reset () =
   Mutex.lock registry_mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) @@ fun () ->
+  (* Invalidate every histogram shard in one step: bump the epoch first so
+     writers re-shard, then drop the stale shard lists so they can be
+     collected. *)
+  Atomic.incr shard_epoch;
   Hashtbl.iter
     (fun _ m ->
       match m with
@@ -260,15 +379,17 @@ let reset () =
       | Gauge g ->
         Atomic.set g.value 0.;
         Atomic.set g.g_set false
-      | Histogram h ->
-        Mutex.lock h.h_mutex;
-        h.h_count <- 0;
-        h.h_sum <- 0.;
-        h.h_min <- infinity;
-        h.h_max <- neg_infinity;
-        Array.fill h.buckets 0 nbuckets 0;
-        Mutex.unlock h.h_mutex)
+      | Histogram h -> Atomic.set h.h_shards [])
     registry
+
+(* Test isolation: zero every metric, invalidate all per-domain shards
+   (including those owned by domains spawned in earlier test cases), and
+   leave the registry disabled.  Handles stay valid — module-init handles
+   keep working — so a test that enables the registry starts from a clean,
+   fully deterministic state regardless of what ran before it. *)
+let reset_for_tests () =
+  set_enabled false;
+  reset ()
 
 (* Test/tooling escape hatch: value of a named counter in this process. *)
 let counter_peek name =

@@ -6,10 +6,16 @@
     the registry can live inside per-slot simulation kernels. Handles are
     get-or-create by name, intended to be created once at module-init time.
 
-    The registry is domain-safe: counters and gauges are atomic, histogram
-    observations are serialized per histogram, and registration/snapshot/
-    reset are mutually excluded, so instrumented kernels may run inside
-    [Sinr_par.Pool] workers without torn updates or lost counts. *)
+    The registry is domain-safe and the hot path is mutex-free: counters and
+    gauges are atomic, and each histogram is {e sharded} per domain — every
+    observing domain writes a private [Domain.DLS]-held bucket array, so an
+    observation is a handful of plain stores with no lock and no cross-domain
+    cache traffic. Readers ({!snapshot}, {!quantile}, {!summarize}) merge the
+    shards lock-free in shard-creation order, so the merged result is
+    deterministic for a quiescent histogram. A snapshot taken while other
+    domains are still observing (a live [/metrics] scrape) is a consistent
+    per-shard view that may trail in-flight observations; exact totals are
+    guaranteed once the writers have been joined. *)
 
 val set_enabled : bool -> unit
 val is_enabled : unit -> bool
@@ -33,7 +39,8 @@ val add : counter -> int -> unit
 val set : gauge -> float -> unit
 
 val observe : histogram -> float -> unit
-(** Negative and NaN observations are clamped to 0. *)
+(** Negative and NaN observations are clamped to 0. Mutex-free: writes go to
+    the calling domain's private shard. *)
 
 val observe_int : histogram -> int -> unit
 
@@ -41,6 +48,10 @@ val counter_value : counter -> int
 val gauge_value : gauge -> float
 val histogram_count : histogram -> int
 val histogram_sum : histogram -> float
+
+val histogram_buckets : histogram -> int array
+(** Fresh copy of the merged per-bucket counts (length {!nbuckets}), summed
+    across all live shards. *)
 
 val quantile : histogram -> float -> float
 (** [quantile h q] for [q] in [0,1]: estimated from the log2 buckets by
@@ -83,6 +94,10 @@ type value =
   | Gauge_v of float
   | Histogram_v of hist_summary
 
+val summarize : histogram -> hist_summary
+(** Merged summary of a single histogram (count/sum/min/max and estimated
+    p50/p90/p99); zeros and [nan] quantiles when empty. *)
+
 type snapshot = (string * value) list
 (** Sorted by metric name. *)
 
@@ -91,7 +106,14 @@ val snapshot : unit -> snapshot
     {!reset} (never-updated metrics are omitted). *)
 
 val reset : unit -> unit
-(** Zero all values; registrations (and handles) stay valid. *)
+(** Zero all values and invalidate every histogram shard; registrations (and
+    handles) stay valid. *)
+
+val reset_for_tests : unit -> unit
+(** Test-case isolation: {!reset} plus [set_enabled false], discarding shard
+    state accumulated by domains spawned in earlier cases. Handles created at
+    module-init time keep working, so tests no longer depend on registration
+    order or on what ran before them. *)
 
 val counter_peek : string -> int option
 (** Current value of a named counter, if registered ([None] otherwise). *)

@@ -80,23 +80,57 @@ let prom_float f =
   else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
   else Printf.sprintf "%.17g" f
 
+(* Exposition-format escaping.  Label values escape backslash, double quote
+   and newline; HELP text escapes backslash and newline (quotes are legal
+   there).  Without these, a metric name or label containing '"' or '\n'
+   corrupts the whole scrape. *)
+let prom_escape ~quote s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '"' when quote -> Buffer.add_string buf "\\\""
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let prom_escape_label s = prom_escape ~quote:true s
+let prom_escape_help s = prom_escape ~quote:false s
+
 let snapshot_to_prometheus (snap : Metrics.snapshot) =
   let buf = Buffer.create 1024 in
+  (* Distinct dotted names can collapse to one exposition family
+     (e.g. "a.b" and "a_b"); HELP/TYPE must still appear exactly once per
+     family, so track the families already introduced. *)
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let header n ~help ~typ =
+    if not (Hashtbl.mem seen n) then begin
+      Hashtbl.add seen n ();
+      Buffer.add_string buf
+        (Printf.sprintf "# HELP %s %s\n" n (prom_escape_help help));
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" n typ)
+    end
+  in
   List.iter
     (fun (name, v) ->
       let n = prom_name name in
+      let help = Printf.sprintf "sinr_sim metric %s" name in
       match v with
       | Metrics.Counter_v c ->
-        Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n%s %d\n" n n c)
+        header n ~help ~typ:"counter";
+        Buffer.add_string buf (Printf.sprintf "%s %d\n" n c)
       | Metrics.Gauge_v g ->
-        Buffer.add_string buf
-          (Printf.sprintf "# TYPE %s gauge\n%s %s\n" n n (prom_float g))
+        header n ~help ~typ:"gauge";
+        Buffer.add_string buf (Printf.sprintf "%s %s\n" n (prom_float g))
       | Metrics.Histogram_v h ->
-        Buffer.add_string buf (Printf.sprintf "# TYPE %s summary\n" n);
+        header n ~help ~typ:"summary";
         List.iter
           (fun (q, value) ->
             Buffer.add_string buf
-              (Printf.sprintf "%s{quantile=\"%s\"} %s\n" n q (prom_float value)))
+              (Printf.sprintf "%s{quantile=\"%s\"} %s\n" n
+                 (prom_escape_label q) (prom_float value)))
           [ ("0.5", h.Metrics.p50); ("0.9", h.Metrics.p90); ("0.99", h.Metrics.p99) ];
         Buffer.add_string buf
           (Printf.sprintf "%s_sum %s\n%s_count %d\n" n

@@ -9,9 +9,18 @@ val snapshot_of_json : Json.t -> Metrics.snapshot option
     document does not have the expected shape. *)
 
 val snapshot_to_prometheus : Metrics.snapshot -> string
-(** Prometheus text format: counters and gauges as single samples,
-    histograms as summaries ([_count], [_sum], [{quantile="..."}]). Dots in
-    metric names become underscores. *)
+(** Prometheus text format (exposition 0.0.4): counters and gauges as single
+    samples, histograms as summaries ([_count], [_sum],
+    [{quantile="..."}]). Dots in metric names become underscores; each
+    family is introduced by [# HELP]/[# TYPE] exactly once, even when
+    distinct dotted names collapse to the same exposition name. *)
+
+val prom_escape_label : string -> string
+(** Escape a label value for the exposition format: backslash, double quote
+    and newline become backslash-escaped sequences. *)
+
+val prom_escape_help : string -> string
+(** Escape HELP text: backslash and newline (quotes are legal in HELP). *)
 
 val write_file : string -> string -> unit
 (** Atomic replace: writes a sibling temp file and [rename]s it over

@@ -16,7 +16,10 @@
 open Sinr_obs
 
 (* Handles created once at module init; updates are gated on the registry's
-   enable flag and are domain-safe (see lib/obs). *)
+   enable flag and are domain-safe (see lib/obs).  [par.task.ns] observes
+   land in each worker domain's private histogram shard — no lock, no
+   cross-domain cache traffic on the chunk path — and merge exactly once
+   the workers are joined. *)
 let m_tasks = Metrics.counter "par.tasks"
 let m_chunks = Metrics.counter "par.steals_or_chunks"
 let m_workers = Metrics.counter "par.workers"

@@ -230,9 +230,13 @@ let resolve_marked ?perturb t ~ids ~nsend ~mark =
       | None ->
         (match t.farfield with
          | Some ff ->
+           (* Slot-phase profiler sub-stage: how much of resolve is the
+              far-field aggregation (reported inside Resolve). *)
+           let p0 = Profile.start () in
            with_row ~n (fun rowbuf ->
                Farfield.resolve ff ~cache:t.cache ~scratch:rowbuf ~ids ~nsend
-                 ~mark ~result)
+                 ~mark ~result);
+           Profile.stop Profile.Farfield p0
          | None ->
            if n >= t.par_threshold && Pool.default_jobs () > 1 then begin
              let pool = Pool.get () in

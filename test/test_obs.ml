@@ -7,15 +7,13 @@ open Sinr_engine
 open Sinr_obs
 
 (* Every test starts from a clean, enabled registry and leaves the registry
-   disabled (the rest of the suite must keep running uninstrumented). *)
+   disabled (the rest of the suite must keep running uninstrumented).
+   [reset_for_tests] also invalidates shards left behind by domains spawned
+   in earlier cases, so cases cannot observe each other's histograms. *)
 let with_registry f () =
-  Metrics.reset ();
+  Metrics.reset_for_tests ();
   Metrics.set_enabled true;
-  Fun.protect
-    ~finally:(fun () ->
-      Metrics.set_enabled false;
-      Metrics.reset ())
-    f
+  Fun.protect ~finally:Metrics.reset_for_tests f
 
 (* ---------------- registry basics ---------------- *)
 
@@ -153,6 +151,28 @@ let test_reset =
       Alcotest.(check int) "snapshot empty" 0
         (List.length (Metrics.snapshot ())))
 
+let test_reset_for_tests () =
+  Metrics.reset_for_tests ();
+  Metrics.set_enabled true;
+  let c = Metrics.counter "rft.c" in
+  let h = Metrics.histogram "rft.h" in
+  Metrics.incr c;
+  Metrics.observe h 2.0;
+  Metrics.reset_for_tests ();
+  Alcotest.(check bool) "registry left disabled" false (Metrics.is_enabled ());
+  Metrics.incr c;
+  (* gated off: must not count *)
+  Alcotest.(check int) "counter zeroed and gated" 0 (Metrics.counter_value c);
+  Alcotest.(check int) "histogram zeroed" 0 (Metrics.histogram_count h);
+  (* Handles created before the reset keep working afterwards. *)
+  Metrics.set_enabled true;
+  Fun.protect ~finally:Metrics.reset_for_tests @@ fun () ->
+  Metrics.incr c;
+  Metrics.observe h 4.0;
+  Alcotest.(check int) "handle alive after reset" 1 (Metrics.counter_value c);
+  Alcotest.(check (float 1e-9)) "shard re-created after reset" 4.0
+    (Metrics.histogram_sum h)
+
 (* ---------------- domain safety ---------------- *)
 
 let test_multi_domain_stress =
@@ -196,6 +216,51 @@ let test_multi_domain_stress =
       (* The registry itself stayed consistent under concurrent create. *)
       Alcotest.(check int) "three metrics registered" 3
         (List.length (Metrics.snapshot ())))
+
+(* Sharding must be a pure representation change: the same observation
+   stream split across four domains merges to the exact single-domain
+   result — bucket-for-bucket and observation-for-observation — with the
+   sum agreeing up to float re-association, and the merged snapshot is
+   deterministic (two quiescent reads agree structurally). *)
+let test_shard_merge_matches_single_domain =
+  with_registry (fun () ->
+      let domains = 4 and per = 5_000 in
+      let value d i = float_of_int (((i * 7) + (d * 13)) mod 1000) in
+      let single = Metrics.histogram "shard.single" in
+      for d = 0 to domains - 1 do
+        for i = 0 to per - 1 do
+          Metrics.observe single (value d i)
+        done
+      done;
+      let spawned =
+        Array.init domains (fun d ->
+            Domain.spawn (fun () ->
+                let h = Metrics.histogram "shard.merged" in
+                for i = 0 to per - 1 do
+                  Metrics.observe h (value d i)
+                done))
+      in
+      Array.iter Domain.join spawned;
+      let merged = Metrics.histogram "shard.merged" in
+      Alcotest.(check int) "count exact" (Metrics.histogram_count single)
+        (Metrics.histogram_count merged);
+      Alcotest.(check (array int)) "buckets identical"
+        (Metrics.histogram_buckets single)
+        (Metrics.histogram_buckets merged);
+      Alcotest.(check (float 1e-6)) "sum agrees"
+        (Metrics.histogram_sum single)
+        (Metrics.histogram_sum merged);
+      let s = Metrics.summarize single and m = Metrics.summarize merged in
+      Alcotest.(check (float 0.)) "min exact" s.Metrics.min m.Metrics.min;
+      Alcotest.(check (float 0.)) "max exact" s.Metrics.max m.Metrics.max;
+      List.iter
+        (fun q ->
+          Alcotest.(check (float 1e-9))
+            (Printf.sprintf "q=%.2f identical" q)
+            (Metrics.quantile single q) (Metrics.quantile merged q))
+        [ 0.5; 0.9; 0.99 ];
+      Alcotest.(check bool) "quiescent snapshot is stable" true
+        (Metrics.snapshot () = Metrics.snapshot ()))
 
 (* ---------------- json + sink round-trip ---------------- *)
 
@@ -367,25 +432,189 @@ let test_atomic_write_file () =
   Sys.remove path;
   Unix.rmdir dir
 
+let has_sub text needle =
+  let nl = String.length needle and tl = String.length text in
+  let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+  go 0
+
+let count_sub text needle =
+  let nl = String.length needle and tl = String.length text in
+  let rec go acc i =
+    if i + nl > tl then acc
+    else if String.sub text i nl = needle then go (acc + 1) (i + 1)
+    else go acc (i + 1)
+  in
+  if nl = 0 then 0 else go 0 0
+
+(* Line-by-line validator for the Prometheus text exposition format (what a
+   real scraper parses): comment lines must be well-formed HELP/TYPE
+   headers, everything else must be [name[{labels}] value] with a name in
+   [a-zA-Z0-9_:] and a parseable value. *)
+let check_prometheus_text what text =
+  let is_name_char = function
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+    | _ -> false
+  in
+  let valid_value v =
+    v = "NaN" || v = "+Inf" || v = "-Inf" || float_of_string_opt v <> None
+  in
+  let valid_sample line =
+    let n = String.length line in
+    let i = ref 0 in
+    while !i < n && is_name_char line.[!i] do
+      incr i
+    done;
+    !i > 0
+    &&
+    let j =
+      if !i < n && line.[!i] = '{' then
+        match String.index_from_opt line !i '}' with
+        | Some k -> k + 1
+        | None -> -1
+      else !i
+    in
+    j > 0 && j < n
+    && line.[j] = ' '
+    && valid_value (String.sub line (j + 1) (n - j - 1))
+  in
+  let valid_header line =
+    match String.split_on_char ' ' line with
+    | [ "#"; "TYPE"; name; typ ] ->
+      String.for_all is_name_char name
+      && List.mem typ [ "counter"; "gauge"; "summary"; "histogram"; "untyped" ]
+    | "#" :: "HELP" :: name :: _ -> String.for_all is_name_char name
+    | _ -> false
+  in
+  let lines = String.split_on_char '\n' (String.trim text) in
+  Alcotest.(check bool) (what ^ " is non-empty") true (lines <> [ "" ]);
+  List.iter
+    (fun line ->
+      let ok =
+        if String.length line > 0 && line.[0] = '#' then valid_header line
+        else valid_sample line
+      in
+      if not ok then Alcotest.failf "%s: invalid exposition line %S" what line)
+    lines
+
 let test_prometheus =
   with_registry (fun () ->
       Metrics.add (Metrics.counter "prom.requests") 7;
       Metrics.set (Metrics.gauge "prom.depth") 1.5;
       Metrics.observe (Metrics.histogram "prom.lat") 2.0;
       let text = Sink.snapshot_to_prometheus (Metrics.snapshot ()) in
-      let contains needle =
-        let nl = String.length needle and tl = String.length text in
-        let rec go i =
-          i + nl <= tl && (String.sub text i nl = needle || go (i + 1))
-        in
-        go 0
-      in
       List.iter
         (fun needle ->
-          Alcotest.(check bool) ("contains " ^ needle) true (contains needle))
+          Alcotest.(check bool) ("contains " ^ needle) true (has_sub text needle))
         [ "# TYPE prom_requests counter"; "prom_requests 7";
           "prom_depth 1.5"; "# TYPE prom_lat summary";
-          "prom_lat{quantile=\"0.5\"} 2"; "prom_lat_count 1" ])
+          "prom_lat{quantile=\"0.5\"} 2"; "prom_lat_count 1" ];
+      check_prometheus_text "snapshot exposition" text)
+
+let test_prometheus_hardening () =
+  (* Escaping helpers: label values escape backslash, quote and newline;
+     HELP text escapes backslash and newline but keeps quotes. *)
+  Alcotest.(check string) "label escaping" {|a\\b\"c\nd|}
+    (Sink.prom_escape_label "a\\b\"c\nd");
+  Alcotest.(check string) "help escaping keeps quotes" "say \"hi\"\\nbye"
+    (Sink.prom_escape_help "say \"hi\"\nbye");
+  (* Distinct dotted names can collapse to one exposition family; HELP and
+     TYPE must still appear exactly once per family, and a hostile metric
+     name must not inject extra exposition lines through the help text. *)
+  let snap =
+    [ ("dup.name", Metrics.Counter_v 1);
+      ("dup_name", Metrics.Counter_v 2);
+      ("weird\nname", Metrics.Gauge_v 1.0) ]
+  in
+  let text = Sink.snapshot_to_prometheus snap in
+  Alcotest.(check int) "TYPE once for the collapsed family" 1
+    (count_sub text "# TYPE dup_name counter");
+  Alcotest.(check int) "HELP once for the collapsed family" 1
+    (count_sub text "# HELP dup_name ");
+  Alcotest.(check int) "both samples still emitted" 2
+    (count_sub text "\ndup_name ");
+  Alcotest.(check bool) "newline in name escaped in help" true
+    (has_sub text "sinr_sim metric weird\\nname");
+  check_prometheus_text "hardened exposition" text
+
+(* ---------------- embedded HTTP server ---------------- *)
+
+let http_get port path =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let req =
+    Printf.sprintf "GET %s HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+      path
+  in
+  let (_ : int) = Unix.write_substring sock req 0 (String.length req) in
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let rec drain () =
+    let n = Unix.read sock chunk 0 (Bytes.length chunk) in
+    if n > 0 then begin
+      Buffer.add_subbytes buf chunk 0 n;
+      drain ()
+    end
+  in
+  drain ();
+  Buffer.contents buf
+
+let status_of response =
+  match String.split_on_char ' ' response with
+  | _http :: code :: _ -> int_of_string_opt code
+  | _ -> None
+
+let body_of response =
+  let n = String.length response in
+  let rec find i =
+    if i + 4 > n then None
+    else if String.sub response i 4 = "\r\n\r\n" then Some (i + 4)
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some i -> String.sub response i (n - i)
+  | None -> ""
+
+let test_http_endpoints =
+  with_registry (fun () ->
+      Metrics.add (Metrics.counter "http.requests") 3;
+      Metrics.set (Metrics.gauge "http.depth") 0.5;
+      let h = Metrics.histogram "http.lat" in
+      List.iter (Metrics.observe h) [ 1.0; 2.0; 300.0 ];
+      let srv = Http.serve ~port:0 () in
+      Fun.protect ~finally:(fun () -> Http.stop srv) @@ fun () ->
+      let port = Http.port srv in
+      Alcotest.(check bool) "kernel assigned a port" true (port > 0);
+      let health = http_get port "/healthz" in
+      Alcotest.(check (option int)) "healthz 200" (Some 200) (status_of health);
+      Alcotest.(check string) "healthz body" "ok\n" (body_of health);
+      let metrics = http_get port "/metrics" in
+      Alcotest.(check (option int)) "metrics 200" (Some 200)
+        (status_of metrics);
+      let body = body_of metrics in
+      check_prometheus_text "GET /metrics" body;
+      Alcotest.(check bool) "served the live counter" true
+        (has_sub body "http_requests 3");
+      let spans = http_get port "/spans" in
+      Alcotest.(check (option int)) "spans 200" (Some 200) (status_of spans);
+      (* The ring may be empty, but whatever comes back must be JSONL:
+         every non-empty line parses as a JSON object. *)
+      List.iter
+        (fun line ->
+          if line <> "" && Json.parse_opt line = None then
+            Alcotest.failf "GET /spans: invalid JSONL line %S" line)
+        (String.split_on_char '\n' (body_of spans));
+      Alcotest.(check (option int)) "unknown path is 404" (Some 404)
+        (status_of (http_get port "/nope"));
+      (* Routing corner cases, via the socket-free unit surface. *)
+      Alcotest.(check (option int)) "POST rejected" (Some 405)
+        (status_of (Http.response_for "POST /metrics HTTP/1.1\r\n\r\n"));
+      Alcotest.(check (option int)) "garbage rejected" (Some 400)
+        (status_of (Http.response_for "??"));
+      Alcotest.(check (option int)) "query string ignored" (Some 200)
+        (status_of (Http.response_for "GET /healthz?x=1 HTTP/1.1\r\n\r\n")))
 
 (* ---------------- timer ---------------- *)
 
@@ -494,6 +723,49 @@ let test_engine_counters =
       Alcotest.(check int) "slot histogram count" 5
         (Metrics.histogram_count h))
 
+(* ---------------- slot-phase profiler ---------------- *)
+
+let test_profile_report =
+  with_registry (fun () ->
+      Alcotest.(check bool) "no profiled slots -> no report" true
+        (Profile.report () = None);
+      let slots = 60 in
+      Profile.with_enabled (fun () ->
+          let eng =
+            Engine.create ~wake_on_receive:false
+              (Sinr.create cfg (Placement.line ~n:2 ~spacing:5.))
+          in
+          Engine.wake eng 0;
+          for _ = 1 to slots do
+            ignore (Engine.step eng ~decide:(fun _ -> Engine.Transmit "m"))
+          done);
+      Alcotest.(check bool) "profiler left disabled" false
+        (Profile.is_enabled ());
+      match Profile.report () with
+      | None -> Alcotest.fail "expected a report"
+      | Some r ->
+        Alcotest.(check int) "every stepped slot profiled" slots
+          r.Profile.slots;
+        Alcotest.(check bool) "wall time measured" true (r.Profile.step_ns > 0.);
+        Alcotest.(check (list string)) "stage rows in order"
+          [ "decide"; "perturb"; "resolve"; "delivery"; "telemetry"; "other" ]
+          (List.map (fun row -> row.Profile.r_stage) r.Profile.rows);
+        List.iter
+          (fun row ->
+            Alcotest.(check bool) (row.Profile.r_stage ^ " share >= 0") true
+              (row.Profile.r_share >= 0.))
+          r.Profile.rows;
+        let total_share =
+          List.fold_left (fun acc row -> acc +. row.Profile.r_share) 0.
+            r.Profile.rows
+        in
+        if not (total_share >= 99.9 && total_share <= 105.0) then
+          Alcotest.failf "stage shares sum to %.2f%%, expected ~100%%"
+            total_share;
+        (* The per-stage histograms flow through the normal snapshot. *)
+        Alcotest.(check int) "profile.step.ns in the registry" slots
+          (Metrics.histogram_count (Metrics.histogram "profile.step.ns")))
+
 (* ---------------- instrumented approx-progress smoke ---------------- *)
 
 let test_approg_instrumented_smoke =
@@ -548,8 +820,12 @@ let suite =
     Alcotest.test_case "histogram point mass" `Quick test_histogram_buckets;
     Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
     Alcotest.test_case "reset" `Quick test_reset;
+    Alcotest.test_case "reset_for_tests isolates cases" `Quick
+      test_reset_for_tests;
     Alcotest.test_case "multi-domain stress (exact totals)" `Quick
       test_multi_domain_stress;
+    Alcotest.test_case "shard merge matches single domain" `Quick
+      test_shard_merge_matches_single_domain;
     Alcotest.test_case "json parse" `Quick test_json_parse;
     Alcotest.test_case "json escapes" `Quick test_json_escapes;
     Alcotest.test_case "json numbers (exponents, infinities)" `Quick
@@ -563,6 +839,10 @@ let suite =
     Alcotest.test_case "snapshot jsonl round-trip" `Quick
       test_snapshot_roundtrip;
     Alcotest.test_case "prometheus exposition" `Quick test_prometheus;
+    Alcotest.test_case "prometheus hardening (escapes, one header per family)"
+      `Quick test_prometheus_hardening;
+    Alcotest.test_case "http /metrics /healthz /spans endpoints" `Quick
+      test_http_endpoints;
     Alcotest.test_case "timer spans" `Quick test_timer;
     Alcotest.test_case "trace eviction keeps newest" `Quick
       test_trace_eviction_keeps_newest;
@@ -571,5 +851,7 @@ let suite =
     Alcotest.test_case "trace jsonl export" `Quick test_trace_jsonl;
     Alcotest.test_case "run on_slot hook" `Quick test_run_on_slot;
     Alcotest.test_case "engine counters" `Quick test_engine_counters;
+    Alcotest.test_case "profile report (shares sum to ~100%)" `Quick
+      test_profile_report;
     Alcotest.test_case "instrumented approg smoke" `Quick
       test_approg_instrumented_smoke ]

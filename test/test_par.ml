@@ -89,6 +89,23 @@ let test_nested_submission_runs_inline () =
     (Array.init 8 (fun i -> (i * 100) + 45))
     out
 
+let test_pool_telemetry_exact_after_join () =
+  (* Worker domains write par.task.ns through their private histogram
+     shards; once [shutdown] has joined them the merged totals are exact:
+     one timing per chunk, one task count per element. *)
+  Sinr_obs.Metrics.reset_for_tests ();
+  Sinr_obs.Metrics.set_enabled true;
+  Fun.protect ~finally:Sinr_obs.Metrics.reset_for_tests @@ fun () ->
+  let pool = Pool.create ~jobs:4 in
+  let out = Pool.mapi ~chunk:16 pool ~n:256 (fun i -> i * i) in
+  Pool.shutdown pool;
+  Alcotest.(check int) "result intact" (255 * 255) out.(255);
+  let h = Sinr_obs.Metrics.histogram "par.task.ns" in
+  Alcotest.(check int) "one timing per chunk" 16
+    (Sinr_obs.Metrics.histogram_count h);
+  Alcotest.(check (option int)) "task counter exact" (Some 256)
+    (Sinr_obs.Metrics.counter_peek "par.tasks")
+
 let test_default_jobs_override () =
   let prev = Pool.default_jobs () in
   Fun.protect ~finally:(fun () -> Pool.set_default_jobs prev) @@ fun () ->
@@ -172,6 +189,8 @@ let suite =
       test_exception_propagates;
     Alcotest.test_case "nested submission runs inline" `Quick
       test_nested_submission_runs_inline;
+    Alcotest.test_case "pool telemetry exact after join" `Quick
+      test_pool_telemetry_exact_after_join;
     Alcotest.test_case "default jobs override" `Quick
       test_default_jobs_override;
     Alcotest.test_case "reliability estimate jobs-invariant" `Quick
