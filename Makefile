@@ -1,5 +1,5 @@
 .PHONY: all build check test fmt bench par-smoke chaos-smoke phys-smoke \
-        obs-smoke serve-smoke bench-diff clean
+        obs-smoke serve-smoke daemon-smoke bench-diff clean
 
 all: build
 
@@ -51,15 +51,17 @@ obs-smoke:
 # pid, not a wrapper.
 serve-smoke:
 	dune build bin/sinr_sim.exe
-	./_build/default/bin/sinr_sim.exe exp table1-ack --serve 9464 \
+	rm -f serve-port.txt; \
+	./_build/default/bin/sinr_sim.exe exp table1-ack --serve 0 \
+	  --serve-port-file serve-port.txt \
 	  > serve-smoke.log 2>&1 & pid=$$!; \
 	up=0; for i in $$(seq 1 50); do \
-	  if curl -sf http://127.0.0.1:9464/healthz >/dev/null 2>&1; \
-	  then up=1; break; fi; sleep 0.1; done; \
-	if [ $$up -ne 1 ]; then echo "serve-smoke: server never came up"; \
+	  if [ -s serve-port.txt ]; then up=1; break; fi; sleep 0.1; done; \
+	if [ $$up -ne 1 ]; then echo "serve-smoke: port file never appeared"; \
 	  cat serve-smoke.log; kill $$pid 2>/dev/null; exit 1; fi; \
-	health=$$(curl -sf http://127.0.0.1:9464/healthz); \
-	curl -sf http://127.0.0.1:9464/metrics > serve-metrics.prom; \
+	port=$$(cat serve-port.txt); \
+	health=$$(curl -sf http://127.0.0.1:$$port/healthz); \
+	curl -sf http://127.0.0.1:$$port/metrics > serve-metrics.prom; \
 	rc=$$?; kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
 	if [ $$rc -ne 0 ]; then echo "serve-smoke: /metrics scrape failed"; exit 1; fi; \
 	if [ "$$health" != "ok" ]; then echo "serve-smoke: bad /healthz: $$health"; exit 1; fi; \
@@ -69,6 +71,65 @@ serve-smoke:
 	  { print "serve-smoke: bad exposition line: " $$0; bad=1 } END { exit bad }' \
 	  serve-metrics.prom; \
 	echo "serve-smoke: OK ($$(wc -l < serve-metrics.prom) exposition lines)"
+
+# End-to-end exercise of the sweep daemon: start `sinr_sim serve` on a
+# kernel-picked port (read back via the port file), POST a tiny exp_ack
+# sweep, observe queue backpressure (the second job must 429 against
+# --queue-cap 1 and show up in serve_jobs_rejected), poll the job to
+# done, feed the live /spans scrape to trace-report --strict, then drain
+# gracefully with SIGTERM and require exit 0.  Artifacts: daemon-smoke.log,
+# daemon-metrics.prom, daemon-spans.jsonl and the daemon-smoke-dir
+# checkpoints.
+daemon-smoke:
+	dune build bin/sinr_sim.exe
+	rm -rf daemon-smoke-dir daemon-port.txt; \
+	./_build/default/bin/sinr_sim.exe serve --port 0 \
+	  --serve-port-file daemon-port.txt --dir daemon-smoke-dir \
+	  --queue-cap 1 --checkpoint-every 2 --jobs 2 \
+	  > daemon-smoke.log 2>&1 & pid=$$!; \
+	up=0; for i in $$(seq 1 50); do \
+	  if [ -s daemon-port.txt ]; then up=1; break; fi; sleep 0.1; done; \
+	if [ $$up -ne 1 ]; then echo "daemon-smoke: port file never appeared"; \
+	  cat daemon-smoke.log; kill $$pid 2>/dev/null; exit 1; fi; \
+	port=$$(cat daemon-port.txt); \
+	code=$$(curl -s -o /dev/null -w '%{http_code}' \
+	  -X POST http://127.0.0.1:$$port/jobs \
+	  -d '{"exp":"ack","params":[2,3,4],"seeds":[1,2,3],"tag":"smoke"}'); \
+	if [ "$$code" != "202" ]; then echo "daemon-smoke: submit got $$code"; \
+	  cat daemon-smoke.log; kill $$pid 2>/dev/null; exit 1; fi; \
+	code=$$(curl -s -o /dev/null -w '%{http_code}' \
+	  -X POST http://127.0.0.1:$$port/jobs \
+	  -d '{"exp":"ack","params":[2],"seeds":[1]}'); \
+	if [ "$$code" != "429" ]; then \
+	  echo "daemon-smoke: expected 429 backpressure, got $$code"; \
+	  kill $$pid 2>/dev/null; exit 1; fi; \
+	done_=0; for i in $$(seq 1 240); do \
+	  if curl -sf http://127.0.0.1:$$port/jobs/1 | grep -q '"state":"done"'; \
+	  then done_=1; break; fi; sleep 0.5; done; \
+	if [ $$done_ -ne 1 ]; then echo "daemon-smoke: job never finished"; \
+	  curl -s http://127.0.0.1:$$port/jobs; cat daemon-smoke.log; \
+	  kill $$pid 2>/dev/null; exit 1; fi; \
+	curl -sf http://127.0.0.1:$$port/jobs/1 | grep -q '"table"' || \
+	  { echo "daemon-smoke: done job has no table"; \
+	    kill $$pid 2>/dev/null; exit 1; }; \
+	curl -sf http://127.0.0.1:$$port/metrics > daemon-metrics.prom; \
+	curl -sf http://127.0.0.1:$$port/spans > daemon-spans.jsonl; \
+	kill -TERM $$pid; wait $$pid; rc=$$?; \
+	if [ $$rc -ne 0 ]; then \
+	  echo "daemon-smoke: drain exited $$rc, want 0"; \
+	  cat daemon-smoke.log; exit 1; fi; \
+	grep -q '^serve_jobs_rejected [1-9]' daemon-metrics.prom || \
+	  { echo "daemon-smoke: rejection not visible in serve.* metrics"; \
+	    exit 1; }; \
+	grep -q '^serve_jobs_completed [1-9]' daemon-metrics.prom || \
+	  { echo "daemon-smoke: completion not visible in serve.* metrics"; \
+	    exit 1; }; \
+	ls daemon-smoke-dir/serve-smoke.ckpt.jsonl >/dev/null || \
+	  { echo "daemon-smoke: checkpoint file missing"; exit 1; }; \
+	grep -q '\[drained' daemon-smoke.log || \
+	  { echo "daemon-smoke: no drain confirmation in log"; exit 1; }; \
+	dune exec bin/sinr_sim.exe -- trace-report --strict daemon-spans.jsonl; \
+	echo "daemon-smoke: OK"
 
 # Bench regression gate: regenerate the machine-portable benchmarks and
 # compare them against the committed baselines.  Exits 1 on regression.

@@ -760,6 +760,25 @@ let diff_mode args =
       exit 2
   in
   let b = load baseline_path in
+  (* A missing current snapshot is a gate failure (the workload died
+     before writing it), not a usage error: report every baseline metric
+     as Missing and exit 1, so CI distinguishes "regressed" from "bench
+     diff was invoked wrong" (exit 2). *)
+  if not (Sys.file_exists current_path) then begin
+    let findings =
+      Sinr_obs.Bench_diff.missing_current ~ignores:(List.rev !ignores)
+        ~baseline:b ()
+    in
+    Fmt.pr "baseline %s@.current  %s (file missing)@.@." baseline_path
+      current_path;
+    Fmt.pr "%a" Sinr_obs.Bench_diff.pp_findings findings;
+    let regs = Sinr_obs.Bench_diff.regressions findings in
+    Fmt.epr "@.bench diff: current snapshot %s is missing — %d metric%s \
+             unaccounted@."
+      current_path (List.length regs)
+      (if List.length regs = 1 then "" else "s");
+    exit 1
+  end;
   let c = load current_path in
   let findings =
     Sinr_obs.Bench_diff.diff ~tolerance:!tolerance

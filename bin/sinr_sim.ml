@@ -86,6 +86,13 @@ let serve_arg =
                  (flight-recorder ring as JSONL). Implies telemetry. \
                  $(docv)=0 lets the kernel pick a free port (printed).")
 
+let serve_port_file_arg =
+  Arg.(value & opt (some string) None
+       & info [ "serve-port-file" ] ~docv:"PATH"
+           ~doc:"With $(b,--serve), write the bound port number to $(docv) \
+                 (atomic temp+rename) once the server is up — the reliable \
+                 way to find the kernel-picked port of $(b,--serve 0).")
+
 let jobs_arg =
   Arg.(value & opt (some int) None
        & info [ "jobs" ] ~docv:"N"
@@ -130,14 +137,21 @@ let probe_writable path =
     Stdlib.exit 1
 
 (* Start the embedded observability server (when --serve was given) and
-   say where it listens; the caller stops it when the run is over. *)
-let start_server = function
+   say where it listens; the caller stops it when the run is over.  The
+   port file (--serve-port-file) is written atomically after the bind, so
+   a watcher that sees the file can connect immediately. *)
+let start_server ?handler ?port_file = function
   | None -> None
   | Some port ->
-    (match Http.serve ~port () with
+    (match Http.serve ?handler ~port () with
      | s ->
        Fmt.pr "[serving /metrics /healthz /spans on http://127.0.0.1:%d]@."
          (Http.port s);
+       Option.iter
+         (fun path ->
+           Sink.write_file path (string_of_int (Http.port s) ^ "\n");
+           Fmt.pr "[port written: %s]@." path)
+         port_file;
        Some s
      | exception Unix.Unix_error (e, _, _) ->
        Fmt.epr "sinr_sim: cannot serve on port %d: %s@." port
@@ -148,7 +162,8 @@ let start_server = function
    the live HTTP endpoint up for the duration — then write the metric
    snapshot (JSONL and/or Prometheus) and the flight-recorder dump to
    their files. *)
-let with_obs ~label ~metrics_out ~prom_out ~trace_out ~serve f =
+let with_obs ~label ~metrics_out ~prom_out ~trace_out ~serve ?serve_port_file
+    f =
   let need_metrics =
     metrics_out <> None || prom_out <> None || serve <> None
   in
@@ -156,7 +171,8 @@ let with_obs ~label ~metrics_out ~prom_out ~trace_out ~serve f =
   else begin
     List.iter
       (fun o -> Option.iter probe_writable o)
-      [ metrics_out; prom_out; trace_out ];
+      [ metrics_out; prom_out; trace_out;
+        (if serve <> None then serve_port_file else None) ];
     if need_metrics then begin
       Metrics.reset ();
       Metrics.set_enabled true
@@ -165,7 +181,7 @@ let with_obs ~label ~metrics_out ~prom_out ~trace_out ~serve f =
       Recorder.clear ();
       Recorder.set_enabled true
     end;
-    let server = start_server serve in
+    let server = start_server ?port_file:serve_port_file serve in
     Fun.protect
       ~finally:(fun () ->
         Option.iter Http.stop server;
@@ -219,10 +235,11 @@ let profile_cmd =
 
 let smb_cmd =
   let run seed n degree range farfield metrics_out prom_out trace_out jobs
-      serve =
+      serve serve_port_file =
     set_jobs jobs;
     set_farfield farfield;
     with_obs ~label:"smb" ~metrics_out ~prom_out ~trace_out ~serve
+      ?serve_port_file
     @@ fun () ->
     let d = deployment ~seed ~n ~degree ~range in
     pp_profile d;
@@ -259,7 +276,7 @@ let smb_cmd =
        ~doc:"Global single-message broadcast: ours vs the baselines.")
     Term.(const run $ seed_arg $ n_arg $ degree_arg $ range_arg $ farfield_arg
           $ metrics_out_arg $ prom_out_arg $ trace_out_arg $ jobs_arg
-          $ serve_arg)
+          $ serve_arg $ serve_port_file_arg)
 
 (* ---------------- cons ---------------- *)
 
@@ -269,10 +286,11 @@ let cons_cmd =
          & info [ "crashes" ] ~docv:"K" ~doc:"Crash K nodes mid-run.")
   in
   let run seed n degree range crashes farfield metrics_out prom_out trace_out
-      jobs serve =
+      jobs serve serve_port_file =
     set_jobs jobs;
     set_farfield farfield;
     with_obs ~label:"cons" ~metrics_out ~prom_out ~trace_out ~serve
+      ?serve_port_file
     @@ fun () ->
     let d = deployment ~seed ~n ~degree ~range in
     pp_profile d;
@@ -302,16 +320,17 @@ let cons_cmd =
     (Cmd.info "cons" ~doc:"Network-wide consensus over the absMAC.")
     Term.(const run $ seed_arg $ n_arg $ degree_arg $ range_arg $ crashes_arg
           $ farfield_arg $ metrics_out_arg $ prom_out_arg $ trace_out_arg
-          $ jobs_arg $ serve_arg)
+          $ jobs_arg $ serve_arg $ serve_port_file_arg)
 
 (* ---------------- approg ---------------- *)
 
 let approg_cmd =
   let run seed n degree range farfield metrics_out prom_out trace_out jobs
-      serve =
+      serve serve_port_file =
     set_jobs jobs;
     set_farfield farfield;
     with_obs ~label:"approg" ~metrics_out ~prom_out ~trace_out ~serve
+      ?serve_port_file
     @@ fun () ->
     let d = deployment ~seed ~n ~degree ~range in
     pp_profile d;
@@ -352,7 +371,7 @@ let approg_cmd =
        ~doc:"Measure approximate progress of Algorithm 9.1 on a deployment.")
     Term.(const run $ seed_arg $ n_arg $ degree_arg $ range_arg $ farfield_arg
           $ metrics_out_arg $ prom_out_arg $ trace_out_arg $ jobs_arg
-          $ serve_arg)
+          $ serve_arg $ serve_port_file_arg)
 
 (* ---------------- chaos ---------------- *)
 
@@ -391,10 +410,11 @@ let chaos_cmd =
                    adversarially aborted.")
   in
   let run seed n degree jam fading crash_frac downtime abort_rate farfield
-      metrics_out prom_out trace_out jobs serve =
+      metrics_out prom_out trace_out jobs serve serve_port_file =
     set_jobs jobs;
     set_farfield farfield;
     with_obs ~label:"chaos" ~metrics_out ~prom_out ~trace_out ~serve
+      ?serve_port_file
     @@ fun () ->
     let spec =
       { Exp_chaos.clean with
@@ -433,7 +453,7 @@ let chaos_cmd =
     Term.(const run $ seed_arg $ n_arg $ degree_arg $ jam_arg $ fading_arg
           $ crash_frac_arg $ downtime_arg $ abort_rate_arg $ farfield_arg
           $ metrics_out_arg $ prom_out_arg $ trace_out_arg $ jobs_arg
-          $ serve_arg)
+          $ serve_arg $ serve_port_file_arg)
 
 (* ---------------- exp ---------------- *)
 
@@ -445,9 +465,10 @@ let exp_cmd =
                    table1-approg, thm8-decay, table2-smb, table1-mmb, \
                    table1-cons, ablation, mac-compare, capacity, chaos).")
   in
-  let run id metrics_out prom_out trace_out jobs serve =
+  let run id metrics_out prom_out trace_out jobs serve serve_port_file =
     set_jobs jobs;
     with_obs ~label:("exp:" ^ id) ~metrics_out ~prom_out ~trace_out ~serve
+      ?serve_port_file
     @@ fun () ->
     match id with
     | "table1-ack" -> ignore (Exp_ack.run ())
@@ -475,7 +496,7 @@ let exp_cmd =
   Cmd.v
     (Cmd.info "exp" ~doc:"Run a named experiment (see DESIGN.md index).")
     Term.(const run $ id_arg $ metrics_out_arg $ prom_out_arg $ trace_out_arg
-          $ jobs_arg $ serve_arg)
+          $ jobs_arg $ serve_arg $ serve_port_file_arg)
 
 (* ---------------- obs ---------------- *)
 
@@ -500,7 +521,7 @@ let obs_cmd =
              ~doc:"Slot budget for the instrumented workload.")
   in
   let run seed n degree range format max_slots metrics_out prom_out trace_out
-      serve =
+      serve serve_port_file =
     List.iter (Option.iter probe_writable) [ metrics_out; prom_out; trace_out ];
     let d = deployment ~seed ~n ~degree ~range in
     let senders = List.filter (fun v -> v mod 2 = 0) (List.init n Fun.id) in
@@ -510,7 +531,7 @@ let obs_cmd =
       Recorder.clear ();
       Recorder.set_enabled true
     end;
-    let server = start_server serve in
+    let server = start_server ?port_file:serve_port_file serve in
     Fun.protect
       ~finally:(fun () ->
         Option.iter Http.stop server;
@@ -548,7 +569,7 @@ let obs_cmd =
              snapshot.")
     Term.(const run $ seed_arg $ n_arg $ degree_arg $ range_arg $ format_arg
           $ slots_arg $ metrics_out_arg $ prom_out_arg $ trace_out_arg
-          $ serve_arg)
+          $ serve_arg $ serve_port_file_arg)
 
 (* ---------------- trace-report ---------------- *)
 
@@ -607,10 +628,11 @@ let phys_cmd =
              ~doc:"Number of random slots to check for equivalence.")
   in
   let run seed n degree range cases farfield metrics_out prom_out trace_out
-      jobs serve =
+      jobs serve serve_port_file =
     set_jobs jobs;
     set_farfield farfield;
     with_obs ~label:"phys" ~metrics_out ~prom_out ~trace_out ~serve
+      ?serve_port_file
     @@ fun () ->
     let d = deployment ~seed ~n ~degree ~range in
     let sinr = d.Workloads.sinr in
@@ -701,7 +723,123 @@ let phys_cmd =
              on divergence) and sample its throughput.")
     Term.(const run $ seed_arg $ n_arg $ degree_arg $ range_arg $ cases_arg
           $ farfield_arg $ metrics_out_arg $ prom_out_arg $ trace_out_arg
-          $ jobs_arg $ serve_arg)
+          $ jobs_arg $ serve_arg $ serve_port_file_arg)
+
+(* ---------------- serve ---------------- *)
+
+(* Sweep-as-a-service: the lib/serve daemon behind the embedded HTTP
+   server.  The accept domain answers the /jobs API (and the builtin
+   /metrics /healthz /spans); this main loop runs the queued jobs one at a
+   time through the checkpointing runner.  SIGINT/SIGTERM request a drain:
+   the in-flight chunk of cells finishes, the checkpoint lands, the
+   running job returns to Queued, the flight recorder is dumped, and the
+   process exits 0 — a later `sinr_sim serve` in the same --dir resumes
+   the job bit-identically from its checkpoint. *)
+let serve_cmd =
+  let port_arg =
+    Arg.(value & opt int 0
+         & info [ "port" ] ~docv:"PORT"
+             ~doc:"Listen on 127.0.0.1:$(docv); 0 (the default) lets the \
+                   kernel pick a free port — read it from \
+                   $(b,--serve-port-file).")
+  in
+  let dir_arg =
+    Arg.(value & opt string "."
+         & info [ "dir" ] ~docv:"DIR"
+             ~doc:"Directory for job checkpoints and recorder dumps \
+                   (created if missing).")
+  in
+  let queue_cap_arg =
+    Arg.(value & opt int 8
+         & info [ "queue-cap" ] ~docv:"N"
+             ~doc:"Admission cap: queued + running jobs beyond $(docv) are \
+                   rejected with 429.")
+  in
+  let checkpoint_arg =
+    Arg.(value & opt int 4
+         & info [ "checkpoint-every" ] ~docv:"CELLS"
+             ~doc:"Snapshot a running job's completed cells every $(docv) \
+                   cells (atomic temp+rename JSONL).")
+  in
+  let run port port_file dir queue_cap checkpoint_every jobs farfield =
+    set_jobs jobs;
+    set_farfield farfield;
+    (try Unix.mkdir dir 0o755 with
+     | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+     | Unix.Unix_error (e, _, _) ->
+       Fmt.epr "sinr_sim serve: cannot create %s: %s@." dir
+         (Unix.error_message e);
+       Stdlib.exit 1);
+    Option.iter probe_writable port_file;
+    Metrics.reset ();
+    Metrics.set_enabled true;
+    Recorder.clear ();
+    Recorder.configure ~dir ();
+    Recorder.set_enabled true;
+    let daemon =
+      Sinr_serve.Daemon.create ~dir ~max_queued:queue_cap ~checkpoint_every ()
+    in
+    let server =
+      match Http.serve ~handler:(Sinr_serve.Daemon.handler daemon) ~port () with
+      | s -> s
+      | exception Unix.Unix_error (e, _, _) ->
+        Fmt.epr "sinr_sim serve: cannot serve on port %d: %s@." port
+          (Unix.error_message e);
+        Stdlib.exit 1
+    in
+    Fmt.pr
+      "[serve: POST/GET /jobs, GET /jobs/:id, DELETE /jobs/:id + /metrics \
+       /healthz /spans on http://127.0.0.1:%d]@."
+      (Http.port server);
+    Option.iter
+      (fun path ->
+        Sink.write_file path (string_of_int (Http.port server) ^ "\n");
+        Fmt.pr "[port written: %s]@." path)
+      port_file;
+    let drain _ = Sinr_serve.Daemon.request_drain daemon in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle drain);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle drain);
+    let reported = Hashtbl.create 16 in
+    let report_finished () =
+      List.iter
+        (fun (j : Sinr_serve.Queue.job) ->
+          let terminal =
+            match j.Sinr_serve.Queue.state with
+            | Sinr_serve.Queue.Done | Sinr_serve.Queue.Failed
+            | Sinr_serve.Queue.Cancelled -> true
+            | _ -> false
+          in
+          if terminal && not (Hashtbl.mem reported j.Sinr_serve.Queue.id)
+          then begin
+            Hashtbl.replace reported j.Sinr_serve.Queue.id ();
+            Fmt.pr "[job %d %s: %d/%d cells]@." j.Sinr_serve.Queue.id
+              (Sinr_serve.Queue.state_name j.Sinr_serve.Queue.state)
+              j.Sinr_serve.Queue.cells_done j.Sinr_serve.Queue.cells_total
+          end)
+        (Sinr_serve.Queue.jobs (Sinr_serve.Daemon.queue daemon))
+    in
+    while not (Sinr_serve.Daemon.draining daemon) do
+      if Sinr_serve.Daemon.step daemon then report_finished ()
+      else (try Unix.sleepf 0.05 with Unix.Unix_error (Unix.EINTR, _, _) -> ())
+    done;
+    report_finished ();
+    let dump =
+      Recorder.dump
+        ~path:(Filename.concat dir "serve-drain.jsonl")
+        ~reason:"serve-drain" ()
+    in
+    Fmt.pr "[drained; trace written: %s]@." dump;
+    Http.stop server;
+    Metrics.set_enabled false;
+    Recorder.set_enabled false
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the sweep daemon: accept sweep specs over HTTP \
+             (POST /jobs), run them with checkpoint/resume, drain \
+             gracefully on SIGINT/SIGTERM.")
+    Term.(const run $ port_arg $ serve_port_file_arg $ dir_arg $ queue_cap_arg
+          $ checkpoint_arg $ jobs_arg $ farfield_arg)
 
 (* ---------------- profile-report ---------------- *)
 
@@ -717,15 +855,15 @@ let profile_report_cmd =
          & info [ "max-slots" ] ~docv:"SLOTS"
              ~doc:"Slot budget for the profiled workload.")
   in
-  let run seed n degree range max_slots farfield jobs serve metrics_out
-      prom_out =
+  let run seed n degree range max_slots farfield jobs serve serve_port_file
+      metrics_out prom_out =
     set_jobs jobs;
     set_farfield farfield;
     List.iter (Option.iter probe_writable) [ metrics_out; prom_out ];
     let d = deployment ~seed ~n ~degree ~range in
     let senders = List.filter (fun v -> v mod 2 = 0) (List.init n Fun.id) in
     Metrics.reset ();
-    let server = start_server serve in
+    let server = start_server ?port_file:serve_port_file serve in
     Fun.protect ~finally:(fun () -> Option.iter Http.stop server)
     @@ fun () ->
     Profile.with_enabled (fun () ->
@@ -756,8 +894,8 @@ let profile_report_cmd =
        ~doc:"Profile an instrumented absMAC workload and print the \
              per-stage slot-time table (share, p50, p99).")
     Term.(const run $ seed_arg $ n_arg $ degree_arg $ range_arg $ slots_arg
-          $ farfield_arg $ jobs_arg $ serve_arg $ metrics_out_arg
-          $ prom_out_arg)
+          $ farfield_arg $ jobs_arg $ serve_arg $ serve_port_file_arg
+          $ metrics_out_arg $ prom_out_arg)
 
 let () =
   let doc = "Local broadcast layer for the SINR network model — simulator" in
@@ -769,4 +907,5 @@ let () =
     (Cmd.eval ~argv
        (Cmd.group info
           [ profile_cmd; smb_cmd; cons_cmd; approg_cmd; chaos_cmd; exp_cmd;
-            obs_cmd; phys_cmd; trace_report_cmd; profile_report_cmd ]))
+            obs_cmd; phys_cmd; serve_cmd; trace_report_cmd;
+            profile_report_cmd ]))

@@ -36,13 +36,23 @@ type cell = {
   c_total : int;
 }
 
-let star_cell ~delta seed =
+(* The deployment build and the measurement are split so the sweep daemon
+   can cache the former (placements + gain rows are expensive and fully
+   determined by (delta, seed)) and re-run only the latter.  [Rng.split]
+   derives the child from the parent's seed alone — not its stream
+   position — so recreating the parent in each half yields exactly the
+   streams the fused [star_cell] always used. *)
+let star_instance ~delta ~seed =
   let rng = Rng.create (0x5A1 + seed) in
   let d, s = Workloads.star rng ~delta in
+  (d, s.Placement.leaves)
+
+let star_cell_on d ~leaves ~seed =
+  let rng = Rng.create (0x5A1 + seed) in
   let samples =
     Measure.acks d.Workloads.sinr
       ~rng:(Rng.split rng ~key:1)
-      ~senders:(Array.to_list s.Placement.leaves)
+      ~senders:(Array.to_list leaves)
       ~max_slots:4_000_000
   in
   let nice = ref 0 and total = ref 0 in
@@ -67,6 +77,10 @@ let star_cell ~delta seed =
     c_mean = mean;
     c_nice = !nice;
     c_total = !total }
+
+let star_cell ~delta seed =
+  let d, leaves = star_instance ~delta ~seed in
+  star_cell_on d ~leaves ~seed
 
 (* Aggregate one parameter's cells (in seed order): the profile columns
    come from the last seed, like the sequential fold they replace. *)

@@ -115,6 +115,25 @@ let diff ?(tolerance = 0.25) ?(ignores = [])
   in
   base_findings @ new_findings
 
+(* The current snapshot never materialized — the workload crashed or was
+   skipped before writing its file.  That is a regression of every gated
+   metric, not a usage error: one Missing finding per non-ignored
+   baseline metric, so the gate fails with a per-file account (exit 1 in
+   bench/main.ml) instead of an exit-2 "cannot open" that CI configs
+   routinely misread as infrastructure flake. *)
+let missing_current ?(ignores = []) ~(baseline : Metrics.snapshot) () =
+  let ignored name = List.exists (fun p -> glob_match p name) ignores in
+  List.map
+    (fun (name, bv) ->
+      let b = scalar bv in
+      if ignored name then
+        { metric = name; base = Some b; cur = None; status = Ignored;
+          note = "ignored" }
+      else
+        { metric = name; base = Some b; cur = None; status = Missing;
+          note = "current snapshot file missing" })
+    baseline
+
 let regressions findings =
   List.filter
     (fun f -> match f.status with Regressed | Missing -> true

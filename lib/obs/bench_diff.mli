@@ -37,6 +37,13 @@ val diff :
     metrics absent from the baseline). [tolerance] defaults to 0.25 —
     a relative band of 25%. *)
 
+val missing_current :
+  ?ignores:string list -> baseline:Metrics.snapshot -> unit -> finding list
+(** The report for a current snapshot file that never materialized: one
+    [Missing] finding per non-ignored baseline metric ([Ignored]
+    otherwise), so the gate fails per-file with exit 1 rather than
+    treating a crashed workload as a usage error. *)
+
 val regressions : finding list -> finding list
 (** The gate-failing subset: [Regressed] and [Missing]. *)
 

@@ -1,31 +1,91 @@
-(* Embedded scrape endpoint: a minimal, dependency-free HTTP/1.1 server on
-   a background domain, so a long chaos/reliability sweep can be watched
-   live instead of post-mortem.
+(* Embedded HTTP endpoint: a minimal, dependency-free HTTP/1.1 server on a
+   background domain.  PR 6 used it as a read-only scrape surface
+   (/metrics, /healthz, /spans); the serve daemon now mounts a job-control
+   handler on the same listener, so the server routes GET, POST and DELETE
+   and reads request bodies.
 
-   Scope is deliberately tiny — GET only, one connection at a time,
-   Connection: close — because the only clients are curl and a Prometheus
-   scraper, both of which retry.  Serving stays safe while the simulation
-   runs on other domains: /metrics renders [Metrics.snapshot] (a lock-free
-   shard merge), /spans renders the flight-recorder ring, and neither takes
-   a lock the hot path could hold.
+   Scope stays deliberately small — one connection at a time,
+   Connection: close on every response — because the clients are curl, a
+   Prometheus scraper and the sweep daemon's own smoke tests, all of which
+   retry.  Serving stays safe while the simulation runs on other domains:
+   the built-in routes render lock-free structures (sharded histograms,
+   the span ring), and a mounted handler is responsible for its own
+   locking (the serve daemon's job queue takes a non-hot-path mutex).
+
+   Bounds: the request line + headers must fit [max_header] bytes (else
+   431) and a declared body must fit [max_body] (else 413).  Methods other
+   than GET/POST/DELETE get a clean 405 with an Allow header instead of a
+   dropped socket; every error response carries Content-Length and
+   Connection: close so non-smoke clients can parse it.
 
    Shutdown: [stop] shuts the listening socket down, which makes the
    blocked [Unix.accept] in the server domain fail; the accept loop treats
    any listen-socket error as the exit signal and the domain is joined.
-   Binds the loopback interface only — this is a local observability port,
-   not a public API. *)
+   Binds the loopback interface only — this is a local control port, not a
+   public API. *)
+
+type request = {
+  meth : string;
+  path : string;
+  query : string;
+  body : string;
+}
+
+type response = {
+  status : int;
+  content_type : string;
+  body : string;
+  headers : (string * string) list;
+}
+
+type handler = request -> response option
 
 type t = {
   sock : Unix.file_descr;
   port : int;
+  handler : handler option;
   stopping : bool Atomic.t;
   mutable worker : unit Domain.t option;
 }
+
+let max_header = 8192
+let max_body = 1 lsl 20 (* 1 MiB: job specs are small; anything bigger is noise *)
 
 (* ------------------------------------------------------------------ *)
 (* Request handling (pure: request text in, response text out)         *)
 (* ------------------------------------------------------------------ *)
 
+let response ?(content_type = "application/json") ?(headers = []) status body =
+  { status; content_type; body; headers }
+
+let status_text = function
+  | 200 -> "200 OK"
+  | 202 -> "202 Accepted"
+  | 400 -> "400 Bad Request"
+  | 404 -> "404 Not Found"
+  | 405 -> "405 Method Not Allowed"
+  | 409 -> "409 Conflict"
+  | 413 -> "413 Content Too Large"
+  | 429 -> "429 Too Many Requests"
+  | 431 -> "431 Request Header Fields Too Large"
+  | 500 -> "500 Internal Server Error"
+  | other -> string_of_int other ^ " Status"
+
+let render (r : response) =
+  let extra =
+    String.concat ""
+      (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) r.headers)
+  in
+  Printf.sprintf
+    "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n%sConnection: \
+     close\r\n\r\n%s"
+    (status_text r.status) r.content_type (String.length r.body) extra r.body
+
+let respond ~status ~content_type body =
+  render (response ~content_type status body)
+
+(* The read-only observability routes, served whether or not a handler is
+   mounted. *)
 let body_for path =
   match path with
   | "/metrics" ->
@@ -37,80 +97,193 @@ let body_for path =
     Some ("application/jsonl", Recorder.to_jsonl ~reason:"http-scrape" ())
   | _ -> None
 
-let respond ~status ~content_type body =
-  Printf.sprintf
-    "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
-     close\r\n\r\n%s"
-    status content_type (String.length body) body
+let text_response status body =
+  render (response ~content_type:"text/plain" status body)
 
-(* [request] is everything up to the header terminator; only the request
-   line matters to us. *)
-let response_for request =
+(* Header-block terminator: "\r\n\r\n" or a bare "\n\n" from hand-typed
+   clients.  Returns the offset just past the terminator. *)
+let header_end s =
+  let n = String.length s in
+  let rec scan i =
+    if i + 1 >= n then None
+    else if s.[i] = '\n' && s.[i + 1] = '\n' then Some (i + 2)
+    else if
+      s.[i] = '\n' && i + 2 < n && s.[i + 1] = '\r' && s.[i + 2] = '\n'
+    then Some (i + 3)
+    else scan (i + 1)
+  in
+  scan 0
+
+(* Case-insensitive header lookup over the raw header block; headers that
+   don't parse as "name: value" are skipped rather than fatal. *)
+let header_value block name =
+  let lower = String.lowercase_ascii in
+  let name = lower name in
+  let lines = String.split_on_char '\n' block in
+  List.fold_left
+    (fun acc line ->
+      match acc with
+      | Some _ -> acc
+      | None -> (
+        match String.index_opt line ':' with
+        | None -> None
+        | Some i ->
+          let k = lower (String.trim (String.sub line 0 i)) in
+          if k = name then
+            Some
+              (String.trim
+                 (String.sub line (i + 1) (String.length line - i - 1)))
+          else None))
+    None lines
+
+let split_target target =
+  match String.index_opt target '?' with
+  | Some i ->
+    ( String.sub target 0 i,
+      String.sub target (i + 1) (String.length target - i - 1) )
+  | None -> (target, "")
+
+let known_methods = [ "GET"; "POST"; "DELETE" ]
+
+let other_methods =
+  [ "HEAD"; "PUT"; "PATCH"; "OPTIONS"; "TRACE"; "CONNECT" ]
+
+(* Route one parsed request.  Handler first (it may shadow nothing — the
+   built-in routes answer GETs the handler declined); without a handler the
+   server is the PR 6 read-only surface and non-GET methods are refused. *)
+let route ?handler (req : request) =
+  let fallback () =
+    if req.meth = "GET" then
+      match body_for req.path with
+      | Some (content_type, body) -> respond ~status:200 ~content_type body
+      | None -> text_response 404 "not found\n"
+    else if handler <> None then text_response 404 "not found\n"
+    else
+      render
+        (response ~content_type:"text/plain"
+           ~headers:[ ("Allow", "GET") ]
+           405 "only GET is served\n")
+  in
+  match handler with
+  | None -> fallback ()
+  | Some h -> (
+    match h req with
+    | Some r -> render r
+    | None -> fallback ()
+    | exception _ -> text_response 500 "internal error\n")
+
+let handle_headers ?handler raw body_off =
+  let head = String.sub raw 0 body_off in
   let line =
-    match String.index_opt request '\r' with
-    | Some i -> String.sub request 0 i
+    match String.index_opt head '\r' with
+    | Some i -> String.sub head 0 i
     | None -> (
-      match String.index_opt request '\n' with
-      | Some i -> String.sub request 0 i
-      | None -> request)
+      match String.index_opt head '\n' with
+      | Some i -> String.sub head 0 i
+      | None -> head)
   in
   match String.split_on_char ' ' line with
-  | [ "GET"; path; _version ] -> (
-    (* Strip any query string: /metrics?x=y scrapes the same as /metrics. *)
-    let path =
-      match String.index_opt path '?' with
-      | Some i -> String.sub path 0 i
-      | None -> path
+  | [ meth; target; _version ] when List.mem meth known_methods ->
+    let path, query = split_target target in
+    let declared =
+      match header_value head "content-length" with
+      | Some v -> int_of_string_opt v
+      | None -> None
     in
-    match body_for path with
-    | Some (content_type, body) -> respond ~status:"200 OK" ~content_type body
-    | None ->
-      respond ~status:"404 Not Found" ~content_type:"text/plain"
-        "not found\n")
-  | (("HEAD" | "POST" | "PUT" | "DELETE" | "PATCH" | "OPTIONS") :: _) ->
-    respond ~status:"405 Method Not Allowed" ~content_type:"text/plain"
-      "only GET is served\n"
-  | _ ->
-    respond ~status:"400 Bad Request" ~content_type:"text/plain"
-      "bad request\n"
+    (match declared with
+     | Some len when len > max_body ->
+       text_response 413 "request body too large\n"
+     | Some len when len < 0 -> text_response 400 "bad request\n"
+     | _ ->
+       let avail = String.length raw - body_off in
+       let body =
+         match declared with
+         | None -> String.sub raw body_off avail
+         | Some len -> String.sub raw body_off (min len avail)
+       in
+       route ?handler { meth; path; query; body })
+  | meth :: _ when List.mem meth other_methods ->
+    render
+      (response ~content_type:"text/plain"
+         ~headers:[ ("Allow", String.concat ", " known_methods) ]
+         405 "method not allowed\n")
+  | _ -> text_response 400 "bad request\n"
+
+(* [handle raw] is the full response text for a raw request string (request
+   line + headers + body).  Applies the same bounds as the socket path so
+   the hardening is unit-testable. *)
+let handle ?handler raw =
+  match header_end raw with
+  | None ->
+    if String.length raw >= max_header then
+      text_response 431 "request header block too large\n"
+    else
+      (* No terminator in a complete request: treat everything as the
+         header block (hand-typed one-liners land here). *)
+      handle_headers ?handler raw (String.length raw)
+  | Some body_off ->
+    if body_off > max_header then
+      text_response 431 "request header block too large\n"
+    else handle_headers ?handler raw body_off
+
+let response_for request = handle request
 
 (* ------------------------------------------------------------------ *)
 (* Socket plumbing                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let max_request = 8192
+type read_outcome =
+  | Complete of string
+  | Header_overflow
+  | Body_overflow
+  | Empty
 
-(* Read until the blank line ending the header block, EOF, or the size
-   cap.  A per-socket receive timeout (set by the caller) bounds how long a
-   stalled client can hold the single-threaded accept loop. *)
+(* Read the header block (bounded by [max_header]), then the declared body
+   (bounded by [max_body]).  A per-socket receive timeout (set by the
+   caller) bounds how long a stalled client can hold the single-threaded
+   accept loop. *)
 let read_request fd =
   let buf = Buffer.create 512 in
   let chunk = Bytes.create 1024 in
-  let rec loop () =
-    if Buffer.length buf >= max_request then Buffer.contents buf
-    else
-      let n = Unix.read fd chunk 0 (Bytes.length chunk) in
-      if n = 0 then Buffer.contents buf
-      else begin
-        Buffer.add_subbytes buf chunk 0 n;
-        let s = Buffer.contents buf in
-        let has_terminator =
-          (* "\r\n\r\n" or a bare "\n\n" from hand-typed clients *)
-          let rec scan i =
-            if i + 1 >= String.length s then false
-            else if s.[i] = '\n' && (s.[i + 1] = '\n'
-                                     || (i + 2 < String.length s
-                                         && s.[i + 1] = '\r'
-                                         && s.[i + 2] = '\n'))
-            then true
-            else scan (i + 1)
-          in
-          scan 0
-        in
-        if has_terminator then s else loop ()
-      end
+  let rec read_head () =
+    match header_end (Buffer.contents buf) with
+    | Some off -> Some off
+    | None ->
+      if Buffer.length buf >= max_header then None
+      else
+        let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+        if n = 0 then Some (Buffer.length buf) (* EOF: headers-only request *)
+        else begin
+          Buffer.add_subbytes buf chunk 0 n;
+          read_head ()
+        end
   in
-  loop ()
+  match read_head () with
+  | None -> Header_overflow
+  | Some body_off ->
+    if Buffer.length buf = 0 then Empty
+    else begin
+      let declared =
+        match header_value (Buffer.contents buf) "content-length" with
+        | Some v -> Option.value ~default:0 (int_of_string_opt v)
+        | None -> 0
+      in
+      if declared > max_body then Body_overflow
+      else begin
+        let rec read_body () =
+          if Buffer.length buf - body_off >= declared then ()
+          else
+            let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+            if n = 0 then ()
+            else begin
+              Buffer.add_subbytes buf chunk 0 n;
+              read_body ()
+            end
+        in
+        read_body ();
+        Complete (Buffer.contents buf)
+      end
+    end
 
 let write_all fd s =
   let b = Bytes.of_string s in
@@ -122,17 +295,21 @@ let write_all fd s =
   in
   go 0
 
-let handle_client fd =
+let handle_client ?handler fd =
   Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
   Unix.setsockopt_float fd Unix.SO_SNDTIMEO 5.0;
-  let request = read_request fd in
-  if String.length request > 0 then write_all fd (response_for request)
+  match read_request fd with
+  | Empty -> ()
+  | Header_overflow ->
+    write_all fd (text_response 431 "request header block too large\n")
+  | Body_overflow -> write_all fd (text_response 413 "request body too large\n")
+  | Complete raw -> write_all fd (handle ?handler raw)
 
 let accept_loop t =
   let rec loop () =
     match Unix.accept t.sock with
     | fd, _addr ->
-      (try handle_client fd with _ -> ());
+      (try handle_client ?handler:t.handler fd with _ -> ());
       (try Unix.close fd with Unix.Unix_error _ -> ());
       if not (Atomic.get t.stopping) then loop ()
     | exception Unix.Unix_error (Unix.EINTR, _, _) ->
@@ -144,7 +321,7 @@ let accept_loop t =
   in
   loop ()
 
-let serve ?(addr = "127.0.0.1") ~port () =
+let serve ?(addr = "127.0.0.1") ?handler ~port () =
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
      Unix.setsockopt sock Unix.SO_REUSEADDR true;
@@ -159,7 +336,7 @@ let serve ?(addr = "127.0.0.1") ~port () =
     | Unix.ADDR_INET (_, p) -> p
     | Unix.ADDR_UNIX _ -> port
   in
-  let t = { sock; port; stopping = Atomic.make false; worker = None } in
+  let t = { sock; port; handler; stopping = Atomic.make false; worker = None } in
   t.worker <- Some (Domain.spawn (fun () -> accept_loop t));
   t
 

@@ -1,26 +1,71 @@
-(** Embedded observability endpoint: a minimal dependency-free HTTP server
-    (GET-only, loopback-only, one background domain) exposing the live
-    state of a running simulation:
+(** Embedded HTTP endpoint: a minimal dependency-free HTTP/1.1 server
+    (loopback-only, one background domain).
 
-    - [/metrics] — the current {!Metrics.snapshot} in Prometheus text
-      exposition format ({!Sink.snapshot_to_prometheus});
-    - [/healthz] — ["ok"], for liveness probes and smoke tests;
-    - [/spans] — the flight-recorder ring as JSONL
-      ({!Recorder.to_jsonl}).
+    Two layers share the listener:
 
-    Reading is safe while the simulation runs on other domains: both
-    endpoints render from lock-free structures (sharded histograms, the
-    span ring), so a scrape can never block the per-slot hot path.
+    - the {b built-in read-only routes} — [GET /metrics] (the current
+      {!Metrics.snapshot} as Prometheus text), [GET /healthz] (["ok"]) and
+      [GET /spans] (the flight-recorder ring as JSONL) — always served;
+    - an optional {b mounted handler} (the sweep daemon's job-control
+      plane): consulted first for every GET/POST/DELETE; a [None] return
+      falls through to the built-in routes.
 
-    Enabled from the CLI with [sinr_sim <cmd> --serve PORT]. *)
+    Request handling is bounded and non-smoke-client-safe: the request
+    line + headers must fit {!max_header} bytes (431 otherwise), a
+    declared body must fit {!max_body} (413), methods other than
+    GET/POST/DELETE get a 405 with an [Allow] header, and every response
+    — errors included — carries [Content-Length] and
+    [Connection: close].
+
+    Reading the built-in routes is safe while the simulation runs on
+    other domains: they render from lock-free structures (sharded
+    histograms, the span ring), so a scrape can never block the per-slot
+    hot path. A mounted handler runs on the server domain and owns its
+    own synchronization.
+
+    Enabled from the CLI with [sinr_sim <cmd> --serve PORT] (read-only)
+    or [sinr_sim serve] (job control). *)
+
+type request = {
+  meth : string;  (** ["GET"], ["POST"] or ["DELETE"] — no other method
+                      reaches a handler *)
+  path : string;  (** target with any query string stripped *)
+  query : string; (** raw query string, [""] when absent *)
+  body : string;  (** request body (clipped to [Content-Length]) *)
+}
+
+type response = {
+  status : int;
+  content_type : string;
+  body : string;
+  headers : (string * string) list;  (** extra headers, e.g. [Allow] *)
+}
+
+type handler = request -> response option
+(** A route table: [Some response] serves it, [None] falls through to the
+    built-in routes (404/405 if nothing matches). An exception becomes a
+    500. *)
+
+val response :
+  ?content_type:string -> ?headers:(string * string) list -> int -> string
+  -> response
+(** Response constructor; [content_type] defaults to
+    ["application/json"]. *)
 
 type t
 (** A running server (listening socket + accept-loop domain). *)
 
-val serve : ?addr:string -> port:int -> unit -> t
-(** Bind [addr] (default ["127.0.0.1"]) on [port] and serve until {!stop}.
-    [port = 0] lets the kernel pick a free port — read it back with
-    {!port}. Raises [Unix.Unix_error] if the bind fails (port taken). *)
+val max_header : int
+(** Bound on the request line + header block, in bytes (431 past it). *)
+
+val max_body : int
+(** Bound on a declared request body, in bytes (413 past it). *)
+
+val serve : ?addr:string -> ?handler:handler -> port:int -> unit -> t
+(** Bind [addr] (default ["127.0.0.1"]) on [port] and serve until {!stop},
+    consulting [handler] first on every request. [port = 0] lets the
+    kernel pick a free port — read it back with {!port}. Raises
+    [Unix.Unix_error] if the bind fails (port taken). *)
 
 val port : t -> int
 (** The actual bound port (useful after [serve ~port:0]). *)
@@ -28,7 +73,11 @@ val port : t -> int
 val stop : t -> unit
 (** Shut down the listener and join the server domain. Idempotent. *)
 
+val handle : ?handler:handler -> string -> string
+(** [handle raw] is the full HTTP response text for a raw request string
+    (request line, headers, body) — the routing, bounds and method
+    checks without the socket, exposed for tests. *)
+
 val response_for : string -> string
-(** [response_for request] is the full HTTP response (status line, headers,
-    body) for a raw request string — the routing logic without the socket,
-    exposed for tests. *)
+(** [handle] without a handler: the PR 6 read-only surface (non-GET
+    methods are 405). Kept for existing tests and callers. *)

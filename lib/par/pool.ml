@@ -41,9 +41,14 @@ type t = {
   mutable job : job option;
   mutable quit : bool;
   mutable workers : unit Domain.t list;
+  inflight : int Atomic.t; (* submissions currently draining (all paths) *)
 }
 
 let jobs t = t.size
+
+let in_flight t = Atomic.get t.inflight
+
+let saturated t = Atomic.get t.inflight > 0
 
 (* Run one chunk with telemetry; never raises (the chunk body's exception
    is captured into the job). *)
@@ -99,7 +104,8 @@ let create ~jobs =
       idle = Condition.create ();
       job = None;
       quit = false;
-      workers = [] }
+      workers = [];
+      inflight = Atomic.make 0 }
   in
   if size > 1 then begin
     t.workers <- List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker t));
@@ -125,7 +131,9 @@ let shutdown t =
    nested submissions (a task re-entering the pool it runs on) execute
    inline in claim order — same results, no deadlock. *)
 let run_job t ~chunks run =
-  if chunks > 0 then
+  if chunks > 0 then begin
+    Atomic.incr t.inflight;
+    Fun.protect ~finally:(fun () -> Atomic.decr t.inflight) @@ fun () ->
     if t.size = 1 then
       for c = 0 to chunks - 1 do
         match timed_chunk run c with
@@ -157,6 +165,7 @@ let run_job t ~chunks run =
         | None -> ()
       end
     end
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Deterministic combinators                                           *)

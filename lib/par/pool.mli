@@ -30,6 +30,17 @@ val create : jobs:int -> t
 
 val jobs : t -> int
 
+val in_flight : t -> int
+(** Number of submissions (combinator calls) currently draining through
+    the pool, on any path — parallel, sequential or nested-inline. The
+    pool runs one parallel job at a time, so any non-zero value means new
+    submissions will queue behind it (or run inline); admission-control
+    layers (the sweep daemon's backpressure) read this as the saturation
+    probe. *)
+
+val saturated : t -> bool
+(** [in_flight t > 0]. *)
+
 val shutdown : t -> unit
 (** Terminate and join the workers. Idempotent. Outstanding work finishes
     first (shutdown only takes effect between jobs). *)

@@ -1,0 +1,123 @@
+(* Warm-state reuse across jobs: a deployment build (placement + the gain
+   rows it already faulted in) is fully determined by its key, so two jobs
+   sweeping overlapping (param, seed) cells share the expensive half of
+   each cell and re-run only the measurement.
+
+   Reads and inserts are mutex-protected but builds happen outside the
+   lock: two workers racing on the same key both build, one insert wins,
+   and because builds are deterministic in the key the loser's copy was
+   identical anyway — determinism is never at stake, only effort.
+
+   Byte accounting rides the physics budget: an entry's cost is its
+   gain-cache residency ([Gain_cache.bytes_cached], which grows as rows
+   fault in) plus a small placement term, and the total is kept under
+   [Phys_tuning.cache_cap_bytes] by LRU eviction at insert time. *)
+
+open Sinr_expt
+open Sinr_phys
+open Sinr_obs
+
+let m_hits = Metrics.counter "serve.cache.hits"
+let m_misses = Metrics.counter "serve.cache.misses"
+let m_evictions = Metrics.counter "serve.cache.evictions"
+let g_bytes = Metrics.gauge "serve.cache.bytes"
+
+type entry = {
+  dep : Workloads.deployment;
+  senders : int array;
+  mutable last_use : int;
+}
+
+type t = {
+  mutex : Mutex.t;
+  tbl : (string, entry) Hashtbl.t;
+  mutable tick : int;
+  cap_bytes : unit -> int;
+}
+
+let create ?cap_bytes () =
+  { mutex = Mutex.create ();
+    tbl = Hashtbl.create 16;
+    tick = 0;
+    cap_bytes =
+      (match cap_bytes with
+       | Some f -> f
+       | None -> Phys_tuning.cache_cap_bytes) }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let entry_bytes e =
+  Gain_cache.bytes_cached (Sinr.gain_cache e.dep.Workloads.sinr)
+  + (24 * Sinr.n e.dep.Workloads.sinr) (* points *)
+  + (8 * Array.length e.senders)
+  + 128 (* record overhead, key, profile *)
+
+let total_bytes t =
+  Hashtbl.fold (fun _ e acc -> acc + entry_bytes e) t.tbl 0
+
+(* Evict least-recently-used entries until the total fits the cap, but
+   always keep the newest entry even if it alone overflows (otherwise a
+   single large deployment would thrash on every cell). *)
+let evict_to_cap t ~keep =
+  let cap = t.cap_bytes () in
+  let rec go () =
+    if Hashtbl.length t.tbl > 1 && total_bytes t > cap then begin
+      let victim =
+        Hashtbl.fold
+          (fun k e acc ->
+            if k = keep then acc
+            else
+              match acc with
+              | Some (_, best) when best.last_use <= e.last_use -> acc
+              | _ -> Some (k, e))
+          t.tbl None
+      in
+      match victim with
+      | Some (k, _) ->
+        Hashtbl.remove t.tbl k;
+        Metrics.incr m_evictions;
+        go ()
+      | None -> ()
+    end
+  in
+  go ();
+  Metrics.set g_bytes (float_of_int (total_bytes t))
+
+let find_or_build t key build =
+  let hit =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.tbl key with
+        | Some e ->
+          t.tick <- t.tick + 1;
+          e.last_use <- t.tick;
+          Some (e.dep, e.senders)
+        | None -> None)
+  in
+  match hit with
+  | Some v ->
+    Metrics.incr m_hits;
+    v
+  | None ->
+    Metrics.incr m_misses;
+    let dep, senders = build () in
+    locked t (fun () ->
+        match Hashtbl.find_opt t.tbl key with
+        | Some e ->
+          (* someone else inserted the identical build first *)
+          t.tick <- t.tick + 1;
+          e.last_use <- t.tick;
+          (e.dep, e.senders)
+        | None ->
+          t.tick <- t.tick + 1;
+          Hashtbl.replace t.tbl key { dep; senders; last_use = t.tick };
+          evict_to_cap t ~keep:key;
+          (dep, senders))
+
+let length t = locked t (fun () -> Hashtbl.length t.tbl)
+let bytes t = locked t (fun () -> total_bytes t)
+let clear t = locked t (fun () -> Hashtbl.reset t.tbl)
+
+(* The process-shared instance used by the registry cells. *)
+let shared = create ()

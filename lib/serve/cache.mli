@@ -1,0 +1,39 @@
+(** Warm-state cache for the sweep daemon: deployment builds (placement +
+    already-faulted gain rows) keyed by a string identity, shared across
+    jobs, LRU-evicted under the physics byte budget
+    ([Phys_tuning.cache_cap_bytes] unless overridden).
+
+    Determinism contract: a cached value must be bit-identical to a fresh
+    build of the same key, so the key must encode {e everything} the build
+    reads — workload, size parameter, seed, and any process-global physics
+    knobs in effect. Concurrent misses on one key may both build; the
+    first insert wins and the copies are identical by construction.
+
+    Metrics (when enabled): [serve.cache.hits] / [serve.cache.misses] /
+    [serve.cache.evictions] counters and the [serve.cache.bytes] gauge. *)
+
+open Sinr_expt
+
+type t
+
+val create : ?cap_bytes:(unit -> int) -> unit -> t
+(** [cap_bytes] is re-read at every insert (default
+    [Phys_tuning.cache_cap_bytes]). *)
+
+val shared : t
+(** The process-shared instance the experiment registry uses. *)
+
+val find_or_build :
+  t -> string -> (unit -> Workloads.deployment * int array)
+  -> Workloads.deployment * int array
+(** [find_or_build t key build]: the cached entry for [key], or [build ()]
+    inserted (evicting LRU entries past the byte cap; the newest entry is
+    never evicted). [senders] is the cell's broadcast set, frozen with the
+    deployment. *)
+
+val length : t -> int
+val bytes : t -> int
+(** Current byte estimate: gain-cache residency plus placement overhead —
+    it grows as cached deployments fault more rows in. *)
+
+val clear : t -> unit

@@ -1,0 +1,167 @@
+(* The daemon glue: a [Queue] + [Runner] pair behind an [Obs.Http]
+   handler.  The handler mounts on the observability server (which keeps
+   serving /metrics, /healthz and /spans as fallback GET routes) and only
+   claims the /jobs namespace:
+
+     POST   /jobs      submit a sweep spec        202 | 400 | 429
+     GET    /jobs      list jobs + queue state    200
+     GET    /jobs/:id  status/progress/table      200 | 404
+     DELETE /jobs/:id  cancel (cell granularity)  200 | 202 | 404 | 409
+
+   The handler runs on the HTTP accept domain; all job execution happens
+   in the owner's [step] loop, so a request never blocks on a sweep.
+   Draining flips one atomic that [step] and the runner's should_stop
+   both poll: in-flight cells finish, the checkpoint lands, and the job
+   goes back to Queued for the next process. *)
+
+open Sinr_obs
+open Sinr_par
+
+type t = {
+  queue : Queue.t;
+  dir : string;
+  checkpoint_every : int;
+  draining : bool Atomic.t;
+}
+
+let create ?(dir = ".") ?(max_queued = 8) ?(checkpoint_every = 4) () =
+  { queue = Queue.create ~max_queued ();
+    dir;
+    checkpoint_every = max 1 checkpoint_every;
+    draining = Atomic.make false }
+
+let queue t = t.queue
+let dir t = t.dir
+let request_drain t = Atomic.set t.draining true
+let draining t = Atomic.get t.draining
+
+let step t =
+  if Atomic.get t.draining then false
+  else
+    match Queue.take t.queue with
+    | None -> false
+    | Some job ->
+      Runner.run_job ~checkpoint_every:t.checkpoint_every
+        ~should_stop:(fun () -> Atomic.get t.draining)
+        ~dir:t.dir t.queue job;
+      true
+
+(* ------------------------------------------------------------------ *)
+(* HTTP handler                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let json_response ?headers status j =
+  Http.response ?headers status (Json.to_string_json j ^ "\n")
+
+let error_response ?headers status msg =
+  json_response ?headers status (Json.Obj [ ("error", Json.Str msg) ])
+
+let opt_field name = function
+  | None -> []
+  | Some j -> [ (name, j) ]
+
+let job_json ~full (job : Queue.job) =
+  Json.Obj
+    (List.concat
+       [ [ ("id", Json.int job.Queue.id);
+           ("exp", Json.Str job.Queue.spec.Spec.exp);
+           ("state", Json.Str (Queue.state_name job.Queue.state));
+           ("cells_done", Json.int job.Queue.cells_done);
+           ("cells_total", Json.int job.Queue.cells_total);
+           ("restored", Json.int job.Queue.restored) ];
+         (if full then
+            List.concat
+              [ [ ("spec", Spec.to_json job.Queue.spec) ];
+                opt_field "partial" job.Queue.partial;
+                opt_field "table" job.Queue.table;
+                opt_field "error"
+                  (Option.map (fun e -> Json.Str e) job.Queue.error) ]
+          else []) ])
+
+let queue_state t =
+  [ ("depth", Json.int (Queue.depth t.queue));
+    ("cap", Json.int (Queue.max_queued t.queue));
+    ("pool_in_flight", Json.int (Pool.in_flight (Pool.get ())));
+    ("draining", Json.Bool (Atomic.get t.draining)) ]
+
+let submit t body =
+  match Spec.of_string body with
+  | Error msg -> error_response 400 msg
+  | Ok spec -> (
+    match Spec.validate spec with
+    | Error msg -> error_response 400 msg
+    | Ok () -> (
+      match Registry.resolve spec with
+      | Error msg -> error_response 400 msg
+      | Ok _ -> (
+        if Atomic.get t.draining then
+          error_response 429 "draining: not accepting jobs"
+        else
+          match Queue.submit t.queue spec with
+          | Error (`Backpressure depth) ->
+            json_response 429
+              (Json.Obj
+                 (("error", Json.Str "queue full")
+                 :: ("depth", Json.int depth)
+                 :: ("cap", Json.int (Queue.max_queued t.queue))
+                 :: ("pool_in_flight",
+                     Json.int (Pool.in_flight (Pool.get ())))
+                 :: []))
+          | Ok job ->
+            json_response 202
+              (Json.Obj
+                 [ ("id", Json.int job.Queue.id);
+                   ("state", Json.Str (Queue.state_name job.Queue.state));
+                   ("cells", Json.int job.Queue.cells_total);
+                   ( "checkpoint",
+                     Json.Str (Runner.checkpoint_path ~dir:t.dir job) ) ]))))
+
+let job_by_id t id_str =
+  match int_of_string_opt id_str with
+  | None -> None
+  | Some id -> Queue.find t.queue id
+
+let cancel t id_str =
+  match int_of_string_opt id_str with
+  | None -> error_response 404 "no such job"
+  | Some id -> (
+    match Queue.cancel t.queue id with
+    | `Not_found -> error_response 404 "no such job"
+    | `Already_finished ->
+      error_response 409 "job already finished"
+    | `Cancelled ->
+      json_response 200
+        (Json.Obj [ ("id", Json.int id); ("state", Json.Str "cancelled") ])
+    | `Cancelling ->
+      json_response 202
+        (Json.Obj [ ("id", Json.int id); ("state", Json.Str "cancelling") ]))
+
+let handler t (req : Http.request) =
+  match String.split_on_char '/' req.Http.path with
+  | [ ""; "jobs" ] -> (
+    match req.Http.meth with
+    | "POST" -> Some (submit t req.Http.body)
+    | "GET" ->
+      Some
+        (json_response 200
+           (Json.Obj
+              (( "jobs",
+                 Json.List
+                   (List.map (job_json ~full:false) (Queue.jobs t.queue)) )
+              :: queue_state t)))
+    | _ ->
+      Some
+        (error_response ~headers:[ ("Allow", "GET, POST") ] 405
+           "method not allowed on /jobs"))
+  | [ ""; "jobs"; id ] -> (
+    match req.Http.meth with
+    | "GET" -> (
+      match job_by_id t id with
+      | None -> Some (error_response 404 "no such job")
+      | Some job -> Some (json_response 200 (job_json ~full:true job)))
+    | "DELETE" -> Some (cancel t id)
+    | _ ->
+      Some
+        (error_response ~headers:[ ("Allow", "GET, DELETE") ] 405
+           "method not allowed on /jobs/:id"))
+  | _ -> None (* /metrics, /healthz, /spans, 404: the builtin routes *)

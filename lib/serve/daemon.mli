@@ -1,0 +1,34 @@
+(** Sweep-as-a-service daemon: a bounded {!Queue} and checkpointing
+    {!Runner} behind an [Obs.Http] handler.
+
+    The handler claims only the [/jobs] namespace —
+    [POST /jobs] (202/400/429), [GET /jobs], [GET /jobs/:id],
+    [DELETE /jobs/:id] (200/202/404/409) — and returns [None] elsewhere so
+    the observability server's builtin [/metrics], [/healthz] and [/spans]
+    keep working. Requests never run sweeps; the owner drives execution
+    with {!step} from its own loop.
+
+    Drain ({!request_drain}): in-flight cells finish, the checkpoint is
+    written, the running job returns to Queued, {!step} refuses further
+    work and [POST /jobs] answers 429. *)
+
+open Sinr_obs
+
+type t
+
+val create :
+  ?dir:string -> ?max_queued:int -> ?checkpoint_every:int -> unit -> t
+(** [dir] (default ".") holds the checkpoint files. *)
+
+val queue : t -> Queue.t
+val dir : t -> string
+
+val handler : t -> Http.request -> Http.response option
+(** Mount with [Http.serve ~handler:(Daemon.handler t)]. *)
+
+val step : t -> bool
+(** Run the oldest queued job to a terminal state (or to its drain/cancel
+    boundary); [false] when idle or draining — the caller sleeps then. *)
+
+val request_drain : t -> unit
+val draining : t -> bool

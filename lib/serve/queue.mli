@@ -1,0 +1,67 @@
+(** Bounded job queue for the sweep daemon.
+
+    Lifecycle: [Queued → Running → Done | Failed | Cancelled], plus
+    [Running → Queued] on a drain ({!requeue} — the checkpoint makes the
+    job resumable) and [Queued → Cancelled] directly. Admission depth
+    counts Queued {e and} Running jobs — a Running job saturates the
+    one-sweep-at-a-time pool — and {!submit} rejects at the cap, which the
+    HTTP layer reports as 429.
+
+    Metrics: [serve.jobs.{submitted,rejected,completed,failed,cancelled}]
+    counters and the [serve.queue.depth] gauge. *)
+
+open Sinr_obs
+
+type state = Queued | Running | Done | Failed | Cancelled
+
+val state_name : state -> string
+
+type job = {
+  id : int;
+  spec : Spec.t;
+  cells_total : int;
+  submitted_at : float;
+  cancel : bool Atomic.t;
+      (** polled by the runner at cell boundaries *)
+  mutable state : state;
+  mutable cells_done : int;
+  mutable restored : int;  (** cells restored from a checkpoint *)
+  mutable partial : Json.t option;  (** completed cells so far *)
+  mutable table : Json.t option;   (** final table once [Done] *)
+  mutable error : string option;
+  mutable finished_at : float option;
+}
+
+type t
+
+val create : ?max_queued:int -> unit -> t
+(** [max_queued] (default 8, clamped [>= 1]) caps Queued + Running. *)
+
+val max_queued : t -> int
+val depth : t -> int
+
+val submit : t -> Spec.t -> (job, [ `Backpressure of int ]) result
+(** Admit or reject; [`Backpressure depth] carries the depth seen. Spec
+    and registry validation are the caller's job — the queue only bounds. *)
+
+val take : t -> job option
+(** Oldest Queued job, flipped to Running. *)
+
+val find : t -> int -> job option
+val jobs : t -> job list
+(** Submission order. *)
+
+val cancel :
+  t -> int -> [ `Cancelled | `Cancelling | `Already_finished | `Not_found ]
+(** Queued jobs cancel immediately; Running jobs get their flag set and
+    the runner confirms at the next cell boundary ([`Cancelling]). *)
+
+(** {1 Runner-side transitions} *)
+
+val progress : t -> job -> cells_done:int -> partial:Json.t -> unit
+
+val finish :
+  t -> job -> [ `Done of Json.t | `Failed of string | `Cancelled ] -> unit
+
+val requeue : t -> job -> unit
+(** Drain: back to Queued, resumable from its checkpoint. *)

@@ -1,0 +1,42 @@
+(** Checkpointing sweep runner: drives one {!Queue.job} through
+    [Sweep.run_cursor], snapshotting completed cells to an atomic JSONL
+    checkpoint every [checkpoint_every] cells and restoring them on the
+    next attempt.
+
+    {b Bit-identity.} Cells are pure in [(param, seed)] and cell JSON
+    prints byte-stably through parse/print, so a job killed and resumed
+    any number of times yields a final table byte-identical to an
+    uninterrupted run, whatever the [jobs] setting. Checkpoint matching
+    compares the grid identity (exp, params, seeds) and ignores the
+    execution knobs (jobs, tag).
+
+    Metrics: [serve.cells.done], [serve.checkpoints],
+    [serve.resume.cells]. *)
+
+open Sinr_expt
+open Sinr_obs
+
+val checkpoint_path : dir:string -> Queue.job -> string
+(** [<dir>/serve-<tag>.ckpt.jsonl], tag defaulting to [job<id>]. *)
+
+val checkpoint_string : Spec.t -> (int, Json.t) Sweep.cursor -> string
+(** Header line [{"serve_checkpoint":1,"spec":{...}}] then one
+    [{"param":..,"seed":..,"cell":..}] line per completed cell. *)
+
+val save : path:string -> Spec.t -> (int, Json.t) Sweep.cursor -> unit
+(** Atomic write ({!Sink.write_file}) of {!checkpoint_string}. *)
+
+val restore : path:string -> Spec.t -> (int, Json.t) Sweep.cursor -> int
+(** Fill the cursor from a checkpoint; returns cells restored. Missing
+    file, foreign spec, or malformed lines restore nothing/skip. *)
+
+val table_json : Registry.t -> Spec.t -> (int, Json.t) Sweep.cursor -> Json.t
+(** The final table: [{"exp","param_name","seeds","rows":[{"param","cells"}]}].
+    Raises if the cursor is incomplete. *)
+
+val run_job :
+  ?checkpoint_every:int -> ?should_stop:(unit -> bool) -> dir:string
+  -> Queue.t -> Queue.job -> unit
+(** Run (or resume) one job to a terminal state — or back to Queued if
+    [should_stop] fired without the job's cancel flag (drain). Cell
+    exceptions mark the job Failed; the checkpoint survives either way. *)

@@ -22,4 +22,5 @@ let () =
       ("trace", Test_trace.suite);
       ("par", Test_par.suite);
       ("chaos", Test_chaos.suite);
-      ("phys_fast", Test_phys_fast.suite) ]
+      ("phys_fast", Test_phys_fast.suite);
+      ("serve", Test_serve.suite) ]

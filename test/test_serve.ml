@@ -1,0 +1,527 @@
+(* Tests for the sweep daemon (lib/serve): spec parsing, the resumable
+   sweep cursor, queue admission/cancel, checkpoint/resume bit-identity,
+   the /jobs HTTP surface, and the hardened request handling under it. *)
+
+open Sinr_expt
+open Sinr_obs
+open Sinr_serve
+module Sq = Sinr_serve.Queue
+
+(* Clean, enabled registry per case; leave it disabled for the rest of the
+   run (same discipline as test_obs). *)
+let with_registry f () =
+  Metrics.reset_for_tests ();
+  Metrics.set_enabled true;
+  Fun.protect ~finally:Metrics.reset_for_tests f
+
+let dir_counter = ref 0
+
+let fresh_dir () =
+  incr dir_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "sinr_serve_test_%d_%d" (Unix.getpid ()) !dir_counter)
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  dir
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* ---------------- spec ---------------- *)
+
+let test_spec_roundtrip () =
+  let s =
+    match Spec.of_string {|{"exp":"ack","params":[4,8],"seeds":[1,2,3]}|} with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "parse failed: %s" e
+  in
+  Alcotest.(check string) "exp" "ack" s.Spec.exp;
+  Alcotest.(check (list int)) "params" [ 4; 8 ] s.Spec.params;
+  Alcotest.(check (list int)) "seeds" [ 1; 2; 3 ] s.Spec.seeds;
+  Alcotest.(check int) "cells" 6 (Spec.cells s);
+  Alcotest.(check bool) "validates" true (Spec.validate s = Ok ());
+  (* wire round trip *)
+  (match Spec.of_json (Spec.to_json s) with
+   | Ok s' -> Alcotest.(check bool) "roundtrip equal" true (Spec.equal s s')
+   | Error e -> Alcotest.failf "roundtrip failed: %s" e);
+  (* optional fields survive *)
+  match
+    Spec.of_string
+      {|{"exp":"ack","params":[4],"seeds":[1],"jobs":2,"tag":"t-1"}|}
+  with
+  | Ok s ->
+    Alcotest.(check (option int)) "jobs" (Some 2) s.Spec.jobs;
+    Alcotest.(check (option string)) "tag" (Some "t-1") s.Spec.tag
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_spec_rejections () =
+  let err input =
+    match Spec.of_string input with
+    | Error _ -> ()
+    | Ok s -> (
+      match Spec.validate s with
+      | Error _ -> ()
+      | Ok () -> Alcotest.failf "accepted %s" input)
+  in
+  err {|not json|};
+  err {|[1,2]|};
+  err {|{"params":[1],"seeds":[1]}|};                       (* no exp *)
+  err {|{"exp":"ack","params":[1],"seeds":[1],"bogus":1}|}; (* unknown *)
+  err {|{"exp":"ack","params":"x","seeds":[1]}|};
+  err {|{"exp":"ack","params":[],"seeds":[1]}|};            (* empty axis *)
+  err {|{"exp":"ack","params":[1,1],"seeds":[1]}|};         (* duplicate *)
+  err {|{"exp":"ack","params":[1],"seeds":[1],"jobs":0}|};
+  err {|{"exp":"ack","params":[1],"seeds":[1],"tag":"../x"}|};
+  (* grid cap *)
+  let big = List.init 40 (fun i -> i + 1) in
+  let s =
+    { Spec.exp = "ack"; params = big; seeds = big; jobs = None; tag = None }
+  in
+  Alcotest.(check bool) "grid cap enforced" true (Spec.validate s <> Ok ())
+
+let test_registry_resolve () =
+  let spec params exp =
+    { Spec.exp; params; seeds = [ 1 ]; jobs = None; tag = None }
+  in
+  (match Registry.resolve (spec [ 4 ] "ack") with
+   | Ok r -> Alcotest.(check string) "param name" "delta" r.Registry.param_name
+   | Error e -> Alcotest.failf "ack should resolve: %s" e);
+  (match Registry.resolve (spec [ 4 ] "nope") with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "unknown experiment accepted");
+  match Registry.resolve (spec [ 0 ] "ack") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "out-of-range delta accepted"
+
+(* ---------------- sweep cursor ---------------- *)
+
+let test_cursor_basics () =
+  let c = Sweep.cursor ~params:[ 10; 20 ] ~seeds:[ 1; 2; 3 ] in
+  Alcotest.(check int) "total" 6 (Sweep.total c);
+  Alcotest.(check int) "fresh is empty" 0 (Sweep.completed c);
+  Alcotest.(check bool) "record" true (Sweep.record c 20 2 42);
+  Alcotest.(check bool) "double record refused" false (Sweep.record c 20 2 7);
+  Alcotest.(check bool) "foreign param refused" false (Sweep.record c 30 1 0);
+  Alcotest.(check bool) "foreign seed refused" false (Sweep.record c 10 9 0);
+  Alcotest.(check int) "one cell" 1 (Sweep.completed c);
+  Alcotest.(check int) "remaining" 5 (List.length (Sweep.remaining c));
+  Alcotest.check_raises "results on incomplete"
+    (Invalid_argument "Sweep.results: grid incomplete (1/6 cells)") (fun () ->
+      ignore (Sweep.results c));
+  (* canonical order: params outer, seeds inner *)
+  Alcotest.(check (list (pair int int)))
+    "remaining order"
+    [ (10, 1); (10, 2); (10, 3); (20, 1); (20, 3) ]
+    (Sweep.remaining c)
+
+let test_cursor_matches_grid () =
+  let f p s = (p * 1000) + s in
+  let params = [ 3; 1; 2 ] and seeds = [ 5; 4 ] in
+  let via_grid = Sweep.grid ~jobs:1 ~params ~seeds f in
+  (* chunked, stopped and resumed: same table *)
+  let c = Sweep.cursor ~params ~seeds in
+  let polls = ref 0 in
+  (match
+     Sweep.run_cursor ~jobs:1 ~chunk:1
+       ~should_stop:(fun () ->
+         incr polls;
+         !polls > 2)
+       c f
+   with
+   | `Stopped -> ()
+   | `Complete -> Alcotest.fail "should have stopped");
+  Alcotest.(check int) "stopped after 2 cells" 2 (Sweep.completed c);
+  (match Sweep.run_cursor ~jobs:1 ~chunk:2 c f with
+   | `Complete -> ()
+   | `Stopped -> Alcotest.fail "no stop installed");
+  Alcotest.(check bool) "resumed table equals grid" true
+    (Sweep.results c = via_grid)
+
+(* ---------------- queue ---------------- *)
+
+let spec_ack ?jobs ?tag params seeds =
+  { Spec.exp = "ack"; params; seeds; jobs; tag }
+
+let test_queue_backpressure =
+  with_registry (fun () ->
+      let q = Sq.create ~max_queued:2 () in
+      let ok s = match Sq.submit q s with
+        | Ok j -> j
+        | Error _ -> Alcotest.fail "unexpected rejection"
+      in
+      let j1 = ok (spec_ack [ 2 ] [ 1 ]) in
+      let _j2 = ok (spec_ack [ 3 ] [ 1 ]) in
+      Alcotest.(check int) "depth" 2 (Sq.depth q);
+      (match Sq.submit q (spec_ack [ 4 ] [ 1 ]) with
+       | Error (`Backpressure d) -> Alcotest.(check int) "depth seen" 2 d
+       | Ok _ -> Alcotest.fail "cap not enforced");
+      Alcotest.(check (option int)) "rejected metric" (Some 1)
+        (Metrics.counter_peek "serve.jobs.rejected");
+      Alcotest.(check (option int)) "submitted metric" (Some 2)
+        (Metrics.counter_peek "serve.jobs.submitted");
+      (* a running job still counts toward depth *)
+      (match Sq.take q with
+       | Some j -> Alcotest.(check int) "oldest first" j1.Sq.id j.Sq.id
+       | None -> Alcotest.fail "take failed");
+      Alcotest.(check int) "running counts" 2 (Sq.depth q);
+      (match Sq.submit q (spec_ack [ 5 ] [ 1 ]) with
+       | Error (`Backpressure _) -> ()
+       | Ok _ -> Alcotest.fail "running job must count toward the cap");
+      (* finishing frees a slot *)
+      Sq.finish q j1 (`Done Json.Null);
+      Alcotest.(check int) "done leaves depth" 1 (Sq.depth q);
+      match Sq.submit q (spec_ack [ 6 ] [ 1 ]) with
+      | Ok _ -> ()
+      | Error _ -> Alcotest.fail "slot not freed")
+
+let test_queue_cancel () =
+  let q = Sq.create () in
+  let j =
+    match Sq.submit q (spec_ack [ 2 ] [ 1 ]) with
+    | Ok j -> j
+    | Error _ -> Alcotest.fail "submit failed"
+  in
+  Alcotest.(check bool) "unknown id" true (Sq.cancel q 99 = `Not_found);
+  Alcotest.(check bool) "queued cancels now" true
+    (Sq.cancel q j.Sq.id = `Cancelled);
+  Alcotest.(check bool) "terminal stays" true
+    (Sq.cancel q j.Sq.id = `Already_finished);
+  (* running: flag only, runner confirms *)
+  let j2 =
+    match Sq.submit q (spec_ack [ 3 ] [ 1 ]) with
+    | Ok j -> j
+    | Error _ -> Alcotest.fail "submit failed"
+  in
+  ignore (Sq.take q);
+  Alcotest.(check bool) "running gets flagged" true
+    (Sq.cancel q j2.Sq.id = `Cancelling);
+  Alcotest.(check bool) "flag set" true (Atomic.get j2.Sq.cancel);
+  Alcotest.(check bool) "still running" true (j2.Sq.state = Sq.Running)
+
+(* ---------------- runner: checkpoint/resume bit-identity ------------- *)
+
+(* One small but real grid: 2 deltas x 2 seeds of the ack experiment. *)
+let bitid_spec ?jobs ?tag () = spec_ack ?jobs ?tag [ 2; 3 ] [ 1; 2 ]
+
+let run_to_done ?should_stop ~dir q job =
+  Runner.run_job ~checkpoint_every:1 ?should_stop ~dir q job
+
+let table_string (job : Sq.job) =
+  match job.Sq.table with
+  | Some t -> Json.to_string_json t
+  | None -> Alcotest.failf "job %d has no table (%s)" job.Sq.id
+              (Sq.state_name job.Sq.state)
+
+let test_resume_bit_identical () =
+  (* uninterrupted reference run *)
+  let dir1 = fresh_dir () in
+  let q1 = Sq.create () in
+  let j1 =
+    match Sq.submit q1 (bitid_spec ~jobs:1 ()) with
+    | Ok j -> j
+    | Error _ -> Alcotest.fail "submit failed"
+  in
+  ignore (Sq.take q1);
+  run_to_done ~dir:dir1 q1 j1;
+  Alcotest.(check bool) "reference done" true (j1.Sq.state = Sq.Done);
+  let t1 = table_string j1 in
+  let ck1 = read_file (Runner.checkpoint_path ~dir:dir1 j1) in
+
+  (* killed after one cell, then resumed *)
+  let dir2 = fresh_dir () in
+  let q2 = Sq.create () in
+  let j2 =
+    match Sq.submit q2 (bitid_spec ~jobs:1 ()) with
+    | Ok j -> j
+    | Error _ -> Alcotest.fail "submit failed"
+  in
+  ignore (Sq.take q2);
+  let polls = ref 0 in
+  run_to_done
+    ~should_stop:(fun () ->
+      incr polls;
+      !polls >= 2)
+    ~dir:dir2 q2 j2;
+  Alcotest.(check bool) "drained job requeued" true (j2.Sq.state = Sq.Queued);
+  Alcotest.(check int) "one cell before the kill" 1 j2.Sq.cells_done;
+  (* the next process: take it again and run to completion *)
+  ignore (Sq.take q2);
+  run_to_done ~dir:dir2 q2 j2;
+  Alcotest.(check bool) "resumed to done" true (j2.Sq.state = Sq.Done);
+  Alcotest.(check int) "restored from checkpoint" 1 j2.Sq.restored;
+  Alcotest.(check string) "table bit-identical after kill+resume" t1
+    (table_string j2);
+  Alcotest.(check string) "checkpoint bit-identical" ck1
+    (read_file (Runner.checkpoint_path ~dir:dir2 j2));
+
+  (* jobs invariance: a parallel run of the same grid, same bytes *)
+  let dir3 = fresh_dir () in
+  let q3 = Sq.create () in
+  let j3 =
+    match Sq.submit q3 (bitid_spec ~jobs:2 ()) with
+    | Ok j -> j
+    | Error _ -> Alcotest.fail "submit failed"
+  in
+  ignore (Sq.take q3);
+  run_to_done ~dir:dir3 q3 j3;
+  Alcotest.(check string) "table invariant under jobs" t1 (table_string j3)
+
+let test_cancel_mid_grid =
+  with_registry (fun () ->
+      let dir = fresh_dir () in
+      let q = Sq.create () in
+      let job =
+        match Sq.submit q (bitid_spec ~tag:"cancelme" ()) with
+        | Ok j -> j
+        | Error _ -> Alcotest.fail "submit failed"
+      in
+      ignore (Sq.take q);
+      (* cancel through the public surface once the first cell lands: the
+         runner must stop at the next cell boundary, not finish the grid *)
+      Runner.run_job ~checkpoint_every:1
+        ~should_stop:(fun () ->
+          if job.Sq.cells_done >= 1 && not (Atomic.get job.Sq.cancel) then
+            ignore (Sq.cancel q job.Sq.id);
+          false)
+        ~dir q job;
+      Alcotest.(check bool) "cancelled" true (job.Sq.state = Sq.Cancelled);
+      Alcotest.(check bool) "stopped mid-grid" true
+        (job.Sq.cells_done >= 1 && job.Sq.cells_done < job.Sq.cells_total);
+      Alcotest.(check (option int)) "metric" (Some 1)
+        (Metrics.counter_peek "serve.jobs.cancelled");
+      (* the checkpoint holds exactly the completed cells *)
+      let ck = read_file (Runner.checkpoint_path ~dir job) in
+      let lines =
+        List.filter (fun l -> String.trim l <> "")
+          (String.split_on_char '\n' ck)
+      in
+      Alcotest.(check int) "header + one line per done cell"
+        (1 + job.Sq.cells_done) (List.length lines))
+
+let test_checkpoint_restore_guards () =
+  let spec = bitid_spec () in
+  let dir = fresh_dir () in
+  let path = Filename.concat dir "guard.ckpt.jsonl" in
+  let c = Sweep.cursor ~params:spec.Spec.params ~seeds:spec.Spec.seeds in
+  Alcotest.(check int) "missing file restores nothing" 0
+    (Runner.restore ~path spec c);
+  (* foreign spec: same shape, different experiment *)
+  ignore (Sweep.record c 2 1 (Json.int 7));
+  Runner.save ~path spec c;
+  let c2 = Sweep.cursor ~params:spec.Spec.params ~seeds:spec.Spec.seeds in
+  let foreign = { spec with Spec.exp = "chaos" } in
+  Alcotest.(check int) "foreign spec rejected" 0
+    (Runner.restore ~path foreign c2);
+  (* matching spec restores; jobs/tag differences don't matter *)
+  let retagged = { spec with Spec.jobs = Some 7; tag = Some "other" } in
+  Alcotest.(check int) "jobs/tag ignored in matching" 1
+    (Runner.restore ~path retagged c2);
+  (* malformed cell lines are skipped, not fatal *)
+  let garbled =
+    read_file path ^ "not json\n{\"param\":999,\"seed\":1,\"cell\":1}\n"
+  in
+  let oc = open_out_bin path in
+  output_string oc garbled;
+  close_out oc;
+  let c3 = Sweep.cursor ~params:spec.Spec.params ~seeds:spec.Spec.seeds in
+  Alcotest.(check int) "garbage skipped" 1 (Runner.restore ~path spec c3)
+
+(* ---------------- cache ---------------- *)
+
+let test_cache_reuse_and_eviction =
+  with_registry (fun () ->
+      let builds = ref 0 in
+      let build hops () =
+        incr builds;
+        (Workloads.line ~hops (), [| 0 |])
+      in
+      let unlimited = Cache.create ~cap_bytes:(fun () -> max_int) () in
+      let d1, _ = Cache.find_or_build unlimited "a" (build 2) in
+      let d1', _ = Cache.find_or_build unlimited "a" (build 2) in
+      Alcotest.(check int) "one build" 1 !builds;
+      Alcotest.(check bool) "same instance" true (d1 == d1');
+      Alcotest.(check (option int)) "hit metric" (Some 1)
+        (Metrics.counter_peek "serve.cache.hits");
+      (* a 1-byte cap keeps only the newest entry *)
+      let tiny = Cache.create ~cap_bytes:(fun () -> 1) () in
+      builds := 0;
+      ignore (Cache.find_or_build tiny "a" (build 2));
+      ignore (Cache.find_or_build tiny "b" (build 3));
+      Alcotest.(check int) "older entry evicted" 1 (Cache.length tiny);
+      ignore (Cache.find_or_build tiny "a" (build 2));
+      Alcotest.(check int) "evicted key rebuilds" 3 !builds;
+      Alcotest.(check bool) "evictions counted" true
+        (match Metrics.counter_peek "serve.cache.evictions" with
+         | Some n -> n >= 2
+         | None -> false))
+
+(* ---------------- daemon HTTP surface ---------------- *)
+
+let status_of response =
+  match String.split_on_char ' ' response with
+  | _http :: code :: _ -> int_of_string_opt code
+  | _ -> None
+
+let body_of response =
+  let n = String.length response in
+  let rec find i =
+    if i + 4 > n then None
+    else if String.sub response i 4 = "\r\n\r\n" then Some (i + 4)
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some i -> String.sub response i (n - i)
+  | None -> ""
+
+let has_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let post_jobs body =
+  Printf.sprintf "POST /jobs HTTP/1.1\r\nContent-Length: %d\r\n\r\n%s"
+    (String.length body) body
+
+let test_daemon_http () =
+  let daemon = Daemon.create ~dir:(fresh_dir ()) ~max_queued:2 () in
+  let handle = Http.handle ~handler:(Daemon.handler daemon) in
+  (* submit *)
+  let r = handle (post_jobs {|{"exp":"ack","params":[2],"seeds":[1]}|}) in
+  Alcotest.(check (option int)) "submit accepted" (Some 202) (status_of r);
+  Alcotest.(check bool) "reports id" true (has_sub (body_of r) {|"id":1|});
+  (* bad submissions *)
+  Alcotest.(check (option int)) "malformed json" (Some 400)
+    (status_of (handle (post_jobs "{oops")));
+  Alcotest.(check (option int)) "unknown experiment" (Some 400)
+    (status_of
+       (handle (post_jobs {|{"exp":"nope","params":[2],"seeds":[1]}|})));
+  Alcotest.(check (option int)) "unknown field" (Some 400)
+    (status_of
+       (handle
+          (post_jobs {|{"exp":"ack","params":[2],"seeds":[1],"x":1}|})));
+  (* backpressure at the HTTP layer: cap 2, one queued already *)
+  let r2 = handle (post_jobs {|{"exp":"ack","params":[3],"seeds":[1]}|}) in
+  Alcotest.(check (option int)) "second accepted" (Some 202) (status_of r2);
+  let r3 = handle (post_jobs {|{"exp":"ack","params":[4],"seeds":[1]}|}) in
+  Alcotest.(check (option int)) "third rejected" (Some 429) (status_of r3);
+  Alcotest.(check bool) "429 names the queue" true
+    (has_sub (body_of r3) "queue full");
+  (* listing and status *)
+  let l = handle "GET /jobs HTTP/1.1\r\n\r\n" in
+  Alcotest.(check (option int)) "list ok" (Some 200) (status_of l);
+  Alcotest.(check bool) "list carries depth" true
+    (has_sub (body_of l) {|"depth":2|});
+  let s = handle "GET /jobs/1 HTTP/1.1\r\n\r\n" in
+  Alcotest.(check (option int)) "status ok" (Some 200) (status_of s);
+  Alcotest.(check bool) "status carries spec" true
+    (has_sub (body_of s) {|"spec":|});
+  Alcotest.(check (option int)) "missing job" (Some 404)
+    (status_of (handle "GET /jobs/99 HTTP/1.1\r\n\r\n"));
+  (* cancel *)
+  Alcotest.(check (option int)) "cancel queued" (Some 200)
+    (status_of (handle "DELETE /jobs/1 HTTP/1.1\r\n\r\n"));
+  Alcotest.(check (option int)) "cancel again conflicts" (Some 409)
+    (status_of (handle "DELETE /jobs/1 HTTP/1.1\r\n\r\n"));
+  Alcotest.(check (option int)) "cancel missing" (Some 404)
+    (status_of (handle "DELETE /jobs/99 HTTP/1.1\r\n\r\n"));
+  (* method discipline on the namespace *)
+  let m = handle "DELETE /jobs HTTP/1.1\r\n\r\n" in
+  Alcotest.(check (option int)) "DELETE /jobs is 405" (Some 405)
+    (status_of m);
+  Alcotest.(check bool) "Allow header" true (has_sub m "Allow: GET, POST");
+  let m2 = handle "POST /jobs/1 HTTP/1.1\r\n\r\n" in
+  Alcotest.(check (option int)) "POST /jobs/:id is 405" (Some 405)
+    (status_of m2);
+  Alcotest.(check bool) "Allow header lists id methods" true
+    (has_sub m2 "Allow: GET, DELETE");
+  (* builtin routes still served below the handler *)
+  Alcotest.(check (option int)) "healthz fallback" (Some 200)
+    (status_of (handle "GET /healthz HTTP/1.1\r\n\r\n"))
+
+(* ---------------- hardened request handling ---------------- *)
+
+let test_http_hardening () =
+  (* bounded request line/headers *)
+  let huge = "GET /" ^ String.make (Http.max_header + 10) 'a' ^ " HTTP/1.1\r\n\r\n" in
+  Alcotest.(check (option int)) "oversized header is 431" (Some 431)
+    (status_of (Http.handle huge));
+  (* bounded body *)
+  let big_decl =
+    Printf.sprintf "POST /jobs HTTP/1.1\r\nContent-Length: %d\r\n\r\n"
+      (Http.max_body + 1)
+  in
+  Alcotest.(check (option int)) "oversized body is 413" (Some 413)
+    (status_of (Http.handle big_decl));
+  (* unknown methods are 405 with Allow, not dropped connections *)
+  let m = Http.handle "PUT /metrics HTTP/1.1\r\n\r\n" in
+  Alcotest.(check (option int)) "PUT is 405" (Some 405) (status_of m);
+  Alcotest.(check bool) "Allow present" true (has_sub m "Allow:");
+  (* every response, errors included, is framed for close *)
+  List.iter
+    (fun raw ->
+      let r = Http.handle raw in
+      Alcotest.(check bool)
+        (Printf.sprintf "Content-Length on %S" raw)
+        true
+        (has_sub r "Content-Length: ");
+      Alcotest.(check bool)
+        (Printf.sprintf "Connection: close on %S" raw)
+        true
+        (has_sub r "Connection: close"))
+    [ "GET /nope HTTP/1.1\r\n\r\n"; "PUT /metrics HTTP/1.1\r\n\r\n"; "??";
+      "GET /healthz HTTP/1.1\r\n\r\n" ]
+
+(* ---------------- bench diff: missing current snapshot -------------- *)
+
+let test_bench_diff_missing_current () =
+  let baseline =
+    [ ("par.speedup", Metrics.Gauge_v 3.0);
+      ("phys.seconds", Metrics.Gauge_v 1.5);
+      ("host.slots_per_s", Metrics.Gauge_v 1e6) ]
+  in
+  let findings =
+    Bench_diff.missing_current ~ignores:[ "host.*" ] ~baseline ()
+  in
+  Alcotest.(check int) "one finding per metric" 3 (List.length findings);
+  let by_status st =
+    List.filter (fun f -> f.Bench_diff.status = st) findings
+  in
+  Alcotest.(check int) "non-ignored are Missing" 2
+    (List.length (by_status Bench_diff.Missing));
+  Alcotest.(check int) "ignores respected" 1
+    (List.length (by_status Bench_diff.Ignored));
+  Alcotest.(check int) "gate fails on all missing" 2
+    (List.length (Bench_diff.regressions findings));
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "baseline value reported" true
+        (f.Bench_diff.base <> None);
+      Alcotest.(check bool) "no current value" true (f.Bench_diff.cur = None))
+    findings
+
+let suite =
+  [ Alcotest.test_case "spec: roundtrip" `Quick test_spec_roundtrip;
+    Alcotest.test_case "spec: rejections" `Quick test_spec_rejections;
+    Alcotest.test_case "registry: resolve" `Quick test_registry_resolve;
+    Alcotest.test_case "cursor: basics" `Quick test_cursor_basics;
+    Alcotest.test_case "cursor: equals grid across stop/resume" `Quick
+      test_cursor_matches_grid;
+    Alcotest.test_case "queue: backpressure" `Quick test_queue_backpressure;
+    Alcotest.test_case "queue: cancel states" `Quick test_queue_cancel;
+    Alcotest.test_case "runner: kill+resume bit-identical" `Slow
+      test_resume_bit_identical;
+    Alcotest.test_case "runner: cancel mid-grid" `Slow test_cancel_mid_grid;
+    Alcotest.test_case "runner: restore guards" `Quick
+      test_checkpoint_restore_guards;
+    Alcotest.test_case "cache: reuse and eviction" `Quick
+      test_cache_reuse_and_eviction;
+    Alcotest.test_case "daemon: /jobs http surface" `Quick test_daemon_http;
+    Alcotest.test_case "http: hardened request handling" `Quick
+      test_http_hardening;
+    Alcotest.test_case "bench diff: missing current" `Quick
+      test_bench_diff_missing_current ]
