@@ -1,5 +1,5 @@
 .PHONY: all build check test fmt bench par-smoke chaos-smoke phys-smoke \
-        obs-smoke serve-smoke daemon-smoke bench-diff clean
+        obs-smoke serve-smoke daemon-smoke crash-smoke bench-diff clean
 
 all: build
 
@@ -130,6 +130,88 @@ daemon-smoke:
 	  { echo "daemon-smoke: no drain confirmation in log"; exit 1; }; \
 	dune exec bin/sinr_sim.exe -- trace-report --strict daemon-spans.jsonl; \
 	echo "daemon-smoke: OK"
+
+# Crash-tolerance gate for the daemon: start `sinr_sim serve`, submit a
+# sweep, SIGKILL the process mid-grid (a failpoint slows every cell so
+# the kill window is wide), restart on the same --dir/--wal-dir, and
+# require (a) the WAL recovery banner, (b) the job runs to done, and
+# (c) its table is byte-identical (cmp) to an uninterrupted reference
+# run in a fresh directory.  Artifacts: crash-smoke.log, crash-table.json,
+# crash-table-ref.json and the crash-smoke-dir WAL + checkpoints.
+crash-smoke:
+	dune build bin/sinr_sim.exe
+	rm -rf crash-smoke-dir crash-ref-dir crash-port.txt \
+	  crash-table.json crash-table-ref.json; \
+	SINR_FAILPOINTS=serve.cell=sleep:0.3 \
+	./_build/default/bin/sinr_sim.exe serve --port 0 \
+	  --serve-port-file crash-port.txt --dir crash-smoke-dir \
+	  --wal-dir crash-smoke-dir --checkpoint-every 1 --jobs 2 \
+	  > crash-smoke.log 2>&1 & pid=$$!; \
+	up=0; for i in $$(seq 1 50); do \
+	  if [ -s crash-port.txt ]; then up=1; break; fi; sleep 0.1; done; \
+	if [ $$up -ne 1 ]; then echo "crash-smoke: port file never appeared"; \
+	  cat crash-smoke.log; kill $$pid 2>/dev/null; exit 1; fi; \
+	port=$$(cat crash-port.txt); \
+	code=$$(curl -s -o /dev/null -w '%{http_code}' \
+	  -X POST http://127.0.0.1:$$port/jobs \
+	  -d '{"exp":"ack","params":[2,3,4],"seeds":[1,2,3],"tag":"crash"}'); \
+	if [ "$$code" != "202" ]; then echo "crash-smoke: submit got $$code"; \
+	  cat crash-smoke.log; kill $$pid 2>/dev/null; exit 1; fi; \
+	mid=0; for i in $$(seq 1 600); do \
+	  s=$$(curl -s http://127.0.0.1:$$port/jobs/1); \
+	  case "$$s" in *'"state":"done"'*) break;; esac; \
+	  case "$$s" in *'"cells_done":0'*) sleep 0.1;; \
+	    *) mid=1; break;; esac; done; \
+	if [ $$mid -ne 1 ]; then echo "crash-smoke: never caught the job mid-grid"; \
+	  cat crash-smoke.log; kill $$pid 2>/dev/null; exit 1; fi; \
+	kill -9 $$pid; wait $$pid 2>/dev/null; \
+	rm -f crash-port.txt; \
+	./_build/default/bin/sinr_sim.exe serve --port 0 \
+	  --serve-port-file crash-port.txt --dir crash-smoke-dir \
+	  --wal-dir crash-smoke-dir --checkpoint-every 1 --jobs 2 \
+	  >> crash-smoke.log 2>&1 & pid=$$!; \
+	up=0; for i in $$(seq 1 50); do \
+	  if [ -s crash-port.txt ]; then up=1; break; fi; sleep 0.1; done; \
+	if [ $$up -ne 1 ]; then echo "crash-smoke: restart never came up"; \
+	  cat crash-smoke.log; kill $$pid 2>/dev/null; exit 1; fi; \
+	port=$$(cat crash-port.txt); \
+	grep -q 'wal: 1 job recovered' crash-smoke.log || \
+	  { echo "crash-smoke: no recovery banner after restart"; \
+	    cat crash-smoke.log; kill $$pid 2>/dev/null; exit 1; }; \
+	done_=0; for i in $$(seq 1 240); do \
+	  if curl -sf http://127.0.0.1:$$port/jobs/1 | grep -q '"state":"done"'; \
+	  then done_=1; break; fi; sleep 0.5; done; \
+	if [ $$done_ -ne 1 ]; then echo "crash-smoke: recovered job never finished"; \
+	  curl -s http://127.0.0.1:$$port/jobs; cat crash-smoke.log; \
+	  kill $$pid 2>/dev/null; exit 1; fi; \
+	curl -sf http://127.0.0.1:$$port/jobs/1/table > crash-table.json || \
+	  { echo "crash-smoke: table fetch failed"; kill $$pid 2>/dev/null; exit 1; }; \
+	kill -TERM $$pid; wait $$pid; rc=$$?; \
+	if [ $$rc -ne 0 ]; then echo "crash-smoke: drain exited $$rc, want 0"; \
+	  cat crash-smoke.log; exit 1; fi; \
+	rm -f crash-port.txt; \
+	./_build/default/bin/sinr_sim.exe serve --port 0 \
+	  --serve-port-file crash-port.txt --dir crash-ref-dir \
+	  --checkpoint-every 1 --jobs 2 \
+	  >> crash-smoke.log 2>&1 & pid=$$!; \
+	up=0; for i in $$(seq 1 50); do \
+	  if [ -s crash-port.txt ]; then up=1; break; fi; sleep 0.1; done; \
+	if [ $$up -ne 1 ]; then echo "crash-smoke: reference run never came up"; \
+	  cat crash-smoke.log; kill $$pid 2>/dev/null; exit 1; fi; \
+	port=$$(cat crash-port.txt); \
+	curl -s -o /dev/null -X POST http://127.0.0.1:$$port/jobs \
+	  -d '{"exp":"ack","params":[2,3,4],"seeds":[1,2,3],"tag":"crash"}'; \
+	done_=0; for i in $$(seq 1 240); do \
+	  if curl -sf http://127.0.0.1:$$port/jobs/1 | grep -q '"state":"done"'; \
+	  then done_=1; break; fi; sleep 0.5; done; \
+	if [ $$done_ -ne 1 ]; then echo "crash-smoke: reference job never finished"; \
+	  cat crash-smoke.log; kill $$pid 2>/dev/null; exit 1; fi; \
+	curl -sf http://127.0.0.1:$$port/jobs/1/table > crash-table-ref.json; \
+	kill -TERM $$pid; wait $$pid 2>/dev/null; \
+	cmp crash-table.json crash-table-ref.json || \
+	  { echo "crash-smoke: table after SIGKILL+restart differs from the \
+	    uninterrupted reference"; exit 1; }; \
+	echo "crash-smoke: OK (tables byte-identical across SIGKILL)"
 
 # Bench regression gate: regenerate the machine-portable benchmarks and
 # compare them against the committed baselines.  Exits 1 on regression.

@@ -761,24 +761,75 @@ let serve_cmd =
              ~doc:"Snapshot a running job's completed cells every $(docv) \
                    cells (atomic temp+rename JSONL).")
   in
-  let run port port_file dir queue_cap checkpoint_every jobs farfield =
+  let wal_dir_arg =
+    Arg.(value & opt (some string) None
+         & info [ "wal-dir" ] ~docv:"DIR"
+             ~doc:"Directory for the write-ahead log (default: $(b,--dir)). \
+                   Restarting with the same $(docv) replays the WAL and \
+                   resumes in-flight jobs from their checkpoints.")
+  in
+  let deadline_arg =
+    Arg.(value & opt float 0.
+         & info [ "job-deadline" ] ~docv:"SECONDS"
+             ~doc:"Wall-clock budget per job attempt; past it the attempt \
+                   counts as a strike and is retried with backoff. 0 (the \
+                   default) disables the deadline.")
+  in
+  let cell_timeout_arg =
+    Arg.(value & opt float 0.
+         & info [ "cell-timeout" ] ~docv:"SECONDS"
+             ~doc:"Budget per sweep cell (enforced at cell completion); a \
+                   cell past it fails the attempt. 0 (the default) \
+                   disables the budget.")
+  in
+  let max_retries_arg =
+    Arg.(value & opt int 2
+         & info [ "max-retries" ] ~docv:"N"
+             ~doc:"Failed attempts beyond the first before a job is \
+                   quarantined (parked as failed with a flight-recorder \
+                   dump).")
+  in
+  let run port port_file dir wal_dir queue_cap checkpoint_every deadline
+      cell_timeout max_retries jobs farfield =
     set_jobs jobs;
     set_farfield farfield;
-    (try Unix.mkdir dir 0o755 with
-     | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
-     | Unix.Unix_error (e, _, _) ->
-       Fmt.epr "sinr_sim serve: cannot create %s: %s@." dir
-         (Unix.error_message e);
-       Stdlib.exit 1);
+    let wal_dir = Option.value wal_dir ~default:dir in
+    List.iter
+      (fun d ->
+        try Unix.mkdir d 0o755 with
+        | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+        | Unix.Unix_error (e, _, _) ->
+          Fmt.epr "sinr_sim serve: cannot create %s: %s@." d
+            (Unix.error_message e);
+          Stdlib.exit 1)
+      [ dir; wal_dir ];
     Option.iter probe_writable port_file;
     Metrics.reset ();
     Metrics.set_enabled true;
     Recorder.clear ();
     Recorder.configure ~dir ();
     Recorder.set_enabled true;
-    let daemon =
-      Sinr_serve.Daemon.create ~dir ~max_queued:queue_cap ~checkpoint_every ()
+    (let armed = Sinr_chaos.Chaos.Failpoint.from_env () in
+     if armed > 0 then Fmt.pr "[failpoints armed from env: %d]@." armed);
+    let policy =
+      { Sinr_serve.Supervisor.default_policy with
+        Sinr_serve.Supervisor.deadline_s = deadline;
+        cell_timeout_s = cell_timeout;
+        max_retries }
     in
+    let daemon =
+      Sinr_serve.Daemon.create ~dir ~wal_dir ~max_queued:queue_cap
+        ~checkpoint_every ~policy ()
+    in
+    (match Sinr_serve.Daemon.wal_recovery daemon with
+     | `Clean -> ()
+     | `Torn_tail -> Fmt.pr "[wal: torn final record skipped]@."
+     | `Quarantined path ->
+       Fmt.pr "[wal: corrupt log quarantined to %s; sound prefix kept]@." path);
+    let recovered = Sinr_serve.Daemon.recovered daemon in
+    if recovered > 0 then
+      Fmt.pr "[wal: %d job%s recovered; resuming from checkpoints]@." recovered
+        (if recovered = 1 then "" else "s");
     let server =
       match Http.serve ~handler:(Sinr_serve.Daemon.handler daemon) ~port () with
       | s -> s
@@ -788,8 +839,8 @@ let serve_cmd =
         Stdlib.exit 1
     in
     Fmt.pr
-      "[serve: POST/GET /jobs, GET /jobs/:id, DELETE /jobs/:id + /metrics \
-       /healthz /spans on http://127.0.0.1:%d]@."
+      "[serve: POST/GET /jobs, GET /jobs/:id[/table], DELETE /jobs/:id + \
+       /metrics /healthz /readyz /spans on http://127.0.0.1:%d]@."
       (Http.port server);
     Option.iter
       (fun path ->
@@ -830,16 +881,19 @@ let serve_cmd =
     in
     Fmt.pr "[drained; trace written: %s]@." dump;
     Http.stop server;
+    Sinr_serve.Daemon.close daemon;
     Metrics.set_enabled false;
     Recorder.set_enabled false
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the sweep daemon: accept sweep specs over HTTP \
-             (POST /jobs), run them with checkpoint/resume, drain \
-             gracefully on SIGINT/SIGTERM.")
-    Term.(const run $ port_arg $ serve_port_file_arg $ dir_arg $ queue_cap_arg
-          $ checkpoint_arg $ jobs_arg $ farfield_arg)
+             (POST /jobs), run them under supervision (WAL, deadlines, \
+             retries, quarantine), drain gracefully on SIGINT/SIGTERM and \
+             resume bit-identically after a crash.")
+    Term.(const run $ port_arg $ serve_port_file_arg $ dir_arg $ wal_dir_arg
+          $ queue_cap_arg $ checkpoint_arg $ deadline_arg $ cell_timeout_arg
+          $ max_retries_arg $ jobs_arg $ farfield_arg)
 
 (* ---------------- profile-report ---------------- *)
 

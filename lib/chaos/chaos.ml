@@ -232,3 +232,120 @@ let abort_pressure ~rng ~rate =
             end
           done);
     perturb = (fun ~slot:_ -> None) }
+
+(* ------------------------------------------------------------------ *)
+(* Process-level failpoints                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The adversaries above attack the simulated channel; the serve daemon
+   (lib/serve) needs the same treatment for the *process* substrate —
+   cells that throw, cells that stall past their budget — without bespoke
+   test-only experiment registrations.  A failpoint is a named hook
+   compiled into production code paths (Registry cells call
+   [hit "serve.cell"]); disarmed it costs one atomic load, armed it
+   injects a failure or a stall for the next N passes.  Arming is
+   process-global and mutex-protected because cells run on pool domains. *)
+
+module Failpoint = struct
+  exception Injected of string
+
+  type arming =
+    | Always
+    | Times of int
+    | Delay of float
+
+  let m_injected = Metrics.counter "chaos.failpoint.injected"
+  let m_delayed = Metrics.counter "chaos.failpoint.delayed"
+
+  let mutex = Mutex.create ()
+  let table : (string, arming) Hashtbl.t = Hashtbl.create 8
+
+  (* Fast path: a single load says "nothing armed anywhere" without
+     touching the mutex, so shipping hits in hot cells is free. *)
+  let any_armed = Atomic.make false
+
+  let locked f =
+    Mutex.lock mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+  let arm name arming =
+    locked (fun () ->
+        (match arming with
+         | Times n when n <= 0 -> Hashtbl.remove table name
+         | _ -> Hashtbl.replace table name arming);
+        Atomic.set any_armed (Hashtbl.length table > 0))
+
+  let disarm name =
+    locked (fun () ->
+        Hashtbl.remove table name;
+        Atomic.set any_armed (Hashtbl.length table > 0))
+
+  let clear () =
+    locked (fun () ->
+        Hashtbl.reset table;
+        Atomic.set any_armed false)
+
+  let armed name = locked (fun () -> Hashtbl.find_opt table name)
+
+  let hit name =
+    if Atomic.get any_armed then begin
+      let action =
+        locked (fun () ->
+            match Hashtbl.find_opt table name with
+            | None -> `Pass
+            | Some Always -> `Raise
+            | Some (Times n) ->
+              if n <= 1 then Hashtbl.remove table name
+              else Hashtbl.replace table name (Times (n - 1));
+              Atomic.set any_armed (Hashtbl.length table > 0);
+              `Raise
+            | Some (Delay s) -> `Delay s)
+      in
+      match action with
+      | `Pass -> ()
+      | `Raise ->
+        Metrics.incr m_injected;
+        raise (Injected name)
+      | `Delay s ->
+        (* sleep outside the lock: a stalled cell must not stall arming *)
+        Metrics.incr m_delayed;
+        Unix.sleepf s
+    end
+
+  (* "name=always,name=3,name=sleep:0.05" — malformed entries are
+     ignored rather than fatal: failpoints are a test/ops knob, and a
+     typo must never take the daemon down. *)
+  let parse_spec spec =
+    List.filter_map
+      (fun entry ->
+        match String.index_opt entry '=' with
+        | None -> None
+        | Some i ->
+          let name = String.trim (String.sub entry 0 i) in
+          let v =
+            String.trim
+              (String.sub entry (i + 1) (String.length entry - i - 1))
+          in
+          if name = "" then None
+          else if v = "always" then Some (name, Always)
+          else if String.length v > 6 && String.sub v 0 6 = "sleep:" then
+            match
+              float_of_string_opt
+                (String.sub v 6 (String.length v - 6))
+            with
+            | Some s when s >= 0. -> Some (name, Delay s)
+            | _ -> None
+          else
+            match int_of_string_opt v with
+            | Some n when n > 0 -> Some (name, Times n)
+            | _ -> None)
+      (String.split_on_char ',' spec)
+
+  let from_env ?(var = "SINR_FAILPOINTS") () =
+    match Sys.getenv_opt var with
+    | None -> 0
+    | Some spec ->
+      let entries = parse_spec spec in
+      List.iter (fun (name, arming) -> arm name arming) entries;
+      List.length entries
+end

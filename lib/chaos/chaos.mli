@@ -98,3 +98,41 @@ val abort_pressure : rng:Rng.t -> rate:float -> t
     force-aborted with probability [rate] (hash-drawn per (slot, node)).
     Models an environment that keeps cancelling in-flight broadcasts; the
     {!Sinr_proto.Mac_driver.with_retry} wrapper measures recovery from it. *)
+
+(** {1 Process-level failpoints}
+
+    The serve daemon treats its own process as an unreliable substrate,
+    in the same spirit as the channel adversaries above.  A failpoint is
+    a named hook compiled into production paths (e.g. the daemon's
+    registry cells call [hit "serve.cell"]); disarmed it costs one atomic
+    load, armed it injects an exception or a stall.  Tests and operators
+    arm them directly or through the [SINR_FAILPOINTS] environment
+    variable. *)
+module Failpoint : sig
+  exception Injected of string
+  (** Raised by {!hit} at an armed failpoint. *)
+
+  type arming =
+    | Always        (** every hit raises — a poison cell *)
+    | Times of int  (** the next [n] hits raise, then auto-disarm — a
+                        transient fault *)
+    | Delay of float  (** every hit sleeps [s] seconds (never raises) — a
+                          stalled cell for timeout tests *)
+
+  val arm : string -> arming -> unit
+  val disarm : string -> unit
+  val clear : unit -> unit
+  val armed : string -> arming option
+
+  val hit : string -> unit
+  (** Call at the instrumented site.  No-op unless [name] is armed
+      (checked with one atomic load when nothing is armed anywhere). *)
+
+  val parse_spec : string -> (string * arming) list
+  (** Parse ["name=always,name=3,name=sleep:0.05"]; malformed entries are
+      dropped, never fatal. *)
+
+  val from_env : ?var:string -> unit -> int
+  (** Arm every entry of [$SINR_FAILPOINTS] (or [var]); returns how many
+      were armed. *)
+end

@@ -44,12 +44,14 @@ type t = {
   sock : Unix.file_descr;
   port : int;
   handler : handler option;
+  read_timeout : float;
   stopping : bool Atomic.t;
   mutable worker : unit Domain.t option;
 }
 
 let max_header = 8192
 let max_body = 1 lsl 20 (* 1 MiB: job specs are small; anything bigger is noise *)
+let default_read_timeout = 5.0
 
 (* ------------------------------------------------------------------ *)
 (* Request handling (pure: request text in, response text out)         *)
@@ -64,11 +66,13 @@ let status_text = function
   | 400 -> "400 Bad Request"
   | 404 -> "404 Not Found"
   | 405 -> "405 Method Not Allowed"
+  | 408 -> "408 Request Timeout"
   | 409 -> "409 Conflict"
   | 413 -> "413 Content Too Large"
   | 429 -> "429 Too Many Requests"
   | 431 -> "431 Request Header Fields Too Large"
   | 500 -> "500 Internal Server Error"
+  | 503 -> "503 Service Unavailable"
   | other -> string_of_int other ^ " Status"
 
 let render (r : response) =
@@ -236,13 +240,28 @@ type read_outcome =
   | Complete of string
   | Header_overflow
   | Body_overflow
+  | Timed_out
   | Empty
 
+exception Read_deadline
+
+(* One bounded read against a wall-clock deadline: the remaining budget
+   becomes the socket receive timeout before every read(2), so a client
+   trickling one byte per second (slowloris) cannot reset the clock and
+   pin the single-threaded accept loop — the whole request must arrive
+   inside the budget. *)
+let read_within ~deadline fd chunk =
+  let remaining = deadline -. Unix.gettimeofday () in
+  if remaining <= 0. then raise Read_deadline;
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO remaining;
+  match Unix.read fd chunk 0 (Bytes.length chunk) with
+  | n -> n
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+    raise Read_deadline
+
 (* Read the header block (bounded by [max_header]), then the declared body
-   (bounded by [max_body]).  A per-socket receive timeout (set by the
-   caller) bounds how long a stalled client can hold the single-threaded
-   accept loop. *)
-let read_request fd =
+   (bounded by [max_body]), the whole request bounded by [deadline]. *)
+let read_request ~deadline fd =
   let buf = Buffer.create 512 in
   let chunk = Bytes.create 1024 in
   let rec read_head () =
@@ -251,7 +270,7 @@ let read_request fd =
     | None ->
       if Buffer.length buf >= max_header then None
       else
-        let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+        let n = read_within ~deadline fd chunk in
         if n = 0 then Some (Buffer.length buf) (* EOF: headers-only request *)
         else begin
           Buffer.add_subbytes buf chunk 0 n;
@@ -273,7 +292,7 @@ let read_request fd =
         let rec read_body () =
           if Buffer.length buf - body_off >= declared then ()
           else
-            let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+            let n = read_within ~deadline fd chunk in
             if n = 0 then ()
             else begin
               Buffer.add_subbytes buf chunk 0 n;
@@ -285,6 +304,9 @@ let read_request fd =
       end
     end
 
+let read_request ~deadline fd =
+  try read_request ~deadline fd with Read_deadline -> Timed_out
+
 let write_all fd s =
   let b = Bytes.of_string s in
   let len = Bytes.length b in
@@ -295,11 +317,16 @@ let write_all fd s =
   in
   go 0
 
-let handle_client ?handler fd =
-  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+let handle_client ?handler ~read_timeout fd =
   Unix.setsockopt_float fd Unix.SO_SNDTIMEO 5.0;
-  match read_request fd with
+  let deadline = Unix.gettimeofday () +. read_timeout in
+  match read_request ~deadline fd with
   | Empty -> ()
+  | Timed_out ->
+    (* slowloris guard: a socket that dribbles (or never completes) its
+       request inside the idle budget gets a clean 408, not a pinned
+       accept loop *)
+    write_all fd (text_response 408 "request read timeout\n")
   | Header_overflow ->
     write_all fd (text_response 431 "request header block too large\n")
   | Body_overflow -> write_all fd (text_response 413 "request body too large\n")
@@ -309,7 +336,8 @@ let accept_loop t =
   let rec loop () =
     match Unix.accept t.sock with
     | fd, _addr ->
-      (try handle_client ?handler:t.handler fd with _ -> ());
+      (try handle_client ?handler:t.handler ~read_timeout:t.read_timeout fd
+       with _ -> ());
       (try Unix.close fd with Unix.Unix_error _ -> ());
       if not (Atomic.get t.stopping) then loop ()
     | exception Unix.Unix_error (Unix.EINTR, _, _) ->
@@ -321,7 +349,8 @@ let accept_loop t =
   in
   loop ()
 
-let serve ?(addr = "127.0.0.1") ?handler ~port () =
+let serve ?(addr = "127.0.0.1") ?handler ?(read_timeout = default_read_timeout)
+    ~port () =
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
      Unix.setsockopt sock Unix.SO_REUSEADDR true;
@@ -336,7 +365,10 @@ let serve ?(addr = "127.0.0.1") ?handler ~port () =
     | Unix.ADDR_INET (_, p) -> p
     | Unix.ADDR_UNIX _ -> port
   in
-  let t = { sock; port; handler; stopping = Atomic.make false; worker = None } in
+  let t =
+    { sock; port; handler; read_timeout; stopping = Atomic.make false;
+      worker = None }
+  in
   t.worker <- Some (Domain.spawn (fun () -> accept_loop t));
   t
 

@@ -61,11 +61,22 @@ val max_header : int
 val max_body : int
 (** Bound on a declared request body, in bytes (413 past it). *)
 
-val serve : ?addr:string -> ?handler:handler -> port:int -> unit -> t
+val default_read_timeout : float
+(** Per-connection request-read budget, in seconds (5.0). *)
+
+val serve :
+  ?addr:string -> ?handler:handler -> ?read_timeout:float -> port:int
+  -> unit -> t
 (** Bind [addr] (default ["127.0.0.1"]) on [port] and serve until {!stop},
     consulting [handler] first on every request. [port = 0] lets the
     kernel pick a free port — read it back with {!port}. Raises
-    [Unix.Unix_error] if the bind fails (port taken). *)
+    [Unix.Unix_error] if the bind fails (port taken).
+
+    [read_timeout] (default {!default_read_timeout}) is the slowloris
+    guard: a wall-clock budget covering the {e whole} request read —
+    request line, headers and body together. A client that opens a
+    socket and dribbles (or never completes) its request gets a 408 and
+    the connection is closed, so it can never pin the accept loop. *)
 
 val port : t -> int
 (** The actual bound port (useful after [serve ~port:0]). *)

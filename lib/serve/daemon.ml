@@ -1,18 +1,28 @@
-(* The daemon glue: a [Queue] + [Runner] pair behind an [Obs.Http]
-   handler.  The handler mounts on the observability server (which keeps
-   serving /metrics, /healthz and /spans as fallback GET routes) and only
-   claims the /jobs namespace:
+(* The daemon glue: a [Queue] + [Supervisor]-driven [Runner] pair behind
+   an [Obs.Http] handler, with a [Wal] underneath making the whole job
+   store durable.  The handler mounts on the observability server (which
+   keeps serving /metrics, /healthz and /spans as fallback GET routes)
+   and claims the /jobs namespace plus /readyz:
 
-     POST   /jobs      submit a sweep spec        202 | 400 | 429
-     GET    /jobs      list jobs + queue state    200
-     GET    /jobs/:id  status/progress/table      200 | 404
-     DELETE /jobs/:id  cancel (cell granularity)  200 | 202 | 404 | 409
+     POST   /jobs            submit a sweep spec        202 | 400 | 429
+     GET    /jobs            list jobs + queue state    200
+     GET    /jobs/:id        status/progress/table      200 | 404
+     GET    /jobs/:id/table  bare result table          200 | 404 | 409
+     DELETE /jobs/:id        cancel (cell granularity)  200 | 202 | 404 | 409
+     GET    /readyz          readiness probe            200 | 503
+
+   /healthz (builtin) stays pure liveness — the process is up and
+   serving.  /readyz is honest readiness: draining, a saturated queue,
+   or an unwritable WAL answer 503 with a JSON reason, so a load
+   balancer or operator script can tell "alive" from "accepting work".
 
    The handler runs on the HTTP accept domain; all job execution happens
    in the owner's [step] loop, so a request never blocks on a sweep.
-   Draining flips one atomic that [step] and the runner's should_stop
-   both poll: in-flight cells finish, the checkpoint lands, and the job
-   goes back to Queued for the next process. *)
+   Every admission and terminal transition lands in the WAL before the
+   HTTP response; on startup [create] replays the WAL (tolerating a torn
+   tail, quarantining real corruption), re-admits live jobs with their
+   strike counts, compacts the log, and the next [step]s resume them
+   from their checkpoints — bit-identical to an uninterrupted run. *)
 
 open Sinr_obs
 open Sinr_par
@@ -20,20 +30,120 @@ open Sinr_par
 type t = {
   queue : Queue.t;
   dir : string;
+  wal_dir : string;
+  wal : Wal.t;
+  supervisor : Supervisor.t;
   checkpoint_every : int;
   draining : bool Atomic.t;
+  recovered : int;
+  wal_recovery : [ `Clean | `Torn_tail | `Quarantined of string ];
 }
 
-let create ?(dir = ".") ?(max_queued = 8) ?(checkpoint_every = 4) () =
-  { queue = Queue.create ~max_queued ();
+(* Fold the replayed records into per-job state.  [attempts] counts
+   Started records not closed by Yielded (graceful drains are not
+   strikes) plus any compacted Strikes baseline; a terminal record
+   removes the job from the live set. *)
+let fold_replay records =
+  let tbl = Hashtbl.create 16 in
+  (* id -> (spec option, attempts, live) in insertion order via ids *)
+  List.iter
+    (fun { Wal.job = id; ev } ->
+      let spec, attempts, live =
+        match Hashtbl.find_opt tbl id with
+        | Some s -> s
+        | None -> (None, 0, true)
+      in
+      let entry =
+        match ev with
+        | Wal.Submitted spec -> (Some spec, attempts, true)
+        | Wal.Started _ -> (spec, attempts + 1, live)
+        | Wal.Yielded -> (spec, max 0 (attempts - 1), live)
+        | Wal.Strikes n -> (spec, attempts + max 0 n, live)
+        | Wal.Checkpointed _ -> (spec, attempts, live)
+        | Wal.Completed | Wal.Cancelled | Wal.Failed _ | Wal.Quarantined _
+          -> (spec, attempts, false)
+      in
+      Hashtbl.replace tbl id entry)
+    records;
+  let live =
+    Hashtbl.fold
+      (fun id entry acc ->
+        match entry with
+        | Some spec, attempts, true -> (id, spec, attempts) :: acc
+        | _ -> acc)
+      tbl []
+  in
+  List.sort (fun (a, _, _) (b, _, _) -> compare a b) live
+
+let create ?(dir = ".") ?wal_dir ?(max_queued = 8) ?(checkpoint_every = 4)
+    ?policy () =
+  let wal_dir = Option.value wal_dir ~default:dir in
+  let supervisor = Supervisor.create ?policy () in
+  let replay = Wal.replay ~dir:wal_dir in
+  let wal_recovery =
+    if replay.Wal.corrupt then
+      match Wal.quarantine_file ~dir:wal_dir with
+      | Some p -> `Quarantined p
+      | None -> `Quarantined "(rename failed)"
+    else if replay.Wal.torn_tail then `Torn_tail
+    else `Clean
+  in
+  let live = fold_replay replay.Wal.records in
+  (* Compact: the reopened WAL holds exactly the live jobs — their spec
+     and strike baseline — instead of the full history. *)
+  let wal =
+    Wal.reset ~dir:wal_dir
+      (List.concat_map
+         (fun (id, spec, attempts) ->
+           { Wal.job = id; ev = Wal.Submitted spec }
+           ::
+           (if attempts > 0 then
+              [ { Wal.job = id; ev = Wal.Strikes attempts } ]
+            else []))
+         live)
+  in
+  let queue = Queue.create ~max_queued () in
+  let pol = Supervisor.policy supervisor in
+  let recovered =
+    List.fold_left
+      (fun acc (id, spec, attempts) ->
+        let job = Queue.recover queue ~id ~spec ~attempts in
+        (* a job that took the process down more often than the retry
+           budget allows is poison: park it before it wedges the loop
+           again *)
+        if attempts > pol.Supervisor.max_retries then begin
+          Queue.finish queue job
+            (`Quarantined
+               (Printf.sprintf
+                  "quarantined at recovery: %d attempts on record \
+                   (crashed or never finished), budget %d"
+                  attempts pol.Supervisor.max_retries));
+          Wal.append wal
+            { Wal.job = id;
+              ev = Wal.Quarantined "recovery: strike budget exhausted" }
+        end;
+        acc + 1)
+      0 live
+  in
+  { queue;
     dir;
+    wal_dir;
+    wal;
+    supervisor;
     checkpoint_every = max 1 checkpoint_every;
-    draining = Atomic.make false }
+    draining = Atomic.make false;
+    recovered;
+    wal_recovery }
 
 let queue t = t.queue
 let dir t = t.dir
+let wal_dir t = t.wal_dir
+let wal t = t.wal
+let recovered t = t.recovered
+let wal_recovery t = t.wal_recovery
 let request_drain t = Atomic.set t.draining true
 let draining t = Atomic.get t.draining
+let close t = Wal.close t.wal
 
 let step t =
   if Atomic.get t.draining then false
@@ -41,9 +151,9 @@ let step t =
     match Queue.take t.queue with
     | None -> false
     | Some job ->
-      Runner.run_job ~checkpoint_every:t.checkpoint_every
+      Supervisor.run t.supervisor ~wal:t.wal
         ~should_stop:(fun () -> Atomic.get t.draining)
-        ~dir:t.dir t.queue job;
+        ~checkpoint_every:t.checkpoint_every ~dir:t.dir t.queue job;
       true
 
 (* ------------------------------------------------------------------ *)
@@ -68,21 +178,45 @@ let job_json ~full (job : Queue.job) =
            ("state", Json.Str (Queue.state_name job.Queue.state));
            ("cells_done", Json.int job.Queue.cells_done);
            ("cells_total", Json.int job.Queue.cells_total);
-           ("restored", Json.int job.Queue.restored) ];
+           ("restored", Json.int job.Queue.restored);
+           ("attempts", Json.int job.Queue.attempts);
+           ("quarantined", Json.Bool job.Queue.quarantined) ];
+         opt_field "error"
+           (Option.map (fun e -> Json.Str e) job.Queue.error);
+         opt_field "dump"
+           (Option.map (fun p -> Json.Str p) job.Queue.dump);
          (if full then
             List.concat
               [ [ ("spec", Spec.to_json job.Queue.spec) ];
                 opt_field "partial" job.Queue.partial;
-                opt_field "table" job.Queue.table;
-                opt_field "error"
-                  (Option.map (fun e -> Json.Str e) job.Queue.error) ]
+                opt_field "table" job.Queue.table ]
           else []) ])
 
 let queue_state t =
   [ ("depth", Json.int (Queue.depth t.queue));
     ("cap", Json.int (Queue.max_queued t.queue));
     ("pool_in_flight", Json.int (Pool.in_flight (Pool.get ())));
-    ("draining", Json.Bool (Atomic.get t.draining)) ]
+    ("draining", Json.Bool (Atomic.get t.draining));
+    ("wal_healthy", Json.Bool (Wal.healthy t.wal)) ]
+
+(* Readiness: alive is not the same as accepting.  Each reason is a
+   stable token an operator can alert on. *)
+let readiness t =
+  let reasons =
+    List.concat
+      [ (if Atomic.get t.draining then [ "draining" ] else []);
+        (if Queue.depth t.queue >= Queue.max_queued t.queue then
+           [ "saturated" ]
+         else []);
+        (if not (Wal.healthy t.wal) then [ "wal-unwritable" ] else []) ]
+  in
+  match reasons with
+  | [] -> json_response 200 (Json.Obj [ ("ready", Json.Bool true) ])
+  | reasons ->
+    json_response 503
+      (Json.Obj
+         [ ("ready", Json.Bool false);
+           ("reasons", Json.List (List.map (fun r -> Json.Str r) reasons)) ])
 
 let submit t body =
   match Spec.of_string body with
@@ -108,6 +242,10 @@ let submit t body =
                      Json.int (Pool.in_flight (Pool.get ())))
                  :: []))
           | Ok job ->
+            (* durable before the 202: a crash after this response must
+               not lose an acknowledged job *)
+            Wal.append t.wal
+              { Wal.job = job.Queue.id; ev = Wal.Submitted spec };
             json_response 202
               (Json.Obj
                  [ ("id", Json.int job.Queue.id);
@@ -121,6 +259,10 @@ let job_by_id t id_str =
   | None -> None
   | Some id -> Queue.find t.queue id
 
+(* DELETE /jobs/:id is idempotent where idempotence is meaningful:
+   cancelling a cancelled job re-answers 200 with the same state, while
+   a Done/Failed job is a real conflict (409) — the work is not
+   un-doable.  Documented in DESIGN.md §14. *)
 let cancel t id_str =
   match int_of_string_opt id_str with
   | None -> error_response 404 "no such job"
@@ -130,14 +272,40 @@ let cancel t id_str =
     | `Already_finished ->
       error_response 409 "job already finished"
     | `Cancelled ->
+      Wal.append t.wal { Wal.job = id; ev = Wal.Cancelled };
+      json_response 200
+        (Json.Obj [ ("id", Json.int id); ("state", Json.Str "cancelled") ])
+    | `Already_cancelled ->
       json_response 200
         (Json.Obj [ ("id", Json.int id); ("state", Json.Str "cancelled") ])
     | `Cancelling ->
       json_response 202
         (Json.Obj [ ("id", Json.int id); ("state", Json.Str "cancelling") ]))
 
+(* The bare table, for piping and byte-comparison (the crash-smoke
+   diffing in CI curls this into a file and cmp(1)s it). *)
+let table t id_str =
+  match job_by_id t id_str with
+  | None -> error_response 404 "no such job"
+  | Some job -> (
+    match (job.Queue.state, job.Queue.table) with
+    | Queue.Done, Some table -> json_response 200 table
+    | _ ->
+      error_response
+        ~headers:[ ("X-Job-State", Queue.state_name job.Queue.state) ]
+        409
+        (Printf.sprintf "job is %s, table only exists once done"
+           (Queue.state_name job.Queue.state)))
+
 let handler t (req : Http.request) =
   match String.split_on_char '/' req.Http.path with
+  | [ ""; "readyz" ] -> (
+    match req.Http.meth with
+    | "GET" -> Some (readiness t)
+    | _ ->
+      Some
+        (error_response ~headers:[ ("Allow", "GET") ] 405
+           "method not allowed on /readyz"))
   | [ ""; "jobs" ] -> (
     match req.Http.meth with
     | "POST" -> Some (submit t req.Http.body)
@@ -164,4 +332,11 @@ let handler t (req : Http.request) =
       Some
         (error_response ~headers:[ ("Allow", "GET, DELETE") ] 405
            "method not allowed on /jobs/:id"))
+  | [ ""; "jobs"; id; "table" ] -> (
+    match req.Http.meth with
+    | "GET" -> Some (table t id)
+    | _ ->
+      Some
+        (error_response ~headers:[ ("Allow", "GET") ] 405
+           "method not allowed on /jobs/:id/table"))
   | _ -> None (* /metrics, /healthz, /spans, 404: the builtin routes *)

@@ -1,34 +1,65 @@
-(** Sweep-as-a-service daemon: a bounded {!Queue} and checkpointing
-    {!Runner} behind an [Obs.Http] handler.
+(** Sweep-as-a-service daemon: a bounded {!Queue} and supervised
+    checkpointing {!Runner} over a durable {!Wal}, behind an [Obs.Http]
+    handler.
 
-    The handler claims only the [/jobs] namespace —
+    The handler claims the [/jobs] namespace plus [/readyz] —
     [POST /jobs] (202/400/429), [GET /jobs], [GET /jobs/:id],
-    [DELETE /jobs/:id] (200/202/404/409) — and returns [None] elsewhere so
-    the observability server's builtin [/metrics], [/healthz] and [/spans]
+    [GET /jobs/:id/table] (200/404/409), [DELETE /jobs/:id]
+    (200/202/404/409, idempotent on an already-cancelled job),
+    [GET /readyz] (200, or 503 with JSON reasons: draining / saturated /
+    wal-unwritable) — and returns [None] elsewhere so the observability
+    server's builtin [/metrics], [/healthz] (pure liveness) and [/spans]
     keep working. Requests never run sweeps; the owner drives execution
     with {!step} from its own loop.
 
+    {b Durability.} Admissions and terminal transitions are WAL-logged
+    before the HTTP response. {!create} replays the WAL — skipping a
+    torn tail, quarantining a corrupt file and keeping the sound prefix
+    — re-admits live jobs with their ids and strike counts, parks jobs
+    whose recorded strikes already exhaust the retry budget, and
+    compacts the log. Resumed jobs restore from their checkpoints and
+    finish with tables byte-identical to an uninterrupted run.
+
     Drain ({!request_drain}): in-flight cells finish, the checkpoint is
-    written, the running job returns to Queued, {!step} refuses further
-    work and [POST /jobs] answers 429. *)
+    written, the running job returns to Queued (a [Yielded] WAL record —
+    not a strike), {!step} refuses further work and [POST /jobs] answers
+    429. *)
 
 open Sinr_obs
 
 type t
 
 val create :
-  ?dir:string -> ?max_queued:int -> ?checkpoint_every:int -> unit -> t
-(** [dir] (default ".") holds the checkpoint files. *)
+  ?dir:string -> ?wal_dir:string -> ?max_queued:int ->
+  ?checkpoint_every:int -> ?policy:Supervisor.policy -> unit -> t
+(** [dir] (default ".") holds checkpoints and quarantine dumps;
+    [wal_dir] (default [dir]) holds the WAL. Performs WAL recovery —
+    replay, re-admission, compaction — before returning. *)
 
 val queue : t -> Queue.t
 val dir : t -> string
+val wal_dir : t -> string
+val wal : t -> Wal.t
+
+val recovered : t -> int
+(** Jobs re-admitted from the WAL at startup. *)
+
+val wal_recovery : t -> [ `Clean | `Torn_tail | `Quarantined of string ]
+(** What recovery found: a clean log, a torn final record (skipped), or
+    mid-log corruption (the damaged file was moved to the returned
+    path; the sound prefix was kept). *)
 
 val handler : t -> Http.request -> Http.response option
 (** Mount with [Http.serve ~handler:(Daemon.handler t)]. *)
 
 val step : t -> bool
-(** Run the oldest queued job to a terminal state (or to its drain/cancel
-    boundary); [false] when idle or draining — the caller sleeps then. *)
+(** Run the oldest runnable queued job through one supervised attempt
+    (to a terminal state, a retry backoff, or its drain/cancel
+    boundary); [false] when idle, draining, or every queued job is
+    inside its backoff window — the caller sleeps then. *)
 
 val request_drain : t -> unit
 val draining : t -> bool
+
+val close : t -> unit
+(** Sync and close the WAL (the daemon itself needs no other teardown). *)

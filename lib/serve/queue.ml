@@ -17,6 +17,9 @@ let m_rejected = Metrics.counter "serve.jobs.rejected"
 let m_completed = Metrics.counter "serve.jobs.completed"
 let m_failed = Metrics.counter "serve.jobs.failed"
 let m_cancelled = Metrics.counter "serve.jobs.cancelled"
+let m_recovered = Metrics.counter "serve.jobs.recovered"
+let m_retry_scheduled = Metrics.counter "serve.retry.scheduled"
+let m_quarantined = Metrics.counter "serve.quarantine.jobs"
 let g_depth = Metrics.gauge "serve.queue.depth"
 
 type state = Queued | Running | Done | Failed | Cancelled
@@ -37,6 +40,10 @@ type job = {
   mutable state : state;
   mutable cells_done : int;
   mutable restored : int;
+  mutable attempts : int;
+  mutable not_before : float;
+  mutable quarantined : bool;
+  mutable dump : string option;
   mutable partial : Json.t option;
   mutable table : Json.t option;
   mutable error : string option;
@@ -86,6 +93,10 @@ let submit t spec =
             state = Queued;
             cells_done = 0;
             restored = 0;
+            attempts = 0;
+            not_before = 0.;
+            quarantined = false;
+            dump = None;
             partial = None;
             table = None;
             error = None;
@@ -98,16 +109,51 @@ let submit t spec =
         Ok job
       end)
 
+(* WAL recovery: re-admit a job from a previous process with its id and
+   strike count intact.  Bypasses the admission cap — these jobs were
+   already admitted once, and refusing them would lose accepted work. *)
+let recover t ~id ~spec ~attempts =
+  locked t (fun () ->
+      let job =
+        { id;
+          spec;
+          cells_total = Spec.cells spec;
+          submitted_at = Unix.gettimeofday ();
+          cancel = Atomic.make false;
+          state = Queued;
+          cells_done = 0;
+          restored = 0;
+          attempts = max 0 attempts;
+          not_before = 0.;
+          quarantined = false;
+          dump = None;
+          partial = None;
+          table = None;
+          error = None;
+          finished_at = None }
+      in
+      t.next_id <- max t.next_id (id + 1);
+      (* keep entries newest-first by id so [jobs] lists submission order *)
+      t.entries <-
+        List.sort (fun a b -> compare b.id a.id) (job :: t.entries);
+      Metrics.incr m_recovered;
+      set_depth_gauge t;
+      job)
+
 let jobs t = locked t (fun () -> List.rev t.entries)
 
 let find t id =
   locked t (fun () -> List.find_opt (fun j -> j.id = id) t.entries)
 
-let take t =
+let take ?now t =
+  let now = match now with Some f -> f | None -> Unix.gettimeofday () in
   locked t (fun () ->
-      (* oldest Queued first: entries are newest-first, so scan reversed *)
+      (* oldest runnable Queued first (entries are newest-first, so scan
+         reversed); jobs inside their retry backoff window are skipped *)
       match
-        List.find_opt (fun j -> j.state = Queued) (List.rev t.entries)
+        List.find_opt
+          (fun j -> j.state = Queued && j.not_before <= now)
+          (List.rev t.entries)
       with
       | None -> None
       | Some j ->
@@ -129,7 +175,11 @@ let cancel t id =
         | Running ->
           Atomic.set j.cancel true;
           `Cancelling
-        | Done | Failed | Cancelled -> `Already_finished))
+        | Cancelled ->
+          (* idempotent: cancelling a cancelled job is success, not
+             conflict — retried DELETEs must converge *)
+          `Already_cancelled
+        | Done | Failed -> `Already_finished))
 
 let progress t job ~cells_done ~partial =
   locked t (fun () ->
@@ -142,11 +192,18 @@ let finish t job outcome =
        | `Done table ->
          job.state <- Done;
          job.table <- Some table;
+         job.error <- None; (* a success after retries clears the scar *)
          Metrics.incr m_completed
        | `Failed msg ->
          job.state <- Failed;
          job.error <- Some msg;
          Metrics.incr m_failed
+       | `Quarantined msg ->
+         job.state <- Failed;
+         job.quarantined <- true;
+         job.error <- Some msg;
+         Metrics.incr m_failed;
+         Metrics.incr m_quarantined
        | `Cancelled ->
          job.state <- Cancelled;
          Metrics.incr m_cancelled);
@@ -158,3 +215,14 @@ let finish t job outcome =
    holds everything done so far; putting the job back to Queued records
    that it is resumable, not finished. *)
 let requeue t job = locked t (fun () -> job.state <- Queued)
+
+(* Supervision path: the attempt failed for a reason worth retrying.  The
+   job goes back to Queued but [take] will not hand it out before
+   [not_before] — the supervisor's capped exponential backoff. *)
+let retry t job ~not_before ~error =
+  locked t (fun () ->
+      job.state <- Queued;
+      job.not_before <- not_before;
+      job.error <- Some error;
+      Metrics.incr m_retry_scheduled;
+      set_depth_gauge t)

@@ -11,6 +11,7 @@
 open Sinr_expt
 open Sinr_phys
 open Sinr_obs
+module Failpoint = Sinr_chaos.Chaos.Failpoint
 
 type t = {
   name : string;
@@ -39,6 +40,11 @@ let ack_key ~delta ~seed =
   Printf.sprintf "ack-star:delta=%d:seed=%d:ff=%s" delta seed ff
 
 let ack_cell ~param:delta ~seed =
+  (* the lib/chaos process-level failpoint: disarmed it is one atomic
+     load; armed (tests, SINR_FAILPOINTS) it injects a cell failure or a
+     stall so the supervisor's retry/quarantine/timeout paths can be
+     exercised through the public surface *)
+  Failpoint.hit "serve.cell";
   let d, leaves =
     Cache.find_or_build Cache.shared (ack_key ~delta ~seed) (fun () ->
         let d, leaves = Exp_ack.star_instance ~delta ~seed in
@@ -58,6 +64,7 @@ let ack_cell ~param:delta ~seed =
 (* -- chaos: one jamming point of E-chaos, param = duty percent -------- *)
 
 let chaos_cell ~param ~seed =
+  Failpoint.hit "serve.cell";
   let spec =
     { Exp_chaos.clean with
       Exp_chaos.jam_duty = float_of_int param /. 100. }

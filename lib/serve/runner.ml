@@ -130,8 +130,8 @@ let table_json (reg : Registry.t) (spec : Spec.t) cursor =
                  [ ("param", Json.int p); ("cells", Json.List cells) ])
              (Sweep.results cursor)) ) ]
 
-let run_job ?(checkpoint_every = 4) ?(should_stop = fun () -> false) ~dir
-    queue (job : Queue.job) =
+let run_job ?(checkpoint_every = 4) ?(should_stop = fun () -> false)
+    ?wrap_cell ?on_fail ?on_checkpoint ~dir queue (job : Queue.job) =
   let spec = job.Queue.spec in
   let span = Span.start ~name:"serve.job" ~slot:0 () in
   Span.set_attr span "job" (Json.int job.Queue.id);
@@ -141,10 +141,18 @@ let run_job ?(checkpoint_every = 4) ?(should_stop = fun () -> false) ~dir
     Span.set_attr span "state" (Json.Str (Queue.state_name job.Queue.state));
     Span.finish span ~slot:job.Queue.cells_done
   in
+  (* Unsupervised, a failure is terminal; under a supervisor, [on_fail]
+     owns the disposition (retry with backoff, or quarantine) and must
+     leave the job in a settled state before returning. *)
+  let fail msg =
+    match on_fail with
+    | Some f -> f msg
+    | None -> Queue.finish queue job (`Failed msg)
+  in
   match Registry.resolve spec with
   | Error msg ->
     (* admission validates, so only a registry change mid-flight lands here *)
-    Queue.finish queue job (`Failed msg);
+    fail msg;
     finish_span ()
   | Ok reg -> (
     let cursor =
@@ -166,13 +174,19 @@ let run_job ?(checkpoint_every = 4) ?(should_stop = fun () -> false) ~dir
       let done_now = Sweep.completed c in
       Metrics.add m_cells (done_now - !counted);
       counted := done_now;
-      Queue.progress queue job ~cells_done:done_now ~partial:(partial_json c)
+      Queue.progress queue job ~cells_done:done_now ~partial:(partial_json c);
+      Option.iter (fun f -> f ~cells:done_now) on_checkpoint
     in
     let stop () = should_stop () || Atomic.get job.Queue.cancel in
+    let cell =
+      let base p s = reg.Registry.cell ~param:p ~seed:s in
+      match wrap_cell with
+      | None -> base
+      | Some w -> fun p s -> w ~param:p ~seed:s ~cell:base
+    in
     match
       Sweep.run_cursor ?jobs:spec.Spec.jobs ~chunk:checkpoint_every
-        ~should_stop:stop ~on_chunk cursor (fun p s ->
-          reg.Registry.cell ~param:p ~seed:s)
+        ~should_stop:stop ~on_chunk cursor cell
     with
     | `Complete ->
       (* an all-restored grid never fires on_chunk; normalize the file *)
@@ -187,5 +201,5 @@ let run_job ?(checkpoint_every = 4) ?(should_stop = fun () -> false) ~dir
       finish_span ()
     | exception exn ->
       save ~path spec cursor;
-      Queue.finish queue job (`Failed (Printexc.to_string exn));
+      fail (Printexc.to_string exn);
       finish_span ())

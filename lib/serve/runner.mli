@@ -35,8 +35,19 @@ val table_json : Registry.t -> Spec.t -> (int, Json.t) Sweep.cursor -> Json.t
     Raises if the cursor is incomplete. *)
 
 val run_job :
-  ?checkpoint_every:int -> ?should_stop:(unit -> bool) -> dir:string
-  -> Queue.t -> Queue.job -> unit
+  ?checkpoint_every:int -> ?should_stop:(unit -> bool)
+  -> ?wrap_cell:
+       (param:int -> seed:int
+        -> cell:(int -> int -> Sinr_obs.Json.t) -> Sinr_obs.Json.t)
+  -> ?on_fail:(string -> unit) -> ?on_checkpoint:(cells:int -> unit)
+  -> dir:string -> Queue.t -> Queue.job -> unit
 (** Run (or resume) one job to a terminal state — or back to Queued if
     [should_stop] fired without the job's cancel flag (drain). Cell
-    exceptions mark the job Failed; the checkpoint survives either way. *)
+    exceptions mark the job Failed; the checkpoint survives either way.
+
+    Supervision hooks: [wrap_cell] interposes on every cell evaluation
+    (the supervisor times cells and raises on budget overrun); [on_fail]
+    replaces the default [Failed] disposition — the supervisor decides
+    retry vs quarantine and must settle the job before returning;
+    [on_checkpoint] fires after each checkpoint lands (the supervisor
+    WAL-logs progress). *)

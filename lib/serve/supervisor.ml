@@ -1,0 +1,185 @@
+(* Supervision for daemon jobs: deadlines, capped-exponential-backoff
+   retries, and poison quarantine.
+
+   Every attempt at a job runs through [run]: the attempt is WAL-logged
+   (Started), wrapped with a wall-clock deadline (enforced at cell
+   boundaries through the runner's should_stop — cells are the atomicity
+   unit everywhere in lib/serve) and a per-cell budget (measured at cell
+   completion through wrap_cell), and classified afterwards:
+
+     Done / Cancelled            terminal, WAL-logged
+     drain (external stop)       job back to Queued, attempt closes with
+                                 a Yielded record — not a strike
+     failure (exception, cell    a strike: retried with capped
+     timeout, deadline)          exponential backoff while strikes <=
+                                 max_retries, else quarantined — parked
+                                 as Failed with the flight-recorder dump
+                                 attached, so one poison spec can never
+                                 wedge the queue
+
+   The retry policy mirrors Mac_driver.with_retry (capped exponential
+   backoff from a base, a deadline splitting intentional stops from
+   failures); what backoff slots are to the MAC layer, wall-clock seconds
+   are to the daemon.
+
+   Honesty note on stuck cells: a cell that never returns cannot be
+   preempted in-process (cells run as pool tasks; cancellation is
+   cooperative at cell boundaries).  The per-cell budget catches slow
+   cells when they finish; a truly wedged cell is caught by the
+   cross-process path — its WAL Started record has no closing Yielded or
+   terminal, so the restart counts it as a strike, and a job that wedges
+   the process repeatedly quarantines after max_retries restarts. *)
+
+open Sinr_obs
+
+let m_attempts = Metrics.counter "serve.retry.attempts"
+let m_recovered = Metrics.counter "serve.retry.recovered"
+let m_gave_up = Metrics.counter "serve.retry.gave_up"
+let m_deadline = Metrics.counter "serve.deadline.exceeded"
+let m_cell_timeout = Metrics.counter "serve.cell.timeouts"
+let h_cell = Metrics.histogram "serve.cell.seconds"
+
+exception Cell_timeout of { param : int; seed : int; elapsed : float }
+
+let () =
+  Printexc.register_printer (function
+    | Cell_timeout { param; seed; elapsed } ->
+      Some
+        (Printf.sprintf
+           "cell (param=%d, seed=%d) exceeded its budget (ran %.3fs)" param
+           seed elapsed)
+    | _ -> None)
+
+type policy = {
+  deadline_s : float;
+  cell_timeout_s : float;
+  max_retries : int;
+  base_backoff_s : float;
+  max_backoff_s : float;
+}
+
+let default_policy =
+  { deadline_s = 0.;
+    cell_timeout_s = 0.;
+    max_retries = 2;
+    base_backoff_s = 0.25;
+    max_backoff_s = 30. }
+
+type t = {
+  policy : policy;
+  now : unit -> float;
+}
+
+let create ?(policy = default_policy) ?(now = Unix.gettimeofday) () =
+  { policy =
+      { policy with
+        max_retries = max 0 policy.max_retries;
+        base_backoff_s = max 0.001 policy.base_backoff_s;
+        max_backoff_s = max policy.base_backoff_s policy.max_backoff_s };
+    now }
+
+let policy t = t.policy
+
+(* Capped exponential: base * 2^(strikes-1), clamped. *)
+let backoff t ~strikes =
+  let p = t.policy in
+  min p.max_backoff_s (p.base_backoff_s *. (2. ** float_of_int (max 0 (strikes - 1))))
+
+let log wal r = Option.iter (fun w -> Wal.append w r) wal
+
+(* Quarantine: park the job as Failed with the flight recorder attached.
+   The dump is best-effort — a full disk must not turn parking a poison
+   job into a crash loop. *)
+let quarantine ?wal ~dir queue (job : Queue.job) reason =
+  let msg =
+    Printf.sprintf "quarantined after %d strikes: %s" job.Queue.attempts
+      reason
+  in
+  (match
+     Recorder.dump
+       ~path:
+         (Filename.concat dir
+            (Printf.sprintf "serve-job%d-quarantine.jsonl" job.Queue.id))
+       ~reason:(Printf.sprintf "quarantine job %d" job.Queue.id)
+       ()
+   with
+  | path -> job.Queue.dump <- Some path
+  | exception _ -> ());
+  Queue.finish queue job (`Quarantined msg);
+  Metrics.incr m_gave_up;
+  log wal { Wal.job = job.Queue.id; ev = Wal.Quarantined msg }
+
+(* One failed attempt: retry with backoff while strikes fit the policy,
+   quarantine past it. *)
+let strike t ?wal ~dir queue (job : Queue.job) reason =
+  if job.Queue.attempts > t.policy.max_retries then
+    quarantine ?wal ~dir queue job reason
+  else begin
+    let delay = backoff t ~strikes:job.Queue.attempts in
+    Queue.retry queue job ~not_before:(t.now () +. delay)
+      ~error:
+        (Printf.sprintf "attempt %d failed (%s); retrying in %.2gs"
+           job.Queue.attempts reason delay)
+  end
+
+let run t ?wal ?(should_stop = fun () -> false) ?(checkpoint_every = 4) ~dir
+    queue (job : Queue.job) =
+  let p = t.policy in
+  job.Queue.attempts <- job.Queue.attempts + 1;
+  Metrics.incr m_attempts;
+  log wal { Wal.job = job.Queue.id; ev = Wal.Started job.Queue.attempts };
+  let started = t.now () in
+  let deadline_hit = ref false in
+  let stop () =
+    should_stop ()
+    ||
+    (p.deadline_s > 0.
+     && t.now () -. started > p.deadline_s
+     &&
+     (deadline_hit := true;
+      true))
+  in
+  let failure = ref None in
+  let on_fail msg =
+    failure := Some msg;
+    strike t ?wal ~dir queue job msg
+  in
+  let wrap_cell ~param ~seed ~cell =
+    let c0 = t.now () in
+    let v = cell param seed in
+    let dt = t.now () -. c0 in
+    Metrics.observe h_cell dt;
+    if p.cell_timeout_s > 0. && dt > p.cell_timeout_s then begin
+      Metrics.incr m_cell_timeout;
+      raise (Cell_timeout { param; seed; elapsed = dt })
+    end;
+    v
+  in
+  Runner.run_job ~checkpoint_every ~should_stop:stop ~wrap_cell ~on_fail
+    ~on_checkpoint:(fun ~cells ->
+      log wal { Wal.job = job.Queue.id; ev = Wal.Checkpointed cells })
+    ~dir queue job;
+  (* classify what the runner left behind *)
+  match job.Queue.state with
+  | Queue.Done ->
+    if job.Queue.attempts > 1 then Metrics.incr m_recovered;
+    log wal { Wal.job = job.Queue.id; ev = Wal.Completed }
+  | Queue.Cancelled ->
+    log wal { Wal.job = job.Queue.id; ev = Wal.Cancelled }
+  | Queue.Queued when !failure <> None ->
+    (* on_fail already settled the disposition (retry) *)
+    ()
+  | Queue.Queued when !deadline_hit && not (should_stop ()) ->
+    (* the runner read the deadline stop as a drain and requeued; it is
+       a strike — checkpointed progress survives into the next attempt,
+       so a job that makes headway each attempt still completes *)
+    Metrics.incr m_deadline;
+    strike t ?wal ~dir queue job
+      (Printf.sprintf "deadline %.2gs exceeded (%d/%d cells done)"
+         p.deadline_s job.Queue.cells_done job.Queue.cells_total)
+  | Queue.Queued ->
+    (* genuine drain: not a strike — close the attempt gracefully *)
+    log wal { Wal.job = job.Queue.id; ev = Wal.Yielded }
+  | Queue.Failed when !failure <> None ->
+    () (* unreachable with our on_fail, kept total *)
+  | Queue.Failed | Queue.Running -> ()

@@ -354,9 +354,68 @@ let test_exp_chaos_jobs_invariant () =
     (compare r1 r2 = 0);
   Alcotest.(check int) "one row per (axis, level)" 2 (List.length r1)
 
+(* ---------------- process-level failpoints ---------------- *)
+
+let test_failpoint_arming () =
+  let module F = Chaos.Failpoint in
+  F.clear ();
+  Fun.protect ~finally:F.clear @@ fun () ->
+  (* disarmed: a hit is a no-op *)
+  F.hit "nowhere";
+  (* Always: every hit raises until disarmed *)
+  F.arm "poison" F.Always;
+  Alcotest.check_raises "always raises" (F.Injected "poison") (fun () ->
+      F.hit "poison");
+  Alcotest.check_raises "still armed" (F.Injected "poison") (fun () ->
+      F.hit "poison");
+  F.disarm "poison";
+  F.hit "poison";
+  (* Times n: n hits raise, then auto-disarm *)
+  F.arm "transient" (F.Times 2);
+  Alcotest.check_raises "first hit" (F.Injected "transient") (fun () ->
+      F.hit "transient");
+  Alcotest.check_raises "second hit" (F.Injected "transient") (fun () ->
+      F.hit "transient");
+  F.hit "transient";
+  Alcotest.(check bool) "auto-disarmed after n" true
+    (F.armed "transient" = None);
+  (* Delay: sleeps, never raises *)
+  F.arm "stall" (F.Delay 0.01);
+  let t0 = Unix.gettimeofday () in
+  F.hit "stall";
+  Alcotest.(check bool) "delay stalls the hit" true
+    (Unix.gettimeofday () -. t0 >= 0.005)
+
+let test_failpoint_spec () =
+  let module F = Chaos.Failpoint in
+  F.clear ();
+  Fun.protect ~finally:F.clear @@ fun () ->
+  let parsed = F.parse_spec "a=always,b=3,c=sleep:0.5,junk,d=wat" in
+  Alcotest.(check bool) "always parsed" true
+    (List.assoc_opt "a" parsed = Some F.Always);
+  Alcotest.(check bool) "times parsed" true
+    (List.assoc_opt "b" parsed = Some (F.Times 3));
+  Alcotest.(check bool) "sleep parsed" true
+    (List.assoc_opt "c" parsed = Some (F.Delay 0.5));
+  Alcotest.(check bool) "malformed entries dropped" true
+    (List.assoc_opt "d" parsed = None && List.length parsed = 3);
+  (* from_env arms what the variable holds *)
+  Unix.putenv "SINR_FAILPOINTS_TEST" "envpoint=always";
+  Alcotest.(check int) "one armed from env" 1
+    (F.from_env ~var:"SINR_FAILPOINTS_TEST" ());
+  Alcotest.check_raises "env-armed point fires" (F.Injected "envpoint")
+    (fun () -> F.hit "envpoint");
+  Unix.putenv "SINR_FAILPOINTS_TEST" "";
+  Alcotest.(check int) "empty env arms nothing" 0
+    (F.from_env ~var:"SINR_FAILPOINTS_TEST" ())
+
 let suite =
   [ Alcotest.test_case "fault: exact shuffle sampler" `Quick
       test_random_crashes_exact;
+    Alcotest.test_case "failpoint: arm/times/delay" `Quick
+      test_failpoint_arming;
+    Alcotest.test_case "failpoint: spec and env parsing" `Quick
+      test_failpoint_spec;
     Alcotest.test_case "fault: over-subscribed count rejected" `Quick
       test_random_crashes_invalid;
     Alcotest.test_case "fault: apply drains due crashes" `Quick

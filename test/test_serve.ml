@@ -189,8 +189,18 @@ let test_queue_cancel () =
   Alcotest.(check bool) "unknown id" true (Sq.cancel q 99 = `Not_found);
   Alcotest.(check bool) "queued cancels now" true
     (Sq.cancel q j.Sq.id = `Cancelled);
-  Alcotest.(check bool) "terminal stays" true
-    (Sq.cancel q j.Sq.id = `Already_finished);
+  Alcotest.(check bool) "cancel is idempotent" true
+    (Sq.cancel q j.Sq.id = `Already_cancelled);
+  (* a Done/Failed job is a real conflict, not idempotent success *)
+  let jd =
+    match Sq.submit q (spec_ack [ 4 ] [ 1 ]) with
+    | Ok j -> j
+    | Error _ -> Alcotest.fail "submit failed"
+  in
+  ignore (Sq.take q);
+  Sq.finish q jd (`Done Json.Null);
+  Alcotest.(check bool) "done conflicts" true
+    (Sq.cancel q jd.Sq.id = `Already_finished);
   (* running: flag only, runner confirms *)
   let j2 =
     match Sq.submit q (spec_ack [ 3 ] [ 1 ]) with
@@ -422,13 +432,20 @@ let test_daemon_http () =
     (has_sub (body_of s) {|"spec":|});
   Alcotest.(check (option int)) "missing job" (Some 404)
     (status_of (handle "GET /jobs/99 HTTP/1.1\r\n\r\n"));
-  (* cancel *)
+  (* cancel: idempotent on a cancelled job, 409 only on done/failed *)
   Alcotest.(check (option int)) "cancel queued" (Some 200)
     (status_of (handle "DELETE /jobs/1 HTTP/1.1\r\n\r\n"));
-  Alcotest.(check (option int)) "cancel again conflicts" (Some 409)
-    (status_of (handle "DELETE /jobs/1 HTTP/1.1\r\n\r\n"));
+  let again = handle "DELETE /jobs/1 HTTP/1.1\r\n\r\n" in
+  Alcotest.(check (option int)) "cancel again is idempotent 200" (Some 200)
+    (status_of again);
+  Alcotest.(check bool) "idempotent cancel reports state" true
+    (has_sub (body_of again) {|"state":"cancelled"|});
   Alcotest.(check (option int)) "cancel missing" (Some 404)
     (status_of (handle "DELETE /jobs/99 HTTP/1.1\r\n\r\n"));
+  (* run job 2 to done: cancelling finished work is a real 409 conflict *)
+  while Daemon.step daemon do () done;
+  Alcotest.(check (option int)) "cancel done conflicts" (Some 409)
+    (status_of (handle "DELETE /jobs/2 HTTP/1.1\r\n\r\n"));
   (* method discipline on the namespace *)
   let m = handle "DELETE /jobs HTTP/1.1\r\n\r\n" in
   Alcotest.(check (option int)) "DELETE /jobs is 405" (Some 405)
@@ -475,6 +492,492 @@ let test_http_hardening () =
         (has_sub r "Connection: close"))
     [ "GET /nope HTTP/1.1\r\n\r\n"; "PUT /metrics HTTP/1.1\r\n\r\n"; "??";
       "GET /healthz HTTP/1.1\r\n\r\n" ]
+
+(* ---------------- WAL: encode, replay, torn tail, corruption -------- *)
+
+let write_raw path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let test_wal_roundtrip =
+  with_registry (fun () ->
+      let spec = spec_ack ~jobs:2 ~tag:"w" [ 2 ] [ 1 ] in
+      let evs =
+        [ Wal.Submitted spec; Wal.Started 2; Wal.Checkpointed 3; Wal.Yielded;
+          Wal.Strikes 2; Wal.Completed; Wal.Cancelled; Wal.Failed "boom";
+          Wal.Quarantined "poison" ]
+      in
+      List.iter
+        (fun ev ->
+          let r = { Wal.job = 7; ev } in
+          Alcotest.(check bool)
+            (Printf.sprintf "roundtrip %s" (Wal.encode r))
+            true
+            (Wal.decode (Wal.encode r) = Some r))
+        evs;
+      (* a flipped payload byte fails the CRC *)
+      let line = Wal.encode { Wal.job = 1; ev = Wal.Completed } in
+      let b = Bytes.of_string line in
+      let i = String.length line - 2 in
+      Bytes.set b i (if Bytes.get b i = 'x' then 'y' else 'x');
+      Alcotest.(check bool) "bit flip detected" true
+        (Wal.decode (Bytes.to_string b) = None);
+      Alcotest.(check bool) "garbage rejected" true
+        (Wal.decode "not a wal line" = None);
+      (* append + replay round trip through a real file *)
+      let dir = fresh_dir () in
+      let records =
+        [ { Wal.job = 1; ev = Wal.Submitted spec };
+          { Wal.job = 1; ev = Wal.Started 1 };
+          { Wal.job = 1; ev = Wal.Checkpointed 1 };
+          { Wal.job = 1; ev = Wal.Completed } ]
+      in
+      let w = Wal.open_ ~fsync_every:2 ~dir () in
+      List.iter (Wal.append w) records;
+      Alcotest.(check bool) "writer healthy" true (Wal.healthy w);
+      Wal.close w;
+      let r = Wal.replay ~dir in
+      Alcotest.(check bool) "no torn tail" false r.Wal.torn_tail;
+      Alcotest.(check bool) "no corruption" false r.Wal.corrupt;
+      Alcotest.(check bool) "records replayed" true (r.Wal.records = records);
+      Alcotest.(check (option int)) "appends counted" (Some 4)
+        (Metrics.counter_peek "serve.wal.appends"))
+
+let test_wal_torn_tail =
+  with_registry (fun () ->
+      let spec = spec_ack [ 2 ] [ 1 ] in
+      let dir = fresh_dir () in
+      let records =
+        [ { Wal.job = 1; ev = Wal.Submitted spec };
+          { Wal.job = 1; ev = Wal.Started 1 };
+          { Wal.job = 1; ev = Wal.Checkpointed 1 } ]
+      in
+      let w = Wal.open_ ~dir () in
+      List.iter (Wal.append w) records;
+      Wal.close w;
+      (* SIGKILL mid-append residue: the final line is cut short *)
+      let path = Wal.path ~dir in
+      let raw = read_file path in
+      write_raw path (String.sub raw 0 (String.length raw - 5));
+      let r = Wal.replay ~dir in
+      Alcotest.(check bool) "torn tail detected" true r.Wal.torn_tail;
+      Alcotest.(check bool) "torn tail is not corruption" false r.Wal.corrupt;
+      Alcotest.(check bool) "sound prefix kept" true
+        (r.Wal.records = [ List.nth records 0; List.nth records 1 ]);
+      (* the daemon restarts silently over a torn tail *)
+      let d = Daemon.create ~dir () in
+      Alcotest.(check bool) "daemon reports torn tail" true
+        (Daemon.wal_recovery d = `Torn_tail);
+      Alcotest.(check int) "job re-admitted" 1 (Daemon.recovered d);
+      Daemon.close d)
+
+let test_wal_corruption =
+  with_registry (fun () ->
+      let spec = spec_ack [ 2 ] [ 1 ] in
+      let spec2 = spec_ack [ 3 ] [ 1 ] in
+      let dir = fresh_dir () in
+      let w = Wal.open_ ~dir () in
+      List.iter (Wal.append w)
+        [ { Wal.job = 1; ev = Wal.Submitted spec };
+          { Wal.job = 1; ev = Wal.Started 1 };
+          { Wal.job = 2; ev = Wal.Submitted spec2 } ];
+      Wal.close w;
+      (* flip a byte mid-log: a bad line with valid records after it *)
+      let path = Wal.path ~dir in
+      let lines = String.split_on_char '\n' (read_file path) in
+      let mangled =
+        List.mapi
+          (fun i l -> if i = 1 then "00000000 {\"mangled\":true}" else l)
+          lines
+      in
+      write_raw path (String.concat "\n" mangled);
+      let r = Wal.replay ~dir in
+      Alcotest.(check bool) "corruption detected" true r.Wal.corrupt;
+      Alcotest.(check bool) "prefix before the damage kept" true
+        (r.Wal.records = [ { Wal.job = 1; ev = Wal.Submitted spec } ]);
+      (* the daemon moves the damaged file aside and restarts clean *)
+      let d = Daemon.create ~dir () in
+      (match Daemon.wal_recovery d with
+       | `Quarantined p ->
+         Alcotest.(check bool) "damaged wal preserved on disk" true
+           (Sys.file_exists p)
+       | `Clean | `Torn_tail -> Alcotest.fail "corruption not quarantined");
+      Alcotest.(check int) "sound prefix re-admitted" 1 (Daemon.recovered d);
+      Alcotest.(check bool) "job 1 survived" true
+        (Sq.find (Daemon.queue d) 1 <> None);
+      Alcotest.(check bool) "job 2 was lost to the damage" true
+        (Sq.find (Daemon.queue d) 2 = None);
+      (* the compacted log replays clean on the next start *)
+      Daemon.close d;
+      let r2 = Wal.replay ~dir in
+      Alcotest.(check bool) "compacted log is sound" true
+        ((not r2.Wal.corrupt) && not r2.Wal.torn_tail);
+      (* two replays saw the damage: the explicit one above and the
+         daemon's own recovery pass *)
+      Alcotest.(check (option int)) "corruption counted" (Some 2)
+        (Metrics.counter_peek "serve.wal.corrupt"))
+
+let test_checkpoint_torn_tail () =
+  (* Checkpoints are written atomically (temp+rename), but restore must
+     still survive a half-written file from a foreign source. *)
+  let spec = bitid_spec () in
+  let dir = fresh_dir () in
+  let path = Filename.concat dir "torn.ckpt.jsonl" in
+  let c = Sweep.cursor ~params:spec.Spec.params ~seeds:spec.Spec.seeds in
+  ignore (Sweep.record c 2 1 (Json.int 7));
+  ignore (Sweep.record c 2 2 (Json.int 8));
+  Runner.save ~path spec c;
+  let raw = read_file path in
+  write_raw path (String.sub raw 0 (String.length raw - 4));
+  let c2 = Sweep.cursor ~params:spec.Spec.params ~seeds:spec.Spec.seeds in
+  Alcotest.(check int) "clean prefix restored" 1
+    (Runner.restore ~path spec c2)
+
+(* ---------------- supervisor: retry, quarantine, budgets ------------ *)
+
+module Fp = Sinr_chaos.Chaos.Failpoint
+
+let with_failpoints f () =
+  with_registry (fun () -> Fun.protect ~finally:Fp.clear f) ()
+
+let tight_policy =
+  { Supervisor.default_policy with
+    Supervisor.base_backoff_s = 0.001;
+    max_backoff_s = 0.002 }
+
+let take_now q (job : Sq.job) =
+  (* skip the backoff window deterministically *)
+  match Sq.take ~now:(job.Sq.not_before +. 1.) q with
+  | Some j when j.Sq.id = job.Sq.id -> ()
+  | Some j -> Alcotest.failf "took job %d, wanted %d" j.Sq.id job.Sq.id
+  | None -> Alcotest.fail "job not runnable"
+
+let test_supervisor_retry =
+  with_failpoints (fun () ->
+      let dir = fresh_dir () in
+      let q = Sq.create () in
+      let job =
+        match Sq.submit q (spec_ack [ 2 ] [ 1 ]) with
+        | Ok j -> j
+        | Error _ -> Alcotest.fail "submit failed"
+      in
+      let sup = Supervisor.create ~policy:tight_policy () in
+      (* transient fault: the first cell evaluation throws, the next works *)
+      Fp.arm "serve.cell" (Fp.Times 1);
+      ignore (Sq.take q);
+      Supervisor.run sup ~dir q job;
+      Alcotest.(check bool) "failed attempt requeues" true
+        (job.Sq.state = Sq.Queued);
+      Alcotest.(check int) "one strike" 1 job.Sq.attempts;
+      Alcotest.(check bool) "backoff window scheduled" true
+        (job.Sq.not_before > 0.);
+      Alcotest.(check bool) "error names the attempt" true
+        (match job.Sq.error with
+         | Some e -> has_sub e "attempt 1 failed"
+         | None -> false);
+      (* inside the backoff window the job is not handed out *)
+      Alcotest.(check bool) "take honors backoff" true
+        (Sq.take ~now:(job.Sq.not_before -. 0.0005) q = None);
+      take_now q job;
+      Supervisor.run sup ~dir q job;
+      Alcotest.(check bool) "second attempt recovers" true
+        (job.Sq.state = Sq.Done);
+      Alcotest.(check int) "two attempts on record" 2 job.Sq.attempts;
+      Alcotest.(check bool) "error cleared on success" true
+        (job.Sq.error = None);
+      Alcotest.(check (option int)) "attempts counted" (Some 2)
+        (Metrics.counter_peek "serve.retry.attempts");
+      Alcotest.(check (option int)) "retry scheduled" (Some 1)
+        (Metrics.counter_peek "serve.retry.scheduled");
+      Alcotest.(check (option int)) "recovery counted" (Some 1)
+        (Metrics.counter_peek "serve.retry.recovered"))
+
+let test_supervisor_quarantine =
+  with_failpoints (fun () ->
+      let dir = fresh_dir () in
+      let q = Sq.create () in
+      let job =
+        match Sq.submit q (spec_ack ~tag:"poison" [ 2 ] [ 1 ]) with
+        | Ok j -> j
+        | Error _ -> Alcotest.fail "submit failed"
+      in
+      let sup =
+        Supervisor.create
+          ~policy:{ tight_policy with Supervisor.max_retries = 1 } ()
+      in
+      (* poison: every attempt throws *)
+      Fp.arm "serve.cell" Fp.Always;
+      ignore (Sq.take q);
+      Supervisor.run sup ~dir q job;
+      Alcotest.(check bool) "first strike retries" true
+        (job.Sq.state = Sq.Queued);
+      take_now q job;
+      Supervisor.run sup ~dir q job;
+      Alcotest.(check bool) "retry budget exhausted parks the job" true
+        (job.Sq.state = Sq.Failed);
+      Alcotest.(check bool) "parked as quarantined" true job.Sq.quarantined;
+      Alcotest.(check int) "attempts = max_retries + 1" 2 job.Sq.attempts;
+      Alcotest.(check bool) "verdict in the error" true
+        (match job.Sq.error with
+         | Some e -> has_sub e "quarantined after 2 strikes"
+         | None -> false);
+      Alcotest.(check bool) "flight-recorder dump attached" true
+        (match job.Sq.dump with
+         | Some p -> Sys.file_exists p
+         | None -> false);
+      Alcotest.(check (option int)) "gave up counted" (Some 1)
+        (Metrics.counter_peek "serve.retry.gave_up");
+      Alcotest.(check (option int)) "quarantine counted" (Some 1)
+        (Metrics.counter_peek "serve.quarantine.jobs");
+      (* one poison spec must not wedge the queue: the next job runs *)
+      Fp.clear ();
+      let j2 =
+        match Sq.submit q (spec_ack [ 3 ] [ 1 ]) with
+        | Ok j -> j
+        | Error _ -> Alcotest.fail "submit failed"
+      in
+      ignore (Sq.take q);
+      Supervisor.run sup ~dir q j2;
+      Alcotest.(check bool) "queue survives the poison job" true
+        (j2.Sq.state = Sq.Done))
+
+let test_supervisor_deadline =
+  with_failpoints (fun () ->
+      let dir = fresh_dir () in
+      let q = Sq.create () in
+      let job =
+        match Sq.submit q (spec_ack [ 2; 3 ] [ 1 ]) with
+        | Ok j -> j
+        | Error _ -> Alcotest.fail "submit failed"
+      in
+      (* a fake clock that jumps a full second per reading: any deadline
+         under a second trips at the first cell boundary *)
+      let tick = ref 0. in
+      let now () = tick := !tick +. 1.; !tick in
+      let sup =
+        Supervisor.create
+          ~policy:{ tight_policy with Supervisor.deadline_s = 0.5 } ~now ()
+      in
+      ignore (Sq.take q);
+      Supervisor.run sup ~dir q job;
+      Alcotest.(check bool) "deadline is a strike, not a drain" true
+        (job.Sq.state = Sq.Queued && job.Sq.attempts = 1);
+      Alcotest.(check bool) "error names the deadline" true
+        (match job.Sq.error with
+         | Some e -> has_sub e "deadline"
+         | None -> false);
+      Alcotest.(check (option int)) "deadline metric" (Some 1)
+        (Metrics.counter_peek "serve.deadline.exceeded"))
+
+let test_supervisor_cell_timeout =
+  with_failpoints (fun () ->
+      let dir = fresh_dir () in
+      let q = Sq.create () in
+      let job =
+        match Sq.submit q (spec_ack [ 2 ] [ 1 ]) with
+        | Ok j -> j
+        | Error _ -> Alcotest.fail "submit failed"
+      in
+      let sup =
+        Supervisor.create
+          ~policy:{ tight_policy with Supervisor.cell_timeout_s = 0.01 } ()
+      in
+      (* a stalled cell: sleeps past its budget, then returns *)
+      Fp.arm "serve.cell" (Fp.Delay 0.05);
+      ignore (Sq.take q);
+      Supervisor.run sup ~dir q job;
+      Alcotest.(check bool) "over-budget cell is a strike" true
+        (job.Sq.state = Sq.Queued && job.Sq.attempts = 1);
+      Alcotest.(check bool) "cell timeout counted" true
+        (match Metrics.counter_peek "serve.cell.timeouts" with
+         | Some n -> n >= 1
+         | None -> false);
+      Fp.clear ();
+      take_now q job;
+      Supervisor.run sup ~dir q job;
+      Alcotest.(check bool) "healthy retry completes" true
+        (job.Sq.state = Sq.Done))
+
+(* ---------------- daemon: crash recovery, readiness ------------------ *)
+
+let test_daemon_crash_recovery =
+  with_registry (fun () ->
+      let spec_body =
+        {|{"exp":"ack","params":[2,3],"seeds":[1,2],"jobs":1,"tag":"crash"}|}
+      in
+      (* uninterrupted reference run *)
+      let ref_dir = fresh_dir () in
+      let refd = Daemon.create ~dir:ref_dir ~checkpoint_every:1 () in
+      let refh = Http.handle ~handler:(Daemon.handler refd) in
+      Alcotest.(check (option int)) "reference submit" (Some 202)
+        (status_of (refh (post_jobs spec_body)));
+      while Daemon.step refd do () done;
+      let ref_table = refh "GET /jobs/1/table HTTP/1.1\r\n\r\n" in
+      Alcotest.(check (option int)) "reference table served" (Some 200)
+        (status_of ref_table);
+      Daemon.close refd;
+
+      (* hard-crash simulation: daemon A admits the job, checkpoints one
+         cell mid-attempt, then the process "dies" — its in-memory state
+         is discarded without any drain, close or fsync, exactly the
+         SIGKILL residue (the real-signal version runs in `make
+         crash-smoke` against the binary) *)
+      let dir = fresh_dir () in
+      let a = Daemon.create ~dir ~checkpoint_every:1 () in
+      let ha = Http.handle ~handler:(Daemon.handler a) in
+      Alcotest.(check (option int)) "crash-run submit" (Some 202)
+        (status_of (ha (post_jobs spec_body)));
+      let t409 = ha "GET /jobs/1/table HTTP/1.1\r\n\r\n" in
+      Alcotest.(check (option int)) "table before done is 409" (Some 409)
+        (status_of t409);
+      Alcotest.(check bool) "409 names the state" true
+        (has_sub t409 "X-Job-State: queued");
+      Wal.append (Daemon.wal a) { Wal.job = 1; ev = Wal.Started 1 };
+      let job =
+        match Sq.take (Daemon.queue a) with
+        | Some j -> j
+        | None -> Alcotest.fail "take failed"
+      in
+      let polls = ref 0 in
+      Runner.run_job ~checkpoint_every:1
+        ~should_stop:(fun () -> incr polls; !polls >= 2)
+        ~dir (Daemon.queue a) job;
+      Alcotest.(check int) "one cell checkpointed before the crash" 1
+        job.Sq.cells_done;
+
+      (* restart on the same directories *)
+      let b = Daemon.create ~dir ~checkpoint_every:1 () in
+      Alcotest.(check bool) "wal replays clean" true
+        (Daemon.wal_recovery b = `Clean);
+      Alcotest.(check int) "job recovered" 1 (Daemon.recovered b);
+      let jb =
+        match Sq.find (Daemon.queue b) 1 with
+        | Some j -> j
+        | None -> Alcotest.fail "recovered job missing"
+      in
+      Alcotest.(check int) "interrupted attempt is on record" 1
+        jb.Sq.attempts;
+      while Daemon.step b do () done;
+      Alcotest.(check bool) "recovered job completes" true
+        (jb.Sq.state = Sq.Done);
+      Alcotest.(check int) "resumed from the checkpoint" 1 jb.Sq.restored;
+      Alcotest.(check (option int)) "recovered metric" (Some 1)
+        (Metrics.counter_peek "serve.jobs.recovered");
+      let hb = Http.handle ~handler:(Daemon.handler b) in
+      let tb = hb "GET /jobs/1/table HTTP/1.1\r\n\r\n" in
+      Alcotest.(check (option int)) "table after recovery" (Some 200)
+        (status_of tb);
+      Alcotest.(check string) "table byte-identical to uninterrupted run"
+        (body_of ref_table) (body_of tb);
+      Daemon.close b)
+
+let test_daemon_recovery_quarantine =
+  with_registry (fun () ->
+      (* a job whose every previous attempt took the process down: three
+         Started records, no closing record — past the default budget of
+         2 retries, so recovery parks it before it wedges the loop again *)
+      let dir = fresh_dir () in
+      let spec = spec_ack ~tag:"wedge" [ 2 ] [ 1 ] in
+      let w = Wal.open_ ~dir () in
+      List.iter (Wal.append w)
+        [ { Wal.job = 1; ev = Wal.Submitted spec };
+          { Wal.job = 1; ev = Wal.Started 1 };
+          { Wal.job = 1; ev = Wal.Started 2 };
+          { Wal.job = 1; ev = Wal.Started 3 } ];
+      Wal.close w;
+      let d = Daemon.create ~dir () in
+      let job =
+        match Sq.find (Daemon.queue d) 1 with
+        | Some j -> j
+        | None -> Alcotest.fail "job missing after recovery"
+      in
+      Alcotest.(check bool) "parked at recovery" true
+        (job.Sq.state = Sq.Failed && job.Sq.quarantined);
+      Alcotest.(check bool) "verdict mentions recovery" true
+        (match job.Sq.error with
+         | Some e -> has_sub e "recovery"
+         | None -> false);
+      Alcotest.(check bool) "step refuses the parked job" false
+        (Daemon.step d);
+      (* a graceful drain (Yielded) is not a strike: same three attempts
+         but each closed, so the job comes back runnable *)
+      let dir2 = fresh_dir () in
+      let w2 = Wal.open_ ~dir:dir2 () in
+      List.iter (Wal.append w2)
+        [ { Wal.job = 1; ev = Wal.Submitted spec };
+          { Wal.job = 1; ev = Wal.Started 1 };
+          { Wal.job = 1; ev = Wal.Yielded };
+          { Wal.job = 1; ev = Wal.Started 2 };
+          { Wal.job = 1; ev = Wal.Yielded };
+          { Wal.job = 1; ev = Wal.Started 3 };
+          { Wal.job = 1; ev = Wal.Yielded } ];
+      Wal.close w2;
+      let d2 = Daemon.create ~dir:dir2 () in
+      let job2 =
+        match Sq.find (Daemon.queue d2) 1 with
+        | Some j -> j
+        | None -> Alcotest.fail "job missing after recovery"
+      in
+      Alcotest.(check bool) "drained job comes back runnable" true
+        (job2.Sq.state = Sq.Queued && not job2.Sq.quarantined);
+      Alcotest.(check int) "drains are not strikes" 0 job2.Sq.attempts;
+      Daemon.close d;
+      Daemon.close d2)
+
+let test_daemon_readyz =
+  with_registry (fun () ->
+      let daemon = Daemon.create ~dir:(fresh_dir ()) ~max_queued:1 () in
+      let handle = Http.handle ~handler:(Daemon.handler daemon) in
+      let r = handle "GET /readyz HTTP/1.1\r\n\r\n" in
+      Alcotest.(check (option int)) "idle daemon is ready" (Some 200)
+        (status_of r);
+      Alcotest.(check bool) "ready body" true
+        (has_sub (body_of r) {|"ready":true|});
+      (* saturated: depth at the cap *)
+      Alcotest.(check (option int)) "fills the queue" (Some 202)
+        (status_of (handle (post_jobs {|{"exp":"ack","params":[2],"seeds":[1]}|})));
+      let r2 = handle "GET /readyz HTTP/1.1\r\n\r\n" in
+      Alcotest.(check (option int)) "saturated is 503" (Some 503)
+        (status_of r2);
+      Alcotest.(check bool) "names saturation" true
+        (has_sub (body_of r2) {|"saturated"|});
+      (* draining *)
+      Daemon.request_drain daemon;
+      let r3 = handle "GET /readyz HTTP/1.1\r\n\r\n" in
+      Alcotest.(check (option int)) "draining is 503" (Some 503)
+        (status_of r3);
+      Alcotest.(check bool) "names the drain" true
+        (has_sub (body_of r3) {|"draining"|});
+      (* liveness stays honest: the process is still up *)
+      Alcotest.(check (option int)) "healthz still 200" (Some 200)
+        (status_of (handle "GET /healthz HTTP/1.1\r\n\r\n"));
+      Alcotest.(check (option int)) "readyz method discipline" (Some 405)
+        (status_of (handle "DELETE /readyz HTTP/1.1\r\n\r\n"));
+      Daemon.close daemon)
+
+(* ---------------- http: slowloris guard ------------------------------ *)
+
+let test_http_read_timeout () =
+  let server = Http.serve ~read_timeout:0.2 ~port:0 () in
+  Fun.protect ~finally:(fun () -> Http.stop server) @@ fun () ->
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ()) @@ fun () ->
+  Unix.connect fd
+    (Unix.ADDR_INET (Unix.inet_addr_loopback, Http.port server));
+  (* open the request line but never finish the headers *)
+  let partial = "GET /healthz HTTP/1.1\r\n" in
+  ignore (Unix.write_substring fd partial 0 (String.length partial));
+  let buf = Bytes.create 4096 in
+  let rec read_all acc =
+    match Unix.read fd buf 0 (Bytes.length buf) with
+    | 0 -> acc
+    | n -> read_all (acc ^ Bytes.sub_string buf 0 n)
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> acc
+  in
+  let resp = read_all "" in
+  Alcotest.(check (option int)) "slow client gets 408" (Some 408)
+    (status_of resp)
 
 (* ---------------- bench diff: missing current snapshot -------------- *)
 
@@ -523,5 +1026,28 @@ let suite =
     Alcotest.test_case "daemon: /jobs http surface" `Quick test_daemon_http;
     Alcotest.test_case "http: hardened request handling" `Quick
       test_http_hardening;
+    Alcotest.test_case "wal: encode/append/replay roundtrip" `Quick
+      test_wal_roundtrip;
+    Alcotest.test_case "wal: torn tail skipped" `Quick test_wal_torn_tail;
+    Alcotest.test_case "wal: corruption quarantined" `Quick
+      test_wal_corruption;
+    Alcotest.test_case "runner: torn checkpoint restores prefix" `Quick
+      test_checkpoint_torn_tail;
+    Alcotest.test_case "supervisor: transient fault retried" `Quick
+      test_supervisor_retry;
+    Alcotest.test_case "supervisor: poison job quarantined" `Quick
+      test_supervisor_quarantine;
+    Alcotest.test_case "supervisor: deadline is a strike" `Quick
+      test_supervisor_deadline;
+    Alcotest.test_case "supervisor: cell budget enforced" `Quick
+      test_supervisor_cell_timeout;
+    Alcotest.test_case "daemon: crash-restart bit-identical" `Slow
+      test_daemon_crash_recovery;
+    Alcotest.test_case "daemon: recovery quarantines wedgers" `Quick
+      test_daemon_recovery_quarantine;
+    Alcotest.test_case "daemon: /readyz honest readiness" `Quick
+      test_daemon_readyz;
+    Alcotest.test_case "http: slowloris read timeout" `Slow
+      test_http_read_timeout;
     Alcotest.test_case "bench diff: missing current" `Quick
       test_bench_diff_missing_current ]
