@@ -1,5 +1,6 @@
 .PHONY: all build check test fmt bench par-smoke chaos-smoke phys-smoke \
-        obs-smoke serve-smoke daemon-smoke crash-smoke bench-diff clean
+        obs-smoke serve-smoke daemon-smoke crash-smoke scale-smoke \
+        bench-diff clean
 
 all: build
 
@@ -213,13 +214,27 @@ crash-smoke:
 	    uninterrupted reference"; exit 1; }; \
 	echo "crash-smoke: OK (tables byte-identical across SIGKILL)"
 
+# End-to-end exercise of the million-node path: a short n=10^5 run on the
+# streamed-placement + sparse-resolution engine with a conservative
+# slots/s floor (CI runners are slow and noisy; this host does 60+) and a
+# generous RSS cap (the acceptance budget is 8 GiB at n=10^6; 10^5 needs
+# well under 2 GiB).
+scale-smoke:
+	dune exec bin/sinr_sim.exe -- scale --n 100000 --slots 50 \
+	  --assert-slots-per-s 10 --assert-rss-mb 2048
+
 # Bench regression gate: regenerate the machine-portable benchmarks and
 # compare them against the committed baselines.  Exits 1 on regression.
 # Absolute wall clocks are ignored (machine-dependent); the gate holds the
 # speedup ratios and the tracing-overhead gauges, which transfer across
-# hosts.  Wide tolerance: CI runners are noisy.
+# hosts.  Wide tolerance: CI runners are noisy.  The scale leg skips the
+# million-node size (SINR_SCALE_NS) and ignores every machine-dependent
+# absolute (throughput, RSS, wall clocks) — what it gates is the
+# deterministic workload shape: tx/delivery counts and the sparse-path
+# installation flag.
 bench-diff:
-	dune exec bench/main.exe -- phys trace-overhead metrics-overhead
+	SINR_SCALE_NS=10000,100000 dune exec bench/main.exe -- \
+	  phys trace-overhead metrics-overhead scale
 	dune exec bench/main.exe -- diff \
 	  --baseline bench/baselines/BENCH_phys.json --tolerance 0.75 \
 	  --ignore '*.slots_per_s' --ignore '*.seconds'
@@ -227,6 +242,10 @@ bench-diff:
 	  --baseline bench/baselines/BENCH_obs.json --tolerance 0.75 \
 	  --ignore '*.seconds' --ignore '*.ns' --ignore '*.spread' \
 	  --ignore '*.ring_entries'
+	dune exec bench/main.exe -- diff \
+	  --baseline bench/baselines/BENCH_scale.json --tolerance 0.25 \
+	  --ignore '*.slots_per_s' --ignore '*_seconds' \
+	  --ignore '*.peak_rss_mb' --ignore 'scale.bench.n1000000.*'
 
 test: check
 

@@ -12,7 +12,7 @@
               regressed or missing metric (see lib/obs/bench_diff.mli)
    ids: table1-ack fig1-progress-lb table1-approg thm8-decay table2-smb
         table1-mmb table1-cons ablation mac-compare capacity chaos micro
-        par-bench phys trace-overhead metrics-overhead
+        par-bench phys scale trace-overhead metrics-overhead
 
    --jobs N sizes the Sinr_par domain pool the experiments' sweeps run on
    (default: SINR_JOBS, else Domain.recommended_domain_count (); 1 forces
@@ -294,7 +294,17 @@ let par_bench () =
   Report.section "par-bench: sequential vs parallel wall clock";
   let par_jobs = max 4 (Pool.default_jobs ()) in
   let cores = Domain.recommended_domain_count () in
-  if par_jobs > cores then
+  (* Domain.recommended_domain_count is the honest parallel width of the
+     host.  On a 1-CPU host the jobs=N clocks only measure timesharing
+     overhead, so the speedup curve is noise: say so and record the
+     jobs=1 clocks only, rather than a misleading "speedup". *)
+  let single_cpu = cores <= 1 in
+  if single_cpu then
+    Fmt.pr
+      "[par-bench: 1-CPU host (Domain.recommended_domain_count = %d) — \
+       speedup curve not meaningful; recording jobs=1 clocks only]@."
+      cores
+  else if par_jobs > cores then
     Fmt.epr
       "[par-bench: %d jobs exceed the %d recommended cores — parallel \
        clocks will understate the speedup]@."
@@ -307,20 +317,27 @@ let par_bench () =
   let gauges =
     ref
       [ ("par.bench.jobs", float_of_int par_jobs);
-        ("par.bench.cores", float_of_int cores) ]
+        ("par.bench.cores", float_of_int cores);
+        ( "par.bench.recommended_domain_count",
+          float_of_int (Domain.recommended_domain_count ()) ) ]
   in
   List.iter
     (fun (id, workload) ->
       let seq = time (workload ~jobs:1) in
-      let par = time (workload ~jobs:par_jobs) in
-      let speedup = if par > 0. then seq /. par else 0. in
-      Fmt.pr "%-24s jobs=1 %.2fs   jobs=%d %.2fs   speedup %.2fx@." id seq
-        par_jobs par speedup;
-      gauges :=
-        (Fmt.str "par.bench.%s.speedup" id, speedup)
-        :: (Fmt.str "par.bench.%s.jobs%d.seconds" id par_jobs, par)
-        :: (Fmt.str "par.bench.%s.jobs1.seconds" id, seq)
-        :: !gauges)
+      gauges := (Fmt.str "par.bench.%s.jobs1.seconds" id, seq) :: !gauges;
+      if single_cpu then
+        Fmt.pr "%-24s jobs=1 %.2fs   (speedup curve skipped on 1 CPU)@." id
+          seq
+      else begin
+        let par = time (workload ~jobs:par_jobs) in
+        let speedup = if par > 0. then seq /. par else 0. in
+        Fmt.pr "%-24s jobs=1 %.2fs   jobs=%d %.2fs   speedup %.2fx@." id seq
+          par_jobs par speedup;
+        gauges :=
+          (Fmt.str "par.bench.%s.speedup" id, speedup)
+          :: (Fmt.str "par.bench.%s.jobs%d.seconds" id par_jobs, par)
+          :: !gauges
+      end)
     [ ("reliability", reliability_workload); ("ack-sweep", ack_sweep_workload) ];
   let snap =
     List.sort compare !gauges
@@ -454,6 +471,109 @@ let phys_bench () =
   in
   Sinr_obs.Sink.write_snapshot ~label:"phys-bench" phys_bench_path snap;
   Fmt.pr "[phys bench written: %s]@." phys_bench_path
+
+(* ------------------------------------------------------------------ *)
+(* scale: slot throughput and peak RSS at 10^4..10^6 -> BENCH_scale.json *)
+(* ------------------------------------------------------------------ *)
+
+(* The million-node gate (DESIGN.md §15): a uniform constant-density
+   deployment streamed straight into position columns (never an O(n)
+   Point boxing pass), resolved on the auto-installed sparse path, with
+   slot throughput and the kernel's RSS high-water mark recorded per
+   size.  Sizes run ascending so each VmHWM reading is dominated by the
+   run it follows.  SINR_SCALE_NS=10000,100000 lets CI drop the
+   million-node size (its absolute gauges are in the diff ignore list
+   anyway). *)
+let scale_bench_path = "BENCH_scale.json"
+
+(* Expected transmitters per slot: enough concurrent load to exercise the
+   sparse kernel's far-field aggregation, capped so the per-slot sender
+   work stays O(active) as n grows. *)
+let scale_senders ~n = max 64 (min 1000 (n / 333))
+
+let scale_sizes () =
+  match Sys.getenv_opt "SINR_SCALE_NS" with
+  | None | Some "" -> [ 10_000; 100_000; 1_000_000 ]
+  | Some s ->
+    let ns =
+      String.split_on_char ',' s
+      |> List.filter_map int_of_string_opt
+      |> List.filter (fun n -> n > 0)
+      |> List.sort_uniq compare
+    in
+    if ns = [] then begin
+      Fmt.epr "scale: SINR_SCALE_NS=%S has no positive sizes@." s;
+      exit 2
+    end;
+    ns
+
+let scale_run ~n ~slots =
+  let t0 = Unix.gettimeofday () in
+  let rng = Rng.create 71 in
+  (* Constant density: ~20 in-range neighbours per node at R = 12. *)
+  let side = 4.4 *. sqrt (float_of_int n) in
+  let soa = Soa.create ~n in
+  Placement.uniform_stream rng ~n ~box:(Sinr_geom.Box.square ~side)
+    ~min_dist:1.
+    ~set:(fun i ~x ~y -> Soa.set soa i ~x ~y)
+    ~x:(Soa.x soa) ~y:(Soa.y soa);
+  let sinr = Sinr.create_soa ~check:false Config.default soa in
+  let eng = Sinr_engine.Engine.create sinr in
+  Sinr_engine.Engine.wake_all eng;
+  let setup_s = Unix.gettimeofday () -. t0 in
+  let p = float_of_int (scale_senders ~n) /. float_of_int n in
+  let decide v =
+    if Rng.hash_unit rng (Sinr_engine.Engine.slot eng) v < p then
+      Sinr_engine.Engine.Transmit v
+    else Sinr_engine.Engine.Listen
+  in
+  let t1 = Unix.gettimeofday () in
+  for _ = 1 to slots do
+    ignore (Sinr_engine.Engine.step eng ~decide)
+  done;
+  let run_s = Unix.gettimeofday () -. t1 in
+  let slots_per_s = float_of_int slots /. Float.max run_s 1e-9 in
+  ( slots_per_s,
+    setup_s,
+    run_s,
+    Sinr_engine.Engine.tx_total eng,
+    Sinr_engine.Engine.delivery_total eng,
+    Sinr.sparse sinr <> None )
+
+let scale_bench () =
+  Report.section "scale: slot throughput at 10^4..10^6 nodes";
+  let gauges = ref [] in
+  let record name v = gauges := (name, v) :: !gauges in
+  List.iter
+    (fun n ->
+      let slots = if n >= 1_000_000 then 100 else 200 in
+      let slots_per_s, setup_s, run_s, tx, deliveries, sparse =
+        scale_run ~n ~slots
+      in
+      let rss_mb = Sinr_obs.Procstat.peak_rss_mb () in
+      Fmt.pr
+        "n=%-8d %d slots in %6.2fs  %8.1f slots/s   setup %6.2fs   tx \
+         %d  deliveries %d  sparse %b  peak RSS %s@."
+        n slots run_s slots_per_s setup_s tx deliveries sparse
+        (match rss_mb with
+         | Some mb -> Fmt.str "%.0f MiB" mb
+         | None -> "n/a");
+      let g fmt = Fmt.str fmt n in
+      record (g "scale.bench.n%d.slots_per_s") slots_per_s;
+      record (g "scale.bench.n%d.setup_seconds") setup_s;
+      record (g "scale.bench.n%d.run_seconds") run_s;
+      record (g "scale.bench.n%d.slots") (float_of_int slots);
+      record (g "scale.bench.n%d.tx") (float_of_int tx);
+      record (g "scale.bench.n%d.deliveries") (float_of_int deliveries);
+      record (g "scale.bench.n%d.sparse") (if sparse then 1. else 0.);
+      Option.iter (record (g "scale.bench.n%d.peak_rss_mb")) rss_mb)
+    (scale_sizes ());
+  let snap =
+    List.sort compare !gauges
+    |> List.map (fun (name, v) -> (name, Sinr_obs.Metrics.Gauge_v v))
+  in
+  Sinr_obs.Sink.write_snapshot ~label:"scale-bench" scale_bench_path snap;
+  Fmt.pr "[scale bench written: %s]@." scale_bench_path
 
 let record_gauge name v =
   Sinr_obs.Metrics.with_enabled (fun () ->
@@ -659,6 +779,7 @@ let experiments =
     ("micro", micro);
     ("par-bench", par_bench);
     ("phys", phys_bench);
+    ("scale", scale_bench);
     ("trace-overhead", trace_overhead);
     ("metrics-overhead", metrics_overhead) ]
 
@@ -674,7 +795,8 @@ let obs_path = "BENCH_obs.json"
    enabled path deliberately), so it is "uninstrumented" from the runner's
    point of view. *)
 let uninstrumented =
-  [ "micro"; "par-bench"; "phys"; "trace-overhead"; "metrics-overhead" ]
+  [ "micro"; "par-bench"; "phys"; "scale"; "trace-overhead";
+    "metrics-overhead" ]
 
 (* Leading --jobs N / --jobs=N flags; everything else is experiment ids. *)
 let parse_args args =

@@ -9,6 +9,7 @@
      exp        run a named bench experiment (same ids as bench/main.exe)
      obs        run an instrumented workload and print the metric snapshot
      phys       check the physics fast path against the seed kernel
+     scale      run the large-n engine workload and gate slots/s + peak RSS
      trace-report  analyze a flight-recorder dump against the theorem bounds
      profile-report  profile where slot time goes, per engine stage
 
@@ -725,6 +726,111 @@ let phys_cmd =
           $ farfield_arg $ metrics_out_arg $ prom_out_arg $ trace_out_arg
           $ jobs_arg $ serve_arg $ serve_port_file_arg)
 
+(* ---------------- scale ---------------- *)
+
+(* The million-node smoke (DESIGN.md §15): stream a uniform deployment
+   straight into position columns, run the engine on the auto-installed
+   sparse resolution path, and print slot throughput and the process RSS
+   high-water mark.  --assert-slots-per-s / --assert-rss-mb turn the two
+   numbers into exit-1 gates, so `make scale-smoke` can hold the scale
+   floor in CI. *)
+let scale_cmd =
+  let scale_n_arg =
+    Arg.(value & opt int 100_000
+         & info [ "n" ] ~docv:"N" ~doc:"Number of nodes.")
+  in
+  let slots_arg =
+    Arg.(value & opt int 50
+         & info [ "slots" ] ~docv:"S" ~doc:"Slots to run.")
+  in
+  let assert_rate_arg =
+    Arg.(value & opt (some float) None
+         & info [ "assert-slots-per-s" ] ~docv:"RATE"
+             ~doc:"Exit 1 unless the run sustains at least $(docv) slots \
+                   per second.")
+  in
+  let assert_rss_arg =
+    Arg.(value & opt (some float) None
+         & info [ "assert-rss-mb" ] ~docv:"MB"
+             ~doc:"Exit 1 if the process peak RSS (VmHWM) exceeds $(docv) \
+                   MiB.")
+  in
+  let run seed n slots assert_rate assert_rss =
+    if n < 2 then begin
+      Fmt.epr "sinr_sim scale: --n must be at least 2@.";
+      Stdlib.exit 2
+    end;
+    if slots < 1 then begin
+      Fmt.epr "sinr_sim scale: --slots must be positive@.";
+      Stdlib.exit 2
+    end;
+    let rng = Rng.create seed in
+    let t0 = Unix.gettimeofday () in
+    (* Constant density: ~20 in-range neighbours per node at R = 12. *)
+    let side = 4.4 *. sqrt (float_of_int n) in
+    let soa = Soa.create ~n in
+    Placement.uniform_stream rng ~n ~box:(Box.square ~side) ~min_dist:1.
+      ~set:(fun i ~x ~y -> Soa.set soa i ~x ~y)
+      ~x:(Soa.x soa) ~y:(Soa.y soa);
+    let sinr = Sinr.create_soa ~check:false Config.default soa in
+    let eng = Sinr_engine.Engine.create sinr in
+    Sinr_engine.Engine.wake_all eng;
+    let setup_s = Unix.gettimeofday () -. t0 in
+    (* Expected transmitters per slot: the scale bench's load curve. *)
+    let senders = max 64 (min 1000 (n / 333)) in
+    let p = float_of_int senders /. float_of_int n in
+    let decide v =
+      if Rng.hash_unit rng (Sinr_engine.Engine.slot eng) v < p then
+        Sinr_engine.Engine.Transmit v
+      else Sinr_engine.Engine.Listen
+    in
+    let t1 = Unix.gettimeofday () in
+    for _ = 1 to slots do
+      ignore (Sinr_engine.Engine.step eng ~decide)
+    done;
+    let run_s = Unix.gettimeofday () -. t1 in
+    let rate = float_of_int slots /. Float.max run_s 1e-9 in
+    let rss_mb = Procstat.peak_rss_mb () in
+    Fmt.pr
+      "scale: n=%d %d slots in %.2fs (%.1f slots/s)   setup %.2fs   tx %d \
+       deliveries %d   sparse %b   peak RSS %s@."
+      n slots run_s rate setup_s
+      (Sinr_engine.Engine.tx_total eng)
+      (Sinr_engine.Engine.delivery_total eng)
+      (Sinr.sparse sinr <> None)
+      (match rss_mb with
+       | Some mb -> Fmt.str "%.0f MiB" mb
+       | None -> "n/a");
+    Option.iter
+      (fun floor ->
+        if rate < floor then begin
+          Fmt.epr "sinr_sim scale: %.1f slots/s under the %.1f floor@." rate
+            floor;
+          Stdlib.exit 1
+        end)
+      assert_rate;
+    Option.iter
+      (fun cap ->
+        match rss_mb with
+        | None ->
+          Fmt.epr "sinr_sim scale: --assert-rss-mb given but /proc is \
+                   unavailable@.";
+          Stdlib.exit 2
+        | Some mb ->
+          if mb > cap then begin
+            Fmt.epr "sinr_sim scale: peak RSS %.0f MiB over the %.0f MiB \
+                     cap@." mb cap;
+            Stdlib.exit 1
+          end)
+      assert_rss
+  in
+  Cmd.v
+    (Cmd.info "scale"
+       ~doc:"Run the large-n engine workload (streamed placement, sparse \
+             resolution) and gate its slot throughput and peak RSS.")
+    Term.(const run $ seed_arg $ scale_n_arg $ slots_arg $ assert_rate_arg
+          $ assert_rss_arg)
+
 (* ---------------- serve ---------------- *)
 
 (* Sweep-as-a-service: the lib/serve daemon behind the embedded HTTP
@@ -961,5 +1067,5 @@ let () =
     (Cmd.eval ~argv
        (Cmd.group info
           [ profile_cmd; smb_cmd; cons_cmd; approg_cmd; chaos_cmd; exp_cmd;
-            obs_cmd; phys_cmd; serve_cmd; trace_report_cmd;
+            obs_cmd; phys_cmd; scale_cmd; serve_cmd; trace_report_cmd;
             profile_report_cmd ]))

@@ -55,10 +55,14 @@ type stage =
   | Mis_stage of { round : int; sub : int } (* CONGEST round, sub in [0, T) *)
   | Data_stage of int                   (* slot within [0, data_slots) *)
 
+(* Bit-per-node membership columns (the engine's flat layout): [decide]
+   touches them for every awake node every slot, so they live as packed
+   bitmaps on [t] rather than as record fields scattered across the heap. *)
+module Bits = Sinr_engine.State.Bits
+
+(* Cold per-node phase tables; the hot scalar state (payload, membership)
+   lives in flat columns on [t]. *)
 type node_data = {
-  mutable payload : Events.payload option; (* ongoing broadcast message m *)
-  mutable member : bool;        (* in S_phi and still active this epoch *)
-  mutable phase_participant : bool; (* was in S_phi at phase start (beacons) *)
   mutable counts : (int, int) Hashtbl.t;
   mutable potential : int list;
   mutable listed_by : (int, unit) Hashtbl.t; (* senders whose list names us *)
@@ -74,6 +78,9 @@ type t = {
   n : int;
   rng : Rng.t;
   nodes : node_data array;
+  payload : Events.payload option array; (* ongoing broadcast message m *)
+  member : Bits.t;             (* in S_phi and still active this epoch *)
+  phase_participant : Bits.t;  (* was in S_phi at phase start (beacons) *)
   emitted : (int * (int * int), unit) Hashtbl.t; (* (node, payload id) *)
   mutable mis : Sw_mis.t option;
   mutable labels : int array;
@@ -97,10 +104,7 @@ type t = {
 }
 
 let fresh_node () =
-  { payload = None;
-    member = false;
-    phase_participant = false;
-    counts = Hashtbl.create 8;
+  { counts = Hashtbl.create 8;
     potential = [];
     listed_by = Hashtbl.create 8;
     h_neighbors = [];
@@ -134,10 +138,11 @@ let begin_epoch t =
   close_spans t ~epoch_too:true;
   t.epoch <- t.epoch + 1;
   Metrics.incr m_epochs;
-  Array.iter
-    (fun (nd : node_data) ->
-      nd.member <- nd.payload <> None;
-      nd.phase_participant <- nd.member;
+  Array.iteri
+    (fun v nd ->
+      let m = t.payload.(v) <> None in
+      Bits.set t.member v m;
+      Bits.set t.phase_participant v m;
       reset_phase_tables nd)
     t.nodes;
   t.mis <- None
@@ -151,6 +156,9 @@ let create params config ~lambda ~n ~rng =
       n;
       rng;
       nodes = Array.init n (fun _ -> fresh_node ());
+      payload = Array.make n None;
+      member = Bits.create n;
+      phase_participant = Bits.create n;
       emitted = Hashtbl.create 64;
       mis = None;
       labels = Array.make n 0;
@@ -173,14 +181,14 @@ let create params config ~lambda ~n ~rng =
 let schedule t = t.sched
 let pos t = t.pos
 let epoch_index t = t.epoch
-let member t ~node = t.nodes.(node).member
-let has_payload t ~node = t.nodes.(node).payload <> None
+let member t ~node = Bits.get t.member node
+let has_payload t ~node = t.payload.(node) <> None
 let drops_total t = t.drops_total
 let last_h_graph t = t.last_h_graph
 
-let start t ~node payload = t.nodes.(node).payload <- Some payload
+let start t ~node payload = t.payload.(node) <- Some payload
 
-let stop t ~node = t.nodes.(node).payload <- None
+let stop t ~node = t.payload.(node) <- None
 
 let set_clock t f = t.clock <- f
 
@@ -208,13 +216,13 @@ let decide t ~node =
   let _, st = stage_of t t.pos in
   match st with
   | Probe_stage _ ->
-    if nd.member && Rng.bernoulli t.rng t.params.p then begin
+    if Bits.get t.member node && Rng.bernoulli t.rng t.params.p then begin
       Metrics.incr m_probe_tx;
       Some Events.Probe
     end
     else None
   | List_stage _ ->
-    if nd.member && Rng.bernoulli t.rng t.params.p then begin
+    if Bits.get t.member node && Rng.bernoulli t.rng t.params.p then begin
       Metrics.incr m_list_tx;
       Some (Events.Neighbor_list nd.potential)
     end
@@ -222,7 +230,8 @@ let decide t ~node =
   | Mis_stage { round; sub = _ } ->
     (* Dropped phase participants keep beaconing their status so that
        neighbors can distinguish protocol silence from loss (see Sw_mis). *)
-    if nd.phase_participant && Rng.bernoulli t.rng t.params.p then
+    if Bits.get t.phase_participant node && Rng.bernoulli t.rng t.params.p
+    then
       match t.mis with
       | None -> None
       | Some mis ->
@@ -233,8 +242,8 @@ let decide t ~node =
          | None -> None)
     else None
   | Data_stage _ ->
-    (match nd.payload with
-     | Some payload when nd.member ->
+    (match t.payload.(node) with
+     | Some payload when Bits.get t.member node ->
        if Rng.bernoulli t.rng (t.params.p /. t.sched.q) then begin
          Metrics.incr m_data_tx;
          Some (Events.Data payload)
@@ -258,15 +267,15 @@ let on_receive t ~receiver ~sender wire =
   let _, st = stage_of t t.pos in
   match wire, st with
   | Events.Probe, Probe_stage _ ->
-    if nd.member then begin
+    if Bits.get t.member receiver then begin
       let c = Option.value (Hashtbl.find_opt nd.counts sender) ~default:0 in
       Hashtbl.replace nd.counts sender (c + 1)
     end
   | Events.Neighbor_list ids, List_stage _ ->
-    if nd.member && List.mem receiver ids then
+    if Bits.get t.member receiver && List.mem receiver ids then
       Hashtbl.replace nd.listed_by sender ()
   | Events.Mis_round { round; msg }, Mis_stage { round = r; sub = _ } ->
-    if nd.phase_participant && round = r then
+    if Bits.get t.phase_participant receiver && round = r then
       Hashtbl.replace nd.mis_heard sender msg
   | Events.Data payload, _ -> emit_rcv t ~node:receiver ~payload ~from:sender
   | Events.Decay payload, _ -> emit_rcv t ~node:receiver ~payload ~from:sender
@@ -279,9 +288,9 @@ let on_receive t ~receiver ~sender wire =
 (* ------------------------------------------------------------------ *)
 
 let finish_probe_stage t =
-  Array.iter
-    (fun (nd : node_data) ->
-      if nd.member then begin
+  Array.iteri
+    (fun v nd ->
+      if Bits.get t.member v then begin
         let acc = ref [] in
         Hashtbl.iter
           (fun sender c ->
@@ -295,8 +304,8 @@ let finish_list_stage t =
   (* u's H~~ neighbors: potential neighbors v whose own list named u. *)
   let members = ref [] in
   Array.iteri
-    (fun v (nd : node_data) ->
-      if nd.member then begin
+    (fun v nd ->
+      if Bits.get t.member v then begin
         nd.h_neighbors <-
           List.filter (fun u -> Hashtbl.mem nd.listed_by u) nd.potential;
         members := v :: !members
@@ -312,8 +321,8 @@ let finish_list_stage t =
   (* Diagnostic snapshot of the (asymmetric) estimate, symmetrized. *)
   let edges = ref [] in
   Array.iteri
-    (fun v (nd : node_data) ->
-      if nd.member then
+    (fun v nd ->
+      if Bits.get t.member v then
         List.iter (fun u -> if u > v then edges := (v, u) :: !edges)
           nd.h_neighbors)
     t.nodes;
@@ -329,15 +338,15 @@ let finish_mis_round t =
        neighbors this round has had unsuccessful communication and leaves
        the epoch; otherwise its neighbors' messages are delivered. *)
     Array.iteri
-      (fun v (nd : node_data) ->
-        if nd.member then begin
+      (fun v nd ->
+        if Bits.get t.member v then begin
           let missing =
             List.exists
               (fun u -> not (Hashtbl.mem nd.mis_heard u))
               nd.h_neighbors
           in
           if missing then begin
-            nd.member <- false;
+            Bits.set t.member v false;
             t.drops_total <- t.drops_total + 1;
             Metrics.incr m_drops;
             if t.phase_span <> Span.none then
@@ -368,9 +377,10 @@ let finish_phase t =
      List.iter (fun v -> dominator.(v) <- true) winners;
      Metrics.observe_int m_mis_winners (List.length winners);
      Array.iteri
-       (fun v (nd : node_data) ->
-         nd.member <- nd.member && dominator.(v);
-         nd.phase_participant <- nd.member;
+       (fun v nd ->
+         let m = Bits.get t.member v && dominator.(v) in
+         Bits.set t.member v m;
+         Bits.set t.phase_participant v m;
          reset_phase_tables nd)
        t.nodes);
   t.mis <- None

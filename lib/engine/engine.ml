@@ -53,8 +53,9 @@ type 'm delivery = {
 type 'm t = {
   sinr : Sinr.t;
   mutable slot : int;
-  awake : bool array;
-  crashed : bool array;
+  state : 'm State.t;
+      (* flat node state: bit-packed awake/crashed maps plus the reusable
+         per-slot sender/message buffers (no per-slot O(n) allocation) *)
   wake_on_receive : bool;
   mutable tx_total : int;        (* transmissions across all slots *)
   mutable delivery_total : int;  (* successful decodings across all slots *)
@@ -70,8 +71,7 @@ let create ?(wake_on_receive = true) ?trace sinr =
   let n = Sinr.n sinr in
   { sinr;
     slot = 0;
-    awake = Array.make n false;
-    crashed = Array.make n false;
+    state = State.create n;
     wake_on_receive;
     tx_total = 0;
     delivery_total = 0;
@@ -96,13 +96,16 @@ let slot t = t.slot
 let tx_total t = t.tx_total
 let delivery_total t = t.delivery_total
 
-let is_awake t v = t.awake.(v)
-let is_crashed t v = t.crashed.(v)
+let is_awake t v = State.Bits.get t.state.State.awake v
+let is_crashed t v = State.Bits.get t.state.State.crashed v
 
 let wake t v =
-  if (not t.crashed.(v)) && not t.awake.(v) then begin
+  let st = t.state in
+  if (not (State.Bits.get st.State.crashed v))
+     && not (State.Bits.get st.State.awake v)
+  then begin
     Metrics.incr m_wakeups;
-    t.awake.(v) <- true;
+    State.Bits.set st.State.awake v true;
     record t (Trace.Wake { node = v })
   end
 
@@ -115,10 +118,11 @@ let wake_all t =
    of a still-asleep node are both no-ops beyond the first effect — exactly
    one Crash trace event and metric tick per node per down-phase. *)
 let crash t v =
-  if not t.crashed.(v) then begin
+  let st = t.state in
+  if not (State.Bits.get st.State.crashed v) then begin
     Metrics.incr m_crashes;
-    t.crashed.(v) <- true;
-    t.awake.(v) <- false;
+    State.Bits.set st.State.crashed v true;
+    State.Bits.set st.State.awake v false;
     record t (Trace.Crash { node = v })
   end
 
@@ -127,16 +131,17 @@ let crash t v =
    like to a fresh one — it participates again only after an environment
    wake or a decoded message. *)
 let revive t v =
-  if t.crashed.(v) then begin
+  if State.Bits.get t.state.State.crashed v then begin
     Metrics.incr m_recoveries;
-    t.crashed.(v) <- false;
+    State.Bits.set t.state.State.crashed v false;
     record t (Trace.Recover { node = v })
   end
 
 let awake_nodes t =
+  let awake = t.state.State.awake in
   let acc = ref [] in
   for v = n t - 1 downto 0 do
-    if t.awake.(v) then acc := v :: !acc
+    if State.Bits.get awake v then acc := v :: !acc
   done;
   !acc
 
@@ -146,23 +151,46 @@ let awake_nodes t =
    callers can distinguish "received while asleep". *)
 let step ?on_deliver t ~decide =
   let n = n t in
+  let st = t.state in
+  let awake = st.State.awake and crashed = st.State.crashed in
+  (* Reusable slot buffers (State): no per-slot O(n) allocation.  The
+     [messages] invariant — all-None between slots — is restored under
+     Fun.protect by clearing exactly the sender entries written, so a
+     raising [decide]/[on_deliver] cannot poison the next slot. *)
+  let messages = st.State.messages and senders = st.State.senders in
+  let ntx = ref 0 in
   (* Profiler stage boundaries (profile.<stage>.ns, see lib/obs/profile).
      With the profiler off every [Profile.start] is one atomic load and
      every [Profile.stop] one float compare. *)
   let p_step = Profile.start () in
-  let messages = Array.make n None in
-  let senders = ref [] in
+  Fun.protect
+    ~finally:(fun () ->
+      for i = 0 to !ntx - 1 do
+        messages.(senders.(i)) <- None
+      done)
+  @@ fun () ->
   let p0 = Profile.start () in
   for v = 0 to n - 1 do
-    if t.awake.(v) && not t.crashed.(v) then
+    if State.Bits.get awake v && not (State.Bits.get crashed v) then
       match decide v with
       | Transmit m ->
         messages.(v) <- Some m;
-        senders := v :: !senders
+        senders.(!ntx) <- v;
+        incr ntx
       | Listen -> ()
   done;
   Profile.stop Profile.Decide p0;
-  let ntx = List.length !senders in
+  let ntx = !ntx in
+  (* The seed built its sender list by consing an ascending scan, so
+     resolution accumulated interference in DESCENDING node order.
+     Reverse the ascending prefix to keep every float — and therefore
+     every decoding decision — bit-identical to the record-based path. *)
+  for i = 0 to (ntx / 2) - 1 do
+    let j = ntx - 1 - i in
+    let tmp = senders.(i) in
+    senders.(i) <- senders.(j);
+    senders.(j) <- tmp
+  done;
   t.tx_total <- t.tx_total + ntx;
   let telemetry = Metrics.is_enabled () in
   (* Hoisted once per slot, like [telemetry]: with tracing off the whole
@@ -176,15 +204,17 @@ let step ?on_deliver t ~decide =
     (* Awake, non-crashed nodes that chose (or defaulted) to listen. *)
     let listeners = ref 0 in
     for v = 0 to n - 1 do
-      if t.awake.(v) && not t.crashed.(v) && messages.(v) = None then
-        incr listeners
+      if State.Bits.get awake v
+         && (not (State.Bits.get crashed v))
+         && messages.(v) = None
+      then incr listeners
     done;
     Metrics.add m_listens !listeners;
     Profile.stop Profile.Telemetry p0
   end;
   let deliveries = ref [] in
   let ndeliv = ref 0 in
-  if !senders <> [] then begin
+  if ntx > 0 then begin
     (* The adversary's channel state for this slot; [None] keeps the exact
        clean-channel resolution path. *)
     let p0 = Profile.start () in
@@ -195,17 +225,23 @@ let step ?on_deliver t ~decide =
     let outcome =
       if telemetry then begin
         let r = Timer.start () in
-        let o = Sinr.resolve ?perturb t.sinr ~senders:!senders in
+        let o = Sinr.resolve_array ?perturb t.sinr ~senders ~nsenders:ntx in
         Timer.observe_span ~ns:m_resolve_ns ~minor_w:m_resolve_minor
           (Timer.stop r);
         o
       end
-      else Sinr.resolve ?perturb t.sinr ~senders:!senders
+      else Sinr.resolve_array ?perturb t.sinr ~senders ~nsenders:ntx
     in
     Profile.stop Profile.Resolve p0;
+    let any_in_range u =
+      let rec go i =
+        i < ntx && (Sinr.in_range t.sinr senders.(i) u || go (i + 1))
+      in
+      go 0
+    in
     let p0 = Profile.start () in
     for u = 0 to n - 1 do
-      if not t.crashed.(u) then
+      if not (State.Bits.get crashed u) then
         match outcome.(u) with
         | Some v ->
           (match messages.(v) with
@@ -230,9 +266,8 @@ let step ?on_deliver t ~decide =
              within range (collision / interference loss) or none was
              (silence).  The node itself cannot tell (no collision
              detection); the observer can, so split the two. *)
-          if telemetry && t.awake.(u) && messages.(u) = None then
-            if List.exists (fun v -> Sinr.in_range t.sinr v u) !senders then
-              Metrics.incr m_collision_loss
+          if telemetry && State.Bits.get awake u && messages.(u) = None then
+            if any_in_range u then Metrics.incr m_collision_loss
             else Metrics.incr m_silence
     done;
     Profile.stop Profile.Delivery p0

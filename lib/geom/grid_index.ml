@@ -9,12 +9,24 @@
 type t = {
   cell : float;                       (* side length of a cell *)
   points : Point.t array;             (* indexed by node id *)
-  buckets : (int * int, int list) Hashtbl.t;
+  buckets : (int, int list) Hashtbl.t;
 }
 
+(* Cell coordinates packed into one immediate int: no tuple boxed (and
+   hashed as a block) per bucket lookup — range queries at placement /
+   graph-construction scale do millions of them.  The packing is a hash,
+   not an injection: cells 0x1fffff7 (~33M) rows apart may share a key,
+   which merges their buckets.  Merged candidates still pass the exact
+   distance check before being reported, and a query window would need
+   ~33M cells on a side for two of *its* cells to collide (so no point is
+   ever reported twice in practice) — collisions cost a comparison, not
+   correctness. *)
+let pack kx ky = (kx * 0x1fffff7) + ky
+
 let key cell (p : Point.t) =
-  (int_of_float (Float.floor (p.x /. cell)),
-   int_of_float (Float.floor (p.y /. cell)))
+  pack
+    (int_of_float (Float.floor (p.x /. cell)))
+    (int_of_float (Float.floor (p.y /. cell)))
 
 let create ~cell points =
   if cell <= 0. then invalid_arg "Grid_index.create: cell must be positive";
@@ -45,7 +57,7 @@ let iter_within t ~center:(p : Point.t) ~r f =
     let r2 = r *. r in
     for cx = cx_lo to cx_hi do
       for cy = cy_lo to cy_hi do
-        match Hashtbl.find_opt t.buckets (cx, cy) with
+        match Hashtbl.find_opt t.buckets (pack cx cy) with
         | None -> ()
         | Some ids ->
           List.iter

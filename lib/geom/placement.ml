@@ -94,6 +94,70 @@ let uniform rng ~n ~box ~min_dist =
   done;
   pts
 
+(* Streaming dart throwing for the million-node path: accepted positions
+   go straight to [set] (a column writer — Phys.Soa at the call sites)
+   and are read back through the unboxed [x]/[y] accessors, so no
+   [Point.t] is ever boxed and no point array materialized.  The
+   min-distance grid is an int-chain over a single-int cell key: one
+   [next] slot per node plus one hash entry per occupied cell, O(n)
+   memory however large the box.  Distinct cells may share a key (the
+   packing is a hash, not an injection); a collision only merges two
+   chains, adding distance checks, never admitting a violating point.
+   The invariant is guaranteed by construction, so [Sinr.create_soa
+   ~check:false] can skip its O(n) validation pass. *)
+let uniform_stream rng ~n ~box ~min_dist ~set ~x ~y =
+  if min_dist <= 0. then invalid_arg "Placement.uniform_stream: min_dist <= 0";
+  let cell = min_dist in
+  let cell_key px py =
+    let kx = int_of_float (Float.floor (px /. cell))
+    and ky = int_of_float (Float.floor (py /. cell)) in
+    (kx * 0x1fffff7) + ky
+  in
+  let heads : (int, int) Hashtbl.t = Hashtbl.create (4 * n) in
+  let next = Array.make (max 1 n) (-1) in
+  let md2 = min_dist *. min_dist in
+  let chain_clear k px py =
+    let rec walk id =
+      id < 0
+      || (let dx = x id -. px and dy = y id -. py in
+          ((dx *. dx) +. (dy *. dy) >= md2 && walk next.(id)))
+    in
+    walk (Option.value (Hashtbl.find_opt heads k) ~default:(-1))
+  in
+  let ok px py =
+    let clear = ref true in
+    for dx = -1 to 1 do
+      for dy = -1 to 1 do
+        if !clear then
+          let k =
+            cell_key (px +. (float_of_int dx *. cell))
+              (py +. (float_of_int dy *. cell))
+          in
+          if not (chain_clear k px py) then clear := false
+      done
+    done;
+    !clear
+  in
+  let w = Box.width box and h = Box.height box in
+  let xmin = box.Box.xmin and ymin = box.Box.ymin in
+  let attempts_per_point = 200 in
+  for i = 0 to n - 1 do
+    let rec try_once k =
+      if k = 0 then
+        raise
+          (Placement_failed
+             (Fmt.str "uniform_stream: could not place point %d of %d in %a \
+                       with min_dist %.3g" (i + 1) n Box.pp box min_dist));
+      let px = xmin +. Rng.float rng w and py = ymin +. Rng.float rng h in
+      if ok px py then (px, py) else try_once (k - 1)
+    in
+    let px, py = try_once attempts_per_point in
+    set i ~x:px ~y:py;
+    let k = cell_key px py in
+    next.(i) <- Option.value (Hashtbl.find_opt heads k) ~default:(-1);
+    Hashtbl.replace heads k i
+  done
+
 let jittered_grid rng ~nx ~ny ~spacing ~jitter =
   if spacing <= 0. then invalid_arg "Placement.jittered_grid: spacing <= 0";
   if jitter < 0. || 2. *. jitter >= spacing -. 1. then

@@ -19,6 +19,18 @@ val uniform : Rng.t -> n:int -> box:Box.t -> min_dist:float -> Point.t array
 (** [n] points uniform in [box] with pairwise distance at least [min_dist]
     (dart throwing). Raises {!Placement_failed} if the box is too crowded. *)
 
+val uniform_stream :
+  Rng.t -> n:int -> box:Box.t -> min_dist:float ->
+  set:(int -> x:float -> y:float -> unit) ->
+  x:(int -> float) -> y:(int -> float) -> unit
+(** Streaming {!uniform} for the million-node path: accepted positions are
+    written through [set] and read back through the unboxed [x]/[y]
+    accessors (a [Phys.Soa] column store at the call sites), so no point
+    is ever boxed and memory stays O(n) whatever the box size. The
+    min-distance invariant holds by construction, so [Sinr.create_soa
+    ~check:false] may skip validation. Raises {!Placement_failed} like
+    {!uniform}. *)
+
 val jittered_grid :
   Rng.t -> nx:int -> ny:int -> spacing:float -> jitter:float -> Point.t array
 (** A grid of [nx*ny] points with per-point uniform jitter in

@@ -1,0 +1,40 @@
+(* Process-level resource telemetry for the scale benchmarks.
+
+   The million-node acceptance gate is a peak-RSS budget, and the kernel
+   already tracks the high-water mark: /proc/self/status VmHWM.  Reading
+   it is portable across the Linux hosts CI runs on and free of libc
+   bindings; on platforms without procfs the readers return None and the
+   callers skip the gauge rather than guessing. *)
+
+let status_field name =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let prefix = name ^ ":" in
+        let plen = String.length prefix in
+        let rec scan () =
+          match input_line ic with
+          | exception End_of_file -> None
+          | line ->
+            if String.length line > plen && String.sub line 0 plen = prefix
+            then Some (String.sub line plen (String.length line - plen))
+            else scan ()
+        in
+        scan ())
+
+(* "   123456 kB" -> 123456 *)
+let parse_kb s =
+  let s = String.trim s in
+  match String.index_opt s ' ' with
+  | None -> int_of_string_opt s
+  | Some i -> int_of_string_opt (String.sub s 0 i)
+
+let peak_rss_kb () = Option.bind (status_field "VmHWM") parse_kb
+
+let peak_rss_mb () =
+  Option.map (fun kb -> float_of_int kb /. 1024.) (peak_rss_kb ())
+
+let rss_kb () = Option.bind (status_field "VmRSS") parse_kb

@@ -1,0 +1,17 @@
+(** Process resource readings from /proc (Linux).
+
+    Used by the scale benchmarks to record peak memory against the
+    million-node budget. All readers return [None] where procfs is
+    unavailable, so callers degrade to "gauge not recorded" instead of
+    fabricating a number. *)
+
+val peak_rss_kb : unit -> int option
+(** VmHWM — the process's peak resident set, in kB. Monotone over the
+    process lifetime: when benching several sizes, run them ascending so
+    each reading reflects the largest run so far. *)
+
+val peak_rss_mb : unit -> float option
+(** {!peak_rss_kb} in MiB. *)
+
+val rss_kb : unit -> int option
+(** VmRSS — the current resident set, in kB. *)

@@ -11,69 +11,86 @@
 
        power /. (Point.dist points.(v) points.(u) ** alpha)
 
-   so reading the cache can never change a resolution outcome, a seeded
-   experiment number or a Spec_check verdict.  The diagonal is stored as
-   0 and never read (a node is either the listener or a sender, and
-   half-duplex listeners skip themselves).
+   (read off the [Soa] columns, whose [dist] is bit-identical to
+   [Point.dist]) so reading the cache can never change a resolution
+   outcome, a seeded experiment number or a Spec_check verdict.  The
+   diagonal is stored as 0 and never read (a node is either the listener
+   or a sender, and half-duplex listeners skip themselves).
 
-   Memory cap: rows are filled lazily, first touch wins, until the
-   configured byte budget (Phys_tuning.cache_cap_bytes at Sinr.create
-   time) is spent; past the cap a row is computed into the caller's
-   per-domain scratch buffer and not retained.  Row publication goes
-   through an [Atomic.t] per row, so concurrent Pool workers (the
-   Reliability Monte-Carlo) either see a fully initialized row or build
-   their own — a lost race wastes one row fill of identical values, never
-   correctness.
+   Memory cap, two levels:
+
+   - Node ceiling: when n exceeds [node_ceiling] the cache is bypassed
+     outright — no row-pointer array, no atomics, every lookup evaluates
+     the seed formula directly.  An n x n table is quadratic by design;
+     past ~10^4 nodes resolution runs on cell aggregates (Sparse) and a
+     row cache is pure waste.  The decision is counted once per create on
+     [phys.cache.bypassed].
+   - Byte budget: below the ceiling, rows fill lazily (first touch wins)
+     until the configured byte budget (Phys_tuning.cache_cap_bytes at
+     Sinr.create time) is spent; past the cap a row is computed into the
+     caller's per-domain scratch buffer and not retained.  Row publication
+     goes through an [Atomic.t] per row, so concurrent Pool workers (the
+     Reliability Monte-Carlo) either see a fully initialized row or build
+     their own — a lost race wastes one row fill of identical values,
+     never correctness.
 
    Telemetry (when Sinr_obs.Metrics is enabled): phys.cache.hits,
    phys.cache.fills (rows retained), phys.cache.scratch_rows (rows
-   recomputed past the cap). *)
+   recomputed past the cap), phys.cache.bypassed (caches refused at the
+   node ceiling). *)
 
-open Sinr_geom
 open Sinr_obs
 
 let m_hits = Metrics.counter "phys.cache.hits"
 let m_fills = Metrics.counter "phys.cache.fills"
 let m_scratch = Metrics.counter "phys.cache.scratch_rows"
+let m_bypassed = Metrics.counter "phys.cache.bypassed"
 
 type t = {
   power : float;
   alpha : float;
-  points : Point.t array;
+  soa : Soa.t;
   n : int;
-  rows : Float.Array.t option Atomic.t array;
+  bypassed : bool;  (* n exceeded the node ceiling: no rows, ever *)
+  rows : Float.Array.t option Atomic.t array;  (* empty when bypassed *)
   reserved : int Atomic.t;  (* rows admitted against the cap *)
   max_rows : int;
 }
 
-let create (config : Config.t) points ~cap_bytes =
-  let n = Array.length points in
+let create (config : Config.t) soa ~cap_bytes ~node_ceiling =
+  let n = Soa.length soa in
   let row_bytes = max 1 (n * 8) in
+  (* Refuse before allocating anything: past the ceiling even the
+     row-pointer array (n words + n atomics) is quadratic-era waste. *)
+  let bypassed = n > node_ceiling in
+  if bypassed then Metrics.incr m_bypassed;
   { power = config.Config.power;
     alpha = config.Config.alpha;
-    points;
+    soa;
     n;
-    rows = Array.init n (fun _ -> Atomic.make None);
+    bypassed;
+    rows = (if bypassed then [||] else Array.init n (fun _ -> Atomic.make None));
     reserved = Atomic.make 0;
-    max_rows = max 0 (cap_bytes / row_bytes) }
+    max_rows = (if bypassed then 0 else max 0 (cap_bytes / row_bytes)) }
 
 let n t = t.n
 let max_rows t = t.max_rows
+let bypassed t = t.bypassed
 
 let rows_cached t = min t.max_rows (Atomic.get t.reserved)
 
 let bytes_cached t = rows_cached t * t.n * 8
 
 (* The seed formula, verbatim (Sinr.power_between inlined on node pairs). *)
-let compute t ~sender:v ~receiver:u =
-  t.power /. (Point.dist t.points.(v) t.points.(u) ** t.alpha)
+let compute t ~sender:v ~receiver:u = t.power /. (Soa.dist t.soa v u ** t.alpha)
 
 let fill_into t u (dst : Float.Array.t) =
-  let pts = t.points and at = t.points.(u) in
+  let soa = t.soa in
+  let ux = Soa.unsafe_x soa u and uy = Soa.unsafe_y soa u in
   for v = 0 to t.n - 1 do
     Float.Array.unsafe_set dst v
       (if v = u then 0.
-       else t.power /. (Point.dist pts.(v) at ** t.alpha))
+       else t.power /. (Soa.dist_to soa v ~x:ux ~y:uy ** t.alpha))
   done
 
 (* Admit one more row against the byte budget. *)
@@ -83,29 +100,37 @@ let rec reserve t =
   && (Atomic.compare_and_set t.reserved c (c + 1) || reserve t)
 
 let row t u ~scratch =
-  match Atomic.get t.rows.(u) with
-  | Some r ->
-    Metrics.incr m_hits;
-    r
-  | None ->
-    if reserve t then begin
-      let r = Float.Array.create t.n in
-      fill_into t u r;
-      Atomic.set t.rows.(u) (Some r);
-      Metrics.incr m_fills;
+  if t.bypassed then begin
+    Metrics.incr m_scratch;
+    fill_into t u scratch;
+    scratch
+  end
+  else
+    match Atomic.get t.rows.(u) with
+    | Some r ->
+      Metrics.incr m_hits;
       r
-    end
-    else begin
-      Metrics.incr m_scratch;
-      fill_into t u scratch;
-      scratch
-    end
+    | None ->
+      if reserve t then begin
+        let r = Float.Array.create t.n in
+        fill_into t u r;
+        Atomic.set t.rows.(u) (Some r);
+        Metrics.incr m_fills;
+        r
+      end
+      else begin
+        Metrics.incr m_scratch;
+        fill_into t u scratch;
+        scratch
+      end
 
 (* Single-pair lookup (engine delivery power): O(1) when the receiver's
    row is resident, otherwise one direct evaluation — never a row fill. *)
 let pair t ~sender ~receiver =
-  match Atomic.get t.rows.(receiver) with
-  | Some r ->
-    Metrics.incr m_hits;
-    Float.Array.get r sender
-  | None -> compute t ~sender ~receiver
+  if t.bypassed then compute t ~sender ~receiver
+  else
+    match Atomic.get t.rows.(receiver) with
+    | Some r ->
+      Metrics.incr m_hits;
+      Float.Array.get r sender
+    | None -> compute t ~sender ~receiver

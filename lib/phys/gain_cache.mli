@@ -1,22 +1,28 @@
 (** Precomputed n x n received-power table for a frozen point set.
 
     Entries are produced by evaluating the seed formula
-    [power /. (dist points.(v) points.(u) ** alpha)] verbatim, so reading
-    the cache is bit-identical to computing on the fly. Rows fill lazily
-    (first touch wins, atomic publication — safe under [Sinr_par.Pool]
-    workers) until the byte budget is spent; past the cap rows are
-    recomputed into the caller's scratch buffer. *)
+    [power /. (dist v u ** alpha)] verbatim on the [Soa] columns, so
+    reading the cache is bit-identical to computing on the fly. Rows fill
+    lazily (first touch wins, atomic publication — safe under
+    [Sinr_par.Pool] workers) until the byte budget is spent; past the cap
+    rows are recomputed into the caller's scratch buffer.
 
-open Sinr_geom
+    When the node count exceeds [node_ceiling] the cache is refused
+    outright before any allocation: no row-pointer array exists, every
+    lookup evaluates the formula directly, and the decision ticks the
+    [phys.cache.bypassed] counter. *)
 
 type t
 
-val create : Config.t -> Point.t array -> cap_bytes:int -> t
+val create : Config.t -> Soa.t -> cap_bytes:int -> node_ceiling:int -> t
 
 val n : t -> int
 
 val max_rows : t -> int
-(** How many rows the byte budget admits. *)
+(** How many rows the byte budget admits (0 when bypassed). *)
+
+val bypassed : t -> bool
+(** The node count exceeded the ceiling: no row will ever be allocated. *)
 
 val rows_cached : t -> int
 val bytes_cached : t -> int
@@ -25,7 +31,8 @@ val row : t -> int -> scratch:Float.Array.t -> Float.Array.t
 (** [row t u ~scratch] is receiver [u]'s power row: index [v] holds the
     received power of a transmission from [v] at [u] (diagonal 0, never
     meaningful). Returns the resident row, or fills [scratch] (length
-    [>= n t]) and returns it when the cap is exhausted. *)
+    [>= n t]) and returns it when the cap is exhausted or the cache is
+    bypassed. *)
 
 val pair : t -> sender:int -> receiver:int -> float
 (** One entry: cached when the receiver's row is resident, otherwise a

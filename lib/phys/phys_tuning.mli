@@ -29,3 +29,31 @@ val par_threshold : unit -> int
 
 val set_par_threshold : int -> unit
 (** Clamped to [>= 1]. *)
+
+val sparse_threshold : unit -> int
+(** Node count from which [Sinr.create] (with no explicit far-field mode)
+    installs the sparse cell-aggregated resolution path. Default 4096,
+    overridable with [SINR_SPARSE_THRESHOLD]; a non-positive value
+    disables the automatic switch. Below the threshold resolution stays
+    exact (bit-identical to [resolve_reference]). *)
+
+val set_sparse_threshold : int -> unit
+(** [n <= 0] disables the sparse path for simulators created from now
+    on. *)
+
+val sparse_eps : unit -> float
+(** Relative interference error bound of the automatic sparse path (same
+    semantics as the opt-in far-field eps). Default 0.5, overridable with
+    [SINR_SPARSE_EPS]. *)
+
+val set_sparse_eps : float -> unit
+(** Raises [Invalid_argument] unless the eps lies in (0, 1). *)
+
+val cache_node_ceiling : unit -> int
+(** Node count above which [Gain_cache] is bypassed outright: no row is
+    ever allocated, lookups evaluate the seed formula directly, and the
+    decision is visible as the [phys.cache.bypassed] counter. Default
+    8192, overridable with [SINR_CACHE_NODE_CEILING]. *)
+
+val set_cache_node_ceiling : int -> unit
+(** Clamped to [>= 0] ([0] bypasses the cache at every size). *)

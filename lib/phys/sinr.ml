@@ -33,36 +33,72 @@ let m_resolve_ns = Metrics.histogram "phys.resolve.ns"
 
 type t = {
   config : Config.t;
-  points : Point.t array;
+  soa : Soa.t;  (* hot state: flat position columns, read by every kernel *)
+  points : Point.t array Lazy.t;
+      (* boxed record view, forced only by geometry/graph consumers
+         (Induced, Spec_check, the experiments) — never by the hot path *)
   cache : Gain_cache.t;
   farfield : Farfield.t option;
+  sparse : Sparse.t option;
   par_threshold : int;
 }
 
-let create config points =
-  if Array.length points = 0 then invalid_arg "Sinr.create: no nodes";
+(* Shared constructor body: [points] must be the record view of [soa]
+   (lazily, so the column-first path at n = 10^6 never boxes a point). *)
+let make config soa points =
+  (* Tuning knobs are captured here: flipping them later never changes an
+     existing simulator. *)
+  let farfield =
+    match Phys_tuning.farfield_eps () with
+    | None -> None
+    | Some eps -> Some (Farfield.create config (Lazy.force points) ~eps)
+  in
+  let sparse =
+    (* The explicit opt-in far-field mode wins; otherwise large
+       simulators auto-install the sparse cell-aggregated path. *)
+    if farfield = None && Soa.length soa >= Phys_tuning.sparse_threshold ()
+    then Some (Sparse.create config soa ~eps:(Phys_tuning.sparse_eps ()))
+    else None
+  in
+  { config;
+    soa;
+    points;
+    cache =
+      Gain_cache.create config soa
+        ~cap_bytes:(Phys_tuning.cache_cap_bytes ())
+        ~node_ceiling:(Phys_tuning.cache_node_ceiling ());
+    farfield;
+    sparse;
+    par_threshold = Phys_tuning.par_threshold () }
+
+let validate_min_dist ~who points =
   let dmin = Placement.min_pairwise_dist points in
   if dmin < 1. -. 1e-9 then
     invalid_arg
-      (Fmt.str "Sinr.create: min pairwise distance %.4g violates the \
-                near-field normalization (must be >= 1)" dmin);
-  (* Tuning knobs are captured here: flipping them later never changes an
-     existing simulator. *)
-  { config;
-    points;
-    cache =
-      Gain_cache.create config points ~cap_bytes:(Phys_tuning.cache_cap_bytes ());
-    farfield =
-      (match Phys_tuning.farfield_eps () with
-       | None -> None
-       | Some eps -> Some (Farfield.create config points ~eps));
-    par_threshold = Phys_tuning.par_threshold () }
+      (Fmt.str "%s: min pairwise distance %.4g violates the \
+                near-field normalization (must be >= 1)" who dmin)
+
+let create config points =
+  if Array.length points = 0 then invalid_arg "Sinr.create: no nodes";
+  validate_min_dist ~who:"Sinr.create" points;
+  make config (Soa.of_points points) (Lazy.from_val points)
+
+(* Column-first constructor (streaming placements at large n).  [check]
+   defaults to true; generators that guarantee the min-distance invariant
+   by construction pass [~check:false] to skip the O(n) validation pass
+   (and its temporary boxed view). *)
+let create_soa ?(check = true) config soa =
+  if Soa.length soa = 0 then invalid_arg "Sinr.create_soa: no nodes";
+  if check then validate_min_dist ~who:"Sinr.create_soa" (Soa.to_points soa);
+  make config soa (lazy (Soa.to_points soa))
 
 let config t = t.config
-let points t = t.points
-let n t = Array.length t.points
+let soa t = t.soa
+let points t = Lazy.force t.points
+let n t = Soa.length t.soa
 let gain_cache t = t.cache
 let farfield t = t.farfield
+let sparse t = t.sparse
 
 (* A per-slot channel perturbation, supplied by an adversary (lib/chaos):
    [noise_factor u] scales the ambient noise N seen by receiver u (jamming
@@ -94,14 +130,14 @@ let power t ~sender ~receiver = Gain_cache.pair t.cache ~sender ~receiver
    transmit; [at] may be any plane position (Lemma 10.3 evaluates
    interference at arbitrary points i). *)
 let interference_at t ~senders ~at =
-  List.fold_left
-    (fun acc s -> acc +. power_between t ~from:t.points.(s) ~at)
-    0. senders
+  let pts = Lazy.force t.points in
+  List.fold_left (fun acc s -> acc +. power_between t ~from:pts.(s) ~at) 0. senders
 
 (* SINR of the link v -> u against the sender set (which must include v). *)
 let link_sinr t ~senders ~sender:v ~receiver:u =
-  let at = t.points.(u) in
-  let signal = power_between t ~from:t.points.(v) ~at in
+  let pts = Lazy.force t.points in
+  let at = pts.(u) in
+  let signal = power_between t ~from:pts.(v) ~at in
   let total = interference_at t ~senders ~at in
   signal /. (t.config.Config.noise +. total -. signal)
 
@@ -217,7 +253,7 @@ let score_range_perturbed t p ~ids ~nsend ~mark ~rowbuf ~result ~lo ~hi =
    one is installed, fan listeners out over the shared pool past the
    parallelism threshold, and otherwise run the sequential cached kernel. *)
 let resolve_marked ?perturb t ~ids ~nsend ~mark =
-  let n = Array.length t.points in
+  let n = Soa.length t.soa in
   let result = Array.make n None in
   if nsend > 0 then begin
     let telemetry = Metrics.is_enabled () in
@@ -228,8 +264,16 @@ let resolve_marked ?perturb t ~ids ~nsend ~mark =
             score_range_perturbed t p ~ids ~nsend ~mark ~rowbuf ~result ~lo:0
               ~hi:(n - 1))
       | None ->
-        (match t.farfield with
-         | Some ff ->
+        (match t.sparse, t.farfield with
+         | Some sp, _ ->
+           (* Auto-installed sparse path (n >= Phys_tuning.sparse_threshold):
+              occupied-cell iteration, shared per-coarse-cell far sums,
+              exact silent-cell skipping.  Reported under the same
+              profiler sub-stage as the opt-in far-field mode. *)
+           let p0 = Profile.start () in
+           Sparse.resolve sp ~ids ~nsend ~mark ~result;
+           Profile.stop Profile.Farfield p0
+         | None, Some ff ->
            (* Slot-phase profiler sub-stage: how much of resolve is the
               far-field aggregation (reported inside Resolve). *)
            let p0 = Profile.start () in
@@ -237,7 +281,7 @@ let resolve_marked ?perturb t ~ids ~nsend ~mark =
                Farfield.resolve ff ~cache:t.cache ~scratch:rowbuf ~ids ~nsend
                  ~mark ~result);
            Profile.stop Profile.Farfield p0
-         | None ->
+         | None, None ->
            if n >= t.par_threshold && Pool.default_jobs () > 1 then begin
              let pool = Pool.get () in
              let jobs = Pool.jobs pool in
@@ -302,7 +346,7 @@ let clear_marks mark ids nsend =
    [perturb] applies the slot's adversarial channel state; omitting it is
    the clean-channel fast path. *)
 let resolve ?perturb t ~senders =
-  let n = Array.length t.points in
+  let n = Soa.length t.soa in
   let count = List.length senders in
   with_senders ~count ~n @@ fun sc ->
   let nsend = load_senders ~who:"Sinr.resolve" ~n sc senders in
@@ -314,7 +358,7 @@ let resolve ?perturb t ~senders =
    [nsenders] entries of [senders] transmit; the caller's array is only
    read. *)
 let resolve_array ?perturb t ~senders ~nsenders =
-  let n = Array.length t.points in
+  let n = Soa.length t.soa in
   if nsenders < 0 || nsenders > Array.length senders then
     invalid_arg "Sinr.resolve_array: nsenders out of bounds";
   for k = 0 to nsenders - 1 do
@@ -333,7 +377,7 @@ let resolve_array ?perturb t ~senders ~nsenders =
    membership bitmap (the test [u in senders] is then O(1)), one row read,
    one scoring pass. *)
 let reception ?perturb t ~senders ~receiver:u =
-  let n = Array.length t.points in
+  let n = Soa.length t.soa in
   if u < 0 || u >= n then invalid_arg "Sinr.reception: receiver out of range";
   let count = List.length senders in
   with_senders ~count ~n @@ fun sc ->
@@ -386,7 +430,8 @@ let reception ?perturb t ~senders ~receiver:u =
    this; the equivalence is asserted by the phys_fast property suite and
    measured by `bench/main.exe phys`. *)
 let resolve_reference ?perturb t ~senders =
-  let n = Array.length t.points in
+  let pts = Lazy.force t.points in
+  let n = Array.length pts in
   let is_sender = Array.make n false in
   List.iter
     (fun s ->
@@ -399,12 +444,12 @@ let resolve_reference ?perturb t ~senders =
    | None ->
      for u = 0 to n - 1 do
        if not is_sender.(u) then begin
-         let at = t.points.(u) in
+         let at = pts.(u) in
          let total = ref 0. in
          let best = ref (-1) and best_pw = ref 0. in
          List.iter
            (fun v ->
-             let pw = power_between t ~from:t.points.(v) ~at in
+             let pw = power_between t ~from:pts.(v) ~at in
              total := !total +. pw;
              if pw > !best_pw then begin
                best_pw := pw;
@@ -418,13 +463,13 @@ let resolve_reference ?perturb t ~senders =
    | Some p ->
      for u = 0 to n - 1 do
        if not is_sender.(u) then begin
-         let at = t.points.(u) in
+         let at = pts.(u) in
          let total = ref 0. in
          let best = ref (-1) and best_pw = ref 0. in
          List.iter
            (fun v ->
              let pw =
-               power_between t ~from:t.points.(v) ~at
+               power_between t ~from:pts.(v) ~at
                *. p.gain ~sender:v ~receiver:u
              in
              total := !total +. pw;
@@ -443,4 +488,4 @@ let resolve_reference ?perturb t ~senders =
 (* Is a single isolated transmission from v decodable at u?  Defines weak
    reachability: true iff d(v,u) <= R. *)
 let in_range t v u =
-  Point.dist t.points.(v) t.points.(u) <= Config.range t.config +. 1e-12
+  Soa.dist t.soa v u <= Config.range t.config +. 1e-12

@@ -17,11 +17,26 @@ type t
 val create : Config.t -> Point.t array -> t
 (** Raises [Invalid_argument] if any pairwise distance is below 1 (the
     near-field normalization of Section 4.2). Captures the current
-    [Phys_tuning] knobs (gain-cache byte cap, optional far-field eps,
-    parallelism threshold). *)
+    [Phys_tuning] knobs (gain-cache byte cap + node ceiling, optional
+    far-field eps, sparse threshold/eps, parallelism threshold). From
+    [Phys_tuning.sparse_threshold] nodes on (and with no explicit
+    far-field mode) the sparse cell-aggregated path is installed. *)
+
+val create_soa : ?check:bool -> Config.t -> Soa.t -> t
+(** Column-first constructor for streaming placements at large n: the
+    boxed [points] view is materialized lazily, only if something forces
+    it. [check] (default true) validates the min-distance invariant;
+    generators that guarantee it by construction pass [~check:false]. *)
 
 val config : t -> Config.t
+
+val soa : t -> Soa.t
+(** The flat position columns every kernel reads. *)
+
 val points : t -> Point.t array
+(** The boxed record view (forces the lazy materialization at first use —
+    geometry/graph consumers only, never the hot path). *)
+
 val n : t -> int
 
 val gain_cache : t -> Gain_cache.t
@@ -29,6 +44,10 @@ val gain_cache : t -> Gain_cache.t
 
 val farfield : t -> Farfield.t option
 (** The grid-pruned far-field state, when one was installed at creation. *)
+
+val sparse : t -> Sparse.t option
+(** The sparse cell-aggregated resolution state, when the node count
+    reached [Phys_tuning.sparse_threshold] at creation. *)
 
 val power_between : t -> from:Point.t -> at:Point.t -> float
 (** Received power [P/d^α] between two plane positions. *)

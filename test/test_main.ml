@@ -23,4 +23,5 @@ let () =
       ("par", Test_par.suite);
       ("chaos", Test_chaos.suite);
       ("phys_fast", Test_phys_fast.suite);
-      ("serve", Test_serve.suite) ]
+      ("serve", Test_serve.suite);
+      ("scale", Test_scale.suite) ]
