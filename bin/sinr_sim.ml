@@ -10,6 +10,8 @@
      obs        run an instrumented workload and print the metric snapshot
      phys       check the physics fast path against the seed kernel
      scale      run the large-n engine workload and gate slots/s + peak RSS
+     serve      run the sweep daemon (job queue, WAL, SSE event streams)
+     watch      follow one daemon job live over its SSE event stream
      trace-report  analyze a flight-recorder dump against the theorem bounds
      profile-report  profile where slot time goes, per engine stage
 
@@ -592,7 +594,32 @@ let trace_report_cmd =
              ~doc:"Exit 1 when any message exceeds its ack or progress \
                    bound.")
   in
-  let run file strict =
+  let job_filter_arg =
+    Arg.(value & opt (some int) None
+         & info [ "job" ] ~docv:"ID"
+             ~doc:"Only analyze spans/events carrying a job_id attribute \
+                   equal to $(docv) (daemon jobs stamp every span with \
+                   their id).")
+  in
+  (* Daemon attempts stamp every span/event with a job_id; --job narrows
+     a mixed dump (several jobs through one process) to one job's story. *)
+  let filter_job id (tr : Trace_report.trace) =
+    let has fields =
+      match List.assoc_opt "job_id" fields with
+      | Some j -> Json.to_int j = Some id
+      | None -> false
+    in
+    { tr with
+      Trace_report.spans =
+        List.filter
+          (fun (s : Trace_report.span_rec) -> has s.Trace_report.s_attrs)
+          tr.Trace_report.spans;
+      events =
+        List.filter
+          (fun (e : Trace_report.event_rec) -> has e.Trace_report.e_fields)
+          tr.Trace_report.events }
+  in
+  let run file strict job =
     match Trace_report.load_file file with
     | exception Sys_error msg ->
       Fmt.epr "sinr_sim trace-report: %s@." msg;
@@ -604,6 +631,9 @@ let trace_report_cmd =
       Fmt.epr "sinr_sim trace-report: %s@." msg;
       exit 2
     | trace ->
+      let trace =
+        match job with None -> trace | Some id -> filter_job id trace
+      in
       let r = Trace_report.analyze trace in
       Fmt.pr "%a" Trace_report.pp r;
       if strict && Trace_report.flagged r > 0 then exit 1
@@ -612,7 +642,7 @@ let trace_report_cmd =
     (Cmd.info "trace-report"
        ~doc:"Analyze a flight-recorder dump: per-message ack/progress \
              latency percentiles against the Thm 5.1 / Thm 9.1 bounds.")
-    Term.(const run $ file_arg $ strict_arg)
+    Term.(const run $ file_arg $ strict_arg $ job_filter_arg)
 
 (* ---------------- phys ---------------- *)
 
@@ -937,7 +967,12 @@ let serve_cmd =
       Fmt.pr "[wal: %d job%s recovered; resuming from checkpoints]@." recovered
         (if recovered = 1 then "" else "s");
     let server =
-      match Http.serve ~handler:(Sinr_serve.Daemon.handler daemon) ~port () with
+      match
+        Http.serve
+          ~handler:(Sinr_serve.Daemon.handler daemon)
+          ~stream_handler:(Sinr_serve.Daemon.stream_handler daemon)
+          ~port ()
+      with
       | s -> s
       | exception Unix.Unix_error (e, _, _) ->
         Fmt.epr "sinr_sim serve: cannot serve on port %d: %s@." port
@@ -945,8 +980,9 @@ let serve_cmd =
         Stdlib.exit 1
     in
     Fmt.pr
-      "[serve: POST/GET /jobs, GET /jobs/:id[/table], DELETE /jobs/:id + \
-       /metrics /healthz /readyz /spans on http://127.0.0.1:%d]@."
+      "[serve: POST/GET /jobs, GET /jobs/:id[/table|/metrics|/events], \
+       DELETE /jobs/:id, GET /events + /metrics /healthz /readyz /spans \
+       on http://127.0.0.1:%d]@."
       (Http.port server);
     Option.iter
       (fun path ->
@@ -1000,6 +1036,136 @@ let serve_cmd =
     Term.(const run $ port_arg $ serve_port_file_arg $ dir_arg $ wal_dir_arg
           $ queue_cap_arg $ checkpoint_arg $ deadline_arg $ cell_timeout_arg
           $ max_retries_arg $ jobs_arg $ farfield_arg)
+
+(* ---------------- watch ---------------- *)
+
+(* Live view of one daemon job, driven purely by its SSE event stream
+   (GET /jobs/:id/events): progress lines, rows as they land, retries
+   and an ETA go to stderr; once the job is done the final table —
+   byte-identical to GET /jobs/:id/table — is printed on stdout.  Exit
+   codes: 0 done, 1 failed/quarantined/cancelled, 2 stream trouble. *)
+let watch_cmd =
+  let job_arg =
+    Arg.(required & pos 0 (some int) None
+         & info [] ~docv:"JOB" ~doc:"Job id to watch.")
+  in
+  let port_arg =
+    Arg.(value & opt (some int) None
+         & info [ "port" ] ~docv:"PORT" ~doc:"Daemon port.")
+  in
+  let port_file_arg =
+    Arg.(value & opt (some string) None
+         & info [ "port-file" ] ~docv:"PATH"
+             ~doc:"Read the daemon port from $(docv) (the file written by \
+                   $(b,sinr_sim serve --serve-port-file)).")
+  in
+  let host_arg =
+    Arg.(value & opt string "127.0.0.1"
+         & info [ "host" ] ~docv:"HOST" ~doc:"Daemon host.")
+  in
+  let run job port port_file host =
+    let port =
+      match (port, port_file) with
+      | Some p, _ -> p
+      | None, Some path -> (
+        match
+          let ic = open_in path in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> input_line ic)
+        with
+        | line -> (
+          match int_of_string_opt (String.trim line) with
+          | Some p -> p
+          | None ->
+            Fmt.epr "sinr_sim watch: %s does not contain a port@." path;
+            Stdlib.exit 2)
+        | exception (Sys_error _ | End_of_file) ->
+          Fmt.epr "sinr_sim watch: cannot read port from %s@." path;
+          Stdlib.exit 2)
+      | None, None ->
+        Fmt.epr "sinr_sim watch: one of --port / --port-file is required@.";
+        Stdlib.exit 2
+    in
+    let t0 = Unix.gettimeofday () in
+    let total = ref 0 and cells_done = ref 0 and base = ref 0 in
+    let sync_done body =
+      match Option.bind (Json.member "cells_done" body) Json.to_int with
+      | Some d -> cells_done := max !cells_done d
+      | None -> ()
+    in
+    let eta () =
+      let progressed = !cells_done - !base in
+      if progressed > 0 && !total > !cells_done then
+        let per_cell = (Unix.gettimeofday () -. t0) /. float_of_int progressed in
+        Printf.sprintf ", eta %.0fs" (per_cell *. float_of_int (!total - !cells_done))
+      else ""
+    in
+    let str k body =
+      match Json.member k body with Some (Json.Str s) -> Some s | _ -> None
+    in
+    let on_event ~typ body =
+      match typ with
+      | "hello" ->
+        (match Option.bind (Json.member "cells_total" body) Json.to_int with
+         | Some t -> total := t
+         | None -> ());
+        sync_done body;
+        base := !cells_done;
+        Fmt.epr "[watch job %d: %s, %d/%d cells, %s]@." job
+          (Option.value ~default:"?" (str "exp" body))
+          !cells_done !total
+          (Option.value ~default:"?" (str "state" body))
+      | "cell" ->
+        if str "phase" body = Some "done" then incr cells_done
+      | "checkpoint" ->
+        sync_done body;
+        Fmt.epr "[%d/%d cells%s]@." !cells_done !total (eta ())
+      | "row" -> (
+        match
+          ( Option.bind (Json.member "param" body) Json.to_int,
+            Json.member "cells" body )
+        with
+        | Some p, Some (Json.List cs) ->
+          Fmt.epr "[row param=%d: %d cells]@." p (List.length cs)
+        | _ -> ())
+      | "retry" ->
+        Fmt.epr "[retry: attempt %d failed (%s)]@."
+          (Option.value ~default:0
+             (Option.bind (Json.member "attempt" body) Json.to_int))
+          (Option.value ~default:"?" (str "error" body))
+      | "quarantine" ->
+        Fmt.epr "[quarantined: %s]@."
+          (Option.value ~default:"?" (str "reason" body))
+      | "state" -> (
+        sync_done body;
+        match str "state" body with
+        | Some s -> Fmt.epr "[state: %s, %d/%d cells]@." s !cells_done !total
+        | None -> ())
+      | _ -> ()
+    in
+    match Sinr_serve.Watch.watch ~host ~on_event ~port ~job () with
+    | Sinr_serve.Watch.Completed table ->
+      print_string (Json.to_string_json table ^ "\n")
+    | Sinr_serve.Watch.Failed { quarantined; error } ->
+      Fmt.epr "sinr_sim watch: job %d %s: %s@." job
+        (if quarantined then "quarantined" else "failed")
+        error;
+      Stdlib.exit 1
+    | Sinr_serve.Watch.Cancelled ->
+      Fmt.epr "sinr_sim watch: job %d cancelled@." job;
+      Stdlib.exit 1
+    | Sinr_serve.Watch.Stream_error msg ->
+      Fmt.epr "sinr_sim watch: %s@." msg;
+      Stdlib.exit 2
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:"Follow one daemon job live over its SSE event stream; print \
+             progress to stderr and, once done, the final table (identical \
+             to GET /jobs/:id/table) to stdout. Exits 1 on \
+             failure/quarantine/cancel, 2 on stream trouble.")
+    Term.(const run $ job_arg $ port_arg $ port_file_arg $ host_arg)
 
 (* ---------------- profile-report ---------------- *)
 
@@ -1059,7 +1225,7 @@ let profile_report_cmd =
 
 let () =
   let doc = "Local broadcast layer for the SINR network model — simulator" in
-  let info = Cmd.info "sinr_sim" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "sinr_sim" ~version:Build_info.version ~doc in
   (* Cmdliner renders the one-letter node-count option as [-n]; the
      double-dash spelling [--n] is common enough to accept as an alias. *)
   let argv = Array.map (fun a -> if a = "--n" then "-n" else a) Sys.argv in
@@ -1067,5 +1233,5 @@ let () =
     (Cmd.eval ~argv
        (Cmd.group info
           [ profile_cmd; smb_cmd; cons_cmd; approg_cmd; chaos_cmd; exp_cmd;
-            obs_cmd; phys_cmd; scale_cmd; serve_cmd; trace_report_cmd;
-            profile_report_cmd ]))
+            obs_cmd; phys_cmd; scale_cmd; serve_cmd; watch_cmd;
+            trace_report_cmd; profile_report_cmd ]))

@@ -40,18 +40,51 @@ type response = {
 
 type handler = request -> response option
 
+(* A streaming response: headers are sent immediately, then [s_write]
+   drives the body through chunked transfer-encoding for as long as it
+   likes (SSE event streams).  [push] returns false once the client is
+   gone or the server is stopping — the writer must then return.  Each
+   accepted stream gets its own domain so the single-threaded request
+   loop stays free for scrapes and job control. *)
+type stream = {
+  s_status : int;
+  s_content_type : string;
+  s_headers : (string * string) list;
+  s_write : push:(string -> bool) -> should_stop:(unit -> bool) -> unit;
+}
+
+type stream_handler = request -> stream option
+
+(* A live streaming connection: [done] flips when its domain is about to
+   exit, letting the accept path prune-join finished streams without
+   blocking on live ones. *)
+type stream_slot = {
+  sl_done : bool Atomic.t;
+  sl_domain : unit Domain.t;
+}
+
 type t = {
   sock : Unix.file_descr;
   port : int;
   handler : handler option;
+  stream_handler : stream_handler option;
   read_timeout : float;
   stopping : bool Atomic.t;
   mutable worker : unit Domain.t option;
+  streams_mutex : Mutex.t;
+  mutable streams : stream_slot list;
+  ticker : Procstat.ticker;
 }
 
 let max_header = 8192
 let max_body = 1 lsl 20 (* 1 MiB: job specs are small; anything bigger is noise *)
 let default_read_timeout = 5.0
+
+let max_streams = 16
+(* concurrent streaming clients; one domain each, 503 beyond *)
+
+let default_spans_last = 2048
+(* /spans response cap: a full 32k-entry ring is megabytes per scrape *)
 
 (* ------------------------------------------------------------------ *)
 (* Request handling (pure: request text in, response text out)         *)
@@ -88,17 +121,53 @@ let render (r : response) =
 let respond ~status ~content_type body =
   render (response ~content_type status body)
 
+(* Decode "a=1&b=2" into an assoc list; valueless keys map to "". *)
+let query_params q =
+  if q = "" then []
+  else
+    String.split_on_char '&' q
+    |> List.map (fun kv ->
+         match String.index_opt kv '=' with
+         | Some i ->
+           ( String.sub kv 0 i,
+             String.sub kv (i + 1) (String.length kv - i - 1) )
+         | None -> (kv, ""))
+
+let query_int q name =
+  Option.bind (List.assoc_opt name (query_params q)) int_of_string_opt
+
+(* Process start, for /healthz uptime (module init runs at load time). *)
+let started_at = Unix.gettimeofday ()
+
+let healthz_body () =
+  let now = Unix.gettimeofday () in
+  Json.to_string_json
+    (Json.Obj
+       [ ("status", Json.Str "ok");
+         ("version", Json.Str Build_info.version);
+         ("started_at", Json.Num started_at);
+         ("uptime_s", Json.Num (now -. started_at)) ])
+  ^ "\n"
+
 (* The read-only observability routes, served whether or not a handler is
    mounted. *)
-let body_for path =
+let body_for ?(query = "") path =
   match path with
   | "/metrics" ->
     Some
       ( "text/plain; version=0.0.4",
         Sink.snapshot_to_prometheus (Metrics.snapshot ()) )
-  | "/healthz" -> Some ("text/plain", "ok\n")
+  | "/healthz" -> Some ("application/json", healthz_body ())
   | "/spans" ->
-    Some ("application/jsonl", Recorder.to_jsonl ~reason:"http-scrape" ())
+    let last =
+      match query_int query "last" with
+      | Some n when n >= 0 -> n
+      | Some _ | None -> default_spans_last
+    in
+    let job = query_int query "job" in
+    Some
+      ( "application/jsonl",
+        Recorder.to_jsonl ~last ?job ~reason:"http-scrape" () )
   | _ -> None
 
 let text_response status body =
@@ -158,7 +227,7 @@ let other_methods =
 let route ?handler (req : request) =
   let fallback () =
     if req.meth = "GET" then
-      match body_for req.path with
+      match body_for ~query:req.query req.path with
       | Some (content_type, body) -> respond ~status:200 ~content_type body
       | None -> text_response 404 "not found\n"
     else if handler <> None then text_response 404 "not found\n"
@@ -176,7 +245,13 @@ let route ?handler (req : request) =
     | None -> fallback ()
     | exception _ -> text_response 500 "internal error\n")
 
-let handle_headers ?handler raw body_off =
+(* Outcome of parsing a raw request: either a structured request to
+   route, or the error response text to write as-is.  Split from routing
+   so the socket path can consult the stream handler on the parsed
+   request before falling back to [route]. *)
+type parsed = P_req of request | P_error of string
+
+let parse_headers raw body_off =
   let head = String.sub raw 0 body_off in
   let line =
     match String.index_opt head '\r' with
@@ -196,8 +271,8 @@ let handle_headers ?handler raw body_off =
     in
     (match declared with
      | Some len when len > max_body ->
-       text_response 413 "request body too large\n"
-     | Some len when len < 0 -> text_response 400 "bad request\n"
+       P_error (text_response 413 "request body too large\n")
+     | Some len when len < 0 -> P_error (text_response 400 "bad request\n")
      | _ ->
        let avail = String.length raw - body_off in
        let body =
@@ -205,30 +280,36 @@ let handle_headers ?handler raw body_off =
          | None -> String.sub raw body_off avail
          | Some len -> String.sub raw body_off (min len avail)
        in
-       route ?handler { meth; path; query; body })
+       P_req { meth; path; query; body })
   | meth :: _ when List.mem meth other_methods ->
-    render
-      (response ~content_type:"text/plain"
-         ~headers:[ ("Allow", String.concat ", " known_methods) ]
-         405 "method not allowed\n")
-  | _ -> text_response 400 "bad request\n"
+    P_error
+      (render
+         (response ~content_type:"text/plain"
+            ~headers:[ ("Allow", String.concat ", " known_methods) ]
+            405 "method not allowed\n"))
+  | _ -> P_error (text_response 400 "bad request\n")
+
+let parse raw =
+  match header_end raw with
+  | None ->
+    if String.length raw >= max_header then
+      P_error (text_response 431 "request header block too large\n")
+    else
+      (* No terminator in a complete request: treat everything as the
+         header block (hand-typed one-liners land here). *)
+      parse_headers raw (String.length raw)
+  | Some body_off ->
+    if body_off > max_header then
+      P_error (text_response 431 "request header block too large\n")
+    else parse_headers raw body_off
 
 (* [handle raw] is the full response text for a raw request string (request
    line + headers + body).  Applies the same bounds as the socket path so
    the hardening is unit-testable. *)
 let handle ?handler raw =
-  match header_end raw with
-  | None ->
-    if String.length raw >= max_header then
-      text_response 431 "request header block too large\n"
-    else
-      (* No terminator in a complete request: treat everything as the
-         header block (hand-typed one-liners land here). *)
-      handle_headers ?handler raw (String.length raw)
-  | Some body_off ->
-    if body_off > max_header then
-      text_response 431 "request header block too large\n"
-    else handle_headers ?handler raw body_off
+  match parse raw with
+  | P_error resp -> resp
+  | P_req req -> route ?handler req
 
 let response_for request = handle request
 
@@ -317,28 +398,120 @@ let write_all fd s =
   in
   go 0
 
-let handle_client ?handler ~read_timeout fd =
+(* One chunk of a chunked transfer-encoded body. *)
+let write_chunk fd s =
+  if String.length s > 0 then
+    write_all fd (Printf.sprintf "%x\r\n%s\r\n" (String.length s) s)
+
+(* Body of a streaming connection's domain: send the status line and
+   headers, hand [push]/[should_stop] to the writer, then terminate the
+   chunked body and close.  A client that stops reading blocks the write
+   for at most the SO_SNDTIMEO budget (set at accept), after which the
+   failed write turns [push] false and the writer winds down — a stalled
+   watcher can never wedge anything but its own stream. *)
+let run_stream t fd (st : stream) =
+  let ok = ref true in
+  let guarded f = try f () with _ -> ok := false in
+  let extra =
+    String.concat ""
+      (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) st.s_headers)
+  in
+  guarded (fun () ->
+    write_all fd
+      (Printf.sprintf
+         "HTTP/1.1 %s\r\nContent-Type: %s\r\nTransfer-Encoding: \
+          chunked\r\nCache-Control: no-cache\r\n%sConnection: close\r\n\r\n"
+         (status_text st.s_status) st.s_content_type extra));
+  let push s =
+    if !ok && not (Atomic.get t.stopping) then begin
+      guarded (fun () -> write_chunk fd s);
+      !ok
+    end
+    else false
+  in
+  let should_stop () = (not !ok) || Atomic.get t.stopping in
+  (try st.s_write ~push ~should_stop with _ -> ());
+  if !ok && not (Atomic.get t.stopping) then
+    guarded (fun () -> write_all fd "0\r\n\r\n")
+
+(* Join streams whose domains have announced completion; caller holds
+   [streams_mutex].  Joining a finished domain returns immediately, so
+   this never blocks the accept path on a live client. *)
+let prune_streams_locked t =
+  let live, finished =
+    List.partition (fun sl -> not (Atomic.get sl.sl_done)) t.streams
+  in
+  List.iter (fun sl -> Domain.join sl.sl_domain) finished;
+  t.streams <- live
+
+let spawn_stream t fd st =
+  Mutex.lock t.streams_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.streams_mutex) @@ fun () ->
+  prune_streams_locked t;
+  if List.length t.streams >= max_streams then false
+  else begin
+    let done_flag = Atomic.make false in
+    let domain =
+      Domain.spawn (fun () ->
+        Fun.protect
+          ~finally:(fun () ->
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            Atomic.set done_flag true)
+          (fun () -> run_stream t fd st))
+    in
+    t.streams <- { sl_done = done_flag; sl_domain = domain } :: t.streams;
+    true
+  end
+
+(* Returns [`Close] when the accept loop still owns the fd, [`Handed_off]
+   when a stream domain took it over. *)
+let handle_client t fd =
   Unix.setsockopt_float fd Unix.SO_SNDTIMEO 5.0;
-  let deadline = Unix.gettimeofday () +. read_timeout in
+  let deadline = Unix.gettimeofday () +. t.read_timeout in
   match read_request ~deadline fd with
-  | Empty -> ()
+  | Empty -> `Close
   | Timed_out ->
     (* slowloris guard: a socket that dribbles (or never completes) its
        request inside the idle budget gets a clean 408, not a pinned
        accept loop *)
-    write_all fd (text_response 408 "request read timeout\n")
+    write_all fd (text_response 408 "request read timeout\n");
+    `Close
   | Header_overflow ->
-    write_all fd (text_response 431 "request header block too large\n")
-  | Body_overflow -> write_all fd (text_response 413 "request body too large\n")
-  | Complete raw -> write_all fd (handle ?handler raw)
+    write_all fd (text_response 431 "request header block too large\n");
+    `Close
+  | Body_overflow ->
+    write_all fd (text_response 413 "request body too large\n");
+    `Close
+  | Complete raw -> (
+    match parse raw with
+    | P_error resp ->
+      write_all fd resp;
+      `Close
+    | P_req req -> (
+      let stream =
+        match t.stream_handler with
+        | Some sh when req.meth = "GET" -> ( try sh req with _ -> None)
+        | _ -> None
+      in
+      match stream with
+      | Some st ->
+        if spawn_stream t fd st then `Handed_off
+        else begin
+          write_all fd (text_response 503 "too many streaming clients\n");
+          `Close
+        end
+      | None ->
+        write_all fd (route ?handler:t.handler req);
+        `Close))
 
 let accept_loop t =
   let rec loop () =
     match Unix.accept t.sock with
     | fd, _addr ->
-      (try handle_client ?handler:t.handler ~read_timeout:t.read_timeout fd
-       with _ -> ());
-      (try Unix.close fd with Unix.Unix_error _ -> ());
+      let outcome = try handle_client t fd with _ -> `Close in
+      (match outcome with
+       | `Close -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+       | `Handed_off -> ());
       if not (Atomic.get t.stopping) then loop ()
     | exception Unix.Unix_error (Unix.EINTR, _, _) ->
       if not (Atomic.get t.stopping) then loop ()
@@ -349,8 +522,8 @@ let accept_loop t =
   in
   loop ()
 
-let serve ?(addr = "127.0.0.1") ?handler ?(read_timeout = default_read_timeout)
-    ~port () =
+let serve ?(addr = "127.0.0.1") ?handler ?stream_handler
+    ?(read_timeout = default_read_timeout) ~port () =
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
      Unix.setsockopt sock Unix.SO_REUSEADDR true;
@@ -365,9 +538,17 @@ let serve ?(addr = "127.0.0.1") ?handler ?(read_timeout = default_read_timeout)
     | Unix.ADDR_INET (_, p) -> p
     | Unix.ADDR_UNIX _ -> port
   in
+  (* Deploy marker: a constant-1 gauge whose version label identifies the
+     running build on every scrape of this server. *)
+  Metrics.set
+    (Metrics.gauge_with "build.info"
+       (Metrics.labels [ ("version", Build_info.version) ]))
+    1.0;
   let t =
-    { sock; port; handler; read_timeout; stopping = Atomic.make false;
-      worker = None }
+    { sock; port; handler; stream_handler; read_timeout;
+      stopping = Atomic.make false; worker = None;
+      streams_mutex = Mutex.create (); streams = [];
+      ticker = Procstat.start_ticker () }
   in
   t.worker <- Some (Domain.spawn (fun () -> accept_loop t));
   t
@@ -386,5 +567,14 @@ let stop t =
       t.worker <- None;
       Domain.join d
     | None -> ());
+    (* Streaming writers poll [should_stop] (now true) between events and
+       their pushes start failing, so every stream domain is on its way
+       out; join them all before releasing the listener fd. *)
+    Mutex.lock t.streams_mutex;
+    let streams = t.streams in
+    t.streams <- [];
+    Mutex.unlock t.streams_mutex;
+    List.iter (fun sl -> Domain.join sl.sl_domain) streams;
+    Procstat.stop_ticker t.ticker;
     try Unix.close t.sock with Unix.Unix_error _ -> ()
   end

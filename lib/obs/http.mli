@@ -46,6 +46,27 @@ type handler = request -> response option
     built-in routes (404/405 if nothing matches). An exception becomes a
     500. *)
 
+type stream = {
+  s_status : int;
+  s_content_type : string;  (** e.g. ["text/event-stream"] *)
+  s_headers : (string * string) list;
+  s_write : push:(string -> bool) -> should_stop:(unit -> bool) -> unit;
+      (** Runs on a dedicated domain. [push] sends one chunk
+          (chunked transfer-encoding) and returns [false] once the client
+          disconnected or the server is stopping; the writer must then
+          return promptly. Long-lived writers should also poll
+          [should_stop] while idle. *)
+}
+(** A streaming response: status + headers sent immediately, body written
+    incrementally for as long as the writer likes. Used for SSE event
+    streams. *)
+
+type stream_handler = request -> stream option
+(** Consulted (GET only) before the regular [handler]; [Some stream]
+    upgrades the connection to a streaming response served on its own
+    domain — at most {!max_streams} at a time (503 beyond). [None] falls
+    through to normal routing. *)
+
 val response :
   ?content_type:string -> ?headers:(string * string) list -> int -> string
   -> response
@@ -64,13 +85,24 @@ val max_body : int
 val default_read_timeout : float
 (** Per-connection request-read budget, in seconds (5.0). *)
 
+val max_streams : int
+(** Concurrent streaming connections (one domain each); 503 beyond. *)
+
+val default_spans_last : int
+(** Default cap on ring entries served by [GET /spans]; override with
+    [?last=N] (the header line reports [total_entries] when truncated). *)
+
 val serve :
-  ?addr:string -> ?handler:handler -> ?read_timeout:float -> port:int
-  -> unit -> t
+  ?addr:string -> ?handler:handler -> ?stream_handler:stream_handler
+  -> ?read_timeout:float -> port:int -> unit -> t
 (** Bind [addr] (default ["127.0.0.1"]) on [port] and serve until {!stop},
-    consulting [handler] first on every request. [port = 0] lets the
-    kernel pick a free port — read it back with {!port}. Raises
-    [Unix.Unix_error] if the bind fails (port taken).
+    consulting [stream_handler] (GET only), then [handler], on every
+    request. [port = 0] lets the kernel pick a free port — read it back
+    with {!port}. Raises [Unix.Unix_error] if the bind fails (port
+    taken). Starting a server also publishes the [build.info] gauge
+    (constant 1, [version] label) and spins up a {!Procstat} ticker so
+    [proc.rss_kb] / [proc.hwm_kb] / [gc.heap_words] gauges stay live on
+    every scrape; {!stop} stops the ticker.
 
     [read_timeout] (default {!default_read_timeout}) is the slowloris
     guard: a wall-clock budget covering the {e whole} request read —

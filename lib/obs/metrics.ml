@@ -172,6 +172,148 @@ let histogram name =
     (function Histogram h -> Some h | Counter _ | Gauge _ -> None)
 
 (* ------------------------------------------------------------------ *)
+(* Labels                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A label set is canonicalized once, at handle-creation time, into a
+   [{k="v",...}] suffix appended to the registry name (keys sorted,
+   values escaped Prometheus-style).  Labeled handles are therefore
+   interned through the same get-or-create registry as unlabeled ones,
+   and the hot-path update functions below never see labels at all —
+   an [observe] on a labeled histogram is byte-for-byte the same code
+   as on an unlabeled one.  Sinks recover the structure with
+   {!split_name}. *)
+
+type labels = string (* "" (none) or a canonical "{k=\"v\",...}" suffix *)
+
+let no_labels = ""
+
+let valid_label_key k =
+  String.length k > 0
+  && (match k.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       k
+
+(* Prometheus label-value escaping: backslash, double-quote, newline. *)
+let escape_label_value v =
+  let buf = Buffer.create (String.length v + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let labels pairs =
+  match pairs with
+  | [] -> ""
+  | _ ->
+    let pairs =
+      List.sort (fun (a, _) (b, _) -> String.compare a b) pairs
+    in
+    let rec check = function
+      | (a, _) :: ((b, _) :: _ as rest) ->
+        if String.equal a b then
+          invalid_arg (Printf.sprintf "Metrics.labels: duplicate key %S" a);
+        check rest
+      | _ -> ()
+    in
+    check pairs;
+    List.iter
+      (fun (k, _) ->
+        if not (valid_label_key k) then
+          invalid_arg (Printf.sprintf "Metrics.labels: invalid key %S" k))
+      pairs;
+    let buf = Buffer.create 32 in
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf k;
+        Buffer.add_string buf "=\"";
+        Buffer.add_string buf (escape_label_value v);
+        Buffer.add_char buf '"')
+      pairs;
+    Buffer.add_char buf '}';
+    Buffer.contents buf
+
+let labeled_name name ls =
+  if String.contains name '{' then
+    invalid_arg
+      (Printf.sprintf "Metrics: base metric name %S may not contain '{'" name);
+  name ^ ls
+
+let counter_with name ls = counter (labeled_name name ls)
+let gauge_with name ls = gauge (labeled_name name ls)
+let histogram_with name ls = histogram (labeled_name name ls)
+
+(* Inverse of the encoding above: recover (family, pairs) from a registry
+   name.  Malformed suffixes (which only arise if someone registers a raw
+   name containing '{' by hand) degrade to the whole string as the family
+   with no labels, so sinks never raise on a snapshot. *)
+let split_name name =
+  match String.index_opt name '{' with
+  | None -> (name, [])
+  | Some i ->
+    let n = String.length name in
+    let fam = String.sub name 0 i in
+    let buf = Buffer.create 16 in
+    let exception Malformed in
+    (try
+       if name.[n - 1] <> '}' then raise Malformed;
+       let pos = ref (i + 1) in
+       let pairs = ref [] in
+       (* empty label set "{}" never produced by [labels]; treat as none *)
+       if !pos = n - 1 then (fam, [])
+       else begin
+         let rec pair () =
+           (* key *)
+           let kstart = !pos in
+           while !pos < n && name.[!pos] <> '=' do incr pos done;
+           if !pos >= n - 1 then raise Malformed;
+           let k = String.sub name kstart (!pos - kstart) in
+           incr pos;
+           if !pos >= n - 1 || name.[!pos] <> '"' then raise Malformed;
+           incr pos;
+           (* value, with escapes *)
+           Buffer.clear buf;
+           let rec value () =
+             if !pos >= n - 1 then raise Malformed;
+             match name.[!pos] with
+             | '"' -> incr pos
+             | '\\' ->
+               if !pos + 1 >= n - 1 then raise Malformed;
+               (match name.[!pos + 1] with
+                | '\\' -> Buffer.add_char buf '\\'
+                | '"' -> Buffer.add_char buf '"'
+                | 'n' -> Buffer.add_char buf '\n'
+                | _ -> raise Malformed);
+               pos := !pos + 2;
+               value ()
+             | c ->
+               Buffer.add_char buf c;
+               incr pos;
+               value ()
+           in
+           value ();
+           pairs := (k, Buffer.contents buf) :: !pairs;
+           if !pos = n - 1 then ()
+           else if name.[!pos] = ',' then begin
+             incr pos;
+             pair ()
+           end
+           else raise Malformed
+         in
+         pair ();
+         (fam, List.rev !pairs)
+       end
+     with Malformed | Invalid_argument _ -> (name, []))
+
+(* ------------------------------------------------------------------ *)
 (* Hot-path updates                                                    *)
 (* ------------------------------------------------------------------ *)
 

@@ -34,6 +34,40 @@ val counter : string -> counter
 val gauge : string -> gauge
 val histogram : string -> histogram
 
+(** {1 Labels}
+
+    A cheap label dimension: a label set is canonicalized once (keys
+    sorted, values escaped) into a [name{k="v",...}] registry entry, so
+    labeled handles are interned through the same get-or-create table as
+    unlabeled ones and the hot-path updates ({!incr}, {!set}, {!observe})
+    are byte-for-byte identical — no lock, no extra indirection. Create
+    the labeled handle once per label set (e.g. per job) and hold on to
+    it. Sinks recover the structure with {!split_name}. *)
+
+type labels = private string
+(** The canonical [{k="v",...}] suffix ([""] for {!no_labels}) — readable
+    (it coerces to [string]) but only constructible through {!labels}. *)
+
+val no_labels : labels
+
+val labels : (string * string) list -> labels
+(** Canonicalize a label set: keys are sorted; values may be arbitrary
+    strings. Raises [Invalid_argument] on duplicate keys or keys that are
+    not [\[a-zA-Z_\]\[a-zA-Z0-9_\]*]. *)
+
+val counter_with : string -> labels -> counter
+(** Get or create the child of [name] carrying the given label set.
+    Raises [Invalid_argument] if [name] contains ['{'] (reserved for the
+    label encoding). Same-kind collision rules as {!counter}. *)
+
+val gauge_with : string -> labels -> gauge
+val histogram_with : string -> labels -> histogram
+
+val split_name : string -> string * (string * string) list
+(** [split_name n] recovers [(family, pairs)] from a registry/snapshot
+    name; [(n, \[\])] when [n] is unlabeled. Total: malformed suffixes
+    degrade to no labels rather than raising. *)
+
 val incr : counter -> unit
 val add : counter -> int -> unit
 val set : gauge -> float -> unit

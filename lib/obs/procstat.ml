@@ -38,3 +38,55 @@ let peak_rss_mb () =
   Option.map (fun kb -> float_of_int kb /. 1024.) (peak_rss_kb ())
 
 let rss_kb () = Option.bind (status_field "VmRSS") parse_kb
+
+(* ------------------------------------------------------------------ *)
+(* Gauge ticker                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* A background domain that republishes process stats as gauges while a
+   server is up, so a /metrics scrape of a long daemon run shows live
+   memory instead of requiring a scale-bench-style one-shot sample.  The
+   loop sleeps in 100 ms steps so [stop_ticker] returns promptly. *)
+
+type ticker = {
+  tk_stop : bool Atomic.t;
+  tk_domain : unit Domain.t;
+}
+
+let default_tick_period = 2.0
+
+let start_ticker ?(period_s = default_tick_period) () =
+  let stop = Atomic.make false in
+  let g_rss = Metrics.gauge "proc.rss_kb" in
+  let g_hwm = Metrics.gauge "proc.hwm_kb" in
+  let g_heap = Metrics.gauge "gc.heap_words" in
+  let sample () =
+    (match rss_kb () with
+     | Some kb -> Metrics.set g_rss (float_of_int kb)
+     | None -> ());
+    (match peak_rss_kb () with
+     | Some kb -> Metrics.set g_hwm (float_of_int kb)
+     | None -> ());
+    Metrics.set g_heap (float_of_int (Gc.quick_stat ()).Gc.heap_words)
+  in
+  let domain =
+    Domain.spawn (fun () ->
+      sample ();
+      let rec loop elapsed =
+        if not (Atomic.get stop) then begin
+          Unix.sleepf 0.1;
+          let elapsed = elapsed +. 0.1 in
+          if elapsed >= period_s then begin
+            sample ();
+            loop 0.
+          end
+          else loop elapsed
+        end
+      in
+      loop 0.)
+  in
+  { tk_stop = stop; tk_domain = domain }
+
+(* Idempotent: only the call that flips the flag joins the domain. *)
+let stop_ticker tk =
+  if not (Atomic.exchange tk.tk_stop true) then Domain.join tk.tk_domain

@@ -15,3 +15,23 @@ val peak_rss_mb : unit -> float option
 
 val rss_kb : unit -> int option
 (** VmRSS — the current resident set, in kB. *)
+
+(** {1 Gauge ticker}
+
+    Live process stats for long-running servers: a small background
+    domain that periodically publishes [proc.rss_kb], [proc.hwm_kb] and
+    [gc.heap_words] gauges. Started by {!Http.serve} so the stats are
+    visible on any [/metrics] scrape whenever [--serve] or the daemon is
+    up. On platforms without procfs only the GC gauge is published. *)
+
+type ticker
+
+val default_tick_period : float
+(** Seconds between samples (2.0). *)
+
+val start_ticker : ?period_s:float -> unit -> ticker
+(** Spawn the sampling domain; the first sample is taken immediately.
+    Gauge updates respect the global {!Metrics} enable flag. *)
+
+val stop_ticker : ticker -> unit
+(** Stop and join the sampling domain. Idempotent. *)

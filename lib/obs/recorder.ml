@@ -51,20 +51,56 @@ let sanitize reason =
       | _ -> '-')
     reason
 
-let to_jsonl ~reason () =
+(* Does a span / loose event belong to job [id]?  Spans carry the ambient
+   ["job_id"] attribute (Span.with_context in the daemon runner); events
+   match on a top-level ["job_id"] field. *)
+let span_has_job id (sp : Span.t) =
+  match List.assoc_opt "job_id" sp.Span.attrs with
+  | Some j -> Json.to_int j = Some id
+  | None -> false
+
+let entry_has_job id = function
+  | Span.Span_entry sp -> span_has_job id sp
+  | Span.Event_entry { body; _ } ->
+    (match Option.bind (Json.member "job_id" body) Json.to_int with
+     | Some j -> j = id
+     | None -> false)
+
+(* Keep the last [n] elements of [l]. *)
+let last_n n l =
+  let len = List.length l in
+  if len <= n then l else List.filteri (fun i _ -> i >= len - n) l
+
+let to_jsonl ?last ?job ~reason () =
   let open_spans = Span.open_spans () in
   let entries = Span.entries () in
+  let total_entries = List.length entries in
+  let open_spans, entries =
+    match job with
+    | None -> (open_spans, entries)
+    | Some id ->
+      (List.filter (span_has_job id) open_spans,
+       List.filter (entry_has_job id) entries)
+  in
+  let entries = match last with None -> entries | Some n -> last_n (max 0 n) entries in
   let buf = Buffer.create 4096 in
   let line j =
     Buffer.add_string buf (Json.to_string_json j);
     Buffer.add_char buf '\n'
   in
+  let served = List.length entries in
   line
     (Json.Obj
-       [ ("flight", Json.Str reason);
-         ("open", Json.int (List.length open_spans));
-         ("entries", Json.int (List.length entries));
-         ("dropped", Json.int (Span.dropped_count ())) ]);
+       ([ ("flight", Json.Str reason);
+          ("open", Json.int (List.length open_spans));
+          ("entries", Json.int served);
+          ("dropped", Json.int (Span.dropped_count ())) ]
+        @ (if served < total_entries then
+             [ ("total_entries", Json.int total_entries) ]
+           else [])
+        @ (match job with
+           | Some id -> [ ("job_id", Json.int id) ]
+           | None -> [])));
   List.iter (fun sp -> line (Span.span_to_json sp)) open_spans;
   List.iter (fun e -> line (Span.entry_to_json e)) entries;
   Buffer.contents buf

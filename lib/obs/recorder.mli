@@ -21,11 +21,16 @@ val event : slot:int -> Json.t -> unit
 val clear : unit -> unit
 (** Drop ring + open spans and re-arm {!dump_once} reasons. *)
 
-val to_jsonl : reason:string -> unit -> string
+val to_jsonl : ?last:int -> ?job:int -> reason:string -> unit -> string
 (** The dump text: a header line
     [{"flight":reason,"open":..,"entries":..,"dropped":..}], then
     still-open spans (oldest start first), then ring entries oldest-first,
-    one JSON object per line. *)
+    one JSON object per line. [?last] keeps only the newest [n] ring
+    entries (the header's ["entries"] counts what is served and a
+    ["total_entries"] field reports the pre-cap total when truncated).
+    [?job] keeps only spans whose ["job_id"] attribute — stamped by
+    {!Span.with_context} in the daemon — and events whose ["job_id"]
+    field match. *)
 
 val dump : ?path:string -> reason:string -> unit -> string
 (** Write {!to_jsonl} atomically and return the path written. Default path

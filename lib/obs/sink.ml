@@ -99,11 +99,26 @@ let prom_escape ~quote s =
 let prom_escape_label s = prom_escape ~quote:true s
 let prom_escape_help s = prom_escape ~quote:false s
 
+(* Render a label set as "{k=\"v\",...}" ("" when empty).  [extra] pairs
+   (e.g. quantile) are appended after the metric's own labels. *)
+let prom_labels ?(extra = []) pairs =
+  match pairs @ extra with
+  | [] -> ""
+  | all ->
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) ->
+             Printf.sprintf "%s=\"%s\"" (prom_name k) (prom_escape_label v))
+           all)
+    ^ "}"
+
 let snapshot_to_prometheus (snap : Metrics.snapshot) =
   let buf = Buffer.create 1024 in
   (* Distinct dotted names can collapse to one exposition family
      (e.g. "a.b" and "a_b"); HELP/TYPE must still appear exactly once per
-     family, so track the families already introduced. *)
+     family even when several labeled children share it, so track the
+     families already introduced. *)
   let seen : (string, unit) Hashtbl.t = Hashtbl.create 16 in
   let header n ~help ~typ =
     if not (Hashtbl.mem seen n) then begin
@@ -115,26 +130,29 @@ let snapshot_to_prometheus (snap : Metrics.snapshot) =
   in
   List.iter
     (fun (name, v) ->
-      let n = prom_name name in
-      let help = Printf.sprintf "sinr_sim metric %s" name in
+      let family, pairs = Metrics.split_name name in
+      let n = prom_name family in
+      let lbls = prom_labels pairs in
+      let help = Printf.sprintf "sinr_sim metric %s" family in
       match v with
       | Metrics.Counter_v c ->
         header n ~help ~typ:"counter";
-        Buffer.add_string buf (Printf.sprintf "%s %d\n" n c)
+        Buffer.add_string buf (Printf.sprintf "%s%s %d\n" n lbls c)
       | Metrics.Gauge_v g ->
         header n ~help ~typ:"gauge";
-        Buffer.add_string buf (Printf.sprintf "%s %s\n" n (prom_float g))
+        Buffer.add_string buf (Printf.sprintf "%s%s %s\n" n lbls (prom_float g))
       | Metrics.Histogram_v h ->
         header n ~help ~typ:"summary";
         List.iter
           (fun (q, value) ->
             Buffer.add_string buf
-              (Printf.sprintf "%s{quantile=\"%s\"} %s\n" n
-                 (prom_escape_label q) (prom_float value)))
+              (Printf.sprintf "%s%s %s\n" n
+                 (prom_labels ~extra:[ ("quantile", q) ] pairs)
+                 (prom_float value)))
           [ ("0.5", h.Metrics.p50); ("0.9", h.Metrics.p90); ("0.99", h.Metrics.p99) ];
         Buffer.add_string buf
-          (Printf.sprintf "%s_sum %s\n%s_count %d\n" n
-             (prom_float h.Metrics.sum) n h.Metrics.count))
+          (Printf.sprintf "%s_sum%s %s\n%s_count%s %d\n" n lbls
+             (prom_float h.Metrics.sum) n lbls h.Metrics.count))
     snap;
   Buffer.contents buf
 

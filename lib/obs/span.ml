@@ -96,13 +96,28 @@ let record_event ~slot body =
   if Atomic.get on then
     locked (fun () -> push (Event_entry { slot; body }))
 
+(* Ambient context: attributes stamped onto every span opened while the
+   context is set.  The daemon's runner scopes a [("job_id", ...)] pair
+   around each job so every span opened inside the job's cells — engine,
+   MAC, physics — carries the job identity without threading it through
+   the whole call stack.  One atomic load on [start] when tracing is on;
+   nothing at all when it is off. *)
+let context : (string * Json.t) list Atomic.t = Atomic.make []
+
+let set_context attrs = Atomic.set context attrs
+
+let with_context attrs f =
+  let prev = Atomic.get context in
+  Atomic.set context (attrs @ prev);
+  Fun.protect ~finally:(fun () -> Atomic.set context prev) f
+
 let start ?(parent = none) ~name ~slot () =
   if not (Atomic.get on) then none
   else begin
     let id = Atomic.fetch_and_add next_id 1 in
     let sp =
-      { id; parent; name; start_slot = slot; end_slot = -1; attrs = [];
-        notes = [] }
+      { id; parent; name; start_slot = slot; end_slot = -1;
+        attrs = Atomic.get context; notes = [] }
     in
     locked (fun () -> Hashtbl.replace active id sp);
     id

@@ -30,7 +30,18 @@ val none : id
 
 val start : ?parent:id -> name:string -> slot:int -> unit -> id
 (** Open a span at [slot]. Returns {!none} when tracing is disabled (a
-    {!none} [parent] means root). *)
+    {!none} [parent] means root). The span's initial attributes are the
+    current ambient context (see {!with_context}). *)
+
+val set_context : (string * Json.t) list -> unit
+(** Set the process-global ambient context: attributes stamped onto every
+    span subsequently opened, in any domain. Used by the sweep daemon to
+    tag all spans of a running job with its [job_id]. Prefer
+    {!with_context} for scoped use. *)
+
+val with_context : (string * Json.t) list -> (unit -> 'a) -> 'a
+(** Prepend attributes to the ambient context for the duration of [f],
+    restoring the previous context after (even on exceptions). *)
 
 val set_attr : id -> string -> Json.t -> unit
 (** Set (or replace) an attribute on a still-open span. *)

@@ -33,11 +33,29 @@ type t = {
   wal_dir : string;
   wal : Wal.t;
   supervisor : Supervisor.t;
+  events : Events.t;
   checkpoint_every : int;
   draining : bool Atomic.t;
   recovered : int;
   wal_recovery : [ `Clean | `Torn_tail | `Quarantined of string ];
 }
+
+(* The ["state"] event body: enough for a watcher to render the job line
+   without a follow-up GET. Published from the queue's transition hook,
+   so every committed transition — admission, take, finish, retry,
+   requeue — is narrated in commit order. *)
+let state_event (job : Queue.job) =
+  Json.Obj
+    (List.concat
+       [ [ ("job_id", Json.int job.Queue.id);
+           ("state", Json.Str (Queue.state_name job.Queue.state));
+           ("cells_done", Json.int job.Queue.cells_done);
+           ("cells_total", Json.int job.Queue.cells_total);
+           ("attempts", Json.int job.Queue.attempts);
+           ("quarantined", Json.Bool job.Queue.quarantined) ];
+         (match job.Queue.error with
+          | Some e -> [ ("error", Json.Str e) ]
+          | None -> []) ])
 
 (* Fold the replayed records into per-job state.  [attempts] counts
    Started records not closed by Yielded (graceful drains are not
@@ -102,7 +120,10 @@ let create ?(dir = ".") ?wal_dir ?(max_queued = 8) ?(checkpoint_every = 4)
             else []))
          live)
   in
+  let events = Events.create () in
   let queue = Queue.create ~max_queued () in
+  Queue.on_transition queue (fun job ->
+      Events.publish events ~job:job.Queue.id ~typ:"state" (state_event job));
   let pol = Supervisor.policy supervisor in
   let recovered =
     List.fold_left
@@ -130,12 +151,14 @@ let create ?(dir = ".") ?wal_dir ?(max_queued = 8) ?(checkpoint_every = 4)
     wal_dir;
     wal;
     supervisor;
+    events;
     checkpoint_every = max 1 checkpoint_every;
     draining = Atomic.make false;
     recovered;
     wal_recovery }
 
 let queue t = t.queue
+let events t = t.events
 let dir t = t.dir
 let wal_dir t = t.wal_dir
 let wal t = t.wal
@@ -152,6 +175,8 @@ let step t =
     | None -> false
     | Some job ->
       Supervisor.run t.supervisor ~wal:t.wal
+        ~notify:(fun ~typ body ->
+          Events.publish t.events ~job:job.Queue.id ~typ body)
         ~should_stop:(fun () -> Atomic.get t.draining)
         ~checkpoint_every:t.checkpoint_every ~dir:t.dir t.queue job;
       true
@@ -297,6 +322,24 @@ let table t id_str =
         (Printf.sprintf "job is %s, table only exists once done"
            (Queue.state_name job.Queue.state)))
 
+(* GET /jobs/:id/metrics — the labeled [{job_id="<id>"}] children of the
+   process registry, rendered as Prometheus text.  Two concurrent jobs
+   expose disjoint scopes here while /metrics keeps the totals. *)
+let job_metrics t id_str =
+  match job_by_id t id_str with
+  | None -> error_response 404 "no such job"
+  | Some job ->
+    let want = ("job_id", string_of_int job.Queue.id) in
+    let scoped =
+      List.filter
+        (fun (name, _) ->
+          let _, pairs = Metrics.split_name name in
+          List.mem want pairs)
+        (Metrics.snapshot ())
+    in
+    Http.response ~content_type:"text/plain; version=0.0.4" 200
+      (Sink.snapshot_to_prometheus scoped)
+
 let handler t (req : Http.request) =
   match String.split_on_char '/' req.Http.path with
   | [ ""; "readyz" ] -> (
@@ -339,4 +382,211 @@ let handler t (req : Http.request) =
       Some
         (error_response ~headers:[ ("Allow", "GET") ] 405
            "method not allowed on /jobs/:id/table"))
+  | [ ""; "jobs"; id; "metrics" ] -> (
+    match req.Http.meth with
+    | "GET" -> Some (job_metrics t id)
+    | _ ->
+      Some
+        (error_response ~headers:[ ("Allow", "GET") ] 405
+           "method not allowed on /jobs/:id/metrics"))
+  (* GET on the event paths normally never lands here — the stream
+     handler intercepts it.  Reaching this arm means the job id is
+     unknown (the stream handler fell through) or streaming is not
+     mounted on this server. *)
+  | [ ""; "jobs"; id; "events" ] -> (
+    match req.Http.meth with
+    | "GET" ->
+      Some
+        (match job_by_id t id with
+         | None -> error_response 404 "no such job"
+         | Some _ -> error_response 503 "event streaming not enabled")
+    | _ ->
+      Some
+        (error_response ~headers:[ ("Allow", "GET") ] 405
+           "method not allowed on /jobs/:id/events"))
+  | [ ""; "events" ] -> (
+    match req.Http.meth with
+    | "GET" -> Some (error_response 503 "event streaming not enabled")
+    | _ ->
+      Some
+        (error_response ~headers:[ ("Allow", "GET") ] 405
+           "method not allowed on /events"))
   | _ -> None (* /metrics, /healthz, /spans, 404: the builtin routes *)
+
+(* ------------------------------------------------------------------ *)
+(* SSE streams                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let heartbeat_every = 10.0
+let poll_sleep = 0.05
+
+let terminal (job : Queue.job) =
+  match job.Queue.state with
+  | Queue.Done | Queue.Failed | Queue.Cancelled -> true
+  | Queue.Queued | Queue.Running -> false
+
+(* Snapshot greeting for a per-job stream: everything a late-joining
+   watcher needs (the grid shape, progress so far) before live events
+   resume the story. *)
+let hello_json (job : Queue.job) =
+  let spec = job.Queue.spec in
+  Json.Obj
+    (List.concat
+       [ [ ("job_id", Json.int job.Queue.id);
+           ("exp", Json.Str spec.Spec.exp) ];
+         (match Registry.resolve spec with
+          | Ok reg ->
+            [ ("param_name", Json.Str reg.Registry.param_name) ]
+          | Error _ -> []);
+         [ ("params", Json.List (List.map Json.int spec.Spec.params));
+           ("seeds", Json.List (List.map Json.int spec.Spec.seeds));
+           ("cells_done", Json.int job.Queue.cells_done);
+           ("cells_total", Json.int job.Queue.cells_total);
+           ("state", Json.Str (Queue.state_name job.Queue.state));
+           ("attempts", Json.int job.Queue.attempts);
+           ("restored", Json.int job.Queue.restored);
+           ("quarantined", Json.Bool job.Queue.quarantined) ] ])
+
+(* Backlog replay: rows already complete when the client connected, as
+   synthesized ["row"] events — from the final table when the job is
+   done, else reassembled from the partial's cells (canonical grid
+   order, so seed order within a row is preserved).  A row published
+   live between our subscription and this snapshot may be replayed AND
+   delivered; watchers dedup by param (cells are deterministic, so the
+   duplicates are byte-identical). *)
+let replay_rows (job : Queue.job) =
+  let mk param cells =
+    Json.Obj
+      [ ("job_id", Json.int job.Queue.id);
+        ("param", Json.int param);
+        ("cells", Json.List cells) ]
+  in
+  match (job.Queue.state, job.Queue.table) with
+  | Queue.Done, Some tbl -> (
+    match Json.member "rows" tbl with
+    | Some (Json.List rows) ->
+      List.filter_map
+        (fun row ->
+          match
+            ( Option.bind (Json.member "param" row) Json.to_int,
+              Json.member "cells" row )
+          with
+          | Some p, Some (Json.List cells) -> Some (mk p cells)
+          | _ -> None)
+        rows
+    | _ -> [])
+  | _ -> (
+    match job.Queue.partial with
+    | None -> []
+    | Some partial -> (
+      match Json.member "cells" partial with
+      | Some (Json.List cells) ->
+        let seeds_n = List.length job.Queue.spec.Spec.seeds in
+        let by_param : (int, Json.t list) Hashtbl.t = Hashtbl.create 16 in
+        List.iter
+          (fun c ->
+            match
+              ( Option.bind (Json.member "param" c) Json.to_int,
+                Json.member "cell" c )
+            with
+            | Some p, Some cell ->
+              Hashtbl.replace by_param p
+                (cell
+                 :: Option.value ~default:[] (Hashtbl.find_opt by_param p))
+            | _ -> ())
+          cells;
+        List.filter_map
+          (fun p ->
+            match Hashtbl.find_opt by_param p with
+            | Some cs when List.length cs = seeds_n ->
+              Some (mk p (List.rev cs))
+            | _ -> None)
+          job.Queue.spec.Spec.params
+      | _ -> []))
+
+let sse_stream write =
+  { Http.s_status = 200;
+    s_content_type = "text/event-stream";
+    s_headers = [ ("X-Accel-Buffering", "no") ];
+    s_write = write }
+
+(* GET /jobs/:id/events.  Subscribe FIRST, then snapshot — an event
+   landing in between is delivered twice, never lost.  The stream closes
+   itself once it has delivered a terminal state, so [curl -N] exits on
+   its own when the job settles. *)
+let job_stream t (job : Queue.job) =
+  sse_stream @@ fun ~push ~should_stop ->
+  let sub = Events.subscribe ~job:job.Queue.id t.events in
+  Fun.protect ~finally:(fun () -> Events.unsubscribe t.events sub)
+  @@ fun () ->
+  let ok = ref (push (Events.sse_event ~typ:"hello" (hello_json job))) in
+  List.iter
+    (fun row -> if !ok then ok := push (Events.sse_event ~typ:"row" row))
+    (replay_rows job);
+  if terminal job then begin
+    if !ok then
+      ignore (push (Events.sse_event ~typ:"state" (state_event job)))
+  end
+  else begin
+    let finished = ref false in
+    let last_sent = ref (Unix.gettimeofday ()) in
+    while !ok && (not !finished) && not (should_stop ()) do
+      match Events.poll sub with
+      | [] ->
+        Unix.sleepf poll_sleep;
+        if Unix.gettimeofday () -. !last_sent > heartbeat_every then begin
+          ok := push (Events.sse_comment "heartbeat");
+          last_sent := Unix.gettimeofday ()
+        end
+      | evs ->
+        List.iter
+          (fun ev ->
+            if !ok then begin
+              ok := push (Events.sse_frame ev);
+              last_sent := Unix.gettimeofday ();
+              if ev.Events.typ = "state" then
+                match Json.member "state" ev.Events.body with
+                | Some (Json.Str ("done" | "failed" | "cancelled")) ->
+                  finished := true
+                | _ -> ()
+            end)
+          evs
+    done
+  end
+
+(* GET /events — the firehose: every job's events, no replay, runs until
+   the client hangs up or the server stops. *)
+let firehose_stream t =
+  sse_stream @@ fun ~push ~should_stop ->
+  let sub = Events.subscribe t.events in
+  Fun.protect ~finally:(fun () -> Events.unsubscribe t.events sub)
+  @@ fun () ->
+  let ok = ref (push (Events.sse_comment "firehose: all jobs")) in
+  let last_sent = ref (Unix.gettimeofday ()) in
+  while !ok && not (should_stop ()) do
+    match Events.poll sub with
+    | [] ->
+      Unix.sleepf poll_sleep;
+      if Unix.gettimeofday () -. !last_sent > heartbeat_every then begin
+        ok := push (Events.sse_comment "heartbeat");
+        last_sent := Unix.gettimeofday ()
+      end
+    | evs ->
+      List.iter
+        (fun ev ->
+          if !ok then begin
+            ok := push (Events.sse_frame ev);
+            last_sent := Unix.gettimeofday ()
+          end)
+        evs
+  done
+
+let stream_handler t (req : Http.request) =
+  if req.Http.meth <> "GET" then None
+  else
+    match String.split_on_char '/' req.Http.path with
+    | [ ""; "events" ] -> Some (firehose_stream t)
+    | [ ""; "jobs"; id; "events" ] ->
+      (* unknown id falls through to [handler]'s 404 *)
+      Option.map (job_stream t) (job_by_id t id)
+    | _ -> None

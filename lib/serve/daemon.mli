@@ -4,13 +4,25 @@
 
     The handler claims the [/jobs] namespace plus [/readyz] —
     [POST /jobs] (202/400/429), [GET /jobs], [GET /jobs/:id],
-    [GET /jobs/:id/table] (200/404/409), [DELETE /jobs/:id]
-    (200/202/404/409, idempotent on an already-cancelled job),
-    [GET /readyz] (200, or 503 with JSON reasons: draining / saturated /
-    wal-unwritable) — and returns [None] elsewhere so the observability
-    server's builtin [/metrics], [/healthz] (pure liveness) and [/spans]
-    keep working. Requests never run sweeps; the owner drives execution
-    with {!step} from its own loop.
+    [GET /jobs/:id/table] (200/404/409), [GET /jobs/:id/metrics] (the
+    job's labeled [{job_id="<id>"}] metric children as Prometheus text),
+    [DELETE /jobs/:id] (200/202/404/409, idempotent on an
+    already-cancelled job), [GET /readyz] (200, or 503 with JSON
+    reasons: draining / saturated / wal-unwritable) — and returns [None]
+    elsewhere so the observability server's builtin [/metrics],
+    [/healthz] (pure liveness) and [/spans] keep working. Requests never
+    run sweeps; the owner drives execution with {!step} from its own
+    loop.
+
+    {b Event streams.} Every committed queue transition, plus the
+    runner's cell / checkpoint / row hooks and the supervisor's retry /
+    quarantine verdicts, is published to an {!Events} broker. Mount
+    {!stream_handler} alongside {!handler} to expose them as SSE:
+    [GET /events] (firehose) and [GET /jobs/:id/events] (one job:
+    synthesized [hello] greeting, replayed [row] backlog, then live
+    events; the stream closes itself after a terminal [state] event). A
+    slow client loses oldest-first from its own bounded buffer
+    ([serve.events.dropped]) and never blocks the runner.
 
     {b Durability.} Admissions and terminal transitions are WAL-logged
     before the HTTP response. {!create} replays the WAL — skipping a
@@ -37,6 +49,11 @@ val create :
     replay, re-admission, compaction — before returning. *)
 
 val queue : t -> Queue.t
+
+val events : t -> Events.t
+(** The broker behind {!stream_handler} — tests and embedders can
+    subscribe directly. *)
+
 val dir : t -> string
 val wal_dir : t -> string
 val wal : t -> Wal.t
@@ -51,6 +68,12 @@ val wal_recovery : t -> [ `Clean | `Torn_tail | `Quarantined of string ]
 
 val handler : t -> Http.request -> Http.response option
 (** Mount with [Http.serve ~handler:(Daemon.handler t)]. *)
+
+val stream_handler : t -> Http.request -> Http.stream option
+(** SSE routes ([/events], [/jobs/:id/events]); mount with
+    [Http.serve ~stream_handler:(Daemon.stream_handler t)]. Unknown job
+    ids fall through to {!handler} (404); without this mounted, GET on
+    the event paths answers 503. *)
 
 val step : t -> bool
 (** Run the oldest runnable queued job through one supervised attempt

@@ -1,0 +1,134 @@
+(* Bounded-fan-out event broker: the daemon's job lifecycle, narrated.
+
+   Publishers (Queue state transitions, the Runner's cell/row/checkpoint
+   hooks, the Supervisor's retry/quarantine path) push small JSON events
+   tagged with a job id; subscribers (one per SSE client) each own a
+   bounded FIFO drained by their stream's writer domain.
+
+   The contract that keeps the runner safe from its audience:
+
+   - [publish] NEVER blocks on a subscriber.  A full FIFO drops its
+     oldest event (the client is behind; newest state is worth more than
+     a complete history), counts it per-subscriber, and bumps the global
+     [serve.events.dropped] counter.  A wedged client therefore costs
+     the runner one mutex'd queue push per event, nothing more.
+   - Sequence numbers are global and assigned under the broker mutex, so
+     any two subscribers agree on the order of the events they both see,
+     and a per-job subscriber sees its job's events in publish order.
+   - [poll] is non-blocking; stream writers alternate poll/sleep so they
+     can also watch their client and the server's stop flag.
+
+   Cell events are published from pool worker domains (the runner's
+   wrap_cell runs there), so everything here must be domain-safe: the
+   broker mutex guards the subscriber list and sequence, each
+   subscription's mutex guards its FIFO. *)
+
+open Sinr_obs
+module Fifo = Stdlib.Queue
+
+let m_published = Metrics.counter "serve.events.published"
+let m_dropped = Metrics.counter "serve.events.dropped"
+
+type event = {
+  seq : int; (* global publish order, 1-based *)
+  job : int;
+  typ : string; (* "state", "cell", "row", "checkpoint", "retry", ... *)
+  body : Json.t;
+}
+
+type sub = {
+  sub_job : int option; (* None = firehose *)
+  sub_buffer : int;
+  sub_mutex : Mutex.t;
+  sub_events : event Fifo.t;
+  mutable sub_dropped : int;
+  mutable sub_closed : bool;
+}
+
+type t = {
+  mutex : Mutex.t;
+  buffer : int;
+  mutable seq : int;
+  mutable subs : sub list;
+}
+
+let default_buffer = 256
+
+let create ?(buffer = default_buffer) () =
+  { mutex = Mutex.create (); buffer = max 1 buffer; seq = 0; subs = [] }
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let subscribe ?job t =
+  let s =
+    { sub_job = job;
+      sub_buffer = t.buffer;
+      sub_mutex = Mutex.create ();
+      sub_events = Fifo.create ();
+      sub_dropped = 0;
+      sub_closed = false }
+  in
+  locked t.mutex (fun () -> t.subs <- s :: t.subs);
+  s
+
+let unsubscribe t s =
+  locked s.sub_mutex (fun () -> s.sub_closed <- true);
+  locked t.mutex (fun () -> t.subs <- List.filter (fun x -> x != s) t.subs)
+
+let subscriber_count t = locked t.mutex (fun () -> List.length t.subs)
+
+let publish t ~job ~typ body =
+  let ev, subs =
+    locked t.mutex (fun () ->
+        t.seq <- t.seq + 1;
+        ({ seq = t.seq; job; typ; body }, t.subs))
+  in
+  Metrics.incr m_published;
+  List.iter
+    (fun s ->
+      let interested =
+        match s.sub_job with None -> true | Some j -> j = job
+      in
+      if interested then
+        locked s.sub_mutex (fun () ->
+            if not s.sub_closed then begin
+              if Fifo.length s.sub_events >= s.sub_buffer then begin
+                ignore (Fifo.pop s.sub_events);
+                s.sub_dropped <- s.sub_dropped + 1;
+                Metrics.incr m_dropped
+              end;
+              Fifo.push ev s.sub_events
+            end))
+    subs
+
+(* Drain everything currently queued, oldest first; non-blocking. *)
+let poll s =
+  locked s.sub_mutex (fun () ->
+      let acc = ref [] in
+      while not (Fifo.is_empty s.sub_events) do
+        acc := Fifo.pop s.sub_events :: !acc
+      done;
+      List.rev !acc)
+
+let dropped s = locked s.sub_mutex (fun () -> s.sub_dropped)
+let pending s = locked s.sub_mutex (fun () -> Fifo.length s.sub_events)
+
+(* ------------------------------------------------------------------ *)
+(* SSE framing                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* One Server-Sent-Events frame.  Event bodies are single-line JSON
+   (Json.to_string_json never emits a newline), so one [data:] line per
+   frame suffices. *)
+let sse_frame (ev : event) =
+  Printf.sprintf "id: %d\nevent: %s\ndata: %s\n\n" ev.seq ev.typ
+    (Json.to_string_json ev.body)
+
+(* A synthesized frame (greeting / backlog replay) carries no global
+   sequence id. *)
+let sse_event ~typ body =
+  Printf.sprintf "event: %s\ndata: %s\n\n" typ (Json.to_string_json body)
+
+let sse_comment msg = Printf.sprintf ": %s\n\n" msg

@@ -1,0 +1,71 @@
+(** Bounded-fan-out event broker behind the daemon's SSE endpoints.
+
+    Publishers tag each JSON event with a job id; each subscriber owns a
+    bounded FIFO. {!publish} never blocks: a subscriber that stops
+    draining loses its {e oldest} events (counted per-subscriber and in
+    the global [serve.events.dropped] counter) while the runner carries
+    on untouched. Sequence numbers are global, so a per-job subscriber
+    sees its job's events in publish order and any two subscribers agree
+    on the relative order of events they both received.
+
+    Domain-safe: cell events are published from pool worker domains and
+    drained by per-stream server domains. *)
+
+open Sinr_obs
+
+type t
+
+type event = {
+  seq : int;  (** global publish order, 1-based *)
+  job : int;
+  typ : string;
+      (** ["state"], ["cell"], ["row"], ["checkpoint"], ["retry"],
+          ["quarantine"] *)
+  body : Json.t;
+}
+
+type sub
+(** One subscription (= one SSE client). *)
+
+val default_buffer : int
+(** Events buffered per subscriber before the drop policy kicks in
+    (256). *)
+
+val create : ?buffer:int -> unit -> t
+
+val subscribe : ?job:int -> t -> sub
+(** Register a subscriber; [?job] filters to one job's events, absent
+    means the firehose. Events published before the subscription are not
+    replayed — the daemon's stream handler synthesizes a snapshot
+    greeting instead. *)
+
+val unsubscribe : t -> sub -> unit
+(** Close and detach; pending events are discarded. Idempotent. *)
+
+val publish : t -> job:int -> typ:string -> Json.t -> unit
+(** Fan an event out to every interested subscriber, dropping each full
+    subscriber's oldest event. Never blocks beyond the (non-hot-path)
+    broker and per-subscriber mutexes. *)
+
+val poll : sub -> event list
+(** Drain everything currently queued, oldest first; non-blocking and
+    empty when nothing is pending. *)
+
+val dropped : sub -> int
+(** Events dropped from this subscription so far. *)
+
+val pending : sub -> int
+val subscriber_count : t -> int
+
+(** {1 SSE framing} *)
+
+val sse_frame : event -> string
+(** [id: <seq>\nevent: <typ>\ndata: <json>\n\n] — bodies are single-line
+    JSON so one data line suffices. *)
+
+val sse_event : typ:string -> Json.t -> string
+(** A synthesized frame (greeting, backlog replay) without an [id:]
+    line. *)
+
+val sse_comment : string -> string
+(** [: <msg>\n\n] — keep-alive heartbeat, ignored by SSE clients. *)

@@ -55,13 +55,26 @@ type t = {
   max_queued : int;
   mutable next_id : int;
   mutable entries : job list; (* newest first; [jobs] reverses *)
+  mutable notify : (job -> unit) option;
+      (* state-transition hook, fired under the mutex so observers see
+         transitions in commit order; must not call back into the queue *)
 }
 
 let create ?(max_queued = 8) () =
   { mutex = Mutex.create ();
     max_queued = max 1 max_queued;
     next_id = 1;
-    entries = [] }
+    entries = [];
+    notify = None }
+
+let on_transition t f = t.notify <- Some f
+
+(* Caller holds the mutex; exceptions in the hook must not poison a
+   transition. *)
+let notify_locked t job =
+  match t.notify with
+  | None -> ()
+  | Some f -> ( try f job with _ -> ())
 
 let locked t f =
   Mutex.lock t.mutex;
@@ -106,6 +119,7 @@ let submit t spec =
         t.entries <- job :: t.entries;
         Metrics.incr m_submitted;
         set_depth_gauge t;
+        notify_locked t job;
         Ok job
       end)
 
@@ -138,6 +152,7 @@ let recover t ~id ~spec ~attempts =
         List.sort (fun a b -> compare b.id a.id) (job :: t.entries);
       Metrics.incr m_recovered;
       set_depth_gauge t;
+      notify_locked t job;
       job)
 
 let jobs t = locked t (fun () -> List.rev t.entries)
@@ -158,6 +173,7 @@ let take ?now t =
       | None -> None
       | Some j ->
         j.state <- Running;
+        notify_locked t j;
         Some j)
 
 let cancel t id =
@@ -171,6 +187,7 @@ let cancel t id =
           j.finished_at <- Some (Unix.gettimeofday ());
           Metrics.incr m_cancelled;
           set_depth_gauge t;
+          notify_locked t j;
           `Cancelled
         | Running ->
           Atomic.set j.cancel true;
@@ -208,13 +225,17 @@ let finish t job outcome =
          job.state <- Cancelled;
          Metrics.incr m_cancelled);
       job.finished_at <- Some (Unix.gettimeofday ());
-      set_depth_gauge t)
+      set_depth_gauge t;
+      notify_locked t job)
 
 (* Drain path: the runner stopped at a cell boundary for a reason that is
    not this job's cancel flag (process shutdown).  The checkpoint on disk
    holds everything done so far; putting the job back to Queued records
    that it is resumable, not finished. *)
-let requeue t job = locked t (fun () -> job.state <- Queued)
+let requeue t job =
+  locked t (fun () ->
+      job.state <- Queued;
+      notify_locked t job)
 
 (* Supervision path: the attempt failed for a reason worth retrying.  The
    job goes back to Queued but [take] will not hand it out before
@@ -225,4 +246,5 @@ let retry t job ~not_before ~error =
       job.not_before <- not_before;
       job.error <- Some error;
       Metrics.incr m_retry_scheduled;
-      set_depth_gauge t)
+      set_depth_gauge t;
+      notify_locked t job)

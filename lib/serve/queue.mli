@@ -45,6 +45,13 @@ type t
 val create : ?max_queued:int -> unit -> t
 (** [max_queued] (default 8, clamped [>= 1]) caps Queued + Running. *)
 
+val on_transition : t -> (job -> unit) -> unit
+(** Install the state-transition hook (the daemon feeds {!Events} with
+    it): called after every committed transition — submit, recover,
+    take, cancel, finish, requeue, retry — while the queue mutex is
+    held, so observers see transitions in commit order. The hook must
+    not call back into the queue; exceptions are swallowed. *)
+
 val max_queued : t -> int
 val depth : t -> int
 

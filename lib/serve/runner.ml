@@ -131,8 +131,24 @@ let table_json (reg : Registry.t) (spec : Spec.t) cursor =
              (Sweep.results cursor)) ) ]
 
 let run_job ?(checkpoint_every = 4) ?(should_stop = fun () -> false)
-    ?wrap_cell ?on_fail ?on_checkpoint ~dir queue (job : Queue.job) =
+    ?wrap_cell ?on_fail ?on_checkpoint ?notify ~dir queue (job : Queue.job) =
   let spec = job.Queue.spec in
+  let jid = job.Queue.id in
+  (* Ambient job identity: every span opened for the rest of this attempt
+     — including engine/MAC/physics spans opened on pool worker domains
+     inside cells — carries a job_id attribute, so /spans?job=N and
+     trace-report --job isolate one job's trace. *)
+  Span.with_context [ ("job_id", Json.int jid) ] @@ fun () ->
+  let emit typ body =
+    match notify with None -> () | Some f -> f ~typ body
+  in
+  (* Per-job labeled children of the process-global counters: interned
+     once per attempt (registry get-or-create), bumped alongside their
+     unlabeled parents, scraped scoped at /jobs/:id/metrics. *)
+  let jlabels = Metrics.labels [ ("job_id", string_of_int jid) ] in
+  let mj_cells = Metrics.counter_with "serve.cells.done" jlabels in
+  let mj_checkpoints = Metrics.counter_with "serve.checkpoints" jlabels in
+  let mj_resumed = Metrics.counter_with "serve.resume.cells" jlabels in
   let span = Span.start ~name:"serve.job" ~slot:0 () in
   Span.set_attr span "job" (Json.int job.Queue.id);
   Span.set_attr span "exp" (Json.Str spec.Spec.exp);
@@ -159,30 +175,89 @@ let run_job ?(checkpoint_every = 4) ?(should_stop = fun () -> false)
       Sweep.cursor ~params:spec.Spec.params ~seeds:spec.Spec.seeds
     in
     let path = checkpoint_path ~dir job in
+    let save_ck c =
+      save ~path spec c;
+      Metrics.incr mj_checkpoints
+    in
     let restored = restore ~path spec cursor in
     if restored > 0 then begin
       job.Queue.restored <- restored;
       Metrics.add m_resumed restored;
+      Metrics.add mj_resumed restored;
       Span.annotate span ~slot:restored
         (Printf.sprintf "restored %d cells from %s" restored path);
       Queue.progress queue job ~cells_done:restored
         ~partial:(partial_json cursor)
     end;
+    (* Row announcements: a param's row is complete once all its seeds'
+       cells are in.  Cells come back in canonical grid order, so the
+       reassembled row is byte-identical to the matching [table_json]
+       row — a watch client can rebuild the final table from row events
+       alone. *)
+    let seeds_n = List.length spec.Spec.seeds in
+    let announced : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+    let publish_rows c =
+      if notify <> None then begin
+        let by_param : (int, Json.t list) Hashtbl.t = Hashtbl.create 16 in
+        List.iter
+          (fun (p, _s, cell) ->
+            let prev =
+              Option.value ~default:[] (Hashtbl.find_opt by_param p)
+            in
+            Hashtbl.replace by_param p (cell :: prev))
+          (Sweep.completed_cells c);
+        List.iter
+          (fun p ->
+            if not (Hashtbl.mem announced p) then
+              match Hashtbl.find_opt by_param p with
+              | Some cells when List.length cells = seeds_n ->
+                Hashtbl.replace announced p ();
+                emit "row"
+                  (Json.Obj
+                     [ ("job_id", Json.int jid); ("param", Json.int p);
+                       ("cells", Json.List (List.rev cells)) ])
+              | _ -> ())
+          spec.Spec.params
+      end
+    in
     let counted = ref restored in
     let on_chunk c =
-      save ~path spec c;
+      save_ck c;
       let done_now = Sweep.completed c in
       Metrics.add m_cells (done_now - !counted);
+      Metrics.add mj_cells (done_now - !counted);
       counted := done_now;
       Queue.progress queue job ~cells_done:done_now ~partial:(partial_json c);
+      emit "checkpoint"
+        (Json.Obj
+           [ ("job_id", Json.int jid); ("cells_done", Json.int done_now);
+             ("cells_total", Json.int job.Queue.cells_total) ]);
+      publish_rows c;
       Option.iter (fun f -> f ~cells:done_now) on_checkpoint
     in
     let stop () = should_stop () || Atomic.get job.Queue.cancel in
     let cell =
       let base p s = reg.Registry.cell ~param:p ~seed:s in
-      match wrap_cell with
+      let base =
+        match wrap_cell with
+        | None -> base
+        | Some w -> fun p s -> w ~param:p ~seed:s ~cell:base
+      in
+      match notify with
       | None -> base
-      | Some w -> fun p s -> w ~param:p ~seed:s ~cell:base
+      | Some _ ->
+        (* cell events fire from pool worker domains; the broker is
+           domain-safe and never blocks the worker *)
+        fun p s ->
+          let cell_ev phase =
+            Json.Obj
+              [ ("job_id", Json.int jid); ("param", Json.int p);
+                ("seed", Json.int s); ("phase", Json.Str phase) ]
+          in
+          emit "cell" (cell_ev "start");
+          let v = base p s in
+          emit "cell" (cell_ev "done");
+          v
     in
     match
       Sweep.run_cursor ?jobs:spec.Spec.jobs ~chunk:checkpoint_every
@@ -190,16 +265,17 @@ let run_job ?(checkpoint_every = 4) ?(should_stop = fun () -> false)
     with
     | `Complete ->
       (* an all-restored grid never fires on_chunk; normalize the file *)
-      if Sweep.completed cursor = restored then save ~path spec cursor;
+      if Sweep.completed cursor = restored then save_ck cursor;
+      publish_rows cursor;
       Queue.finish queue job (`Done (table_json reg spec cursor));
       finish_span ()
     | `Stopped ->
-      save ~path spec cursor;
+      save_ck cursor;
       if Atomic.get job.Queue.cancel then
         Queue.finish queue job `Cancelled
       else Queue.requeue queue job;
       finish_span ()
     | exception exn ->
-      save ~path spec cursor;
+      save_ck cursor;
       fail (Printexc.to_string exn);
       finish_span ())

@@ -11,7 +11,11 @@
     execution knobs (jobs, tag).
 
     Metrics: [serve.cells.done], [serve.checkpoints],
-    [serve.resume.cells]. *)
+    [serve.resume.cells] — each also bumped as a labeled
+    [{job_id="<id>"}] child so [/jobs/:id/metrics] can serve a per-job
+    scope. Every span opened during an attempt (including inside cells,
+    on pool worker domains) carries a [job_id] attribute via
+    {!Sinr_obs.Span.with_context}. *)
 
 open Sinr_expt
 open Sinr_obs
@@ -40,6 +44,7 @@ val run_job :
        (param:int -> seed:int
         -> cell:(int -> int -> Sinr_obs.Json.t) -> Sinr_obs.Json.t)
   -> ?on_fail:(string -> unit) -> ?on_checkpoint:(cells:int -> unit)
+  -> ?notify:(typ:string -> Json.t -> unit)
   -> dir:string -> Queue.t -> Queue.job -> unit
 (** Run (or resume) one job to a terminal state — or back to Queued if
     [should_stop] fired without the job's cancel flag (drain). Cell
@@ -50,4 +55,10 @@ val run_job :
     replaces the default [Failed] disposition — the supervisor decides
     retry vs quarantine and must settle the job before returning;
     [on_checkpoint] fires after each checkpoint lands (the supervisor
-    WAL-logs progress). *)
+    WAL-logs progress).
+
+    [notify] feeds the event stream: ["cell"] start/done around every
+    cell (fired from pool worker domains), ["checkpoint"] after each
+    checkpoint, and ["row"] with the full cell payload the moment a
+    param's last seed lands — cells in seed order, byte-identical to the
+    matching {!table_json} row. *)

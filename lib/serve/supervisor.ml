@@ -87,10 +87,13 @@ let backoff t ~strikes =
 
 let log wal r = Option.iter (fun w -> Wal.append w r) wal
 
+let emit notify typ body =
+  match notify with None -> () | Some f -> f ~typ body
+
 (* Quarantine: park the job as Failed with the flight recorder attached.
    The dump is best-effort — a full disk must not turn parking a poison
    job into a crash loop. *)
-let quarantine ?wal ~dir queue (job : Queue.job) reason =
+let quarantine ?wal ?notify ~dir queue (job : Queue.job) reason =
   let msg =
     Printf.sprintf "quarantined after %d strikes: %s" job.Queue.attempts
       reason
@@ -107,23 +110,38 @@ let quarantine ?wal ~dir queue (job : Queue.job) reason =
   | exception _ -> ());
   Queue.finish queue job (`Quarantined msg);
   Metrics.incr m_gave_up;
+  emit notify "quarantine"
+    (Json.Obj
+       (List.concat
+          [ [ ("job_id", Json.int job.Queue.id);
+              ("attempts", Json.int job.Queue.attempts);
+              ("reason", Json.Str msg) ];
+            (match job.Queue.dump with
+             | Some p -> [ ("dump", Json.Str p) ]
+             | None -> []) ]));
   log wal { Wal.job = job.Queue.id; ev = Wal.Quarantined msg }
 
 (* One failed attempt: retry with backoff while strikes fit the policy,
    quarantine past it. *)
-let strike t ?wal ~dir queue (job : Queue.job) reason =
+let strike t ?wal ?notify ~dir queue (job : Queue.job) reason =
   if job.Queue.attempts > t.policy.max_retries then
-    quarantine ?wal ~dir queue job reason
+    quarantine ?wal ?notify ~dir queue job reason
   else begin
     let delay = backoff t ~strikes:job.Queue.attempts in
     Queue.retry queue job ~not_before:(t.now () +. delay)
       ~error:
         (Printf.sprintf "attempt %d failed (%s); retrying in %.2gs"
-           job.Queue.attempts reason delay)
+           job.Queue.attempts reason delay);
+    emit notify "retry"
+      (Json.Obj
+         [ ("job_id", Json.int job.Queue.id);
+           ("attempt", Json.int job.Queue.attempts);
+           ("error", Json.Str reason);
+           ("backoff_s", Json.Num delay) ])
   end
 
-let run t ?wal ?(should_stop = fun () -> false) ?(checkpoint_every = 4) ~dir
-    queue (job : Queue.job) =
+let run t ?wal ?notify ?(should_stop = fun () -> false)
+    ?(checkpoint_every = 4) ~dir queue (job : Queue.job) =
   let p = t.policy in
   job.Queue.attempts <- job.Queue.attempts + 1;
   Metrics.incr m_attempts;
@@ -142,13 +160,18 @@ let run t ?wal ?(should_stop = fun () -> false) ?(checkpoint_every = 4) ~dir
   let failure = ref None in
   let on_fail msg =
     failure := Some msg;
-    strike t ?wal ~dir queue job msg
+    strike t ?wal ?notify ~dir queue job msg
+  in
+  let hj_cell =
+    Metrics.histogram_with "serve.cell.seconds"
+      (Metrics.labels [ ("job_id", string_of_int job.Queue.id) ])
   in
   let wrap_cell ~param ~seed ~cell =
     let c0 = t.now () in
     let v = cell param seed in
     let dt = t.now () -. c0 in
     Metrics.observe h_cell dt;
+    Metrics.observe hj_cell dt;
     if p.cell_timeout_s > 0. && dt > p.cell_timeout_s then begin
       Metrics.incr m_cell_timeout;
       raise (Cell_timeout { param; seed; elapsed = dt })
@@ -158,7 +181,7 @@ let run t ?wal ?(should_stop = fun () -> false) ?(checkpoint_every = 4) ~dir
   Runner.run_job ~checkpoint_every ~should_stop:stop ~wrap_cell ~on_fail
     ~on_checkpoint:(fun ~cells ->
       log wal { Wal.job = job.Queue.id; ev = Wal.Checkpointed cells })
-    ~dir queue job;
+    ?notify ~dir queue job;
   (* classify what the runner left behind *)
   match job.Queue.state with
   | Queue.Done ->
@@ -174,7 +197,7 @@ let run t ?wal ?(should_stop = fun () -> false) ?(checkpoint_every = 4) ~dir
        a strike — checkpointed progress survives into the next attempt,
        so a job that makes headway each attempt still completes *)
     Metrics.incr m_deadline;
-    strike t ?wal ~dir queue job
+    strike t ?wal ?notify ~dir queue job
       (Printf.sprintf "deadline %.2gs exceeded (%d/%d cells done)"
          p.deadline_s job.Queue.cells_done job.Queue.cells_total)
   | Queue.Queued ->

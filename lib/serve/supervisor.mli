@@ -20,8 +20,11 @@
 
     Metrics: [serve.retry.{attempts,recovered,gave_up}],
     [serve.deadline.exceeded], [serve.cell.timeouts] and the
-    [serve.cell.seconds] histogram (plus [serve.retry.scheduled] and
-    [serve.quarantine.jobs] from {!Queue}). *)
+    [serve.cell.seconds] histogram — the histogram also observed into a
+    labeled [{job_id="<id>"}] child per attempt (plus
+    [serve.retry.scheduled] and [serve.quarantine.jobs] from {!Queue}). *)
+
+open Sinr_obs
 
 exception Cell_timeout of { param : int; seed : int; elapsed : float }
 (** Raised (by the cell wrapper, at cell completion) when a cell ran
@@ -52,8 +55,15 @@ val backoff : t -> strikes:int -> float
 (** The delay scheduled after the [strikes]-th failed attempt. *)
 
 val run :
-  t -> ?wal:Wal.t -> ?should_stop:(unit -> bool) -> ?checkpoint_every:int
+  t -> ?wal:Wal.t -> ?notify:(typ:string -> Json.t -> unit)
+  -> ?should_stop:(unit -> bool) -> ?checkpoint_every:int
   -> dir:string -> Queue.t -> Queue.job -> unit
 (** Run one supervised attempt.  On return the job is settled: Done,
     Cancelled, Failed (quarantined), Queued inside a backoff window
-    (retry scheduled), or Queued cleanly (drain — [should_stop] fired). *)
+    (retry scheduled), or Queued cleanly (drain — [should_stop] fired).
+
+    [notify] is forwarded to {!Runner.run_job} (cell / checkpoint / row
+    events) and additionally fed supervision outcomes: ["retry"]
+    [{job_id, attempt, error, backoff_s}] after a strike schedules a
+    backoff, and ["quarantine"] [{job_id, attempts, reason, dump?}] when
+    the job is parked. *)

@@ -1,0 +1,346 @@
+(* SSE watch client: follow one daemon job from `GET /jobs/:id/events`
+   alone — no polling, no other endpoints — and rebuild its final table.
+
+   The daemon's stream is a plain HTTP/1.1 chunked response carrying
+   Server-Sent-Events frames, so the client is three thin layers:
+
+     socket bytes -> dechunker -> SSE frames -> watch state
+
+   The watch state mirrors the stream contract: a [hello] greeting fixes
+   the grid shape (exp, param_name, params, seeds), [row] events land
+   complete rows (replayed backlog first, live rows after — duplicates
+   possible across the seam, deduped here by param; cells are
+   deterministic so duplicates are byte-identical), and a terminal
+   [state] event settles the outcome.  Cell JSON prints byte-stably
+   through a parse/print round trip, so the table assembled from row
+   events alone is byte-identical to `GET /jobs/:id/table`.
+
+   Liveness: the server heartbeats every ~10 s, so SO_RCVTIMEO at 75 s
+   separates a dead peer from a long quiet cell. *)
+
+open Sinr_obs
+
+type outcome =
+  | Completed of Json.t
+  | Failed of { quarantined : bool; error : string }
+  | Cancelled
+  | Stream_error of string
+
+exception Stream_failed of string
+
+let default_recv_timeout = 75.
+
+(* ------------------------------------------------------------------ *)
+(* Socket bytes                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type reader = { fd : Unix.file_descr; mutable raw : string }
+
+(* Append whatever the socket has; [false] on orderly EOF.  A receive
+   timeout here means no data AND no heartbeat for the whole budget —
+   the peer is gone. *)
+let fill r =
+  let b = Bytes.create 4096 in
+  match Unix.read r.fd b 0 4096 with
+  | 0 -> false
+  | n ->
+    r.raw <- r.raw ^ Bytes.sub_string b 0 n;
+    true
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+    raise (Stream_failed "receive timeout (no event or heartbeat)")
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> true
+
+let send_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then go (off + Unix.write_substring fd s off (n - off))
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* HTTP header block + chunked transfer decoding                       *)
+(* ------------------------------------------------------------------ *)
+
+let find_sub hay needle from =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then None
+    else if String.sub hay i nn = needle then Some i
+    else go (i + 1)
+  in
+  go from
+
+(* Block until the full header block is buffered; returns
+   (status, lowercased headers) and leaves the body bytes in [r.raw]. *)
+let read_headers r =
+  let rec wait () =
+    match find_sub r.raw "\r\n\r\n" 0 with
+    | Some i -> i
+    | None ->
+      if fill r then wait ()
+      else raise (Stream_failed "connection closed before headers")
+  in
+  let hdr_end = wait () in
+  let block = String.sub r.raw 0 hdr_end in
+  r.raw <-
+    String.sub r.raw (hdr_end + 4) (String.length r.raw - hdr_end - 4);
+  match String.split_on_char '\r' (block ^ "\r") with
+  | [] -> raise (Stream_failed "empty response")
+  | status_line :: rest ->
+    let status =
+      match String.split_on_char ' ' status_line with
+      | _ :: code :: _ -> (
+        match int_of_string_opt code with
+        | Some c -> c
+        | None -> raise (Stream_failed ("bad status line: " ^ status_line)))
+      | _ -> raise (Stream_failed ("bad status line: " ^ status_line))
+    in
+    let headers =
+      List.filter_map
+        (fun line ->
+          let line =
+            if String.length line > 0 && line.[0] = '\n' then
+              String.sub line 1 (String.length line - 1)
+            else line
+          in
+          match String.index_opt line ':' with
+          | None -> None
+          | Some i ->
+            Some
+              ( String.lowercase_ascii (String.sub line 0 i),
+                String.trim
+                  (String.sub line (i + 1) (String.length line - i - 1)) ))
+        rest
+    in
+    (status, headers)
+
+(* One chunk off the front of [r.raw]: [`Data s], [`End] (terminal
+   0-chunk), or [`More] when the chunk is not fully buffered yet. *)
+let take_chunk r =
+  match String.index_opt r.raw '\n' with
+  | None -> `More
+  | Some nl -> (
+    let line = String.trim (String.sub r.raw 0 nl) in
+    let size_str =
+      match String.index_opt line ';' with
+      | Some i -> String.sub line 0 i
+      | None -> line
+    in
+    match int_of_string_opt ("0x" ^ size_str) with
+    | None -> raise (Stream_failed ("bad chunk size: " ^ line))
+    | Some 0 -> `End
+    | Some n ->
+      let start = nl + 1 in
+      if String.length r.raw >= start + n + 2 then begin
+        let data = String.sub r.raw start n in
+        r.raw <-
+          String.sub r.raw (start + n + 2)
+            (String.length r.raw - start - n - 2);
+        `Data data
+      end
+      else `More)
+
+(* ------------------------------------------------------------------ *)
+(* SSE frames                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A frame is the lines up to a blank line: optional [id:], [event:],
+   one or more [data:] lines, [:]-comments ignored.  Returns
+   [(typ, data)] — [typ] defaults to ["message"] per the SSE spec,
+   [None] for a pure comment frame (heartbeat). *)
+let parse_frame frame =
+  let typ = ref None and data = ref [] in
+  List.iter
+    (fun line ->
+      if String.length line > 0 && line.[0] <> ':' then
+        match String.index_opt line ':' with
+        | None -> ()
+        | Some i ->
+          let k = String.sub line 0 i in
+          let v = String.sub line (i + 1) (String.length line - i - 1) in
+          let v =
+            if String.length v > 0 && v.[0] = ' ' then
+              String.sub v 1 (String.length v - 1)
+            else v
+          in
+          (match k with
+           | "event" -> typ := Some v
+           | "data" -> data := v :: !data
+           | _ -> ()))
+    (String.split_on_char '\n' frame);
+  match (!typ, !data) with
+  | None, [] -> None (* comment/heartbeat *)
+  | t, ds -> Some (Option.value t ~default:"message", String.concat "\n" (List.rev ds))
+
+(* ------------------------------------------------------------------ *)
+(* Watch state                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type st = {
+  mutable exp : string option;
+  mutable param_name : string option;
+  mutable params : int list;
+  mutable seeds : Json.t list; (* raw, reprinted verbatim into the table *)
+  rows : (int, Json.t) Hashtbl.t; (* param -> cells (Json.List ...) *)
+  mutable outcome : outcome option;
+}
+
+let build_table st =
+  match (st.exp, st.param_name) with
+  | Some exp, Some pn ->
+    let rows =
+      List.map
+        (fun p ->
+          match Hashtbl.find_opt st.rows p with
+          | Some cells ->
+            Json.Obj [ ("param", Json.int p); ("cells", cells) ]
+          | None ->
+            raise
+              (Stream_failed
+                 (Printf.sprintf
+                    "job done but row for param %d never arrived \
+                     (events dropped?)"
+                    p)))
+        st.params
+    in
+    Json.Obj
+      [ ("exp", Json.Str exp);
+        ("param_name", Json.Str pn);
+        ("seeds", Json.List st.seeds);
+        ("rows", Json.List rows) ]
+  | _ -> raise (Stream_failed "terminal state before any hello greeting")
+
+let ints_of = function
+  | Some (Json.List l) -> List.filter_map Json.to_int l
+  | _ -> []
+
+let handle_event st ~typ body =
+  match typ with
+  | "hello" ->
+    st.exp <- Option.bind (Json.member "exp" body) (function
+      | Json.Str s -> Some s
+      | _ -> None);
+    st.param_name <-
+      Option.bind (Json.member "param_name" body) (function
+        | Json.Str s -> Some s
+        | _ -> None);
+    st.params <- ints_of (Json.member "params" body);
+    (match Json.member "seeds" body with
+     | Some (Json.List l) -> st.seeds <- l
+     | _ -> ())
+  | "row" -> (
+    match
+      ( Option.bind (Json.member "param" body) Json.to_int,
+        Json.member "cells" body )
+    with
+    | Some p, Some cells -> Hashtbl.replace st.rows p cells
+    | _ -> ())
+  | "state" -> (
+    match Json.member "state" body with
+    | Some (Json.Str "done") -> st.outcome <- Some (Completed (build_table st))
+    | Some (Json.Str "failed") ->
+      let quarantined =
+        match Json.member "quarantined" body with
+        | Some (Json.Bool b) -> b
+        | _ -> false
+      in
+      let error =
+        match Json.member "error" body with
+        | Some (Json.Str e) -> e
+        | _ -> "(no error recorded)"
+      in
+      st.outcome <- Some (Failed { quarantined; error })
+    | Some (Json.Str "cancelled") -> st.outcome <- Some Cancelled
+    | _ -> ())
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* The client                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let watch ?(host = "127.0.0.1") ?(recv_timeout = default_recv_timeout)
+    ?on_event ~port ~job () =
+  match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (e, _, _) ->
+    Stream_error (Unix.error_message e)
+  | fd -> (
+    Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ())
+    @@ fun () ->
+    try
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO recv_timeout;
+      Unix.connect fd
+        (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+      send_all fd
+        (Printf.sprintf
+           "GET /jobs/%d/events HTTP/1.1\r\n\
+            Host: %s:%d\r\n\
+            Accept: text/event-stream\r\n\
+            Connection: close\r\n\r\n"
+           job host port);
+      let r = { fd; raw = "" } in
+      let status, headers = read_headers r in
+      if status <> 200 then begin
+        (* drain what the server sent so the error carries its body *)
+        (try
+           while fill r do
+             ()
+           done
+         with _ -> ());
+        raise
+          (Stream_failed
+             (Printf.sprintf "HTTP %d: %s" status (String.trim r.raw)))
+      end;
+      if List.assoc_opt "transfer-encoding" headers <> Some "chunked" then
+        raise (Stream_failed "expected a chunked streaming response");
+      let st =
+        { exp = None;
+          param_name = None;
+          params = [];
+          seeds = [];
+          rows = Hashtbl.create 16;
+          outcome = None }
+      in
+      let sse = ref "" in
+      (* Peel complete frames off the decoded text, feed the state. *)
+      let drain_frames () =
+        let continue = ref true in
+        while !continue && st.outcome = None do
+          match find_sub !sse "\n\n" 0 with
+          | None -> continue := false
+          | Some i ->
+            let frame = String.sub !sse 0 i in
+            sse := String.sub !sse (i + 2) (String.length !sse - i - 2);
+            (match parse_frame frame with
+             | None -> () (* heartbeat *)
+             | Some (typ, data) -> (
+               match Json.parse_opt data with
+               | None -> () (* not our protocol; skip *)
+               | Some body ->
+                 (match on_event with
+                  | Some f -> ( try f ~typ body with _ -> ())
+                  | None -> ());
+                 handle_event st ~typ body))
+        done
+      in
+      let finished = ref false in
+      while (not !finished) && st.outcome = None do
+        match take_chunk r with
+        | `Data d ->
+          sse := !sse ^ d;
+          drain_frames ()
+        | `End -> finished := true
+        | `More ->
+          if not (fill r) then
+            (* server closed without the terminal chunk — still decode
+               whatever arrived *)
+            finished := true
+      done;
+      drain_frames ();
+      match st.outcome with
+      | Some o -> o
+      | None ->
+        Stream_error "stream ended before a terminal state event"
+    with
+    | Stream_failed msg -> Stream_error msg
+    | Unix.Unix_error (e, fn, _) ->
+      Stream_error (Printf.sprintf "%s: %s" fn (Unix.error_message e)))

@@ -1,0 +1,35 @@
+(** SSE watch client for the sweep daemon: follow one job through
+    [GET /jobs/:id/events] — no polling, no other endpoints — and
+    rebuild its final table from the stream alone.
+
+    The stream contract ({!Daemon.stream_handler}) makes this lossless:
+    a [hello] greeting fixes the grid shape, replayed and live [row]
+    events carry complete rows (duplicates across the replay seam are
+    deduped by param; cells print byte-stably, so duplicates are
+    byte-identical), and the stream closes after a terminal [state]
+    event.  The table assembled here is byte-identical to
+    [GET /jobs/:id/table]. *)
+
+open Sinr_obs
+
+type outcome =
+  | Completed of Json.t
+      (** the final table, byte-identical to [/jobs/:id/table] *)
+  | Failed of { quarantined : bool; error : string }
+  | Cancelled
+  | Stream_error of string
+      (** transport or protocol trouble: connect/HTTP failure, receive
+          timeout, or the stream ended without a terminal state *)
+
+val default_recv_timeout : float
+(** 75 s — generous against the server's ~10 s heartbeat cadence. *)
+
+val watch :
+  ?host:string -> ?recv_timeout:float
+  -> ?on_event:(typ:string -> Json.t -> unit) -> port:int -> job:int
+  -> unit -> outcome
+(** Connect to [host] (default [127.0.0.1]) : [port], stream the job's
+    events until it settles, and classify. [on_event] sees every
+    protocol frame as it arrives ([hello], [state], [cell],
+    [checkpoint], [row], [retry], [quarantine]) — the CLI renders live
+    progress from it; exceptions it raises are swallowed. *)

@@ -536,6 +536,124 @@ let test_prometheus_hardening () =
     (has_sub text "sinr_sim metric weird\\nname");
   check_prometheus_text "hardened exposition" text
 
+(* ---------------- labeled metrics ---------------- *)
+
+let test_labels =
+  with_registry (fun () ->
+      (* Canonicalization: key order is irrelevant — the same label set
+         interns to the same registry child. *)
+      let a = Metrics.labels [ ("job_id", "7"); ("kind", "x") ] in
+      let b = Metrics.labels [ ("kind", "x"); ("job_id", "7") ] in
+      Alcotest.(check string) "canonical order" (a :> string) (b :> string);
+      let c1 = Metrics.counter_with "lbl.cells" a in
+      let c2 = Metrics.counter_with "lbl.cells" b in
+      Metrics.incr c1;
+      Metrics.add c2 2;
+      Alcotest.(check int) "one interned child" 3 (Metrics.counter_value c1);
+      (* the bare family is a distinct series *)
+      Metrics.incr (Metrics.counter "lbl.cells");
+      Alcotest.(check int) "bare family separate" 1
+        (Metrics.counter_value (Metrics.counter "lbl.cells"));
+      (* split_name round-trips, escapes included *)
+      let tricky = Metrics.labels [ ("k", "a\"b\\c\nd") ] in
+      Alcotest.(check (pair string (list (pair string string))))
+        "split_name round-trip"
+        ("lbl.cells", [ ("k", "a\"b\\c\nd") ])
+        (Metrics.split_name ("lbl.cells" ^ (tricky :> string)));
+      Alcotest.(check (pair string (list (pair string string))))
+        "bare name" ("plain", [])
+        (Metrics.split_name "plain");
+      (* a malformed suffix is not labels — total, degrades to bare *)
+      Alcotest.(check (pair string (list (pair string string))))
+        "malformed degrades" ("x{oops", [])
+        (Metrics.split_name "x{oops");
+      (match Metrics.labels [ ("9bad", "v") ] with
+       | (_ : Metrics.labels) -> Alcotest.fail "invalid key accepted"
+       | exception Invalid_argument _ -> ());
+      (match Metrics.labels [ ("k", "1"); ("k", "2") ] with
+       | (_ : Metrics.labels) -> Alcotest.fail "duplicate key accepted"
+       | exception Invalid_argument _ -> ());
+      (* Prometheus rendering: labeled children under one family header,
+         quantile merged into the label set. *)
+      Metrics.set
+        (Metrics.gauge_with "lbl.g" (Metrics.labels [ ("job_id", "1") ]))
+        2.0;
+      Metrics.observe (Metrics.histogram_with "lbl.h" a) 1.0;
+      let text = Sink.snapshot_to_prometheus (Metrics.snapshot ()) in
+      Alcotest.(check bool) "labeled counter sample" true
+        (has_sub text "lbl_cells{job_id=\"7\",kind=\"x\"} 3");
+      Alcotest.(check bool) "bare sample kept" true
+        (has_sub text "\nlbl_cells 1");
+      Alcotest.(check int) "TYPE once for family with children" 1
+        (count_sub text "# TYPE lbl_cells counter");
+      Alcotest.(check bool) "labeled gauge" true
+        (has_sub text "lbl_g{job_id=\"1\"} 2");
+      Alcotest.(check bool) "quantile merged into label set" true
+        (has_sub text "lbl_h{job_id=\"7\",kind=\"x\",quantile=\"0.5\"} 1");
+      Alcotest.(check bool) "labeled histogram count" true
+        (has_sub text "lbl_h_count{job_id=\"7\",kind=\"x\"} 1");
+      check_prometheus_text "labeled exposition" text)
+
+(* ---------------- span ambient context ---------------- *)
+
+let test_span_context =
+  with_registry (fun () ->
+      Recorder.clear ();
+      Recorder.set_enabled true;
+      Fun.protect
+        ~finally:(fun () ->
+          Recorder.set_enabled false;
+          Recorder.clear ())
+      @@ fun () ->
+      Span.with_context
+        [ ("job_id", Json.int 7) ]
+        (fun () ->
+          let sp = Span.start ~name:"ctx.inside" ~slot:0 () in
+          Span.finish sp ~slot:1);
+      let sp = Span.start ~name:"ctx.outside" ~slot:0 () in
+      Span.finish sp ~slot:1;
+      let dump = Recorder.to_jsonl ~reason:"t" () in
+      Alcotest.(check bool) "inside span stamped" true
+        (has_sub dump "\"job_id\":7");
+      (* ?job keeps the stamped span, drops the rest *)
+      let filtered = Recorder.to_jsonl ~job:7 ~reason:"t" () in
+      Alcotest.(check bool) "filter keeps stamped" true
+        (has_sub filtered "ctx.inside");
+      Alcotest.(check bool) "filter drops unstamped" true
+        (not (has_sub filtered "ctx.outside"));
+      (* context restored on exit *)
+      let dump2 = Recorder.to_jsonl ~job:7 ~reason:"t" () in
+      Alcotest.(check bool) "context scoped" true
+        (not (has_sub dump2 "ctx.outside")))
+
+(* ---------------- procstat ticker ---------------- *)
+
+let test_procstat_ticker =
+  with_registry (fun () ->
+      let tk = Procstat.start_ticker ~period_s:0.05 () in
+      Fun.protect ~finally:(fun () -> Procstat.stop_ticker tk) @@ fun () ->
+      (* the first sample is immediate, modulo domain start latency *)
+      let gauge_pos k =
+        match List.assoc_opt k (Metrics.snapshot ()) with
+        | Some (Metrics.Gauge_v g) -> g > 0.
+        | _ -> false
+      in
+      let rec wait n =
+        if gauge_pos "proc.rss_kb" then ()
+        else if n = 0 then Alcotest.fail "proc.rss_kb never sampled"
+        else begin
+          Unix.sleepf 0.02;
+          wait (n - 1)
+        end
+      in
+      wait 100;
+      List.iter
+        (fun k -> Alcotest.(check bool) (k ^ " live") true (gauge_pos k))
+        [ "proc.rss_kb"; "proc.hwm_kb"; "gc.heap_words" ];
+      Procstat.stop_ticker tk;
+      (* idempotent *)
+      Procstat.stop_ticker tk)
+
 (* ---------------- embedded HTTP server ---------------- *)
 
 let http_get port path =
@@ -589,7 +707,28 @@ let test_http_endpoints =
       Alcotest.(check bool) "kernel assigned a port" true (port > 0);
       let health = http_get port "/healthz" in
       Alcotest.(check (option int)) "healthz 200" (Some 200) (status_of health);
-      Alcotest.(check string) "healthz body" "ok\n" (body_of health);
+      (* /healthz is JSON now: status, build version, start time, uptime. *)
+      (match Json.parse_opt (body_of health) with
+       | None -> Alcotest.failf "healthz body is not JSON: %S" (body_of health)
+       | Some j ->
+         Alcotest.(check (option string)) "healthz status"
+           (Some "ok")
+           (match Json.member "status" j with
+            | Some (Json.Str s) -> Some s
+            | _ -> None);
+         Alcotest.(check (option string)) "healthz version"
+           (Some Build_info.version)
+           (match Json.member "version" j with
+            | Some (Json.Str s) -> Some s
+            | _ -> None);
+         Alcotest.(check bool) "healthz uptime present" true
+           (match Json.member "uptime_s" j with
+            | Some (Json.Num u) -> u >= 0.
+            | _ -> false));
+      (* build.info: constant-1 gauge labeled with the version. *)
+      Alcotest.(check bool) "build.info labeled gauge" true
+        (has_sub (body_of (http_get port "/metrics"))
+           (Printf.sprintf "build_info{version=\"%s\"} 1" Build_info.version));
       let metrics = http_get port "/metrics" in
       Alcotest.(check (option int)) "metrics 200" (Some 200)
         (status_of metrics);
@@ -615,6 +754,46 @@ let test_http_endpoints =
         (status_of (Http.response_for "??"));
       Alcotest.(check (option int)) "query string ignored" (Some 200)
         (status_of (Http.response_for "GET /healthz?x=1 HTTP/1.1\r\n\r\n")))
+
+(* /spans?last=N: the ring is served newest-N-capped (default
+   Http.default_spans_last) and the header owns up to the truncation. *)
+let test_spans_last_cap =
+  with_registry (fun () ->
+      Recorder.clear ();
+      Recorder.set_enabled true;
+      Fun.protect
+        ~finally:(fun () ->
+          Recorder.set_enabled false;
+          Recorder.clear ())
+      @@ fun () ->
+      for i = 1 to 10 do
+        let sp = Span.start ~name:"cap.span" ~slot:i () in
+        Span.finish sp ~slot:i
+      done;
+      let srv = Http.serve ~port:0 () in
+      Fun.protect ~finally:(fun () -> Http.stop srv) @@ fun () ->
+      let port = Http.port srv in
+      let entries body =
+        List.filter (fun l -> l <> "") (String.split_on_char '\n' body)
+      in
+      let all = entries (body_of (http_get port "/spans")) in
+      let total = List.length all - 1 (* minus header *) in
+      Alcotest.(check bool) "spans recorded" true (total >= 10);
+      let capped = entries (body_of (http_get port "/spans?last=3")) in
+      Alcotest.(check int) "capped to header + 3" 4 (List.length capped);
+      (match Json.parse_opt (List.hd capped) with
+       | None -> Alcotest.fail "capped header is not JSON"
+       | Some h ->
+         Alcotest.(check (option int)) "entries counts what is served"
+           (Some 3)
+           (Option.bind (Json.member "entries" h) Json.to_int);
+         Alcotest.(check (option int)) "total_entries reports the ring"
+           (Some total)
+           (Option.bind (Json.member "total_entries" h) Json.to_int));
+      (* a nonsense value falls back to the default cap, not unbounded *)
+      let fallback = entries (body_of (http_get port "/spans?last=-5")) in
+      Alcotest.(check int) "negative last = default cap"
+        (List.length all) (List.length fallback))
 
 (* ---------------- timer ---------------- *)
 
@@ -839,6 +1018,12 @@ let suite =
     Alcotest.test_case "snapshot jsonl round-trip" `Quick
       test_snapshot_roundtrip;
     Alcotest.test_case "prometheus exposition" `Quick test_prometheus;
+    Alcotest.test_case "labeled metrics (intern, split, exposition)" `Quick
+      test_labels;
+    Alcotest.test_case "span ambient context stamps job_id" `Quick
+      test_span_context;
+    Alcotest.test_case "procstat ticker gauges" `Quick test_procstat_ticker;
+    Alcotest.test_case "/spans?last cap" `Quick test_spans_last_cap;
     Alcotest.test_case "prometheus hardening (escapes, one header per family)"
       `Quick test_prometheus_hardening;
     Alcotest.test_case "http /metrics /healthz /spans endpoints" `Quick

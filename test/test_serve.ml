@@ -956,6 +956,182 @@ let test_daemon_readyz =
         (status_of (handle "DELETE /readyz HTTP/1.1\r\n\r\n"));
       Daemon.close daemon)
 
+(* ---------------- event streams -------------------------------------- *)
+
+let int_field k body =
+  match Json.member k body with
+  | Some v -> Option.value ~default:(-1) (Json.to_int v)
+  | None -> -1
+
+(* Two publisher domains interleave events for two jobs; each per-job
+   subscriber must see exactly its own job's events in publish order,
+   while the firehose sees everything with globally consistent seqs. *)
+let test_events_isolation () =
+  let t = Events.create () in
+  let sub1 = Events.subscribe ~job:1 t in
+  let sub2 = Events.subscribe ~job:2 t in
+  let fire = Events.subscribe t in
+  Alcotest.(check int) "three subscribers" 3 (Events.subscriber_count t);
+  let n = 50 in
+  let publisher job =
+    Domain.spawn (fun () ->
+        for i = 1 to n do
+          Events.publish t ~job ~typ:"cell"
+            (Json.Obj [ ("job_id", Json.int job); ("i", Json.int i) ])
+        done)
+  in
+  let d1 = publisher 1 and d2 = publisher 2 in
+  Domain.join d1;
+  Domain.join d2;
+  let own_in_order job evs =
+    let idx e = int_field "i" e.Events.body in
+    List.for_all (fun e -> e.Events.job = job) evs
+    && List.mapi (fun i e -> (i + 1, idx e)) evs
+       |> List.for_all (fun (want, got) -> want = got)
+  in
+  let e1 = Events.poll sub1 and e2 = Events.poll sub2 in
+  Alcotest.(check int) "job-1 sub sees all of job 1" n (List.length e1);
+  Alcotest.(check int) "job-2 sub sees all of job 2" n (List.length e2);
+  Alcotest.(check bool) "job-1 stream is own events in order" true
+    (own_in_order 1 e1);
+  Alcotest.(check bool) "job-2 stream is own events in order" true
+    (own_in_order 2 e2);
+  let strictly_increasing evs =
+    let rec go = function
+      | a :: (b :: _ as rest) -> a.Events.seq < b.Events.seq && go rest
+      | _ -> true
+    in
+    go evs
+  in
+  Alcotest.(check bool) "per-job seqs strictly increase" true
+    (strictly_increasing e1 && strictly_increasing e2);
+  let all = Events.poll fire in
+  Alcotest.(check int) "firehose sees both jobs" (2 * n) (List.length all);
+  Alcotest.(check bool) "firehose seqs strictly increase" true
+    (strictly_increasing all);
+  Alcotest.(check bool) "firehose preserves each job's order" true
+    (own_in_order 1 (List.filter (fun e -> e.Events.job = 1) all)
+     && own_in_order 2 (List.filter (fun e -> e.Events.job = 2) all));
+  Alcotest.(check int) "nothing dropped at default buffer" 0
+    (Events.dropped sub1 + Events.dropped sub2 + Events.dropped fire);
+  Events.unsubscribe t sub1;
+  Events.unsubscribe t sub1 (* idempotent *);
+  Alcotest.(check int) "unsubscribe detaches" 2 (Events.subscriber_count t)
+
+(* A subscriber that never drains loses its oldest events — and only the
+   publisher-side counters move; publish itself keeps returning. *)
+let test_events_drop_policy =
+  with_registry (fun () ->
+      let t = Events.create ~buffer:4 () in
+      let stalled = Events.subscribe ~job:1 t in
+      let healthy = Events.subscribe ~job:1 t in
+      for i = 1 to 10 do
+        (* drain the healthy client every round; stall the other *)
+        if Events.pending healthy > 0 then ignore (Events.poll healthy);
+        Events.publish t ~job:1 ~typ:"cell" (Json.Obj [ ("i", Json.int i) ])
+      done;
+      Alcotest.(check int) "stalled client lost the oldest six" 6
+        (Events.dropped stalled);
+      Alcotest.(check (option int)) "global drop counter matches" (Some 6)
+        (Metrics.counter_peek "serve.events.dropped");
+      Alcotest.(check (option int)) "every publish counted" (Some 10)
+        (Metrics.counter_peek "serve.events.published");
+      (* newest-wins: the survivors are the last four, in order *)
+      let left = Events.poll stalled in
+      Alcotest.(check (list int)) "survivors are the newest events"
+        [ 7; 8; 9; 10 ]
+        (List.map (fun e -> int_field "i" e.Events.body) left);
+      Alcotest.(check int) "healthy client dropped nothing" 0
+        (Events.dropped healthy);
+      Events.unsubscribe t stalled;
+      Events.unsubscribe t healthy)
+
+(* End-to-end over a real socket: the watch client, fed nothing but the
+   SSE stream, reassembles the job's table byte-identically to what
+   GET /jobs/:id/table serves. *)
+let test_watch_reassembles_table =
+  with_registry (fun () ->
+      let daemon = Daemon.create ~dir:(fresh_dir ()) ~checkpoint_every:2 () in
+      let server =
+        Http.serve ~handler:(Daemon.handler daemon)
+          ~stream_handler:(Daemon.stream_handler daemon) ~port:0 ()
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Http.stop server;
+          Daemon.close daemon)
+      @@ fun () ->
+      let handle = Http.handle ~handler:(Daemon.handler daemon) in
+      Alcotest.(check (option int)) "submit" (Some 202)
+        (status_of
+           (handle (post_jobs {|{"exp":"ack","params":[2,3,4],"seeds":[1,2]}|})));
+      (* the watcher connects while the job is still queued, so the rows
+         arrive live; the runner starts once the stream is up *)
+      let watcher =
+        Domain.spawn (fun () ->
+            Watch.watch ~port:(Http.port server) ~job:1 ())
+      in
+      while Daemon.step daemon do () done;
+      let outcome = Domain.join watcher in
+      let table =
+        match outcome with
+        | Watch.Completed table -> table
+        | Watch.Failed { error; _ } -> Alcotest.failf "watch failed: %s" error
+        | Watch.Cancelled -> Alcotest.fail "watch saw a cancel"
+        | Watch.Stream_error e -> Alcotest.failf "stream error: %s" e
+      in
+      let served = handle "GET /jobs/1/table HTTP/1.1\r\n\r\n" in
+      Alcotest.(check (option int)) "table endpoint agrees it is done"
+        (Some 200) (status_of served);
+      Alcotest.(check string) "watch table byte-identical to /table"
+        (body_of served)
+        (Json.to_string_json table ^ "\n");
+      (* a watch attached after completion replays to the same bytes *)
+      let replayed = Watch.watch ~port:(Http.port server) ~job:1 () in
+      (match replayed with
+       | Watch.Completed t2 ->
+         Alcotest.(check string) "replay-only watch agrees"
+           (Json.to_string_json table) (Json.to_string_json t2)
+       | _ -> Alcotest.fail "replay watch did not complete");
+      Alcotest.(check bool) "watching a missing job is an error" true
+        (match Watch.watch ~port:(Http.port server) ~job:99 () with
+         | Watch.Stream_error _ -> true
+         | _ -> false))
+
+(* Two jobs through the same daemon: each /jobs/:id/metrics page carries
+   only its own job's labeled children. *)
+let test_job_metrics_disjoint =
+  with_registry (fun () ->
+      let daemon = Daemon.create ~dir:(fresh_dir ()) () in
+      let handle = Http.handle ~handler:(Daemon.handler daemon) in
+      Alcotest.(check (option int)) "submit job 1" (Some 202)
+        (status_of (handle (post_jobs {|{"exp":"ack","params":[2,3],"seeds":[1]}|})));
+      Alcotest.(check (option int)) "submit job 2" (Some 202)
+        (status_of (handle (post_jobs {|{"exp":"ack","params":[4],"seeds":[1,2]}|})));
+      while Daemon.step daemon do () done;
+      let m1 = handle "GET /jobs/1/metrics HTTP/1.1\r\n\r\n" in
+      let m2 = handle "GET /jobs/2/metrics HTTP/1.1\r\n\r\n" in
+      Alcotest.(check (option int)) "job 1 metrics served" (Some 200)
+        (status_of m1);
+      Alcotest.(check (option int)) "job 2 metrics served" (Some 200)
+        (status_of m2);
+      Alcotest.(check bool) "job 1 page counts its own cells" true
+        (has_sub (body_of m1) {|serve_cells_done{job_id="1"} 2|});
+      Alcotest.(check bool) "job 2 page counts its own cells" true
+        (has_sub (body_of m2) {|serve_cells_done{job_id="2"} 2|});
+      Alcotest.(check bool) "job 1 page carries no job-2 labels" false
+        (has_sub (body_of m1) {|job_id="2"|});
+      Alcotest.(check bool) "job 2 page carries no job-1 labels" false
+        (has_sub (body_of m2) {|job_id="1"|});
+      (* the per-job cell latency histogram rides along *)
+      Alcotest.(check bool) "job page carries its cell histogram" true
+        (has_sub (body_of m1) {|serve_cell_seconds_count{job_id="1"}|});
+      Alcotest.(check (option int)) "unknown job is 404" (Some 404)
+        (status_of (handle "GET /jobs/99/metrics HTTP/1.1\r\n\r\n"));
+      Alcotest.(check (option int)) "method discipline" (Some 405)
+        (status_of (handle "DELETE /jobs/1/metrics HTTP/1.1\r\n\r\n"));
+      Daemon.close daemon)
+
 (* ---------------- http: slowloris guard ------------------------------ *)
 
 let test_http_read_timeout () =
@@ -1047,6 +1223,14 @@ let suite =
       test_daemon_recovery_quarantine;
     Alcotest.test_case "daemon: /readyz honest readiness" `Quick
       test_daemon_readyz;
+    Alcotest.test_case "events: per-job isolation and order" `Quick
+      test_events_isolation;
+    Alcotest.test_case "events: stalled client drops oldest" `Quick
+      test_events_drop_policy;
+    Alcotest.test_case "watch: SSE stream reassembles table" `Slow
+      test_watch_reassembles_table;
+    Alcotest.test_case "daemon: /jobs/:id/metrics disjoint" `Quick
+      test_job_metrics_disjoint;
     Alcotest.test_case "http: slowloris read timeout" `Slow
       test_http_read_timeout;
     Alcotest.test_case "bench diff: missing current" `Quick
